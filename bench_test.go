@@ -1,0 +1,259 @@
+package tahoedyn
+
+// The benchmark harness: one benchmark per paper figure/claim, each
+// regenerating the experiment at reduced scale and reporting the
+// headline numbers as benchmark metrics (so `go test -bench` prints the
+// same rows the paper reports), plus microbenchmarks of the simulation
+// engine itself.
+
+import (
+	"testing"
+	"time"
+
+	"tahoedyn/internal/core"
+	"tahoedyn/internal/experiment"
+	"tahoedyn/internal/packet"
+	"tahoedyn/internal/sim"
+)
+
+// benchOpts shrinks experiment durations so a bench iteration stays
+// around a hundred milliseconds while preserving the dynamics. (The
+// full-scale acceptance bands are asserted by the test suite; at half
+// scale a band can occasionally miss, which the bands-passed metric
+// surfaces without failing the bench.)
+var benchOpts = experiment.Options{Scale: 0.5}
+
+// runExperiment is the common bench body: run the experiment b.N times
+// and report its metrics from the last outcome.
+func runExperiment(b *testing.B, name string, metrics func(*experiment.Outcome, *testing.B)) {
+	b.Helper()
+	def, ok := experiment.Find(name)
+	if !ok {
+		b.Fatalf("unknown experiment %q", name)
+	}
+	var out *experiment.Outcome
+	for i := 0; i < b.N; i++ {
+		out = def.Run(benchOpts)
+	}
+	if out.Result != nil {
+		b.ReportMetric(float64(out.Result.Events)/b.Elapsed().Seconds()*float64(b.N),
+			"sim-events/s")
+	}
+	passed := 0.0
+	if out.Passed() {
+		passed = 1
+	}
+	b.ReportMetric(passed, "bands-passed")
+	if metrics != nil {
+		metrics(out, b)
+	}
+}
+
+func reportUtil(out *experiment.Outcome, b *testing.B) {
+	if out.Result != nil {
+		b.ReportMetric(out.Result.UtilForward()*100, "util-fwd-%")
+		b.ReportMetric(out.Result.UtilReverse()*100, "util-rev-%")
+	}
+}
+
+func BenchmarkFig2OneWay(b *testing.B) {
+	runExperiment(b, "fig2-oneway", reportUtil)
+}
+
+func BenchmarkOneWaySmallPipe(b *testing.B) {
+	runExperiment(b, "oneway-smallpipe", reportUtil)
+}
+
+func BenchmarkOneWayBufferScaling(b *testing.B) {
+	runExperiment(b, "oneway-buffers", nil)
+}
+
+func BenchmarkFig3TenConns(b *testing.B) {
+	runExperiment(b, "fig3-tenconns", reportUtil)
+}
+
+func BenchmarkFig45OutOfPhase(b *testing.B) {
+	runExperiment(b, "fig4-5", reportUtil)
+}
+
+func BenchmarkFig67InPhase(b *testing.B) {
+	runExperiment(b, "fig6-7", reportUtil)
+}
+
+func BenchmarkFig8FixedWindow(b *testing.B) {
+	runExperiment(b, "fig8-fixed", func(out *experiment.Outcome, b *testing.B) {
+		reportUtil(out, b)
+		r := out.Result
+		b.ReportMetric(r.Q1().Max(r.MeasureFrom, r.MeasureTo), "q1-max-pkts")
+		b.ReportMetric(r.Q2().Max(r.MeasureFrom, r.MeasureTo), "q2-max-pkts")
+	})
+}
+
+func BenchmarkFig9FixedWindow(b *testing.B) {
+	runExperiment(b, "fig9-fixed", reportUtil)
+}
+
+func BenchmarkZeroACKConjecture(b *testing.B) {
+	runExperiment(b, "zeroack-conjecture", nil)
+}
+
+func BenchmarkACKCompression(b *testing.B) {
+	runExperiment(b, "ack-compression", nil)
+}
+
+func BenchmarkDelayedACK(b *testing.B) {
+	runExperiment(b, "delayed-ack", nil)
+}
+
+func BenchmarkFourSwitch(b *testing.B) {
+	runExperiment(b, "four-switch", nil)
+}
+
+func BenchmarkPacingAblation(b *testing.B) {
+	runExperiment(b, "pacing-ablation", nil)
+}
+
+func BenchmarkRenoTwoWay(b *testing.B) {
+	runExperiment(b, "reno", nil)
+}
+
+func BenchmarkRandomDrop(b *testing.B) {
+	runExperiment(b, "random-drop", nil)
+}
+
+func BenchmarkUnequalRTT(b *testing.B) {
+	runExperiment(b, "unequal-rtt", nil)
+}
+
+// BenchmarkClusteringMetric measures the clustering analysis over a
+// realistic departure log (E13).
+func BenchmarkClusteringMetric(b *testing.B) {
+	cfg := Dumbbell(time.Second, 20)
+	for i := 0; i < 3; i++ {
+		cfg.Conns = append(cfg.Conns, ConnSpec{SrcHost: 0, DstHost: 1, Start: -1})
+	}
+	cfg.Warmup = 100 * time.Second
+	cfg.Duration = 400 * time.Second
+	res := Run(cfg)
+	deps := res.TrunkDeps[0][0]
+	b.ResetTimer()
+	var c float64
+	for i := 0; i < b.N; i++ {
+		c = Clustering(deps)
+	}
+	b.ReportMetric(c, "clustering")
+}
+
+// BenchmarkEngine measures raw event throughput of the discrete-event
+// core: schedule-and-run of pre-seeded timer chains.
+func BenchmarkEngine(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		eng := sim.New()
+		n := 0
+		var tick func()
+		tick = func() {
+			n++
+			if n < 1000 {
+				eng.Schedule(time.Millisecond, tick)
+			}
+		}
+		eng.Schedule(time.Millisecond, tick)
+		eng.Run()
+	}
+}
+
+// BenchmarkScenarioThroughput measures end-to-end simulation speed in
+// simulated-seconds per wall-second for the standard two-way scenario.
+func BenchmarkScenarioThroughput(b *testing.B) {
+	cfg := core.DumbbellConfig(10*time.Millisecond, 20)
+	cfg.Conns = []core.ConnSpec{
+		{SrcHost: 0, DstHost: 1, Start: -1},
+		{SrcHost: 1, DstHost: 0, Start: -1},
+	}
+	cfg.Warmup = 10 * time.Second
+	cfg.Duration = 300 * time.Second
+	b.ResetTimer()
+	var events uint64
+	for i := 0; i < b.N; i++ {
+		res := core.Run(cfg)
+		events = res.Events
+	}
+	simSecs := cfg.Duration.Seconds() * float64(b.N)
+	b.ReportMetric(simSecs/b.Elapsed().Seconds(), "sim-s/wall-s")
+	b.ReportMetric(float64(events), "events/run")
+}
+
+// BenchmarkTahoeSender isolates the TCP state machine: a sender and
+// receiver wired back-to-back through zero-delay function calls.
+func BenchmarkTahoeSender(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		eng := sim.New()
+		cfg := core.DumbbellConfig(10*time.Millisecond, 20)
+		cfg.Conns = []core.ConnSpec{{SrcHost: 0, DstHost: 1, Start: 0}}
+		cfg.Warmup = time.Second
+		cfg.Duration = 30 * time.Second
+		core.Run(cfg)
+		_ = eng
+	}
+}
+
+// Sanity checks so `go test` at the repository root also exercises the
+// facade itself.
+
+func TestFacadeRunAndAnalyze(t *testing.T) {
+	cfg := Dumbbell(10*time.Millisecond, 20)
+	cfg.Conns = []ConnSpec{
+		{SrcHost: 0, DstHost: 1, Start: -1},
+		{SrcHost: 1, DstHost: 0, Start: -1},
+	}
+	cfg.Warmup = 50 * time.Second
+	cfg.Duration = 250 * time.Second
+	res := Run(cfg)
+	if res.UtilForward() <= 0 || res.UtilForward() > 1 {
+		t.Fatalf("utilization out of range: %v", res.UtilForward())
+	}
+	mode, _ := Phase(res.Cwnd[0], res.Cwnd[1], cfg.Warmup, cfg.Duration, time.Second)
+	if mode != PhaseOut && mode != PhaseIn && mode != PhaseMixed {
+		t.Fatalf("unexpected phase mode %v", mode)
+	}
+	if len(res.Drops) == 0 {
+		t.Fatal("expected drops in the congested scenario")
+	}
+	for _, d := range res.Drops {
+		if d.Kind == packet.Ack {
+			t.Fatal("an ACK was dropped")
+		}
+	}
+	eps := Epochs(res.Drops, 2*time.Second)
+	if len(eps) == 0 {
+		t.Fatal("no congestion epochs detected")
+	}
+}
+
+func TestFacadeExperimentRegistry(t *testing.T) {
+	defs := Experiments()
+	if len(defs) != 19 {
+		t.Fatalf("registry has %d experiments, want 19", len(defs))
+	}
+	if _, err := Experiment("nope", ExpOptions{}); err == nil {
+		t.Fatal("unknown experiment did not error")
+	}
+	out := MustExperiment("oneway-smallpipe", ExpOptions{Scale: 0.2})
+	if out.ID != "oneway-smallpipe" {
+		t.Fatalf("outcome ID = %q", out.ID)
+	}
+}
+
+func BenchmarkFairQueueing(b *testing.B) {
+	runExperiment(b, "fair-queueing", nil)
+}
+
+func BenchmarkIncreaseRule(b *testing.B) {
+	runExperiment(b, "increase-rule", nil)
+}
+
+func BenchmarkModeBoundary(b *testing.B) {
+	runExperiment(b, "mode-boundary", nil)
+}

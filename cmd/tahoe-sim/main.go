@@ -1,0 +1,164 @@
+// Command tahoe-sim runs the paper's experiments by name and renders
+// their figures as ASCII plots, metric reports, and optional TSV files.
+//
+// Usage:
+//
+//	tahoe-sim -list
+//	tahoe-sim -experiment fig4-5
+//	tahoe-sim -experiment fig8-fixed -plot -width 120 -height 24
+//	tahoe-sim -all -tsv out/
+//	tahoe-sim -experiment fig6-7 -seed 7 -scale 0.5
+//	tahoe-sim -config scenario.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"tahoedyn"
+)
+
+func main() {
+	var (
+		list   = flag.Bool("list", false, "list available experiments and exit")
+		name   = flag.String("experiment", "", "experiment to run (see -list)")
+		all    = flag.Bool("all", false, "run every experiment")
+		config = flag.String("config", "", "run a JSON scenario file instead of a named experiment")
+		seed   = flag.Int64("seed", 1, "scenario random seed")
+		scale  = flag.Float64("scale", 1.0, "duration scale factor (1.0 = paper-length runs)")
+		doPlot = flag.Bool("plot", true, "render ASCII plots of the figure traces")
+		width  = flag.Int("width", 100, "plot width in characters")
+		height = flag.Int("height", 18, "plot height in characters")
+		tsvDir = flag.String("tsv", "", "directory to write per-experiment TSV trace files")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, d := range tahoedyn.Experiments() {
+			fmt.Printf("  %-20s %s\n", d.Name, d.Title)
+		}
+		return
+	}
+
+	if *config != "" {
+		if err := runScenarioFile(*config, *width, *height, *doPlot); err != nil {
+			fmt.Fprintln(os.Stderr, "tahoe-sim:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	var names []string
+	switch {
+	case *all:
+		for _, d := range tahoedyn.Experiments() {
+			names = append(names, d.Name)
+		}
+	case *name != "":
+		names = []string{*name}
+	default:
+		fmt.Fprintln(os.Stderr, "tahoe-sim: need -experiment <name>, -all, or -list")
+		os.Exit(2)
+	}
+
+	opts := tahoedyn.ExpOptions{Seed: *seed, Scale: *scale}
+	failed := false
+	for _, n := range names {
+		out, err := tahoedyn.Experiment(n, opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tahoe-sim:", err)
+			os.Exit(2)
+		}
+		if err := out.WriteText(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "tahoe-sim:", err)
+			os.Exit(1)
+		}
+		if !out.Passed() {
+			failed = true
+		}
+		if *doPlot && len(out.Series) > 0 && out.PlotTo > out.PlotFrom {
+			err := tahoedyn.PlotASCII(os.Stdout, tahoedyn.PlotOptions{
+				Width: *width, Height: *height,
+				From: out.PlotFrom, To: out.PlotTo,
+			}, out.Series...)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "tahoe-sim: plot:", err)
+			}
+		}
+		if *tsvDir != "" && len(out.Series) > 0 && out.PlotTo > out.PlotFrom {
+			if err := writeTSV(*tsvDir, n, out); err != nil {
+				fmt.Fprintln(os.Stderr, "tahoe-sim:", err)
+				os.Exit(1)
+			}
+		}
+		fmt.Println()
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// runScenarioFile executes an arbitrary JSON scenario and prints a
+// generic dynamics report: utilizations, synchronization, drops, and the
+// bottleneck queue plot.
+func runScenarioFile(path string, width, height int, doPlot bool) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	cfg, err := tahoedyn.ParseScenario(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	res := tahoedyn.Run(cfg)
+	cfg = res.Cfg // normalized copy, with defaults filled in
+	fmt.Printf("scenario %s: %d switches, τ=%v, buffer %d, %d connections\n",
+		path, cfg.Switches, cfg.TrunkDelay, cfg.Buffer, len(cfg.Conns))
+	for i := range res.TrunkUtil {
+		fmt.Printf("  trunk %d utilization: %.1f%% / %.1f%%\n",
+			i, res.TrunkUtil[i][0]*100, res.TrunkUtil[i][1]*100)
+	}
+	if len(res.Cwnd) >= 2 {
+		mode, r := tahoedyn.Phase(res.Cwnd[0], res.Cwnd[1], cfg.Warmup, cfg.Duration, time.Second)
+		fmt.Printf("  window sync (conns 1,2): %v (r=%.2f)\n", mode, r)
+	}
+	qmode, qr := tahoedyn.Phase(res.Q1(), res.Q2(), cfg.Warmup, cfg.Duration, time.Second)
+	fmt.Printf("  queue sync: %v (r=%.2f)\n", qmode, qr)
+	epochs := tahoedyn.Epochs(res.Drops, 2*time.Second)
+	fmt.Printf("  drops: %d in %d epochs; goodput %v\n", len(res.Drops), len(epochs), res.Goodput)
+	if doPlot {
+		from := cfg.Duration - 30*time.Second
+		if from < cfg.Warmup {
+			from = cfg.Warmup
+		}
+		return tahoedyn.PlotASCII(os.Stdout, tahoedyn.PlotOptions{
+			Width: width, Height: height, From: from, To: cfg.Duration,
+		}, res.Q1(), res.Q2())
+	}
+	return nil
+}
+
+func writeTSV(dir, name string, out *tahoedyn.Outcome) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	path := filepath.Join(dir, name+".tsv")
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	step := (out.PlotTo - out.PlotFrom) / 2000
+	if step <= 0 {
+		step = 10 * time.Millisecond
+	}
+	if err := tahoedyn.PlotTSV(f, out.PlotFrom, out.PlotTo, step, out.Series...); err != nil {
+		return err
+	}
+	fmt.Printf("  wrote %s\n", path)
+	return f.Close()
+}

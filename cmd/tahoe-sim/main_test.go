@@ -1,0 +1,51 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"tahoedyn"
+)
+
+func TestWriteTSVCreatesFile(t *testing.T) {
+	dir := t.TempDir()
+	out := tahoedyn.MustExperiment("oneway-smallpipe", tahoedyn.ExpOptions{Scale: 0.1})
+	if err := writeTSV(dir, "smoke", out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "smoke.tsv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(string(data), "\n"), "\n")
+	if len(lines) < 100 {
+		t.Fatalf("TSV has only %d lines", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "t_seconds\t") {
+		t.Fatalf("header = %q", lines[0])
+	}
+}
+
+func TestRunScenarioFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "s.json")
+	js := `{"trunk_delay":"10ms","buffer":20,
+	        "conns":[{"src":0,"dst":1},{"src":1,"dst":0}],
+	        "warmup":"20s","duration":"80s"}`
+	if err := os.WriteFile(path, []byte(js), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := runScenarioFile(path, 60, 8, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := runScenarioFile(filepath.Join(dir, "missing.json"), 60, 8, false); err == nil {
+		t.Fatal("no error for missing file")
+	}
+	bad := filepath.Join(dir, "bad.json")
+	os.WriteFile(bad, []byte(`{}`), 0o644)
+	if err := runScenarioFile(bad, 60, 8, false); err == nil {
+		t.Fatal("no error for invalid scenario")
+	}
+}

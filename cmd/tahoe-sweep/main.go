@@ -1,0 +1,90 @@
+// Command tahoe-sweep maps the synchronization-mode boundary of §4.3.3:
+// for a grid of buffer sizes and propagation delays it runs the two-way
+// 1+1 configuration and reports the utilization and the measured
+// window-synchronization mode, showing the paper's rule that larger
+// buffers push the system out-of-phase while larger pipes pull it
+// in-phase.
+//
+// Usage:
+//
+//	tahoe-sweep
+//	tahoe-sweep -buffers 10,20,40,80 -taus 10ms,100ms,1s -duration 600s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"tahoedyn"
+)
+
+func main() {
+	var (
+		buffersFlag = flag.String("buffers", "10,20,40,80", "comma-separated buffer sizes in packets")
+		tausFlag    = flag.String("taus", "10ms,100ms,300ms,1s", "comma-separated propagation delays")
+		duration    = flag.Duration("duration", 800*time.Second, "simulated run length")
+		warmup      = flag.Duration("warmup", 200*time.Second, "discarded warm-up period")
+		seed        = flag.Int64("seed", 1, "scenario random seed")
+	)
+	flag.Parse()
+
+	buffers, err := parseInts(*buffersFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tahoe-sweep:", err)
+		os.Exit(2)
+	}
+	taus, err := parseDurations(*tausFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tahoe-sweep:", err)
+		os.Exit(2)
+	}
+
+	fmt.Printf("%-8s %-8s %-8s %-10s %-22s %s\n",
+		"tau", "buffer", "pipe P", "util", "window sync (corr)", "queue sync (corr)")
+	for _, tau := range taus {
+		for _, b := range buffers {
+			cfg := tahoedyn.Dumbbell(tau, b)
+			cfg.Seed = *seed
+			cfg.Warmup = *warmup
+			cfg.Duration = *duration
+			cfg.Conns = []tahoedyn.ConnSpec{
+				{SrcHost: 0, DstHost: 1, Start: -1},
+				{SrcHost: 1, DstHost: 0, Start: -1},
+			}
+			res := tahoedyn.Run(cfg)
+			wMode, wr := tahoedyn.Phase(res.Cwnd[0], res.Cwnd[1], cfg.Warmup, cfg.Duration, time.Second)
+			qMode, qr := tahoedyn.Phase(res.Q1(), res.Q2(), cfg.Warmup, cfg.Duration, time.Second)
+			fmt.Printf("%-8v %-8d %-8.3f %-10.1f %-22s %s\n",
+				tau, b, cfg.PipeSize(), res.UtilForward()*100,
+				fmt.Sprintf("%v (%.2f)", wMode, wr),
+				fmt.Sprintf("%v (%.2f)", qMode, qr))
+		}
+	}
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		var v int
+		if _, err := fmt.Sscanf(strings.TrimSpace(part), "%d", &v); err != nil {
+			return nil, fmt.Errorf("bad integer %q", part)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseDurations(s string) ([]time.Duration, error) {
+	var out []time.Duration
+	for _, part := range strings.Split(s, ",") {
+		d, err := time.ParseDuration(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad duration %q: %v", part, err)
+		}
+		out = append(out, d)
+	}
+	return out, nil
+}

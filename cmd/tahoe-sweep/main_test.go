@@ -1,0 +1,38 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+func TestParseInts(t *testing.T) {
+	got, err := parseInts("10, 20,40")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{10, 20, 40}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+	if _, err := parseInts("10,abc"); err == nil {
+		t.Fatal("no error for bad integer")
+	}
+}
+
+func TestParseDurations(t *testing.T) {
+	got, err := parseDurations("10ms, 1s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != 10*time.Millisecond || got[1] != time.Second {
+		t.Fatalf("got %v", got)
+	}
+	if _, err := parseDurations("10ms,soon"); err == nil {
+		t.Fatal("no error for bad duration")
+	}
+}

@@ -1,0 +1,63 @@
+package tahoedyn_test
+
+import (
+	"fmt"
+	"time"
+
+	"tahoedyn"
+)
+
+// ExampleRun builds the paper's Figure-1 dumbbell with one Tahoe
+// connection in each direction and reports the headline observables.
+// Runs are deterministic in the configuration, so the output is exact.
+func ExampleRun() {
+	cfg := tahoedyn.Dumbbell(10*time.Millisecond, 20)
+	cfg.Conns = []tahoedyn.ConnSpec{
+		{SrcHost: 0, DstHost: 1, Start: -1},
+		{SrcHost: 1, DstHost: 0, Start: -1},
+	}
+	cfg.Warmup = 100 * time.Second
+	cfg.Duration = 400 * time.Second
+
+	res := tahoedyn.Run(cfg)
+	mode, _ := tahoedyn.Phase(res.Cwnd[0], res.Cwnd[1], cfg.Warmup, cfg.Duration, time.Second)
+	fmt.Printf("utilization: %.0f%%\n", res.UtilForward()*100)
+	fmt.Printf("window synchronization: %v\n", mode)
+	fmt.Printf("ACKs dropped: %d\n", countAcks(res.Drops))
+	// Output:
+	// utilization: 70%
+	// window synchronization: out-of-phase
+	// ACKs dropped: 0
+}
+
+func countAcks(drops []tahoedyn.DropEvent) int {
+	n := 0
+	for _, d := range drops {
+		if d.Kind != 0 { // packet.Ack
+			n++
+		}
+	}
+	return n
+}
+
+// ExampleExperiment reproduces Figure 8 and prints whether every
+// paper-derived acceptance band passed.
+func ExampleExperiment() {
+	out, err := tahoedyn.Experiment("fig8-fixed", tahoedyn.ExpOptions{})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("%s: passed=%v, %d metrics\n", out.ID, out.Passed(), len(out.Metrics))
+	// Output:
+	// fig8-fixed: passed=true, 8 metrics
+}
+
+// ExampleConfig_PipeSize shows the paper's pipe-size arithmetic: at
+// τ = 1 s the 50 Kbps bottleneck holds 12.5 of the 500-byte packets.
+func ExampleConfig_PipeSize() {
+	cfg := tahoedyn.Dumbbell(time.Second, 20)
+	fmt.Printf("P = %.1f packets, data tx = %v\n", cfg.PipeSize(), cfg.DataTxTime())
+	// Output:
+	// P = 12.5 packets, data tx = 80ms
+}

@@ -1,0 +1,115 @@
+// ackcompression walks through the paper's §4.2 mechanism in the
+// cleanest setting: two fixed-window connections (30 and 25 packets)
+// over the small-pipe dumbbell with infinite buffers. It contrasts the
+// ACK inter-arrival spacing of a one-way run (a perfect 80 ms clock)
+// with the two-way run (gaps collapsing to the 8 ms ACK transmission
+// time), and plots the resulting square-wave queues of Figure 8.
+package main
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"tahoedyn"
+)
+
+func main() {
+	const tau = 10 * time.Millisecond
+
+	oneWay := runFixed(tau, []tahoedyn.ConnSpec{
+		{SrcHost: 0, DstHost: 1, FixedWnd: 30, Start: -1},
+	})
+	twoWay := runFixed(tau, []tahoedyn.ConnSpec{
+		{SrcHost: 0, DstHost: 1, FixedWnd: 30, Start: -1},
+		{SrcHost: 1, DstHost: 0, FixedWnd: 25, Start: -1},
+	})
+
+	fmt.Println("ACK inter-arrival gaps at the connection-1 sender")
+	fmt.Println("(data tx = 80ms on the 50 Kbps bottleneck, ACK tx = 8ms)")
+	fmt.Println()
+	printGapHistogram("one-way (ACK clock intact)", oneWay)
+	fmt.Println()
+	printGapHistogram("two-way (ACK-compression)", twoWay)
+
+	res := twoWay.res
+	fmt.Println()
+	fmt.Printf("two-way utilizations: line 1 %.1f%%, line 2 %.1f%% (paper: 100%% and 86%%)\n",
+		res.UtilForward()*100, res.UtilReverse()*100)
+	fmt.Printf("queue maxima: Q1 %.0f, Q2 %.0f (paper: 55 and 23)\n",
+		res.Q1().Max(res.MeasureFrom, res.MeasureTo),
+		res.Q2().Max(res.MeasureFrom, res.MeasureTo))
+	fmt.Println()
+	fmt.Println("the square waves of Figure 8:")
+	err := tahoedyn.PlotASCII(os.Stdout, tahoedyn.PlotOptions{
+		Width: 100, Height: 16,
+		From: res.MeasureTo - 20*time.Second, To: res.MeasureTo,
+	}, res.Q1(), res.Q2())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "plot:", err)
+		os.Exit(1)
+	}
+}
+
+type run struct {
+	res  *tahoedyn.Result
+	gaps []time.Duration
+}
+
+func runFixed(tau time.Duration, conns []tahoedyn.ConnSpec) run {
+	cfg := tahoedyn.Dumbbell(tau, 0) // infinite buffers
+	cfg.Conns = conns
+	cfg.Warmup = 100 * time.Second
+	cfg.Duration = 400 * time.Second
+	res := tahoedyn.Run(cfg)
+	var gaps []time.Duration
+	arr := res.AckArrivals[0]
+	for i := 1; i < len(arr); i++ {
+		if arr[i] >= cfg.Warmup {
+			gaps = append(gaps, arr[i]-arr[i-1])
+		}
+	}
+	return run{res: res, gaps: gaps}
+}
+
+func printGapHistogram(label string, r run) {
+	fmt.Printf("%s — %d gaps\n", label, len(r.gaps))
+	buckets := []struct {
+		name string
+		hi   time.Duration
+	}{
+		{"   < 10ms (≈ ACK tx)  ", 10 * time.Millisecond},
+		{"  10-40ms             ", 40 * time.Millisecond},
+		{"  40-79ms             ", 79 * time.Millisecond},
+		{"  79-81ms (≈ data tx) ", 81 * time.Millisecond},
+		{"   > 81ms             ", 1 << 62},
+	}
+	counts := make([]int, len(buckets))
+	for _, g := range r.gaps {
+		for i, b := range buckets {
+			if g < b.hi {
+				counts[i]++
+				break
+			}
+		}
+	}
+	maxCount := 1
+	for _, c := range counts {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	for i, b := range buckets {
+		bar := ""
+		for j := 0; j < counts[i]*50/maxCount; j++ {
+			bar += "#"
+		}
+		fmt.Printf("%s %6d %s\n", b.name, counts[i], bar)
+	}
+	sorted := append([]time.Duration(nil), r.gaps...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	if len(sorted) > 0 {
+		fmt.Printf("  min %v   median %v\n", sorted[0], sorted[len(sorted)/2])
+	}
+}

@@ -1,0 +1,52 @@
+// Quickstart: build the paper's two-way dumbbell, run ten simulated
+// minutes, and print the headline observables — utilization, the
+// synchronization mode, ACK-compression, and the drop pattern.
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"tahoedyn"
+)
+
+func main() {
+	// The Figure-1 network: 50 Kbps bottleneck, τ = 10 ms, buffer 20,
+	// one TCP Tahoe connection in each direction with infinite data.
+	cfg := tahoedyn.Dumbbell(10*time.Millisecond, 20)
+	cfg.Conns = []tahoedyn.ConnSpec{
+		{SrcHost: 0, DstHost: 1, Start: -1},
+		{SrcHost: 1, DstHost: 0, Start: -1},
+	}
+	cfg.Warmup = 100 * time.Second
+	cfg.Duration = 700 * time.Second
+
+	res := tahoedyn.Run(cfg)
+
+	fmt.Printf("two-way Tahoe over a %v-delay bottleneck (pipe %.3f packets)\n\n",
+		cfg.TrunkDelay, cfg.PipeSize())
+	fmt.Printf("bottleneck utilization:  %.1f%% / %.1f%% (the paper reports ≈70%%)\n",
+		res.UtilForward()*100, res.UtilReverse()*100)
+
+	wMode, wr := tahoedyn.Phase(res.Cwnd[0], res.Cwnd[1], cfg.Warmup, cfg.Duration, time.Second)
+	fmt.Printf("window synchronization:  %v (corr %.2f)\n", wMode, wr)
+
+	comp := tahoedyn.AckCompression(res.AckArrivals[0], cfg.DataTxTime(), cfg.Warmup)
+	fmt.Printf("ACK-compression:         %.0f%% of ACK gaps below half a data tx time (min gap %v)\n",
+		comp.CompressedFraction()*100, comp.MinGap)
+
+	epochs := tahoedyn.Epochs(res.Drops, 2*time.Second)
+	fmt.Printf("congestion epochs:       %d, %d packets dropped in total\n\n",
+		len(epochs), len(res.Drops))
+
+	fmt.Println("bottleneck queues over the final 30 seconds:")
+	err := tahoedyn.PlotASCII(os.Stdout, tahoedyn.PlotOptions{
+		Width: 100, Height: 14,
+		From: cfg.Duration - 30*time.Second, To: cfg.Duration,
+	}, res.Q1(), res.Q2())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "plot:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,63 @@
+// syncmodes demonstrates the paper's two synchronization modes (§4.3):
+// the same two-way configuration locks out-of-phase with a small pipe
+// (τ = 10 ms) and in-phase with a large one (τ = 1 s), with the drop
+// pattern switching between "one connection takes both losses,
+// alternating" and "each connection loses exactly one packet per epoch".
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"tahoedyn"
+)
+
+func main() {
+	show("small pipe, τ=10ms → out-of-phase", 10*time.Millisecond, 2*time.Second)
+	fmt.Println()
+	show("large pipe, τ=1s  → in-phase", time.Second, 10*time.Second)
+}
+
+func show(title string, tau, epochGap time.Duration) {
+	cfg := tahoedyn.Dumbbell(tau, 20)
+	cfg.Conns = []tahoedyn.ConnSpec{
+		{SrcHost: 0, DstHost: 1, Start: -1},
+		{SrcHost: 1, DstHost: 0, Start: -1},
+	}
+	cfg.Warmup = 200 * time.Second
+	cfg.Duration = 800 * time.Second
+	res := tahoedyn.Run(cfg)
+
+	fmt.Println(title)
+	fmt.Printf("  pipe P = %.3f packets, utilization %.1f%%\n",
+		cfg.PipeSize(), res.UtilForward()*100)
+	wMode, wr := tahoedyn.Phase(res.Cwnd[0], res.Cwnd[1], cfg.Warmup, cfg.Duration, time.Second)
+	qMode, qr := tahoedyn.Phase(res.Q1(), res.Q2(), cfg.Warmup, cfg.Duration, time.Second)
+	fmt.Printf("  window sync %v (%.2f), queue sync %v (%.2f)\n", wMode, wr, qMode, qr)
+
+	var measured []tahoedyn.DropEvent
+	for _, d := range res.Drops {
+		if d.T >= cfg.Warmup {
+			measured = append(measured, d)
+		}
+	}
+	epochs := tahoedyn.Epochs(measured, epochGap)
+	fmt.Printf("  first congestion epochs (drops per connection):\n")
+	for i, e := range epochs {
+		if i >= 6 {
+			break
+		}
+		fmt.Printf("    t=%-8v %v\n", e.Start.Round(time.Second), e.LossByConn())
+	}
+
+	fmt.Println("  congestion windows over the final 2 minutes:")
+	err := tahoedyn.PlotASCII(os.Stdout, tahoedyn.PlotOptions{
+		Width: 100, Height: 12,
+		From: cfg.Duration - 120*time.Second, To: cfg.Duration,
+	}, res.Cwnd[0], res.Cwnd[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "plot:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,84 @@
+package tahoedyn
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"tahoedyn/internal/trace"
+)
+
+func TestFacadePlotters(t *testing.T) {
+	cfg := Dumbbell(10*time.Millisecond, 20)
+	cfg.Conns = []ConnSpec{{SrcHost: 0, DstHost: 1, Start: 0}}
+	cfg.Warmup = 10 * time.Second
+	cfg.Duration = 60 * time.Second
+	res := Run(cfg)
+
+	var ascii strings.Builder
+	err := PlotASCII(&ascii, PlotOptions{Width: 40, Height: 8, From: cfg.Warmup, To: cfg.Duration}, res.Q1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(ascii.String(), "sw0->sw1") {
+		t.Fatalf("plot missing series name:\n%s", ascii.String())
+	}
+
+	var tsv strings.Builder
+	if err := PlotTSV(&tsv, cfg.Warmup, cfg.Duration, time.Second, res.Q1(), res.Q2()); err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(tsv.String(), "\n"); lines != 51 {
+		t.Fatalf("TSV lines = %d, want 51 (header + 50 samples)", lines)
+	}
+}
+
+func TestFacadeParseScenario(t *testing.T) {
+	js := `{"trunk_delay":"10ms","buffer":20,"conns":[{"src":0,"dst":1}],
+	        "warmup":"5s","duration":"20s"}`
+	cfg, err := ParseScenario(strings.NewReader(js))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Run(cfg)
+	if res.Goodput[0] == 0 {
+		t.Fatal("parsed scenario produced no goodput")
+	}
+	if _, err := ParseScenario(strings.NewReader("{}")); err == nil {
+		t.Fatal("no error for empty scenario")
+	}
+}
+
+func TestFacadeAnalysisHelpers(t *testing.T) {
+	deps := []trace.Departure{{Conn: 1}, {Conn: 1}, {Conn: 2}, {Conn: 2}}
+	if got := Clustering(deps); got != 2.0/3 {
+		t.Fatalf("Clustering = %v, want 2/3", got)
+	}
+	arr := []time.Duration{0, 8 * time.Millisecond, 88 * time.Millisecond}
+	st := AckCompression(arr, 80*time.Millisecond, 0)
+	if st.Gaps != 2 || st.Compressed != 1 {
+		t.Fatalf("compression = %+v", st)
+	}
+	if got := len(Epochs(nil, time.Second)); got != 0 {
+		t.Fatalf("empty epochs = %d", got)
+	}
+	// Discipline/discard constants are wired to core.
+	cfg := Dumbbell(10*time.Millisecond, 20)
+	cfg.Discipline = FairQueueDiscipline
+	cfg.Discard = DropTailDiscard
+	cfg.Conns = []ConnSpec{{SrcHost: 0, DstHost: 1, Start: 0}}
+	cfg.Warmup = 5 * time.Second
+	cfg.Duration = 20 * time.Second
+	if res := Run(cfg); res.Goodput[0] == 0 {
+		t.Fatal("FQ facade run produced no goodput")
+	}
+}
+
+func TestFacadeMustExperimentPanicsOnUnknown(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustExperiment did not panic")
+		}
+	}()
+	MustExperiment("no-such-experiment", ExpOptions{})
+}

@@ -1,0 +1,3 @@
+module tahoedyn
+
+go 1.22

@@ -1,0 +1,86 @@
+package analysis
+
+import (
+	"time"
+
+	"tahoedyn/internal/trace"
+)
+
+// Plateau is a maximal interval during which a step series holds one
+// value for at least a minimum duration — the flat tops (and floors) of
+// the paper's square-wave queue traces.
+type Plateau struct {
+	Start, End time.Duration
+	Level      float64
+}
+
+// Duration returns the plateau length.
+func (p Plateau) Duration() time.Duration { return p.End - p.Start }
+
+// Plateaus extracts the plateaus of s within [from, to] lasting at least
+// minDur. Values within tolerance of each other are treated as the same
+// level (queue traces jitter by one packet as packets arrive/depart).
+func Plateaus(s *trace.Series, from, to, minDur time.Duration, tolerance float64) []Plateau {
+	var out []Plateau
+	var cur Plateau
+	started := false
+	flush := func(end time.Duration) {
+		if started && end-cur.Start >= minDur {
+			cur.End = end
+			out = append(out, cur)
+		}
+		started = false
+	}
+	level := s.At(from)
+	cur = Plateau{Start: from, Level: level}
+	started = true
+	for _, pt := range s.Points {
+		if pt.T < from {
+			continue
+		}
+		if pt.T > to {
+			break
+		}
+		if !started {
+			cur = Plateau{Start: pt.T, Level: pt.V}
+			started = true
+			continue
+		}
+		if pt.V > cur.Level+tolerance || pt.V < cur.Level-tolerance {
+			flush(pt.T)
+			cur = Plateau{Start: pt.T, Level: pt.V}
+			started = true
+		}
+	}
+	flush(to)
+	return out
+}
+
+// TopPlateaus filters plateaus whose level is at least threshold — the
+// square-wave crests.
+func TopPlateaus(ps []Plateau, threshold float64) []Plateau {
+	var out []Plateau
+	for _, p := range ps {
+		if p.Level >= threshold {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// AlternationFraction reports how often consecutive plateau levels
+// differ — 1 for a strict high/low alternation pattern, 0 for constant
+// heights. Levels within tolerance count as equal.
+func AlternationFraction(ps []Plateau, tolerance float64) float64 {
+	if len(ps) < 2 {
+		return 0
+	}
+	diff := 0
+	for i := 1; i < len(ps); i++ {
+		d := ps[i].Level - ps[i-1].Level
+		if d > tolerance || d < -tolerance {
+			diff++
+		}
+	}
+	return float64(diff) / float64(len(ps)-1)
+}

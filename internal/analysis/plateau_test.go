@@ -1,0 +1,86 @@
+package analysis
+
+import (
+	"testing"
+	"time"
+
+	"tahoedyn/internal/trace"
+)
+
+func squareWave(levels []float64, plateauLen time.Duration) *trace.Series {
+	s := trace.NewSeries("sq")
+	t := time.Duration(0)
+	for _, l := range levels {
+		s.Append(t, l)
+		t += plateauLen
+	}
+	s.Append(t, 0)
+	return s
+}
+
+func TestPlateausExtraction(t *testing.T) {
+	s := squareWave([]float64{20, 2, 22, 2, 20}, 5*time.Second)
+	ps := Plateaus(s, 0, 25*time.Second, 2*time.Second, 0.5)
+	if len(ps) != 5 {
+		t.Fatalf("plateaus = %d, want 5: %+v", len(ps), ps)
+	}
+	want := []float64{20, 2, 22, 2, 20}
+	for i, p := range ps {
+		if p.Level != want[i] {
+			t.Fatalf("plateau %d level = %v, want %v", i, p.Level, want[i])
+		}
+		if p.Duration() != 5*time.Second {
+			t.Fatalf("plateau %d duration = %v", i, p.Duration())
+		}
+	}
+}
+
+func TestPlateausMinDurationFiltersSpikes(t *testing.T) {
+	s := trace.NewSeries("spiky")
+	s.Append(0, 10)
+	s.Append(5*time.Second, 30)                      // spike
+	s.Append(5*time.Second+100*time.Millisecond, 10) // back after 100ms
+	s.Append(20*time.Second, 0)
+	ps := Plateaus(s, 0, 20*time.Second, time.Second, 0.5)
+	for _, p := range ps {
+		if p.Level == 30 {
+			t.Fatalf("100ms spike survived the 1s minimum: %+v", ps)
+		}
+	}
+}
+
+func TestPlateausToleranceMergesJitter(t *testing.T) {
+	s := trace.NewSeries("jitter")
+	// Queue alternates 10/11 rapidly (the paper's darkened regions).
+	for i := 0; i < 100; i++ {
+		v := 10.0
+		if i%2 == 1 {
+			v = 11
+		}
+		s.Append(time.Duration(i)*100*time.Millisecond, v)
+	}
+	ps := Plateaus(s, 0, 10*time.Second, time.Second, 1.0)
+	if len(ps) != 1 {
+		t.Fatalf("jittering level split into %d plateaus", len(ps))
+	}
+}
+
+func TestTopPlateausAndAlternation(t *testing.T) {
+	s := squareWave([]float64{23, 2, 21, 2, 23, 2, 21}, 5*time.Second)
+	ps := Plateaus(s, 0, 35*time.Second, 2*time.Second, 0.5)
+	tops := TopPlateaus(ps, 15)
+	if len(tops) != 4 {
+		t.Fatalf("tops = %d, want 4", len(tops))
+	}
+	if got := AlternationFraction(tops, 0.5); got != 1 {
+		t.Fatalf("alternation = %v, want 1 (23/21/23/21)", got)
+	}
+	same := TopPlateaus(Plateaus(squareWave([]float64{23, 2, 23, 2, 23}, 5*time.Second),
+		0, 25*time.Second, 2*time.Second, 0.5), 15)
+	if got := AlternationFraction(same, 0.5); got != 0 {
+		t.Fatalf("constant tops alternation = %v, want 0", got)
+	}
+	if AlternationFraction(nil, 0.5) != 0 {
+		t.Fatal("empty alternation should be 0")
+	}
+}

@@ -1,0 +1,221 @@
+// Package core assembles the paper's network configurations and runs
+// them: it is the reproduction's scenario engine. A scenario is a line
+// of switches (two for the Figure-1 dumbbell, four for the §5 topology
+// from [19]) with one host per switch, a set of TCP connections between
+// hosts, and a measurement window. Running a scenario yields the traces
+// and statistics the paper's figures are drawn from.
+package core
+
+import (
+	"time"
+
+	"tahoedyn/internal/link"
+)
+
+// Discard selects the switch overflow policy.
+type Discard = link.Discard
+
+// Discard policies for Config.Discard.
+const (
+	// DropTail discards arrivals at a full buffer (the paper's switches).
+	DropTail = link.DropTail
+	// RandomDrop evicts a uniformly chosen buffered packet instead — the
+	// gateway discipline of the studies the paper cites in §1.
+	RandomDrop = link.RandomDrop
+)
+
+// Discipline selects the switch service order.
+type Discipline = link.Discipline
+
+// Service disciplines for Config.Discipline.
+const (
+	// FIFO is first-in-first-out service (the paper's switches).
+	FIFO = link.FIFO
+	// FairQueue is per-connection self-clocked fair queueing — the
+	// discipline of the Fair Queueing studies the paper cites in §1.
+	FairQueue = link.FairQueue
+)
+
+// Paper parameter defaults (§2.2).
+const (
+	// DefaultTrunkBandwidth is the bottleneck line rate: 50 Kbps.
+	DefaultTrunkBandwidth int64 = 50_000
+	// DefaultAccessBandwidth is the host-switch line rate: 10 Mbps.
+	DefaultAccessBandwidth int64 = 10_000_000
+	// DefaultAccessDelay is the host-switch propagation delay: 0.1 ms.
+	DefaultAccessDelay = 100 * time.Microsecond
+	// DefaultHostProcessing is the per-packet host processing time: 0.1 ms.
+	DefaultHostProcessing = 100 * time.Microsecond
+	// DefaultDataSize is the data packet size: 500 bytes.
+	DefaultDataSize = 500
+	// DefaultAckSize is the ACK packet size: 50 bytes.
+	DefaultAckSize = 50
+	// DefaultMaxWnd is the receiver-advertised window: 1000 packets
+	// (never binding in the paper's runs, where cwnd stays below 50).
+	DefaultMaxWnd = 1000
+	// DefaultBuffer is the switch buffer used in most configurations.
+	DefaultBuffer = 20
+)
+
+// ConnSpec describes one TCP connection in a scenario.
+type ConnSpec struct {
+	// SrcHost and DstHost are 0-based host indices along the line.
+	SrcHost, DstHost int
+	// MaxWnd is the advertised window; 0 means DefaultMaxWnd.
+	MaxWnd int
+	// FixedWnd, when positive, disables congestion control and uses this
+	// constant window.
+	FixedWnd int
+	// DelayedAck enables the receiver's delayed-ACK option.
+	DelayedAck bool
+	// Pace, when positive, paces data transmissions at least this far
+	// apart (the pacing ablation).
+	Pace time.Duration
+	// OriginalIncrease selects the unmodified 1/cwnd avoidance rule.
+	OriginalIncrease bool
+	// Reno enables 4.3-Reno fast recovery for this connection (an
+	// extension; the paper studies Tahoe).
+	Reno bool
+	// ExtraDelay adds a fixed one-way delay to this connection's data
+	// path, giving connections unequal round-trip times (§5: unequal
+	// RTTs break complete clustering).
+	ExtraDelay time.Duration
+	// Start is the connection start time. Negative means "pick a random
+	// start in [0, StartSpread) from the scenario RNG".
+	Start time.Duration
+}
+
+// Config describes a complete scenario. The zero value is not runnable;
+// use the With* helpers or fill the fields and call Normalize.
+type Config struct {
+	// Switches is the number of switches on the line (>= 2). Host i
+	// hangs off switch i.
+	Switches int
+	// TrunkBandwidth and TrunkDelay describe every switch-switch line;
+	// TrunkDelay is the paper's propagation delay τ.
+	TrunkBandwidth int64
+	TrunkDelay     time.Duration
+	// Buffer is the per-output-port switch buffer in packets; <= 0 means
+	// infinite (the fixed-window configurations).
+	Buffer int
+	// AccessBandwidth/AccessDelay describe the host-switch lines.
+	AccessBandwidth int64
+	AccessDelay     time.Duration
+	// HostProcessing is the per-packet host processing time.
+	HostProcessing time.Duration
+	// Discard is the switch overflow policy (DropTail by default).
+	Discard Discard
+	// Discipline is the switch service order (FIFO by default).
+	Discipline Discipline
+	// DataSize and AckSize are packet sizes in bytes. AckSize may be 0
+	// for the zero-length-ACK conjecture experiments; DataSize must be
+	// positive.
+	DataSize int
+	AckSize  int
+
+	// Conns lists the connections.
+	Conns []ConnSpec
+
+	// Seed drives all scenario randomness (random start times).
+	Seed int64
+	// StartSpread bounds random connection start times.
+	StartSpread time.Duration
+
+	// Warmup is discarded before measurement; Duration ends the run.
+	Warmup, Duration time.Duration
+}
+
+// DumbbellConfig returns the paper's Figure-1 configuration: two
+// switches, 50 Kbps bottleneck with propagation delay tau, buffer
+// packets of buffering per port, and paper-standard access links and
+// packet sizes. Add connections before running.
+func DumbbellConfig(tau time.Duration, buffer int) Config {
+	return Config{
+		Switches:        2,
+		TrunkBandwidth:  DefaultTrunkBandwidth,
+		TrunkDelay:      tau,
+		Buffer:          buffer,
+		AccessBandwidth: DefaultAccessBandwidth,
+		AccessDelay:     DefaultAccessDelay,
+		HostProcessing:  DefaultHostProcessing,
+		DataSize:        DefaultDataSize,
+		AckSize:         DefaultAckSize,
+		Seed:            1,
+		StartSpread:     time.Second,
+		Warmup:          100 * time.Second,
+		Duration:        600 * time.Second,
+	}
+}
+
+// Normalize fills zero fields with paper defaults and validates the
+// configuration, panicking on nonsense (this is construction-time
+// programmer error, not runtime input).
+func (c *Config) Normalize() {
+	if c.Switches == 0 {
+		c.Switches = 2
+	}
+	if c.Switches < 2 {
+		panic("core: a scenario needs at least 2 switches")
+	}
+	if c.TrunkBandwidth == 0 {
+		c.TrunkBandwidth = DefaultTrunkBandwidth
+	}
+	if c.AccessBandwidth == 0 {
+		c.AccessBandwidth = DefaultAccessBandwidth
+	}
+	if c.AccessDelay == 0 {
+		c.AccessDelay = DefaultAccessDelay
+	}
+	if c.HostProcessing == 0 {
+		c.HostProcessing = DefaultHostProcessing
+	}
+	if c.DataSize == 0 {
+		c.DataSize = DefaultDataSize
+	}
+	if c.DataSize < 0 {
+		panic("core: negative DataSize")
+	}
+	if c.AckSize < 0 {
+		panic("core: negative AckSize")
+	}
+	if c.StartSpread == 0 {
+		c.StartSpread = time.Second
+	}
+	if c.Duration == 0 {
+		c.Duration = 600 * time.Second
+	}
+	if c.Warmup >= c.Duration {
+		panic("core: warmup must precede the end of the run")
+	}
+	if len(c.Conns) == 0 {
+		panic("core: no connections configured")
+	}
+	for i := range c.Conns {
+		s := &c.Conns[i]
+		if s.MaxWnd == 0 {
+			s.MaxWnd = DefaultMaxWnd
+		}
+		if s.SrcHost == s.DstHost {
+			panic("core: connection src == dst")
+		}
+		if s.SrcHost < 0 || s.SrcHost >= c.Switches || s.DstHost < 0 || s.DstHost >= c.Switches {
+			panic("core: connection host index out of range")
+		}
+	}
+}
+
+// PipeSize returns the paper's pipe size P = μτ/M: the number of data
+// packets in flight on one trunk hop.
+func (c *Config) PipeSize() float64 {
+	if c.DataSize == 0 {
+		return 0
+	}
+	bits := float64(c.TrunkBandwidth) * c.TrunkDelay.Seconds()
+	return bits / float64(8*c.DataSize)
+}
+
+// DataTxTime returns the bottleneck transmission time of one data packet.
+func (c *Config) DataTxTime() time.Duration {
+	bits := int64(c.DataSize) * 8
+	return time.Duration(bits * int64(time.Second) / c.TrunkBandwidth)
+}

@@ -1,0 +1,38 @@
+package core
+
+// Second-stage probe: drop-pattern structure of the small-pipe two-way
+// configuration at fine epoch granularity, across seeds.
+
+import (
+	"testing"
+	"time"
+
+	"tahoedyn/internal/analysis"
+)
+
+func TestProbeSmallPipeDropStructure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("probe")
+	}
+	for seed := int64(1); seed <= 4; seed++ {
+		cfg := DumbbellConfig(10*time.Millisecond, 20)
+		cfg.Seed = seed
+		cfg.Conns = []ConnSpec{
+			{SrcHost: 0, DstHost: 1, Start: -1},
+			{SrcHost: 1, DstHost: 0, Start: -1},
+		}
+		cfg.Warmup = 200 * time.Second
+		cfg.Duration = 500 * time.Second
+		res := Run(cfg)
+		epochs := analysis.Epochs(dropsAfter(res.Drops, cfg.Warmup), 2*time.Second)
+		pat := analysis.ClassifyTwoConnDrops(epochs, 1, 2)
+		t.Logf("seed=%d: utilF=%.3f epochs=%d singleEach=%d oneSided=%d alt=%.2f",
+			seed, res.UtilForward(), pat.Epochs, pat.SingleEach, pat.OneSided, pat.AlternationRate())
+		for i, e := range epochs {
+			if i >= 12 {
+				break
+			}
+			t.Logf("   %v %v", e.Start.Round(100*time.Millisecond), e.LossByConn())
+		}
+	}
+}

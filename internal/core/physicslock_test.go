@@ -1,0 +1,54 @@
+package core
+
+// Physics-lock regression tests: exact fingerprints of two canonical
+// runs. The simulator is fully deterministic, so any change to these
+// numbers means the *dynamics* changed — which must be a deliberate,
+// reviewed decision, since the figure reproductions depend on them.
+
+import (
+	"testing"
+	"time"
+)
+
+func TestPhysicsLockTwoWayAdaptive(t *testing.T) {
+	cfg := DumbbellConfig(10*time.Millisecond, 20)
+	cfg.Conns = []ConnSpec{
+		{SrcHost: 0, DstHost: 1, Start: -1},
+		{SrcHost: 1, DstHost: 0, Start: -1},
+	}
+	cfg.Warmup = 100 * time.Second
+	cfg.Duration = 400 * time.Second
+	res := Run(cfg)
+	if res.Events != 89869 {
+		t.Errorf("events = %d, want 89869", res.Events)
+	}
+	if len(res.Drops) != 130 {
+		t.Errorf("drops = %d, want 130", len(res.Drops))
+	}
+	if res.Goodput[0] != 2260 || res.Goodput[1] != 2336 {
+		t.Errorf("goodput = %v, want [2260 2336]", res.Goodput)
+	}
+	if len(res.AckArrivals[0]) != 3134 {
+		t.Errorf("acks at conn 1 = %d, want 3134", len(res.AckArrivals[0]))
+	}
+}
+
+func TestPhysicsLockFixedWindow(t *testing.T) {
+	cfg := DumbbellConfig(time.Second, 0)
+	cfg.Conns = []ConnSpec{
+		{SrcHost: 0, DstHost: 1, FixedWnd: 30, Start: -1},
+		{SrcHost: 1, DstHost: 0, FixedWnd: 25, Start: -1},
+	}
+	cfg.Warmup = 100 * time.Second
+	cfg.Duration = 400 * time.Second
+	res := Run(cfg)
+	if res.Events != 95679 {
+		t.Errorf("events = %d, want 95679", res.Events)
+	}
+	if res.Goodput[0] != 2800 || res.Goodput[1] != 2332 {
+		t.Errorf("goodput = %v, want [2800 2332]", res.Goodput)
+	}
+	if res.Q1().Len() != 13262 {
+		t.Errorf("Q1 trace points = %d, want 13262", res.Q1().Len())
+	}
+}

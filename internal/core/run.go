@@ -1,0 +1,316 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"tahoedyn/internal/link"
+	"tahoedyn/internal/node"
+	"tahoedyn/internal/packet"
+	"tahoedyn/internal/sim"
+	"tahoedyn/internal/tcp"
+	"tahoedyn/internal/trace"
+)
+
+// CollapseEvent records one congestion-window collapse of a sender.
+type CollapseEvent struct {
+	T     time.Duration
+	Cause string // "dupack" or "timeout"
+}
+
+// Result carries everything a scenario run produced. Trunk index i is
+// the line between switch i and switch i+1; direction 0 is rightward
+// (toward higher host indices), direction 1 leftward.
+type Result struct {
+	Cfg Config
+
+	// TrunkQueue[i][dir] is the queue-length series of the port feeding
+	// trunk i in the given direction. For the dumbbell, TrunkQueue[0][0]
+	// is the paper's "queue at switch 1" and TrunkQueue[0][1] the "queue
+	// at switch 2".
+	TrunkQueue [][2]*trace.Series
+	// TrunkUtil[i][dir] is the trunk utilization over the measurement
+	// window.
+	TrunkUtil [][2]float64
+	// TrunkDeps[i][dir] is the departure log of the trunk port.
+	TrunkDeps [][2][]trace.Departure
+
+	// Cwnd[k] is connection k's congestion-window series.
+	Cwnd []*trace.Series
+	// Drops collects every drop-tail discard in the network.
+	Drops []trace.DropEvent
+	// AckArrivals[k] lists the times ACKs reached connection k's sender.
+	AckArrivals [][]time.Duration
+	// RTT[k] is connection k's measured round-trip-time series (one
+	// point per Karn-accepted sample) — the raw material of the §4.3.1
+	// effective-pipe analysis.
+	RTT []*trace.Series
+	// Collapses[k] lists connection k's window collapses.
+	Collapses [][]CollapseEvent
+
+	// SenderStats and ReceiverStats are the final per-connection
+	// counters.
+	SenderStats   []tcp.SenderStats
+	ReceiverStats []tcp.ReceiverStats
+	// Delivered[k] is the final cumulative in-order sequence at
+	// connection k's receiver.
+	Delivered []int
+	// Goodput[k] is the number of packets delivered in order to
+	// connection k's receiver within the measurement window — the basis
+	// for fairness comparisons.
+	Goodput []int
+
+	// MeasureFrom/MeasureTo bound the measurement window (warmup end to
+	// run end).
+	MeasureFrom, MeasureTo time.Duration
+
+	// Events is the number of simulator events processed (for benches).
+	Events uint64
+}
+
+// Q1 returns the dumbbell's switch-1 bottleneck queue series.
+func (r *Result) Q1() *trace.Series { return r.TrunkQueue[0][0] }
+
+// Q2 returns the dumbbell's switch-2 bottleneck queue series.
+func (r *Result) Q2() *trace.Series { return r.TrunkQueue[0][1] }
+
+// UtilForward returns the dumbbell bottleneck utilization carrying data
+// of connections sending rightward (host 0 → host 1).
+func (r *Result) UtilForward() float64 { return r.TrunkUtil[0][0] }
+
+// UtilReverse returns the opposite direction's utilization.
+func (r *Result) UtilReverse() float64 { return r.TrunkUtil[0][1] }
+
+// Run builds the scenario and executes it to completion.
+func Run(cfg Config) *Result {
+	cfg.Normalize()
+	eng := sim.New()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	ids := &tcp.IDGen{}
+
+	res := &Result{
+		Cfg:         cfg,
+		MeasureFrom: cfg.Warmup,
+		MeasureTo:   cfg.Duration,
+	}
+
+	// Build hosts and switches along the line.
+	n := cfg.Switches
+	hosts := make([]*node.Host, n)
+	switches := make([]*node.Switch, n)
+	for i := 0; i < n; i++ {
+		hosts[i] = node.NewHost(eng, i+1, cfg.HostProcessing)
+		switches[i] = node.NewSwitch(i)
+	}
+
+	// Host <-> switch access links. The host's own interface buffer is
+	// unbounded (a source may always burst into its own NIC); the
+	// switch's port toward the host uses the switch buffer, per §2.2.
+	// portRand derives an independent, reproducible RNG per switch port
+	// for the RandomDrop policy.
+	portRand := func() *rand.Rand {
+		if cfg.Discard != RandomDrop {
+			return nil
+		}
+		return rand.New(rand.NewSource(rng.Int63()))
+	}
+
+	for i := 0; i < n; i++ {
+		up := link.NewPort(eng, link.Config{
+			Name:      fmt.Sprintf("h%d->sw%d", i+1, i),
+			Bandwidth: cfg.AccessBandwidth,
+			Delay:     cfg.AccessDelay,
+			Buffer:    queueUnbounded,
+		}, switches[i])
+		hosts[i].SetOutput(up)
+		down := link.NewPort(eng, link.Config{
+			Name:       fmt.Sprintf("sw%d->h%d", i, i+1),
+			Bandwidth:  cfg.AccessBandwidth,
+			Delay:      cfg.AccessDelay,
+			Buffer:     cfg.Buffer,
+			Discard:    cfg.Discard,
+			Rand:       portRand(),
+			Discipline: cfg.Discipline,
+		}, hosts[i])
+		switches[i].AddRoute(i+1, down)
+		instrumentDrops(eng, down, res)
+	}
+
+	// Trunk links between adjacent switches, instrumented.
+	trunks := make([][2]*link.Port, n-1)
+	res.TrunkQueue = make([][2]*trace.Series, n-1)
+	res.TrunkDeps = make([][2][]trace.Departure, n-1)
+	res.TrunkUtil = make([][2]float64, n-1)
+	for i := 0; i < n-1; i++ {
+		right := link.NewPort(eng, link.Config{
+			Name:       fmt.Sprintf("sw%d->sw%d", i, i+1),
+			Bandwidth:  cfg.TrunkBandwidth,
+			Delay:      cfg.TrunkDelay,
+			Buffer:     cfg.Buffer,
+			Discard:    cfg.Discard,
+			Rand:       portRand(),
+			Discipline: cfg.Discipline,
+		}, switches[i+1])
+		left := link.NewPort(eng, link.Config{
+			Name:       fmt.Sprintf("sw%d->sw%d", i+1, i),
+			Bandwidth:  cfg.TrunkBandwidth,
+			Delay:      cfg.TrunkDelay,
+			Buffer:     cfg.Buffer,
+			Discard:    cfg.Discard,
+			Rand:       portRand(),
+			Discipline: cfg.Discipline,
+		}, switches[i])
+		trunks[i] = [2]*link.Port{right, left}
+		for dir, pt := range trunks[i] {
+			i, dir, pt := i, dir, pt
+			s := trace.NewSeries(pt.Name())
+			s.Append(0, 0)
+			res.TrunkQueue[i][dir] = s
+			pt.OnQueueLen = func(qlen int) { s.Append(eng.Now(), float64(qlen)) }
+			pt.OnDepart = func(p *packet.Packet) {
+				res.TrunkDeps[i][dir] = append(res.TrunkDeps[i][dir], trace.Departure{
+					T: eng.Now(), Conn: p.Conn, Kind: p.Kind, Seq: p.Seq,
+				})
+			}
+			instrumentDrops(eng, pt, res)
+		}
+	}
+
+	// Routing along the line: right for higher host IDs, left for lower.
+	for i := 0; i < n; i++ {
+		for h := 0; h < n; h++ {
+			if h == i {
+				continue
+			}
+			if h > i {
+				switches[i].AddRoute(h+1, trunks[i][0])
+			} else {
+				switches[i].AddRoute(h+1, trunks[i-1][1])
+			}
+		}
+	}
+
+	// Connections.
+	nc := len(cfg.Conns)
+	res.Cwnd = make([]*trace.Series, nc)
+	res.AckArrivals = make([][]time.Duration, nc)
+	res.RTT = make([]*trace.Series, nc)
+	res.Collapses = make([][]CollapseEvent, nc)
+	senders := make([]*tcp.Sender, nc)
+	receivers := make([]*tcp.Receiver, nc)
+	for k, spec := range cfg.Conns {
+		k, spec := k, spec
+		connID := k + 1
+		src, dst := hosts[spec.SrcHost], hosts[spec.DstHost]
+		var srcNet tcp.Network = src
+		if spec.ExtraDelay > 0 {
+			srcNet = &delayedNet{eng: eng, dst: src, d: spec.ExtraDelay}
+		}
+		s := tcp.NewSender(eng, srcNet, ids, tcp.SenderConfig{
+			Conn:             connID,
+			SrcHost:          src.ID(),
+			DstHost:          dst.ID(),
+			MaxWnd:           spec.MaxWnd,
+			DataSize:         cfg.DataSize,
+			FixedWnd:         spec.FixedWnd,
+			OriginalIncrease: spec.OriginalIncrease,
+			Reno:             spec.Reno,
+			Pace:             spec.Pace,
+		})
+		r := tcp.NewReceiver(eng, dst, ids, tcp.ReceiverConfig{
+			Conn:       connID,
+			SrcHost:    dst.ID(),
+			DstHost:    src.ID(),
+			AckSize:    cfg.AckSize,
+			DelayedAck: spec.DelayedAck,
+		})
+		src.Attach(connID, s)
+		dst.Attach(connID, r)
+		senders[k], receivers[k] = s, r
+
+		cw := trace.NewSeries(fmt.Sprintf("cwnd-%d", connID))
+		cw.Append(0, 1)
+		res.Cwnd[k] = cw
+		s.OnCwnd = func(v float64) { cw.Append(eng.Now(), v) }
+		s.OnAckArrival = func(*packet.Packet) {
+			res.AckArrivals[k] = append(res.AckArrivals[k], eng.Now())
+		}
+		rttSeries := trace.NewSeries(fmt.Sprintf("rtt-%d", connID))
+		res.RTT[k] = rttSeries
+		s.OnRTTSample = func(m time.Duration) {
+			rttSeries.Append(eng.Now(), m.Seconds())
+		}
+		s.OnCollapse = func(cause string) {
+			res.Collapses[k] = append(res.Collapses[k], CollapseEvent{eng.Now(), cause})
+		}
+
+		start := spec.Start
+		if start < 0 {
+			start = time.Duration(rng.Int63n(int64(cfg.StartSpread)))
+		}
+		eng.ScheduleAt(start, s.Start)
+	}
+
+	// Run to warmup, snapshot trunk busy time and receiver progress,
+	// then run to the end.
+	eng.RunUntil(cfg.Warmup)
+	busyAt := make([][2]time.Duration, n-1)
+	for i := range trunks {
+		busyAt[i][0] = trunks[i][0].Stats().Busy
+		busyAt[i][1] = trunks[i][1].Stats().Busy
+	}
+	deliveredWarm := make([]int, nc)
+	for k := range receivers {
+		deliveredWarm[k] = receivers[k].RcvNxt()
+	}
+	eng.RunUntil(cfg.Duration)
+
+	window := cfg.Duration - cfg.Warmup
+	for i := range trunks {
+		for dir := range trunks[i] {
+			res.TrunkUtil[i][dir] = float64(trunks[i][dir].Stats().Busy-busyAt[i][dir]) / float64(window)
+		}
+	}
+	res.SenderStats = make([]tcp.SenderStats, nc)
+	res.ReceiverStats = make([]tcp.ReceiverStats, nc)
+	res.Delivered = make([]int, nc)
+	res.Goodput = make([]int, nc)
+	for k := range senders {
+		res.SenderStats[k] = senders[k].Stats()
+		res.ReceiverStats[k] = receivers[k].Stats()
+		res.Delivered[k] = receivers[k].RcvNxt()
+		res.Goodput[k] = res.Delivered[k] - deliveredWarm[k]
+	}
+	res.Events = eng.Processed()
+	return res
+}
+
+// queueUnbounded names the unbounded-buffer sentinel for readability.
+const queueUnbounded = 0
+
+// delayedNet adds a fixed delay in front of a host's output, modeling a
+// longer private path for one connection (unequal RTTs, §5).
+type delayedNet struct {
+	eng *sim.Engine
+	dst tcp.Network
+	d   time.Duration
+}
+
+// Send implements tcp.Network. The delay element has unbounded storage,
+// so acceptance is immediate; ordering is preserved because the delay is
+// constant and the engine breaks timestamp ties in schedule order.
+func (dn *delayedNet) Send(p *packet.Packet) bool {
+	dn.eng.Schedule(dn.d, func() { dn.dst.Send(p) })
+	return true
+}
+
+// instrumentDrops wires a port's drop hook into the result's drop log.
+func instrumentDrops(eng *sim.Engine, pt *link.Port, res *Result) {
+	name := pt.Name()
+	pt.OnDrop = func(p *packet.Packet) {
+		res.Drops = append(res.Drops, trace.DropEvent{
+			T: eng.Now(), Conn: p.Conn, Seq: p.Seq, Kind: p.Kind, Port: name,
+		})
+	}
+}

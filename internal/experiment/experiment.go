@@ -1,0 +1,162 @@
+// Package experiment reproduces, one by one, every figure and
+// quantitative claim in the paper's evaluation. Each experiment builds
+// the corresponding configuration, runs it, computes the paper's
+// observables, and reports them as paper-value vs measured-value metrics
+// with a pass/fail judgment against a qualitative band.
+//
+// The bands are deliberately bands, not exact values: the original study
+// ran the authors' private simulator with unknown timer phases and start
+// times, so the reproduction targets the paper's *shape* — who wins, what
+// oscillates, which mode locks in — not bit-identical traces.
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"tahoedyn/internal/core"
+	"tahoedyn/internal/trace"
+)
+
+// Options tunes an experiment run.
+type Options struct {
+	// Seed selects the scenario randomness; 0 means 1.
+	Seed int64
+	// Scale multiplies the default run durations. 0 means 1.0; benches
+	// use fractions to keep iterations fast.
+	Scale float64
+}
+
+func (o Options) seed() int64 {
+	if o.Seed == 0 {
+		return 1
+	}
+	return o.Seed
+}
+
+func (o Options) scale(d time.Duration) time.Duration {
+	if o.Scale <= 0 {
+		return d
+	}
+	return time.Duration(float64(d) * o.Scale)
+}
+
+// Metric is one paper-vs-measured comparison.
+type Metric struct {
+	// Name describes the observable.
+	Name string
+	// Paper is the value (or qualitative claim) the paper reports.
+	Paper string
+	// Measured is what this run produced.
+	Measured string
+	// Pass reports whether Measured falls in the acceptance band.
+	Pass bool
+}
+
+// Outcome is the result of one experiment.
+type Outcome struct {
+	// ID is the registry name (e.g. "fig4-5"); Title the headline.
+	ID, Title string
+	// Metrics lists the paper-vs-measured comparisons.
+	Metrics []Metric
+	// Series holds the headline traces for plotting, and PlotFrom/PlotTo
+	// a window that shows a few cycles, like the paper's figures.
+	Series           []*trace.Series
+	PlotFrom, PlotTo time.Duration
+	// Result is the underlying run (the first one, for multi-run
+	// experiments). May be nil for pure sweep experiments.
+	Result *core.Result
+	// Notes carries free-form commentary about the run.
+	Notes []string
+}
+
+// Passed reports whether every metric is in its acceptance band.
+func (o *Outcome) Passed() bool {
+	for _, m := range o.Metrics {
+		if !m.Pass {
+			return false
+		}
+	}
+	return true
+}
+
+// WriteText renders the outcome as an aligned text report.
+func (o *Outcome) WriteText(w io.Writer) error {
+	status := "PASS"
+	if !o.Passed() {
+		status = "FAIL"
+	}
+	if _, err := fmt.Fprintf(w, "%s — %s [%s]\n", o.ID, o.Title, status); err != nil {
+		return err
+	}
+	for _, m := range o.Metrics {
+		mark := "ok "
+		if !m.Pass {
+			mark = "BAD"
+		}
+		if _, err := fmt.Fprintf(w, "  %s %-38s paper: %-28s measured: %s\n",
+			mark, m.Name, m.Paper, m.Measured); err != nil {
+			return err
+		}
+	}
+	for _, n := range o.Notes {
+		if _, err := fmt.Fprintf(w, "  note: %s\n", n); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// metric builds a Metric with a formatted measurement.
+func metric(name, paper string, pass bool, format string, args ...any) Metric {
+	return Metric{Name: name, Paper: paper, Measured: fmt.Sprintf(format, args...), Pass: pass}
+}
+
+// inBand reports lo <= v <= hi.
+func inBand(v, lo, hi float64) bool { return v >= lo && v <= hi }
+
+// Definition is a registry entry.
+type Definition struct {
+	// Name is the CLI-facing identifier; Title a one-line description.
+	Name, Title string
+	// Run executes the experiment.
+	Run func(Options) *Outcome
+}
+
+// All returns every experiment in presentation order (the paper's own
+// order: one-way review, the [19] configuration, two-way dynamics,
+// fixed-window systems, then the §5 discussion points and ablations).
+func All() []Definition {
+	return []Definition{
+		{"fig2-oneway", "One-way traffic, 3 connections, τ=1s (Fig. 2)", Fig2OneWay},
+		{"increase-rule", "Modified vs original avoidance increase (§2.1)", IncreaseRuleStudy},
+		{"oneway-smallpipe", "One-way traffic, small pipe: full utilization (§3.1)", OneWaySmallPipe},
+		{"oneway-buffers", "One-way idle time vs buffer size: idle ~ B⁻² (§3.1)", OneWayBufferSweep},
+		{"fig3-tenconns", "Ten connections, 5 each way, τ=0.01s, B=30 (Fig. 3)", Fig3TenConns},
+		{"fig4-5", "Two-way, τ=0.01s: out-of-phase mode (Figs. 4, 5)", Fig45TwoWaySmallPipe},
+		{"fig6-7", "Two-way, τ=1s: in-phase mode (Figs. 6, 7)", Fig67TwoWayLargePipe},
+		{"fig8-fixed", "Fixed windows 30/25, τ=0.01s, infinite buffers (Fig. 8)", Fig8FixedWindowSmallPipe},
+		{"fig9-fixed", "Fixed windows 30/25, τ=1s, infinite buffers (Fig. 9)", Fig9FixedWindowLargePipe},
+		{"zeroack-conjecture", "Zero-length-ACK synchronization conjecture (§4.3.3)", ZeroACKConjecture},
+		{"mode-boundary", "Synchronization-mode boundary vs buffer and pipe (§4.3.3)", ModeBoundaryStudy},
+		{"ack-compression", "ACK-compression mechanism probe (§4.2)", ACKCompressionProbe},
+		{"delayed-ack", "Delayed-ACK option vs clustering (§5)", DelayedACKStudy},
+		{"four-switch", "Four-switch topology from [19] (§5)", FourSwitchTopology},
+		{"unequal-rtt", "Unequal RTTs break complete clustering (§5)", UnequalRTTStudy},
+		{"pacing-ablation", "Paced sender ablation (§3.1 conjecture)", PacingAblation},
+		{"reno", "Reno fast recovery: phenomena outlive Tahoe (extension)", RenoTwoWay},
+		{"random-drop", "Random Drop gateways vs drop-tail (extension)", RandomDropStudy},
+		{"fair-queueing", "Fair Queueing cures ACK-compression (extension)", FairQueueStudy},
+	}
+}
+
+// Find returns the experiment with the given name.
+func Find(name string) (Definition, bool) {
+	for _, d := range All() {
+		if d.Name == name {
+			return d, true
+		}
+	}
+	return Definition{}, false
+}

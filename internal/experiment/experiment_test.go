@@ -1,0 +1,66 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRegistryNamesUniqueAndFindable(t *testing.T) {
+	seen := map[string]bool{}
+	for _, d := range All() {
+		if seen[d.Name] {
+			t.Fatalf("duplicate experiment name %q", d.Name)
+		}
+		seen[d.Name] = true
+		if d.Run == nil || d.Title == "" {
+			t.Fatalf("incomplete definition %q", d.Name)
+		}
+		got, ok := Find(d.Name)
+		if !ok || got.Name != d.Name {
+			t.Fatalf("Find(%q) failed", d.Name)
+		}
+	}
+	if _, ok := Find("nope"); ok {
+		t.Fatal("Find of unknown name succeeded")
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	var o Options
+	if o.seed() != 1 {
+		t.Fatalf("default seed = %d, want 1", o.seed())
+	}
+	if o.scale(10*time.Second) != 10*time.Second {
+		t.Fatal("zero Scale should not rescale")
+	}
+	o.Scale = 0.5
+	if o.scale(10*time.Second) != 5*time.Second {
+		t.Fatal("Scale=0.5 should halve durations")
+	}
+}
+
+func TestOutcomeWriteText(t *testing.T) {
+	o := &Outcome{
+		ID:    "x",
+		Title: "t",
+		Metrics: []Metric{
+			metric("m1", "p1", true, "v1"),
+			metric("m2", "p2", false, "v2"),
+		},
+		Notes: []string{"hello"},
+	}
+	if o.Passed() {
+		t.Fatal("outcome with failing metric reported Passed")
+	}
+	var sb strings.Builder
+	if err := o.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"FAIL", "ok ", "BAD", "m1", "p2", "v2", "hello"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,184 @@
+package experiment
+
+// The reproduction's integration suite: every experiment must pass its
+// paper-vs-measured acceptance bands at full scale. These are the
+// strongest tests in the repository — they assert the *dynamics*, not
+// just the plumbing.
+
+import (
+	"strings"
+	"testing"
+)
+
+func runAndCheck(t *testing.T, name string) *Outcome {
+	t.Helper()
+	def, ok := Find(name)
+	if !ok {
+		t.Fatalf("experiment %q not registered", name)
+	}
+	o := def.Run(Options{})
+	var sb strings.Builder
+	if err := o.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + sb.String())
+	if !o.Passed() {
+		t.Errorf("experiment %q failed its acceptance bands", name)
+	}
+	return o
+}
+
+func TestFig2OneWay(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale experiment")
+	}
+	runAndCheck(t, "fig2-oneway")
+}
+
+func TestOneWaySmallPipe(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale experiment")
+	}
+	runAndCheck(t, "oneway-smallpipe")
+}
+
+func TestOneWayBufferSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale experiment")
+	}
+	runAndCheck(t, "oneway-buffers")
+}
+
+func TestFig3TenConns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale experiment")
+	}
+	runAndCheck(t, "fig3-tenconns")
+}
+
+func TestFig45OutOfPhase(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale experiment")
+	}
+	runAndCheck(t, "fig4-5")
+}
+
+func TestFig67InPhase(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale experiment")
+	}
+	runAndCheck(t, "fig6-7")
+}
+
+func TestFig8FixedWindow(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale experiment")
+	}
+	runAndCheck(t, "fig8-fixed")
+}
+
+func TestFig9FixedWindow(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale experiment")
+	}
+	runAndCheck(t, "fig9-fixed")
+}
+
+func TestZeroACKConjecture(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale experiment")
+	}
+	runAndCheck(t, "zeroack-conjecture")
+}
+
+func TestACKCompressionProbe(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale experiment")
+	}
+	runAndCheck(t, "ack-compression")
+}
+
+func TestDelayedACKStudy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale experiment")
+	}
+	runAndCheck(t, "delayed-ack")
+}
+
+func TestFourSwitchTopology(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale experiment")
+	}
+	runAndCheck(t, "four-switch")
+}
+
+func TestPacingAblation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale experiment")
+	}
+	runAndCheck(t, "pacing-ablation")
+}
+
+func TestRenoTwoWay(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale experiment")
+	}
+	runAndCheck(t, "reno")
+}
+
+func TestRandomDropStudy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale experiment")
+	}
+	runAndCheck(t, "random-drop")
+}
+
+func TestUnequalRTTStudy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale experiment")
+	}
+	runAndCheck(t, "unequal-rtt")
+}
+
+func TestFairQueueStudy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale experiment")
+	}
+	runAndCheck(t, "fair-queueing")
+}
+
+// Every experiment must at least run and produce metrics at tiny scale —
+// the smoke path exercised even with -short skipped full runs.
+func TestAllExperimentsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("still several seconds of simulation")
+	}
+	for _, d := range All() {
+		d := d
+		t.Run(d.Name, func(t *testing.T) {
+			o := d.Run(Options{Scale: 0.1, Seed: 3})
+			if o.ID == "" || len(o.Metrics) == 0 {
+				t.Fatalf("experiment %q produced an empty outcome", d.Name)
+			}
+			for _, m := range o.Metrics {
+				if m.Name == "" || m.Measured == "" {
+					t.Fatalf("experiment %q has an unlabeled metric: %+v", d.Name, m)
+				}
+			}
+		})
+	}
+}
+
+func TestIncreaseRuleStudy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale experiment")
+	}
+	runAndCheck(t, "increase-rule")
+}
+
+func TestModeBoundaryStudy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale experiment")
+	}
+	runAndCheck(t, "mode-boundary")
+}

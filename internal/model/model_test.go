@@ -1,0 +1,131 @@
+package model
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func paperParams(tau time.Duration, buffer int) Params {
+	return Params{Bandwidth: 50_000, Delay: tau, DataSize: 500, Buffer: buffer}
+}
+
+func TestPipeSizeAndCapacity(t *testing.T) {
+	p := paperParams(time.Second, 20)
+	if got := p.PipeSize(); got != 12.5 {
+		t.Fatalf("P = %v, want 12.5", got)
+	}
+	if got := p.Capacity(); got != 45 {
+		t.Fatalf("C = %d, want 45", got)
+	}
+	p = paperParams(10*time.Millisecond, 20)
+	if got := p.PipeSize(); got != 0.125 {
+		t.Fatalf("P = %v, want 0.125", got)
+	}
+	if got := p.Capacity(); got != 20 {
+		t.Fatalf("C = %d, want 20", got)
+	}
+	if got := p.DataTxTime(); got != 80*time.Millisecond {
+		t.Fatalf("tx = %v, want 80ms", got)
+	}
+}
+
+func TestOneWayQueueLength(t *testing.T) {
+	// Three windows of 15 over a 12.5-packet pipe: q = 45 - 25 = 20.
+	if got := OneWayQueueLength([]int{15, 15, 15}, 12.5); got != 20 {
+		t.Fatalf("q = %v, want 20", got)
+	}
+	// Windows below the pipe: empty queue, not negative.
+	if got := OneWayQueueLength([]int{5}, 12.5); got != 0 {
+		t.Fatalf("q = %v, want 0", got)
+	}
+}
+
+func TestSlowStartThresholdAfterLoss(t *testing.T) {
+	if got := SlowStartThresholdAfterLoss(17, 1000); got != 8.5 {
+		t.Fatalf("ssthresh = %v, want 8.5", got)
+	}
+	if got := SlowStartThresholdAfterLoss(1, 1000); got != 2 {
+		t.Fatalf("ssthresh floor = %v, want 2", got)
+	}
+	if got := SlowStartThresholdAfterLoss(100, 10); got != 10 {
+		t.Fatalf("ssthresh cap = %v, want 10", got)
+	}
+}
+
+func TestZeroACKMode(t *testing.T) {
+	// τ=1s: 2P = 25.
+	if got := ZeroACKMode(60, 20, 12.5); got != OutOfPhase {
+		t.Fatalf("60/20 = %v", got)
+	}
+	if got := ZeroACKMode(30, 25, 12.5); got != InPhase {
+		t.Fatalf("30/25 = %v", got)
+	}
+	if got := ZeroACKMode(45, 20, 12.5); got != Boundary {
+		t.Fatalf("45/20 = %v", got)
+	}
+	// Argument order must not matter.
+	if ZeroACKMode(20, 60, 12.5) != ZeroACKMode(60, 20, 12.5) {
+		t.Fatal("mode not symmetric in window order")
+	}
+	if InPhase.String() != "in-phase" || OutOfPhase.String() != "out-of-phase" ||
+		Boundary.String() != "boundary" {
+		t.Fatal("mode strings wrong")
+	}
+}
+
+func TestOutOfPhaseSlowLineUtilization(t *testing.T) {
+	cases := []struct {
+		w1, w2 int
+		want   float64
+	}{
+		{60, 20, 20.0 / 60}, {55, 20, 20.0 / 55}, {40, 20, 0.5}, {30, 25, 25.0 / 30},
+	}
+	for _, c := range cases {
+		if got := OutOfPhaseSlowLineUtilization(c.w1, c.w2); got != c.want {
+			t.Fatalf("util(%d,%d) = %v, want %v", c.w1, c.w2, got, c.want)
+		}
+	}
+	if OutOfPhaseSlowLineUtilization(20, 60) != OutOfPhaseSlowLineUtilization(60, 20) {
+		t.Fatal("utilization not symmetric in window order")
+	}
+	if OutOfPhaseSlowLineUtilization(0, 0) != 0 {
+		t.Fatal("degenerate windows should give 0")
+	}
+}
+
+func TestDropsPerEpochAndCycle(t *testing.T) {
+	if DropsPerEpoch(3) != 3 {
+		t.Fatal("acceleration analysis broken")
+	}
+	if got := OneWayCycleEpochs(45, 3); got != 7.5 {
+		t.Fatalf("cycle epochs = %v, want 7.5", got)
+	}
+	if OneWayCycleEpochs(45, 0) != 0 {
+		t.Fatal("zero connections should give 0")
+	}
+}
+
+// Property: the queue law is monotone in every window and zero-clamped.
+func TestQueueLawMonotoneProperty(t *testing.T) {
+	f := func(ws []uint8, pipeRaw uint8) bool {
+		pipe := float64(pipeRaw) / 4
+		windows := make([]int, len(ws))
+		for i, w := range ws {
+			windows[i] = int(w % 50)
+		}
+		q := OneWayQueueLength(windows, pipe)
+		if q < 0 {
+			return false
+		}
+		if len(windows) == 0 {
+			return q == 0
+		}
+		windows[0]++
+		q2 := OneWayQueueLength(windows, pipe)
+		return q2 >= q && q2 <= q+1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

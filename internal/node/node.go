@@ -1,0 +1,123 @@
+// Package node implements the network elements of the paper's topology:
+// switches that forward packets between ports, and hosts that terminate
+// TCP connections.
+//
+// Per §2.2 of the paper, each switch has one FIFO drop-tail buffer per
+// outgoing line with no sharing, and each host charges a fixed processing
+// time (0.1 ms) to every data or ACK packet it receives before handing it
+// to the transport endpoint.
+package node
+
+import (
+	"fmt"
+	"time"
+
+	"tahoedyn/internal/link"
+	"tahoedyn/internal/packet"
+	"tahoedyn/internal/sim"
+)
+
+// Handler consumes packets addressed to a TCP endpoint. Both ends of a
+// connection implement it: the sender handles ACKs, the receiver handles
+// data.
+type Handler interface {
+	Handle(p *packet.Packet)
+}
+
+// Switch forwards packets toward their destination host. Forwarding is
+// instantaneous; all queueing happens in the output ports.
+type Switch struct {
+	id     int
+	routes map[int]*link.Port
+}
+
+// NewSwitch returns a switch with no routes.
+func NewSwitch(id int) *Switch {
+	return &Switch{id: id, routes: make(map[int]*link.Port)}
+}
+
+// ID returns the switch identifier.
+func (s *Switch) ID() int { return s.id }
+
+// AddRoute directs packets destined for host dst out the given port.
+func (s *Switch) AddRoute(dst int, out *link.Port) {
+	s.routes[dst] = out
+}
+
+// Deliver implements link.Receiver: look up the output port for the
+// packet's destination and enqueue it there.
+func (s *Switch) Deliver(p *packet.Packet) {
+	out, ok := s.routes[p.Dst]
+	if !ok {
+		panic(fmt.Sprintf("switch %d: no route to host %d for %v", s.id, p.Dst, p))
+	}
+	out.Send(p)
+}
+
+// Host terminates TCP connections. Incoming packets are charged the
+// host processing time before reaching their endpoint; outgoing packets
+// go straight to the host's output port.
+type Host struct {
+	eng        *sim.Engine
+	id         int
+	out        *link.Port
+	processing time.Duration
+	endpoints  map[int]Handler
+
+	// received counts packets accepted by this host, for conservation
+	// checks.
+	received uint64
+}
+
+// NewHost returns a host with the given per-packet processing delay.
+// Attach endpoints and set the output port before delivering traffic.
+func NewHost(eng *sim.Engine, id int, processing time.Duration) *Host {
+	return &Host{
+		eng:        eng,
+		id:         id,
+		processing: processing,
+		endpoints:  make(map[int]Handler),
+	}
+}
+
+// ID returns the host identifier used in packet Src/Dst fields.
+func (h *Host) ID() int { return h.id }
+
+// SetOutput attaches the host's output port (toward its switch).
+func (h *Host) SetOutput(out *link.Port) { h.out = out }
+
+// Attach registers the endpoint that handles packets of connection conn
+// arriving at this host.
+func (h *Host) Attach(conn int, ep Handler) {
+	if _, dup := h.endpoints[conn]; dup {
+		panic(fmt.Sprintf("host %d: endpoint for conn %d already attached", h.id, conn))
+	}
+	h.endpoints[conn] = ep
+}
+
+// Received returns the number of packets this host has accepted.
+func (h *Host) Received() uint64 { return h.received }
+
+// Deliver implements link.Receiver: after the processing delay, the
+// packet is handed to its connection's endpoint.
+func (h *Host) Deliver(p *packet.Packet) {
+	ep, ok := h.endpoints[p.Conn]
+	if !ok {
+		panic(fmt.Sprintf("host %d: no endpoint for conn %d (%v)", h.id, p.Conn, p))
+	}
+	h.received++
+	if h.processing == 0 {
+		ep.Handle(p)
+		return
+	}
+	h.eng.Schedule(h.processing, func() { ep.Handle(p) })
+}
+
+// Send transmits p out the host's port. It reports whether the packet
+// was accepted by the port's buffer.
+func (h *Host) Send(p *packet.Packet) bool {
+	if h.out == nil {
+		panic(fmt.Sprintf("host %d: no output port", h.id))
+	}
+	return h.out.Send(p)
+}

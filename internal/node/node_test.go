@@ -1,0 +1,143 @@
+package node
+
+import (
+	"testing"
+	"time"
+
+	"tahoedyn/internal/link"
+	"tahoedyn/internal/packet"
+	"tahoedyn/internal/sim"
+)
+
+type recordingHandler struct {
+	eng  *sim.Engine
+	pkts []*packet.Packet
+	at   []time.Duration
+}
+
+func (r *recordingHandler) Handle(p *packet.Packet) {
+	r.pkts = append(r.pkts, p)
+	r.at = append(r.at, r.eng.Now())
+}
+
+func TestHostProcessingDelay(t *testing.T) {
+	eng := sim.New()
+	h := NewHost(eng, 0, 100*time.Microsecond)
+	rec := &recordingHandler{eng: eng}
+	h.Attach(7, rec)
+	h.Deliver(&packet.Packet{Conn: 7, Kind: packet.Data, Seq: 0, Size: 500})
+	eng.Run()
+	if len(rec.pkts) != 1 {
+		t.Fatalf("handled %d packets, want 1", len(rec.pkts))
+	}
+	if rec.at[0] != 100*time.Microsecond {
+		t.Fatalf("handled at %v, want 100µs", rec.at[0])
+	}
+	if h.Received() != 1 {
+		t.Fatalf("Received = %d, want 1", h.Received())
+	}
+}
+
+func TestHostZeroProcessingIsSynchronous(t *testing.T) {
+	eng := sim.New()
+	h := NewHost(eng, 0, 0)
+	rec := &recordingHandler{eng: eng}
+	h.Attach(1, rec)
+	h.Deliver(&packet.Packet{Conn: 1})
+	if len(rec.pkts) != 1 {
+		t.Fatal("zero-processing delivery was deferred")
+	}
+}
+
+func TestHostUnknownConnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for unknown connection")
+		}
+	}()
+	eng := sim.New()
+	h := NewHost(eng, 0, 0)
+	h.Deliver(&packet.Packet{Conn: 3})
+}
+
+func TestHostDuplicateAttachPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for duplicate attach")
+		}
+	}()
+	eng := sim.New()
+	h := NewHost(eng, 0, 0)
+	h.Attach(1, &recordingHandler{eng: eng})
+	h.Attach(1, &recordingHandler{eng: eng})
+}
+
+func TestSwitchRoutes(t *testing.T) {
+	eng := sim.New()
+	sw := NewSwitch(1)
+	hA := NewHost(eng, 10, 0)
+	hB := NewHost(eng, 20, 0)
+	recA := &recordingHandler{eng: eng}
+	recB := &recordingHandler{eng: eng}
+	hA.Attach(1, recA)
+	hB.Attach(1, recB)
+	portA := link.NewPort(eng, link.Config{Name: "sw->A", Bandwidth: 1e6, Delay: time.Millisecond}, hA)
+	portB := link.NewPort(eng, link.Config{Name: "sw->B", Bandwidth: 1e6, Delay: time.Millisecond}, hB)
+	sw.AddRoute(10, portA)
+	sw.AddRoute(20, portB)
+
+	sw.Deliver(&packet.Packet{Conn: 1, Dst: 10, Size: 100})
+	sw.Deliver(&packet.Packet{Conn: 1, Dst: 20, Size: 100})
+	sw.Deliver(&packet.Packet{Conn: 1, Dst: 10, Size: 100})
+	eng.Run()
+	if len(recA.pkts) != 2 || len(recB.pkts) != 1 {
+		t.Fatalf("A got %d, B got %d; want 2, 1", len(recA.pkts), len(recB.pkts))
+	}
+}
+
+func TestSwitchNoRoutePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for missing route")
+		}
+	}()
+	NewSwitch(1).Deliver(&packet.Packet{Dst: 99})
+}
+
+func TestHostSendWithoutPortPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for missing output port")
+		}
+	}()
+	eng := sim.New()
+	NewHost(eng, 0, 0).Send(&packet.Packet{})
+}
+
+// End-to-end: host -> switch -> host over two ports, checking the total
+// path latency equals processing + both serializations + propagations.
+func TestHostSwitchHostPath(t *testing.T) {
+	eng := sim.New()
+	h1 := NewHost(eng, 1, 100*time.Microsecond)
+	h2 := NewHost(eng, 2, 100*time.Microsecond)
+	sw := NewSwitch(0)
+	rec := &recordingHandler{eng: eng}
+	h2.Attach(5, rec)
+	// 10 Mbps access link, 0.1 ms propagation, exactly the paper's access
+	// parameters: 500 B serializes in 0.4 ms.
+	h1.SetOutput(link.NewPort(eng, link.Config{Name: "h1->sw", Bandwidth: 10_000_000, Delay: 100 * time.Microsecond}, sw))
+	sw.AddRoute(2, link.NewPort(eng, link.Config{Name: "sw->h2", Bandwidth: 10_000_000, Delay: 100 * time.Microsecond}, h2))
+
+	h1.Send(&packet.Packet{Conn: 5, Src: 1, Dst: 2, Size: 500})
+	eng.Run()
+	if len(rec.pkts) != 1 {
+		t.Fatalf("delivered %d, want 1", len(rec.pkts))
+	}
+	// 0.4ms tx + 0.1ms prop + 0.4ms tx + 0.1ms prop + 0.1ms processing
+	want := 400*time.Microsecond + 100*time.Microsecond +
+		400*time.Microsecond + 100*time.Microsecond +
+		100*time.Microsecond
+	if rec.at[0] != want {
+		t.Fatalf("arrived at %v, want %v", rec.at[0], want)
+	}
+}

@@ -1,0 +1,28 @@
+package packet
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestKindString(t *testing.T) {
+	if Data.String() != "DATA" {
+		t.Errorf("Data.String() = %q", Data.String())
+	}
+	if Ack.String() != "ACK" {
+		t.Errorf("Ack.String() = %q", Ack.String())
+	}
+	if got := Kind(9).String(); !strings.Contains(got, "9") {
+		t.Errorf("unknown kind string = %q", got)
+	}
+}
+
+func TestPacketString(t *testing.T) {
+	p := &Packet{Kind: Data, Conn: 2, Seq: 41, Size: 500}
+	s := p.String()
+	for _, want := range []string{"DATA", "conn=2", "seq=41", "500B"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q, missing %q", s, want)
+		}
+	}
+}

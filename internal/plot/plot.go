@@ -1,0 +1,151 @@
+// Package plot renders simulation traces as ASCII time-series plots and
+// TSV tables, the terminal equivalents of the paper's figures.
+package plot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+	"time"
+
+	"tahoedyn/internal/trace"
+)
+
+// Options controls ASCII rendering.
+type Options struct {
+	// Width and Height are the plot area size in characters. Zero means
+	// the defaults (100x20).
+	Width, Height int
+	// From and To bound the plotted time window.
+	From, To time.Duration
+	// YMax fixes the top of the y axis; zero means autoscale.
+	YMax float64
+}
+
+func (o *Options) defaults() {
+	if o.Width <= 0 {
+		o.Width = 100
+	}
+	if o.Height <= 0 {
+		o.Height = 20
+	}
+}
+
+// seriesGlyphs marks successive series in a multi-series plot.
+var seriesGlyphs = []byte{'*', '+', 'o', 'x', '#', '@'}
+
+// ASCII renders one or more step-function series into w. Within each
+// horizontal character cell the vertical extent of the series (min..max
+// over the cell's time slice) is filled, so high-frequency oscillations
+// show up as solid bars exactly as in the paper's darkened regions.
+func ASCII(w io.Writer, opts Options, series ...*trace.Series) error {
+	opts.defaults()
+	if len(series) == 0 {
+		return fmt.Errorf("plot: no series")
+	}
+	if opts.To <= opts.From {
+		return fmt.Errorf("plot: empty time window [%v, %v]", opts.From, opts.To)
+	}
+	ymax := opts.YMax
+	if ymax == 0 {
+		for _, s := range series {
+			if m := s.Max(opts.From, opts.To); m > ymax {
+				ymax = m
+			}
+		}
+	}
+	if ymax == 0 {
+		ymax = 1
+	}
+
+	grid := make([][]byte, opts.Height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", opts.Width))
+	}
+	cell := (opts.To - opts.From) / time.Duration(opts.Width)
+	if cell <= 0 {
+		cell = 1
+	}
+	for si, s := range series {
+		glyph := seriesGlyphs[si%len(seriesGlyphs)]
+		for x := 0; x < opts.Width; x++ {
+			t0 := opts.From + time.Duration(x)*cell
+			t1 := t0 + cell
+			lo, hi := s.Min(t0, t1), s.Max(t0, t1)
+			rowOf := func(v float64) int {
+				r := int(math.Round(v / ymax * float64(opts.Height-1)))
+				if r < 0 {
+					r = 0
+				}
+				if r >= opts.Height {
+					r = opts.Height - 1
+				}
+				return opts.Height - 1 - r // row 0 is the top
+			}
+			top, bot := rowOf(hi), rowOf(lo)
+			for y := top; y <= bot; y++ {
+				grid[y][x] = glyph
+			}
+		}
+	}
+
+	// Legend.
+	var legend []string
+	for si, s := range series {
+		legend = append(legend, fmt.Sprintf("%c=%s", seriesGlyphs[si%len(seriesGlyphs)], s.Name))
+	}
+	if _, err := fmt.Fprintf(w, "  %s\n", strings.Join(legend, "  ")); err != nil {
+		return err
+	}
+	for i, row := range grid {
+		label := "        "
+		switch i {
+		case 0:
+			label = fmt.Sprintf("%7.1f ", ymax)
+		case opts.Height - 1:
+			label = fmt.Sprintf("%7.1f ", 0.0)
+		}
+		if _, err := fmt.Fprintf(w, "%s|%s|\n", label, row); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "        %8v%s%v\n", opts.From.Round(time.Second),
+		strings.Repeat(" ", maxInt(1, opts.Width-14)), opts.To.Round(time.Second))
+	return err
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// TSV writes the series resampled on a shared grid as tab-separated
+// values with a header row, suitable for gnuplot or a spreadsheet.
+func TSV(w io.Writer, from, to, step time.Duration, series ...*trace.Series) error {
+	if len(series) == 0 {
+		return fmt.Errorf("plot: no series")
+	}
+	if step <= 0 {
+		return fmt.Errorf("plot: non-positive step")
+	}
+	cols := []string{"t_seconds"}
+	for _, s := range series {
+		cols = append(cols, s.Name)
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(cols, "\t")); err != nil {
+		return err
+	}
+	for t := from; t < to; t += step {
+		row := []string{fmt.Sprintf("%.6f", t.Seconds())}
+		for _, s := range series {
+			row = append(row, fmt.Sprintf("%g", s.At(t)))
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(row, "\t")); err != nil {
+			return err
+		}
+	}
+	return nil
+}

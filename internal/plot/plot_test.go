@@ -1,0 +1,130 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"tahoedyn/internal/trace"
+)
+
+func sampleSeries(name string) *trace.Series {
+	s := trace.NewSeries(name)
+	for i := 0; i <= 100; i++ {
+		v := float64(i % 20)
+		s.Append(time.Duration(i)*time.Second, v)
+	}
+	return s
+}
+
+func TestASCIIBasicShape(t *testing.T) {
+	var sb strings.Builder
+	s := sampleSeries("queue")
+	err := ASCII(&sb, Options{Width: 50, Height: 10, From: 0, To: 100 * time.Second}, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// legend + height rows + time axis
+	if len(lines) != 12 {
+		t.Fatalf("got %d lines, want 12:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "*=queue") {
+		t.Fatalf("legend missing: %q", lines[0])
+	}
+	if !strings.Contains(out, "*") {
+		t.Fatal("no data glyphs rendered")
+	}
+	if !strings.Contains(lines[1], "19.0") {
+		t.Fatalf("ymax label missing: %q", lines[1])
+	}
+}
+
+func TestASCIIMultiSeriesGlyphs(t *testing.T) {
+	var sb strings.Builder
+	a, b := sampleSeries("a"), sampleSeries("b")
+	if err := ASCII(&sb, Options{From: 0, To: 100 * time.Second}, a, b); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "*=a") || !strings.Contains(out, "+=b") {
+		t.Fatalf("legend glyphs wrong:\n%s", out)
+	}
+}
+
+func TestASCIIEmptyWindowErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := ASCII(&sb, Options{From: time.Second, To: time.Second}, sampleSeries("x")); err == nil {
+		t.Fatal("no error for empty window")
+	}
+	if err := ASCII(&sb, Options{From: 0, To: time.Second}); err == nil {
+		t.Fatal("no error for zero series")
+	}
+}
+
+func TestASCIIFlatZeroSeries(t *testing.T) {
+	var sb strings.Builder
+	s := trace.NewSeries("flat")
+	s.Append(0, 0)
+	if err := ASCII(&sb, Options{From: 0, To: 10 * time.Second}, s); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTSV(t *testing.T) {
+	var sb strings.Builder
+	s := trace.NewSeries("q")
+	s.Append(0, 1)
+	s.Append(2*time.Second, 3)
+	if err := TSV(&sb, 0, 4*time.Second, time.Second, s); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(sb.String(), "\n"), "\n")
+	want := []string{
+		"t_seconds\tq",
+		"0.000000\t1",
+		"1.000000\t1",
+		"2.000000\t3",
+		"3.000000\t3",
+	}
+	if len(lines) != len(want) {
+		t.Fatalf("lines = %v", lines)
+	}
+	for i := range want {
+		if lines[i] != want[i] {
+			t.Fatalf("line %d = %q, want %q", i, lines[i], want[i])
+		}
+	}
+}
+
+func TestASCIIFixedYMax(t *testing.T) {
+	var sb strings.Builder
+	s := trace.NewSeries("q")
+	s.Append(0, 5)
+	err := ASCII(&sb, Options{Width: 20, Height: 5, From: 0, To: 10 * time.Second, YMax: 50}, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "50.0") {
+		t.Fatalf("fixed YMax label missing:\n%s", sb.String())
+	}
+}
+
+func TestASCIITinyWidthAxis(t *testing.T) {
+	// Width smaller than the axis labels still renders without panics.
+	var sb strings.Builder
+	if err := ASCII(&sb, Options{Width: 8, Height: 3, From: 0, To: time.Second}, sampleSeries("x")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTSVErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := TSV(&sb, 0, time.Second, 0, sampleSeries("x")); err == nil {
+		t.Fatal("no error for zero step")
+	}
+	if err := TSV(&sb, 0, time.Second, time.Second); err == nil {
+		t.Fatal("no error for no series")
+	}
+}

@@ -1,0 +1,116 @@
+// Package queue implements the FIFO drop-tail packet buffer used at every
+// output port of the simulated switches and hosts.
+//
+// The paper's switches (§2.2) have one buffer per outgoing line, FIFO
+// service, and the drop-tail discard policy: when the buffer is full an
+// arriving packet is dropped. There is no buffer sharing between lines.
+// Queue length is measured in packets (not bytes), which is why an ACK
+// occupies the same slot as a data packet — an asymmetry central to the
+// ACK-compression phenomenon.
+package queue
+
+import "tahoedyn/internal/packet"
+
+// FIFO is a first-in-first-out packet buffer with an optional capacity.
+// A capacity of Unbounded (or any non-positive value) means infinite
+// buffering, as used in the fixed-window experiments (Figs. 8, 9).
+//
+// The zero value is an unbounded empty queue ready for use.
+type FIFO struct {
+	capacity int
+	items    []*packet.Packet
+	head     int
+	bytes    int
+}
+
+// Unbounded is the capacity value for an infinite buffer.
+const Unbounded = 0
+
+// New returns an empty FIFO holding at most capacity packets;
+// capacity <= 0 means unbounded.
+func New(capacity int) *FIFO {
+	return &FIFO{capacity: capacity}
+}
+
+// Cap returns the configured capacity (<= 0 meaning unbounded).
+func (q *FIFO) Cap() int { return q.capacity }
+
+// Len returns the number of packets currently buffered.
+func (q *FIFO) Len() int { return len(q.items) - q.head }
+
+// Bytes returns the total size in bytes of the buffered packets.
+func (q *FIFO) Bytes() int { return q.bytes }
+
+// Full reports whether an arriving packet would be dropped.
+func (q *FIFO) Full() bool {
+	return q.capacity > 0 && q.Len() >= q.capacity
+}
+
+// Push appends p to the tail. It returns false — dropping the packet —
+// when the queue is full.
+func (q *FIFO) Push(p *packet.Packet) bool {
+	if q.Full() {
+		return false
+	}
+	q.items = append(q.items, p)
+	q.bytes += p.Size
+	return true
+}
+
+// Peek returns the head packet without removing it, or nil if empty.
+func (q *FIFO) Peek() *packet.Packet {
+	if q.Len() == 0 {
+		return nil
+	}
+	return q.items[q.head]
+}
+
+// Pop removes and returns the head packet, or nil if empty.
+func (q *FIFO) Pop() *packet.Packet {
+	if q.Len() == 0 {
+		return nil
+	}
+	p := q.items[q.head]
+	q.items[q.head] = nil
+	q.head++
+	q.bytes -= p.Size
+	// Compact once the dead prefix dominates, keeping Pop amortized O(1)
+	// without unbounded growth.
+	if q.head > 64 && q.head*2 >= len(q.items) {
+		n := copy(q.items, q.items[q.head:])
+		for i := n; i < len(q.items); i++ {
+			q.items[i] = nil
+		}
+		q.items = q.items[:n]
+		q.head = 0
+	}
+	return p
+}
+
+// RemoveAt removes and returns the packet at position i (0 = head). It
+// exists for the Random-Drop discard policy, which evicts a uniformly
+// chosen buffered packet when the queue overflows. It returns nil if i
+// is out of range.
+func (q *FIFO) RemoveAt(i int) *packet.Packet {
+	if i < 0 || i >= q.Len() {
+		return nil
+	}
+	if i == 0 {
+		return q.Pop()
+	}
+	idx := q.head + i
+	p := q.items[idx]
+	copy(q.items[idx:], q.items[idx+1:])
+	q.items[len(q.items)-1] = nil
+	q.items = q.items[:len(q.items)-1]
+	q.bytes -= p.Size
+	return p
+}
+
+// Snapshot returns the queued packets in order, head first. It is meant
+// for tests and analysis, not the data path.
+func (q *FIFO) Snapshot() []*packet.Packet {
+	out := make([]*packet.Packet, q.Len())
+	copy(out, q.items[q.head:])
+	return out
+}

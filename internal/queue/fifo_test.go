@@ -1,0 +1,216 @@
+package queue
+
+import (
+	"testing"
+	"testing/quick"
+
+	"tahoedyn/internal/packet"
+)
+
+func pkt(id uint64, size int) *packet.Packet {
+	return &packet.Packet{ID: id, Size: size}
+}
+
+func TestFIFOOrder(t *testing.T) {
+	q := New(Unbounded)
+	for i := uint64(0); i < 5; i++ {
+		if !q.Push(pkt(i, 100)) {
+			t.Fatalf("push %d failed on unbounded queue", i)
+		}
+	}
+	if q.Len() != 5 {
+		t.Fatalf("Len = %d, want 5", q.Len())
+	}
+	for i := uint64(0); i < 5; i++ {
+		p := q.Pop()
+		if p == nil || p.ID != i {
+			t.Fatalf("pop %d returned %v", i, p)
+		}
+	}
+	if q.Pop() != nil {
+		t.Fatal("pop of empty queue returned a packet")
+	}
+}
+
+func TestDropTail(t *testing.T) {
+	q := New(2)
+	if !q.Push(pkt(1, 100)) || !q.Push(pkt(2, 100)) {
+		t.Fatal("pushes below capacity failed")
+	}
+	if q.Push(pkt(3, 100)) {
+		t.Fatal("push above capacity accepted")
+	}
+	if !q.Full() {
+		t.Fatal("Full = false at capacity")
+	}
+	q.Pop()
+	if q.Full() {
+		t.Fatal("Full = true below capacity")
+	}
+	if !q.Push(pkt(4, 100)) {
+		t.Fatal("push after pop failed")
+	}
+	if got := q.Pop().ID; got != 2 {
+		t.Fatalf("head = %d, want 2", got)
+	}
+	if got := q.Pop().ID; got != 4 {
+		t.Fatalf("head = %d, want 4", got)
+	}
+}
+
+func TestBytesAccounting(t *testing.T) {
+	q := New(Unbounded)
+	q.Push(pkt(1, 500))
+	q.Push(pkt(2, 50))
+	if q.Bytes() != 550 {
+		t.Fatalf("Bytes = %d, want 550", q.Bytes())
+	}
+	q.Pop()
+	if q.Bytes() != 50 {
+		t.Fatalf("Bytes = %d, want 50", q.Bytes())
+	}
+	q.Pop()
+	if q.Bytes() != 0 {
+		t.Fatalf("Bytes = %d, want 0", q.Bytes())
+	}
+}
+
+func TestPeekDoesNotRemove(t *testing.T) {
+	q := New(Unbounded)
+	if q.Peek() != nil {
+		t.Fatal("peek of empty queue returned a packet")
+	}
+	q.Push(pkt(7, 100))
+	if q.Peek().ID != 7 || q.Len() != 1 {
+		t.Fatal("peek removed the packet")
+	}
+}
+
+func TestSnapshotOrder(t *testing.T) {
+	q := New(Unbounded)
+	for i := uint64(0); i < 100; i++ {
+		q.Push(pkt(i, 1))
+	}
+	for i := 0; i < 70; i++ { // force compaction path
+		q.Pop()
+	}
+	snap := q.Snapshot()
+	if len(snap) != 30 {
+		t.Fatalf("snapshot len = %d, want 30", len(snap))
+	}
+	for i, p := range snap {
+		if p.ID != uint64(70+i) {
+			t.Fatalf("snapshot[%d].ID = %d, want %d", i, p.ID, 70+i)
+		}
+	}
+}
+
+func TestRemoveAt(t *testing.T) {
+	q := New(Unbounded)
+	for i := uint64(0); i < 5; i++ {
+		q.Push(pkt(i, int(i+1)*10))
+	}
+	// Remove the middle packet (ID 2, size 30).
+	p := q.RemoveAt(2)
+	if p == nil || p.ID != 2 {
+		t.Fatalf("RemoveAt(2) = %v", p)
+	}
+	if q.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", q.Len())
+	}
+	if q.Bytes() != 10+20+40+50 {
+		t.Fatalf("Bytes = %d", q.Bytes())
+	}
+	want := []uint64{0, 1, 3, 4}
+	for _, id := range want {
+		if got := q.Pop().ID; got != id {
+			t.Fatalf("pop = %d, want %d", got, id)
+		}
+	}
+}
+
+func TestRemoveAtHeadAndBounds(t *testing.T) {
+	q := New(Unbounded)
+	q.Push(pkt(1, 10))
+	q.Push(pkt(2, 10))
+	if p := q.RemoveAt(0); p == nil || p.ID != 1 {
+		t.Fatalf("RemoveAt(0) = %v", p)
+	}
+	if q.RemoveAt(5) != nil || q.RemoveAt(-1) != nil {
+		t.Fatal("out-of-range RemoveAt returned a packet")
+	}
+	if q.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", q.Len())
+	}
+}
+
+func TestRemoveAtAfterCompaction(t *testing.T) {
+	q := New(Unbounded)
+	for i := uint64(0); i < 200; i++ {
+		q.Push(pkt(i, 1))
+	}
+	for i := 0; i < 150; i++ { // force the compaction path
+		q.Pop()
+	}
+	if p := q.RemoveAt(10); p == nil || p.ID != 160 {
+		t.Fatalf("RemoveAt(10) = %v, want ID 160", p)
+	}
+	if got := q.Pop().ID; got != 150 {
+		t.Fatalf("head = %d, want 150", got)
+	}
+}
+
+// Property: under any sequence of pushes and pops, length never exceeds
+// capacity, FIFO order is preserved, and byte accounting matches the
+// contents.
+func TestFIFOInvariantsProperty(t *testing.T) {
+	f := func(ops []bool, capRaw uint8) bool {
+		capacity := int(capRaw % 16)
+		q := New(capacity)
+		var model []*packet.Packet
+		id := uint64(0)
+		for _, push := range ops {
+			if push {
+				p := pkt(id, int(id%700)+1)
+				id++
+				ok := q.Push(p)
+				wantOK := capacity <= 0 || len(model) < capacity
+				if ok != wantOK {
+					return false
+				}
+				if ok {
+					model = append(model, p)
+				}
+			} else {
+				got := q.Pop()
+				if len(model) == 0 {
+					if got != nil {
+						return false
+					}
+				} else {
+					if got != model[0] {
+						return false
+					}
+					model = model[1:]
+				}
+			}
+			if q.Len() != len(model) {
+				return false
+			}
+			if capacity > 0 && q.Len() > capacity {
+				return false
+			}
+			wantBytes := 0
+			for _, p := range model {
+				wantBytes += p.Size
+			}
+			if q.Bytes() != wantBytes {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,174 @@
+// Package scenario reads and writes simulation configurations as JSON,
+// with human-readable durations ("10ms", "1s") and named policies
+// ("drop-tail", "random-drop", "fifo", "fair-queue"). It exists so
+// downstream users can keep scenarios in files instead of Go code:
+//
+//	tahoe-sim -config two-way.json
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"tahoedyn/internal/core"
+)
+
+// File is the JSON representation of a core.Config.
+type File struct {
+	// Switches on the line; 0 means 2 (the dumbbell).
+	Switches int `json:"switches,omitempty"`
+	// TrunkBandwidth in bits/s; 0 means the paper's 50000.
+	TrunkBandwidth int64 `json:"trunk_bandwidth,omitempty"`
+	// TrunkDelay is the propagation delay τ, e.g. "10ms".
+	TrunkDelay string `json:"trunk_delay"`
+	// Buffer in packets; 0 or "infinite" semantics: <= 0 is unbounded.
+	Buffer int `json:"buffer"`
+	// AccessBandwidth/AccessDelay/HostProcessing default to the paper's
+	// values when omitted.
+	AccessBandwidth int64  `json:"access_bandwidth,omitempty"`
+	AccessDelay     string `json:"access_delay,omitempty"`
+	HostProcessing  string `json:"host_processing,omitempty"`
+	// Discard is "drop-tail" (default) or "random-drop".
+	Discard string `json:"discard,omitempty"`
+	// Discipline is "fifo" (default) or "fair-queue".
+	Discipline string `json:"discipline,omitempty"`
+	// DataSize/AckSize in bytes; zero DataSize means 500. AckSize zero
+	// is honored as written only when AckSizeZero is set, because the
+	// JSON zero value must still default to 50.
+	DataSize    int  `json:"data_size,omitempty"`
+	AckSize     int  `json:"ack_size,omitempty"`
+	AckSizeZero bool `json:"ack_size_zero,omitempty"`
+
+	Conns []Conn `json:"conns"`
+
+	Seed        int64  `json:"seed,omitempty"`
+	StartSpread string `json:"start_spread,omitempty"`
+	Warmup      string `json:"warmup,omitempty"`
+	Duration    string `json:"duration,omitempty"`
+}
+
+// Conn is the JSON representation of a core.ConnSpec.
+type Conn struct {
+	Src              int    `json:"src"`
+	Dst              int    `json:"dst"`
+	MaxWnd           int    `json:"max_wnd,omitempty"`
+	FixedWnd         int    `json:"fixed_wnd,omitempty"`
+	DelayedAck       bool   `json:"delayed_ack,omitempty"`
+	Reno             bool   `json:"reno,omitempty"`
+	OriginalIncrease bool   `json:"original_increase,omitempty"`
+	Pace             string `json:"pace,omitempty"`
+	ExtraDelay       string `json:"extra_delay,omitempty"`
+	// Start is a duration, or "random" (the default) for a random start.
+	Start string `json:"start,omitempty"`
+}
+
+// Parse reads a JSON scenario and converts it to a runnable Config.
+func Parse(r io.Reader) (core.Config, error) {
+	var f File
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&f); err != nil {
+		return core.Config{}, fmt.Errorf("scenario: %w", err)
+	}
+	return f.Config()
+}
+
+// Config converts the file form to a core.Config, applying defaults.
+func (f *File) Config() (core.Config, error) {
+	cfg := core.Config{
+		Switches:        f.Switches,
+		TrunkBandwidth:  f.TrunkBandwidth,
+		Buffer:          f.Buffer,
+		AccessBandwidth: f.AccessBandwidth,
+		DataSize:        f.DataSize,
+		AckSize:         f.AckSize,
+		Seed:            f.Seed,
+	}
+	if f.AckSize == 0 && !f.AckSizeZero {
+		cfg.AckSize = core.DefaultAckSize
+	}
+	var err error
+	if cfg.TrunkDelay, err = parseDur("trunk_delay", f.TrunkDelay, 0); err != nil {
+		return cfg, err
+	}
+	if f.TrunkDelay == "" {
+		return cfg, fmt.Errorf("scenario: trunk_delay is required")
+	}
+	if cfg.AccessDelay, err = parseDur("access_delay", f.AccessDelay, core.DefaultAccessDelay); err != nil {
+		return cfg, err
+	}
+	if cfg.HostProcessing, err = parseDur("host_processing", f.HostProcessing, core.DefaultHostProcessing); err != nil {
+		return cfg, err
+	}
+	if cfg.StartSpread, err = parseDur("start_spread", f.StartSpread, 0); err != nil {
+		return cfg, err
+	}
+	if cfg.Warmup, err = parseDur("warmup", f.Warmup, 100*time.Second); err != nil {
+		return cfg, err
+	}
+	if cfg.Duration, err = parseDur("duration", f.Duration, 600*time.Second); err != nil {
+		return cfg, err
+	}
+	switch f.Discard {
+	case "", "drop-tail":
+		cfg.Discard = core.DropTail
+	case "random-drop":
+		cfg.Discard = core.RandomDrop
+	default:
+		return cfg, fmt.Errorf("scenario: unknown discard %q", f.Discard)
+	}
+	switch f.Discipline {
+	case "", "fifo":
+		cfg.Discipline = core.FIFO
+	case "fair-queue":
+		cfg.Discipline = core.FairQueue
+	default:
+		return cfg, fmt.Errorf("scenario: unknown discipline %q", f.Discipline)
+	}
+	if len(f.Conns) == 0 {
+		return cfg, fmt.Errorf("scenario: at least one connection is required")
+	}
+	for i, c := range f.Conns {
+		spec := core.ConnSpec{
+			SrcHost:          c.Src,
+			DstHost:          c.Dst,
+			MaxWnd:           c.MaxWnd,
+			FixedWnd:         c.FixedWnd,
+			DelayedAck:       c.DelayedAck,
+			Reno:             c.Reno,
+			OriginalIncrease: c.OriginalIncrease,
+		}
+		if spec.Pace, err = parseDur(fmt.Sprintf("conns[%d].pace", i), c.Pace, 0); err != nil {
+			return cfg, err
+		}
+		if spec.ExtraDelay, err = parseDur(fmt.Sprintf("conns[%d].extra_delay", i), c.ExtraDelay, 0); err != nil {
+			return cfg, err
+		}
+		switch c.Start {
+		case "", "random":
+			spec.Start = -1
+		default:
+			if spec.Start, err = parseDur(fmt.Sprintf("conns[%d].start", i), c.Start, 0); err != nil {
+				return cfg, err
+			}
+		}
+		cfg.Conns = append(cfg.Conns, spec)
+	}
+	return cfg, nil
+}
+
+func parseDur(field, s string, def time.Duration) (time.Duration, error) {
+	if s == "" {
+		return def, nil
+	}
+	d, err := time.ParseDuration(s)
+	if err != nil {
+		return 0, fmt.Errorf("scenario: bad %s %q: %v", field, s, err)
+	}
+	if d < 0 {
+		return 0, fmt.Errorf("scenario: negative %s", field)
+	}
+	return d, nil
+}

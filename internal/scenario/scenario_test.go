@@ -1,0 +1,134 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"tahoedyn/internal/core"
+)
+
+const twoWayJSON = `{
+  "trunk_delay": "10ms",
+  "buffer": 20,
+  "conns": [
+    {"src": 0, "dst": 1},
+    {"src": 1, "dst": 0, "start": "500ms"}
+  ],
+  "seed": 7,
+  "warmup": "50s",
+  "duration": "200s"
+}`
+
+func TestParseTwoWay(t *testing.T) {
+	cfg, err := Parse(strings.NewReader(twoWayJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.TrunkDelay != 10*time.Millisecond || cfg.Buffer != 20 || cfg.Seed != 7 {
+		t.Fatalf("cfg = %+v", cfg)
+	}
+	if cfg.AckSize != core.DefaultAckSize {
+		t.Fatalf("AckSize = %d, want default", cfg.AckSize)
+	}
+	if len(cfg.Conns) != 2 {
+		t.Fatalf("conns = %d", len(cfg.Conns))
+	}
+	if cfg.Conns[0].Start != -1 {
+		t.Fatalf("conn 0 start = %v, want random (-1)", cfg.Conns[0].Start)
+	}
+	if cfg.Conns[1].Start != 500*time.Millisecond {
+		t.Fatalf("conn 1 start = %v", cfg.Conns[1].Start)
+	}
+	// And it must actually run.
+	res := core.Run(cfg)
+	if res.UtilForward() <= 0 {
+		t.Fatal("parsed scenario did not run")
+	}
+}
+
+func TestParsePolicies(t *testing.T) {
+	j := `{"trunk_delay":"1s","buffer":30,"discard":"random-drop","discipline":"fair-queue",
+	       "conns":[{"src":0,"dst":1}]}`
+	cfg, err := Parse(strings.NewReader(j))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Discard != core.RandomDrop || cfg.Discipline != core.FairQueue {
+		t.Fatalf("policies = %v/%v", cfg.Discard, cfg.Discipline)
+	}
+}
+
+func TestParseZeroAck(t *testing.T) {
+	j := `{"trunk_delay":"1s","buffer":0,"ack_size_zero":true,
+	       "conns":[{"src":0,"dst":1,"fixed_wnd":30}]}`
+	cfg, err := Parse(strings.NewReader(j))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.AckSize != 0 {
+		t.Fatalf("AckSize = %d, want 0", cfg.AckSize)
+	}
+}
+
+func TestParseConnOptions(t *testing.T) {
+	j := `{"trunk_delay":"10ms","buffer":20,
+	       "conns":[{"src":0,"dst":1,"reno":true,"delayed_ack":true,
+	                 "pace":"80ms","extra_delay":"100ms","max_wnd":8}]}`
+	cfg, err := Parse(strings.NewReader(j))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := cfg.Conns[0]
+	if !c.Reno || !c.DelayedAck || c.Pace != 80*time.Millisecond ||
+		c.ExtraDelay != 100*time.Millisecond || c.MaxWnd != 8 {
+		t.Fatalf("conn = %+v", c)
+	}
+}
+
+func TestParseDefaults(t *testing.T) {
+	j := `{"trunk_delay":"1s","buffer":20,"conns":[{"src":0,"dst":1}]}`
+	cfg, err := Parse(strings.NewReader(j))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Warmup != 100*time.Second || cfg.Duration != 600*time.Second {
+		t.Fatalf("default warmup/duration = %v/%v", cfg.Warmup, cfg.Duration)
+	}
+	if cfg.AccessDelay != core.DefaultAccessDelay {
+		t.Fatalf("access delay = %v", cfg.AccessDelay)
+	}
+	if cfg.HostProcessing != core.DefaultHostProcessing {
+		t.Fatalf("host processing = %v", cfg.HostProcessing)
+	}
+}
+
+func TestParseBadConnDurations(t *testing.T) {
+	for name, j := range map[string]string{
+		"bad pace":        `{"trunk_delay":"1s","buffer":20,"conns":[{"src":0,"dst":1,"pace":"x"}]}`,
+		"bad extra delay": `{"trunk_delay":"1s","buffer":20,"conns":[{"src":0,"dst":1,"extra_delay":"x"}]}`,
+		"bad start":       `{"trunk_delay":"1s","buffer":20,"conns":[{"src":0,"dst":1,"start":"x"}]}`,
+	} {
+		if _, err := Parse(strings.NewReader(j)); err == nil {
+			t.Errorf("%s: no error", name)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"missing trunk_delay": `{"buffer":20,"conns":[{"src":0,"dst":1}]}`,
+		"bad duration":        `{"trunk_delay":"fast","buffer":20,"conns":[{"src":0,"dst":1}]}`,
+		"negative duration":   `{"trunk_delay":"-1s","buffer":20,"conns":[{"src":0,"dst":1}]}`,
+		"no conns":            `{"trunk_delay":"1s","buffer":20,"conns":[]}`,
+		"bad discard":         `{"trunk_delay":"1s","buffer":20,"discard":"coin-flip","conns":[{"src":0,"dst":1}]}`,
+		"bad discipline":      `{"trunk_delay":"1s","buffer":20,"discipline":"lifo","conns":[{"src":0,"dst":1}]}`,
+		"unknown field":       `{"trunk_delay":"1s","buffer":20,"bufers":3,"conns":[{"src":0,"dst":1}]}`,
+		"not json":            `trunk_delay: 1s`,
+	}
+	for name, j := range cases {
+		if _, err := Parse(strings.NewReader(j)); err == nil {
+			t.Errorf("%s: no error", name)
+		}
+	}
+}

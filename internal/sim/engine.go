@@ -1,0 +1,167 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// The engine maintains a virtual clock and a priority queue of events.
+// Events scheduled for the same instant fire in the order they were
+// scheduled, which makes every run bit-reproducible: there is no
+// wall-clock time and no goroutine scheduling anywhere in the simulator.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Time is a point in simulated time, measured as an offset from the start
+// of the simulation. The zero value is the simulation epoch.
+type Time = time.Duration
+
+// Event is a scheduled callback. It is returned by the scheduling methods
+// so the caller can cancel it before it fires.
+type Event struct {
+	at       Time
+	seq      uint64
+	fn       func()
+	index    int // heap index; -1 once removed
+	canceled bool
+}
+
+// At reports the time the event is scheduled to fire.
+func (e *Event) At() Time { return e.at }
+
+// Cancel prevents the event from firing. Canceling an event that already
+// fired or was already canceled is a no-op.
+func (e *Event) Cancel() {
+	if e != nil {
+		e.canceled = true
+	}
+}
+
+// Canceled reports whether Cancel has been called on the event.
+func (e *Event) Canceled() bool { return e.canceled }
+
+// Engine is a discrete-event scheduler. The zero value is not usable; use
+// New.
+type Engine struct {
+	now       Time
+	seq       uint64
+	events    eventHeap
+	processed uint64
+}
+
+// New returns an engine with an empty event queue and the clock at zero.
+func New() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Processed returns the number of events executed so far. It is intended
+// for benchmarks and engine diagnostics.
+func (e *Engine) Processed() uint64 { return e.processed }
+
+// Pending returns the number of events currently queued (including
+// canceled events that have not yet been discarded).
+func (e *Engine) Pending() int { return len(e.events) }
+
+// Schedule queues fn to run after delay d. A negative delay panics: the
+// simulated world cannot schedule work in its own past.
+func (e *Engine) Schedule(d time.Duration, fn func()) *Event {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	return e.at(e.now+d, fn)
+}
+
+// ScheduleAt queues fn to run at absolute time t, which must not precede
+// the current time.
+func (e *Engine) ScheduleAt(t Time, fn func()) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", t, e.now))
+	}
+	return e.at(t, fn)
+}
+
+func (e *Engine) at(t Time, fn func()) *Event {
+	ev := &Event{at: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.events, ev)
+	return ev
+}
+
+// Step executes the next event, if any, advancing the clock to its
+// timestamp. It returns false when the queue is empty.
+func (e *Engine) Step() bool {
+	for len(e.events) > 0 {
+		ev := heap.Pop(&e.events).(*Event)
+		if ev.canceled {
+			continue
+		}
+		e.now = ev.at
+		e.processed++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue is empty.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil executes events with timestamps <= t and then advances the
+// clock to exactly t. Events scheduled for later remain queued.
+func (e *Engine) RunUntil(t Time) {
+	for len(e.events) > 0 {
+		next := e.events[0]
+		if next.canceled {
+			heap.Pop(&e.events)
+			continue
+		}
+		if next.at > t {
+			break
+		}
+		e.Step()
+	}
+	if t > e.now {
+		e.now = t
+	}
+}
+
+// eventHeap orders events by (time, sequence) so simultaneous events fire
+// in scheduling order.
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}

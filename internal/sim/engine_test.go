@@ -1,0 +1,235 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestScheduleOrdering(t *testing.T) {
+	eng := New()
+	var got []int
+	eng.Schedule(3*time.Second, func() { got = append(got, 3) })
+	eng.Schedule(1*time.Second, func() { got = append(got, 1) })
+	eng.Schedule(2*time.Second, func() { got = append(got, 2) })
+	eng.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if eng.Now() != 3*time.Second {
+		t.Fatalf("Now = %v, want 3s", eng.Now())
+	}
+}
+
+func TestSimultaneousEventsFireInScheduleOrder(t *testing.T) {
+	eng := New()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		eng.Schedule(time.Second, func() { got = append(got, i) })
+	}
+	eng.Run()
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("tie-break order = %v", got)
+		}
+	}
+}
+
+func TestCancel(t *testing.T) {
+	eng := New()
+	fired := false
+	ev := eng.Schedule(time.Second, func() { fired = true })
+	ev.Cancel()
+	eng.Run()
+	if fired {
+		t.Fatal("canceled event fired")
+	}
+	if !ev.Canceled() {
+		t.Fatal("Canceled() = false after Cancel")
+	}
+}
+
+func TestCancelIsIdempotentAndNilSafe(t *testing.T) {
+	eng := New()
+	ev := eng.Schedule(time.Second, func() {})
+	ev.Cancel()
+	ev.Cancel()
+	var nilEv *Event
+	nilEv.Cancel() // must not panic
+	eng.Run()
+}
+
+func TestRunUntilAdvancesClockExactly(t *testing.T) {
+	eng := New()
+	count := 0
+	eng.Schedule(1*time.Second, func() { count++ })
+	eng.Schedule(5*time.Second, func() { count++ })
+	eng.RunUntil(2 * time.Second)
+	if count != 1 {
+		t.Fatalf("count = %d, want 1", count)
+	}
+	if eng.Now() != 2*time.Second {
+		t.Fatalf("Now = %v, want 2s", eng.Now())
+	}
+	eng.RunUntil(10 * time.Second)
+	if count != 2 {
+		t.Fatalf("count = %d, want 2", count)
+	}
+	if eng.Now() != 10*time.Second {
+		t.Fatalf("Now = %v, want 10s", eng.Now())
+	}
+}
+
+func TestRunUntilBoundaryInclusive(t *testing.T) {
+	eng := New()
+	fired := false
+	eng.Schedule(2*time.Second, func() { fired = true })
+	eng.RunUntil(2 * time.Second)
+	if !fired {
+		t.Fatal("event at the RunUntil boundary did not fire")
+	}
+}
+
+func TestEventsScheduledDuringRunExecute(t *testing.T) {
+	eng := New()
+	var order []string
+	eng.Schedule(time.Second, func() {
+		order = append(order, "outer")
+		eng.Schedule(time.Second, func() { order = append(order, "inner") })
+	})
+	eng.Run()
+	if len(order) != 2 || order[0] != "outer" || order[1] != "inner" {
+		t.Fatalf("order = %v", order)
+	}
+	if eng.Now() != 2*time.Second {
+		t.Fatalf("Now = %v, want 2s", eng.Now())
+	}
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on negative delay")
+		}
+	}()
+	New().Schedule(-time.Second, func() {})
+}
+
+func TestScheduleAtPastPanics(t *testing.T) {
+	eng := New()
+	eng.Schedule(2*time.Second, func() {})
+	eng.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic scheduling in the past")
+		}
+	}()
+	eng.ScheduleAt(time.Second, func() {})
+}
+
+// Property: for any random multiset of delays, events fire in nondecreasing
+// time order and the processed count matches the number scheduled.
+func TestEventOrderProperty(t *testing.T) {
+	f := func(raw []uint32) bool {
+		if len(raw) > 500 {
+			raw = raw[:500]
+		}
+		eng := New()
+		var fired []time.Duration
+		for _, r := range raw {
+			d := time.Duration(r%1000) * time.Millisecond
+			eng.Schedule(d, func() { fired = append(fired, eng.Now()) })
+		}
+		eng.Run()
+		if len(fired) != len(raw) {
+			return false
+		}
+		return sort.SliceIsSorted(fired, func(i, j int) bool { return fired[i] < fired[j] })
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: canceling a random subset of events fires exactly the
+// complement.
+func TestCancelSubsetProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		eng := New()
+		fired := make(map[int]bool)
+		events := make([]*Event, n)
+		for i := 0; i < int(n); i++ {
+			i := i
+			events[i] = eng.Schedule(time.Duration(rng.Intn(100))*time.Millisecond,
+				func() { fired[i] = true })
+		}
+		canceled := make(map[int]bool)
+		for i := range events {
+			if rng.Intn(2) == 0 {
+				events[i].Cancel()
+				canceled[i] = true
+			}
+		}
+		eng.Run()
+		for i := 0; i < int(n); i++ {
+			if fired[i] == canceled[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimerResetStopAndRearm(t *testing.T) {
+	eng := New()
+	count := 0
+	tm := NewTimer(eng, func() { count++ })
+	if tm.Armed() {
+		t.Fatal("new timer armed")
+	}
+	tm.Reset(time.Second)
+	if !tm.Armed() {
+		t.Fatal("timer not armed after Reset")
+	}
+	if tm.Deadline() != time.Second {
+		t.Fatalf("Deadline = %v, want 1s", tm.Deadline())
+	}
+	tm.Stop()
+	eng.RunUntil(2 * time.Second)
+	if count != 0 {
+		t.Fatal("stopped timer fired")
+	}
+	tm.Reset(time.Second)
+	tm.Reset(3 * time.Second) // re-arm supersedes
+	eng.RunUntil(10 * time.Second)
+	if count != 1 {
+		t.Fatalf("count = %d, want 1", count)
+	}
+	if eng.Now() != 10*time.Second {
+		t.Fatalf("Now = %v", eng.Now())
+	}
+	if tm.Armed() {
+		t.Fatal("timer still armed after firing")
+	}
+}
+
+func TestTimerResetAt(t *testing.T) {
+	eng := New()
+	var at Time
+	tm := NewTimer(eng, func() { at = eng.Now() })
+	tm.ResetAt(1500 * time.Millisecond)
+	eng.Run()
+	if at != 1500*time.Millisecond {
+		t.Fatalf("fired at %v, want 1.5s", at)
+	}
+}

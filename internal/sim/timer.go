@@ -1,0 +1,56 @@
+package sim
+
+import "time"
+
+// Timer is a single-shot, rearm-able timer built on engine events. Unlike
+// a raw Event it can be stopped and restarted any number of times, which
+// matches how protocol retransmission timers are used.
+//
+// The zero value is not usable; create timers with NewTimer.
+type Timer struct {
+	eng *Engine
+	fn  func()
+	ev  *Event
+}
+
+// NewTimer returns a stopped timer that runs fn when it expires.
+func NewTimer(eng *Engine, fn func()) *Timer {
+	return &Timer{eng: eng, fn: fn}
+}
+
+// Reset (re)arms the timer to fire after d, canceling any pending
+// expiration.
+func (t *Timer) Reset(d time.Duration) {
+	t.Stop()
+	t.ev = t.eng.Schedule(d, t.expire)
+}
+
+// ResetAt (re)arms the timer to fire at absolute time at.
+func (t *Timer) ResetAt(at Time) {
+	t.Stop()
+	t.ev = t.eng.ScheduleAt(at, t.expire)
+}
+
+// Stop cancels a pending expiration, if any.
+func (t *Timer) Stop() {
+	if t.ev != nil {
+		t.ev.Cancel()
+		t.ev = nil
+	}
+}
+
+// Armed reports whether the timer has a pending expiration.
+func (t *Timer) Armed() bool { return t.ev != nil && !t.ev.Canceled() }
+
+// Deadline returns the pending expiration time; valid only when Armed.
+func (t *Timer) Deadline() Time {
+	if t.ev == nil {
+		return 0
+	}
+	return t.ev.At()
+}
+
+func (t *Timer) expire() {
+	t.ev = nil
+	t.fn()
+}

@@ -1,0 +1,177 @@
+package tcp
+
+import (
+	"testing"
+	"time"
+
+	"tahoedyn/internal/packet"
+	"tahoedyn/internal/sim"
+)
+
+func TestNewSenderValidation(t *testing.T) {
+	eng := sim.New()
+	for name, cfg := range map[string]SenderConfig{
+		"zero MaxWnd": {Conn: 1, DataSize: 500},
+		"zero size":   {Conn: 1, MaxWnd: 10},
+		"negative":    {Conn: 1, MaxWnd: -1, DataSize: 500},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			NewSender(eng, &pipe{eng: eng}, &IDGen{}, cfg)
+		}()
+	}
+}
+
+func TestNewReceiverValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for negative AckSize")
+		}
+	}()
+	eng := sim.New()
+	NewReceiver(eng, &pipe{eng: eng}, &IDGen{}, ReceiverConfig{Conn: 1, AckSize: -1})
+}
+
+func TestStartIsIdempotent(t *testing.T) {
+	eng := sim.New()
+	fwd := &pipe{eng: eng}
+	s := NewSender(eng, fwd, &IDGen{}, defaultSenderCfg())
+	s.Start()
+	s.Start()
+	if len(fwd.sent) != 1 {
+		t.Fatalf("double Start sent %d packets, want 1", len(fwd.sent))
+	}
+}
+
+func TestDupThresholdOverride(t *testing.T) {
+	eng := sim.New()
+	cfg := defaultSenderCfg()
+	cfg.DupThreshold = 5
+	fwd := &pipe{eng: eng}
+	s := NewSender(eng, fwd, &IDGen{}, cfg)
+	s.Start()
+	for ack := 1; ack <= 5; ack++ {
+		s.Handle(&packet.Packet{Kind: packet.Ack, Conn: 1, Seq: ack, Size: 50})
+	}
+	for i := 0; i < 4; i++ {
+		s.Handle(&packet.Packet{Kind: packet.Ack, Conn: 1, Seq: 5, Size: 50})
+	}
+	if s.Stats().FastRetransmits != 0 {
+		t.Fatal("retransmitted before the overridden threshold")
+	}
+	s.Handle(&packet.Packet{Kind: packet.Ack, Conn: 1, Seq: 5, Size: 50})
+	if s.Stats().FastRetransmits != 1 {
+		t.Fatal("did not retransmit at the overridden threshold")
+	}
+}
+
+func TestWndFloorsAtOne(t *testing.T) {
+	eng := sim.New()
+	s := NewSender(eng, &pipe{eng: eng}, &IDGen{}, defaultSenderCfg())
+	s.cwnd = 0.25 // below one (cannot happen in practice; Wnd still floors)
+	if s.Wnd() != 1 {
+		t.Fatalf("Wnd = %d, want 1", s.Wnd())
+	}
+	s.cwnd = 5000 // above maxwnd
+	if s.Wnd() != s.cfg.MaxWnd {
+		t.Fatalf("Wnd = %d, want MaxWnd %d", s.Wnd(), s.cfg.MaxWnd)
+	}
+}
+
+func TestCwndCappedAtMaxWnd(t *testing.T) {
+	eng := sim.New()
+	cfg := defaultSenderCfg()
+	cfg.MaxWnd = 4
+	s, _, _, _ := newPair(eng, time.Millisecond, cfg, defaultReceiverCfg())
+	s.Start()
+	eng.RunUntil(10 * time.Second)
+	if s.Cwnd() > 4 {
+		t.Fatalf("cwnd = %v exceeded MaxWnd 4", s.Cwnd())
+	}
+	if s.Stats().Collapses != 0 {
+		t.Fatal("lossless run collapsed")
+	}
+}
+
+func TestStaleAckIgnored(t *testing.T) {
+	eng := sim.New()
+	fwd := &pipe{eng: eng}
+	s := NewSender(eng, fwd, &IDGen{}, defaultSenderCfg())
+	s.Start()
+	for ack := 1; ack <= 5; ack++ {
+		s.Handle(&packet.Packet{Kind: packet.Ack, Conn: 1, Seq: ack, Size: 50})
+	}
+	before := len(fwd.sent)
+	cwnd := s.Cwnd()
+	s.Handle(&packet.Packet{Kind: packet.Ack, Conn: 1, Seq: 2, Size: 50}) // below una
+	if len(fwd.sent) != before || s.Cwnd() != cwnd || s.dupacks != 0 {
+		t.Fatal("stale ACK had an effect")
+	}
+}
+
+func TestStaleTimerAfterFullAckIsNoOp(t *testing.T) {
+	eng := sim.New()
+	fwd := &pipe{eng: eng}
+	s := NewSender(eng, fwd, &IDGen{}, defaultSenderCfg())
+	s.Start()
+	// Everything acked; then force the timer callback directly.
+	s.Handle(&packet.Packet{Kind: packet.Ack, Conn: 1, Seq: 1, Size: 50})
+	// Drain any sends triggered by the ack.
+	sent := len(fwd.sent)
+	s.una = s.nxt // pretend all outstanding data acked
+	s.onTimeout()
+	if s.Stats().Timeouts != 0 || len(fwd.sent) != sent {
+		t.Fatal("stale timeout acted on an idle connection")
+	}
+}
+
+func TestRTOClampMinimumDirect(t *testing.T) {
+	if got := clampTicks(0); got != rtoMinTicks {
+		t.Fatalf("clampTicks(0) = %d", got)
+	}
+	if got := clampTicks(1000); got != rtoMaxTicks {
+		t.Fatalf("clampTicks(1000) = %d", got)
+	}
+	if got := clampTicks(10); got != 10 {
+		t.Fatalf("clampTicks(10) = %d", got)
+	}
+}
+
+// Property-style check: cwnd stays within [1, MaxWnd] and una is
+// nondecreasing throughout a long lossy run.
+func TestSenderInvariantsUnderLoss(t *testing.T) {
+	eng := sim.New()
+	drop := 0
+	fwd := &pipe{eng: eng, delay: 15 * time.Millisecond,
+		drop: func(p *packet.Packet) bool {
+			drop++
+			return drop%17 == 0
+		}}
+	rev := &pipe{eng: eng, delay: 15 * time.Millisecond}
+	ids := &IDGen{}
+	cfg := defaultSenderCfg()
+	cfg.MaxWnd = 30
+	s := NewSender(eng, fwd, ids, cfg)
+	r := NewReceiver(eng, rev, ids, defaultReceiverCfg())
+	fwd.dst = r
+	rev.dst = s
+	prevUna := 0
+	s.OnCwnd = func(v float64) {
+		if v < 1 || v > 30 {
+			t.Fatalf("cwnd = %v out of [1, 30]", v)
+		}
+		if s.Una() < prevUna {
+			t.Fatalf("una went backwards: %d -> %d", prevUna, s.Una())
+		}
+		prevUna = s.Una()
+	}
+	s.Start()
+	eng.RunUntil(3 * time.Minute)
+	if s.Una() < 500 {
+		t.Fatalf("una = %d after 3 minutes; connection stalled", s.Una())
+	}
+}

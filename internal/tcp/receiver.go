@@ -1,0 +1,141 @@
+package tcp
+
+import (
+	"fmt"
+
+	"tahoedyn/internal/packet"
+	"tahoedyn/internal/sim"
+)
+
+// ReceiverConfig parameterizes one TCP data sink.
+type ReceiverConfig struct {
+	// Conn is the connection identifier shared with the sender.
+	Conn int
+	// SrcHost is the host this receiver lives on; DstHost is the data
+	// sender's host (where ACKs are addressed).
+	SrcHost, DstHost int
+	// AckSize is the ACK packet size in bytes (50 in the paper; 0 for
+	// the zero-length-ACK conjecture experiments).
+	AckSize int
+	// DelayedAck enables the BSD delayed-ACK option: hold the ACK for a
+	// first unacknowledged data packet until a second arrives or the
+	// 200 ms fast timer flushes it (§2.1, §5).
+	DelayedAck bool
+}
+
+// ReceiverStats counts receiver-side events.
+type ReceiverStats struct {
+	DataReceived       uint64 // in-window data segments accepted
+	DupData            uint64 // duplicate segments (below or already buffered)
+	AcksSent           uint64
+	AcksCombined       uint64 // ACKs saved by the delayed-ACK option
+	AcksFlushedByTimer uint64
+}
+
+// Receiver is the data sink half of a TCP connection: it reassembles the
+// sequence space and generates cumulative acknowledgments.
+type Receiver struct {
+	eng *sim.Engine
+	net Network
+	ids *IDGen
+	cfg ReceiverConfig
+
+	rcvNxt   int
+	oob      map[int]bool
+	pending  int // data packets not yet acknowledged (delayed-ACK state)
+	delTimer *sim.Timer
+
+	stats ReceiverStats
+
+	// OnAckSent, if set, observes every ACK transmitted.
+	OnAckSent func(p *packet.Packet)
+}
+
+// NewReceiver creates a receiver ready to accept data.
+func NewReceiver(eng *sim.Engine, net Network, ids *IDGen, cfg ReceiverConfig) *Receiver {
+	if cfg.AckSize < 0 {
+		panic(fmt.Sprintf("tcp: receiver conn %d has negative AckSize", cfg.Conn))
+	}
+	r := &Receiver{eng: eng, net: net, ids: ids, cfg: cfg, oob: make(map[int]bool)}
+	r.delTimer = sim.NewTimer(eng, r.flushDelayedAck)
+	return r
+}
+
+// Stats returns a copy of the receiver counters.
+func (r *Receiver) Stats() ReceiverStats { return r.stats }
+
+// RcvNxt returns the next expected sequence number (the cumulative
+// acknowledgment value).
+func (r *Receiver) RcvNxt() int { return r.rcvNxt }
+
+// Handle implements node.Handler for arriving data segments.
+func (r *Receiver) Handle(p *packet.Packet) {
+	if p.Kind != packet.Data {
+		panic(fmt.Sprintf("tcp: receiver conn %d got %v", r.cfg.Conn, p))
+	}
+	switch {
+	case p.Seq < r.rcvNxt || r.oob[p.Seq]:
+		// Duplicate: acknowledge immediately so the sender sees it.
+		r.stats.DupData++
+		r.sendAck()
+	case p.Seq == r.rcvNxt:
+		r.stats.DataReceived++
+		r.rcvNxt++
+		drained := false
+		for r.oob[r.rcvNxt] {
+			delete(r.oob, r.rcvNxt)
+			r.rcvNxt++
+			drained = true
+		}
+		if !r.cfg.DelayedAck || drained {
+			// Filling a hole acknowledges immediately (the kernel sets
+			// ACKNOW while the reassembly queue drains).
+			r.sendAck()
+			return
+		}
+		r.pending++
+		if r.pending >= 2 {
+			r.stats.AcksCombined++
+			r.sendAck()
+			return
+		}
+		if !r.delTimer.Armed() {
+			r.delTimer.ResetAt(gridDeadline(r.eng.Now(), 1, FastTick))
+		}
+	default: // p.Seq > r.rcvNxt: out of order
+		r.stats.DataReceived++
+		r.oob[p.Seq] = true
+		// Out-of-order arrival forces an immediate (duplicate) ACK —
+		// this is what feeds the sender's fast retransmit.
+		r.sendAck()
+	}
+}
+
+// flushDelayedAck is the 200 ms fast-timer flush.
+func (r *Receiver) flushDelayedAck() {
+	if r.pending > 0 {
+		r.stats.AcksFlushedByTimer++
+		r.sendAck()
+	}
+}
+
+// sendAck transmits a cumulative acknowledgment for everything up to
+// rcvNxt and clears any delayed-ACK state.
+func (r *Receiver) sendAck() {
+	r.pending = 0
+	r.delTimer.Stop()
+	p := &packet.Packet{
+		ID:   r.ids.Next(),
+		Kind: packet.Ack,
+		Conn: r.cfg.Conn,
+		Src:  r.cfg.SrcHost,
+		Dst:  r.cfg.DstHost,
+		Seq:  r.rcvNxt,
+		Size: r.cfg.AckSize,
+	}
+	r.stats.AcksSent++
+	if r.OnAckSent != nil {
+		r.OnAckSent(p)
+	}
+	r.net.Send(p)
+}

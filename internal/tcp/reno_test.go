@@ -1,0 +1,145 @@
+package tcp
+
+import (
+	"testing"
+	"time"
+
+	"tahoedyn/internal/packet"
+	"tahoedyn/internal/sim"
+)
+
+func renoSenderWithWindow(t *testing.T) (*Sender, *pipe, *sim.Engine) {
+	t.Helper()
+	eng := sim.New()
+	cfg := defaultSenderCfg()
+	cfg.Reno = true
+	fwd := &pipe{eng: eng}
+	s := NewSender(eng, fwd, &IDGen{}, cfg)
+	s.Start()
+	// Open the window to 10 with clean ACKs.
+	for ack := 1; ack <= 9; ack++ {
+		s.Handle(&packet.Packet{Kind: packet.Ack, Conn: 1, Seq: ack, Size: 50})
+	}
+	return s, fwd, eng
+}
+
+func dupAck(s *Sender, seq int) {
+	s.Handle(&packet.Packet{Kind: packet.Ack, Conn: 1, Seq: seq, Size: 50})
+}
+
+func TestRenoFastRecoveryEntry(t *testing.T) {
+	s, fwd, _ := renoSenderWithWindow(t)
+	cwndBefore := s.Cwnd() // 10
+	sentBefore := len(fwd.sent)
+	for i := 0; i < 3; i++ {
+		dupAck(s, 9)
+	}
+	// ssthresh = cwnd/2 = 5; cwnd = ssthresh + 3 = 8; head retransmitted.
+	if s.Ssthresh() != cwndBefore/2 {
+		t.Fatalf("ssthresh = %v, want %v", s.Ssthresh(), cwndBefore/2)
+	}
+	if s.Cwnd() != cwndBefore/2+3 {
+		t.Fatalf("cwnd = %v, want %v (no collapse to 1)", s.Cwnd(), cwndBefore/2+3)
+	}
+	if len(fwd.sent) != sentBefore+1 {
+		t.Fatalf("sent %d extra packets, want 1 retransmission", len(fwd.sent)-sentBefore)
+	}
+	rtx := fwd.sent[len(fwd.sent)-1]
+	if rtx.Seq != 9 || !rtx.Retransmit {
+		t.Fatalf("retransmission = %v", rtx)
+	}
+}
+
+func TestRenoWindowInflationAndDeflation(t *testing.T) {
+	s, _, _ := renoSenderWithWindow(t)
+	for i := 0; i < 3; i++ {
+		dupAck(s, 9)
+	}
+	inRecoveryCwnd := s.Cwnd() // 8
+	// Two more duplicates inflate by one each.
+	dupAck(s, 9)
+	dupAck(s, 9)
+	if s.Cwnd() != inRecoveryCwnd+2 {
+		t.Fatalf("cwnd = %v after 2 extra dups, want %v", s.Cwnd(), inRecoveryCwnd+2)
+	}
+	// New data acknowledged: deflate to ssthresh exactly.
+	s.Handle(&packet.Packet{Kind: packet.Ack, Conn: 1, Seq: s.nxt, Size: 50})
+	if s.Cwnd() != s.Ssthresh() {
+		t.Fatalf("cwnd = %v after recovery, want ssthresh %v", s.Cwnd(), s.Ssthresh())
+	}
+	if s.inRecovery {
+		t.Fatal("still in recovery after new ACK")
+	}
+	// Subsequent ACKs resume congestion avoidance (cwnd ≥ ssthresh).
+	before := s.Cwnd()
+	s.Handle(&packet.Packet{Kind: packet.Ack, Conn: 1, Seq: s.nxt, Size: 50})
+	_ = before
+}
+
+func TestRenoTimeoutStillCollapses(t *testing.T) {
+	eng := sim.New()
+	cfg := defaultSenderCfg()
+	cfg.Reno = true
+	fwd := &pipe{eng: eng, drop: func(*packet.Packet) bool { return true }}
+	s := NewSender(eng, fwd, &IDGen{}, cfg)
+	s.Start()
+	eng.RunUntil(4 * time.Second)
+	if s.Stats().Timeouts != 1 {
+		t.Fatalf("timeouts = %d, want 1", s.Stats().Timeouts)
+	}
+	if s.Cwnd() != 1 {
+		t.Fatalf("cwnd = %v after timeout, want 1 even under Reno", s.Cwnd())
+	}
+}
+
+func TestRenoExtraDupsWithoutRecoveryIgnored(t *testing.T) {
+	// A Tahoe sender must not inflate on dups past the threshold.
+	eng := sim.New()
+	fwd := &pipe{eng: eng}
+	s := NewSender(eng, fwd, &IDGen{}, defaultSenderCfg())
+	s.Start()
+	for ack := 1; ack <= 9; ack++ {
+		s.Handle(&packet.Packet{Kind: packet.Ack, Conn: 1, Seq: ack, Size: 50})
+	}
+	for i := 0; i < 6; i++ {
+		dupAck(s, 9)
+	}
+	if s.Cwnd() != 1 {
+		t.Fatalf("Tahoe cwnd = %v after extra dups, want 1", s.Cwnd())
+	}
+}
+
+// End-to-end: a Reno connection over a lossy path stays reliable and
+// recovers without timeouts for isolated losses.
+func TestRenoEndToEndSingleLossNoTimeout(t *testing.T) {
+	eng := sim.New()
+	dropOnce := true
+	fwd := &pipe{eng: eng, delay: 10 * time.Millisecond,
+		drop: func(p *packet.Packet) bool {
+			if dropOnce && p.Seq == 30 && !p.Retransmit {
+				dropOnce = false
+				return true
+			}
+			return false
+		}}
+	rev := &pipe{eng: eng, delay: 10 * time.Millisecond}
+	ids := &IDGen{}
+	cfg := defaultSenderCfg()
+	cfg.Reno = true
+	cfg.MaxWnd = 30
+	s := NewSender(eng, fwd, ids, cfg)
+	r := NewReceiver(eng, rev, ids, defaultReceiverCfg())
+	fwd.dst = r
+	rev.dst = s
+	s.Start()
+	eng.RunUntil(30 * time.Second)
+	if s.Stats().FastRetransmits != 1 {
+		t.Fatalf("fast retransmits = %d, want 1", s.Stats().FastRetransmits)
+	}
+	if s.Stats().Timeouts != 0 {
+		t.Fatalf("timeouts = %d, want 0 (fast recovery should suffice)", s.Stats().Timeouts)
+	}
+	if r.RcvNxt() < 100 {
+		t.Fatalf("receiver only got %d packets", r.RcvNxt())
+	}
+}

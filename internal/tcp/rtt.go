@@ -1,0 +1,116 @@
+package tcp
+
+import "time"
+
+// Timer granularities of the BSD kernel. The slow timer drives
+// retransmission timeouts; the fast timer flushes delayed ACKs. Both
+// matter for the dynamics: the coarse 500 ms retransmission grid is what
+// makes post-loss retransmissions happen "after some essentially random
+// interval" (§3.1), and the 200 ms delayed-ACK flush bounds how long the
+// receiver holds an acknowledgment (§5).
+const (
+	// SlowTick is the BSD slow-timeout granularity (PR_SLOWHZ = 2 Hz).
+	SlowTick = 500 * time.Millisecond
+	// FastTick is the BSD fast-timeout granularity (PR_FASTHZ = 5 Hz).
+	FastTick = 200 * time.Millisecond
+)
+
+// Bounds on the retransmission timeout, in slow ticks, following the BSD
+// 4.3-Tahoe constants: minimum 1 s, maximum 64 s, default 3 s before the
+// first RTT sample.
+const (
+	rtoMinTicks     = 2   // 1 s
+	rtoMaxTicks     = 128 // 64 s
+	rtoDefaultTicks = 6   // 3 s
+	maxBackoffShift = 6   // cap the exponential backoff at 64x
+)
+
+// rttEstimator implements Jacobson's smoothed RTT/variance estimator in
+// the fixed-point form used by the BSD 4.3-Tahoe kernel: srtt is kept
+// scaled by 8 and rttvar by 4, both in units of slow ticks.
+type rttEstimator struct {
+	srtt8   int // srtt << 3, slow ticks
+	rttvar4 int // rttvar << 2, slow ticks
+	sampled bool
+	shift   uint // exponential backoff shift (t_rxtshift)
+}
+
+// sampleDuration feeds a measured round-trip time into the estimator.
+// The kernel counts ticks while the timed segment is outstanding starting
+// from 1, so the equivalent sample is floor(m/tick) + 1.
+func (r *rttEstimator) sampleDuration(m time.Duration) {
+	r.sampleTicks(int(m/SlowTick) + 1)
+}
+
+// sampleTicks performs the Jacobson update with a sample in slow ticks.
+func (r *rttEstimator) sampleTicks(rtt int) {
+	if !r.sampled {
+		r.srtt8 = rtt << 3
+		r.rttvar4 = rtt << 1 // var = rtt/2, scaled by 4
+		r.sampled = true
+		return
+	}
+	// delta = rtt - 1 - srtt (the kernel subtracts the 1 its tick
+	// counter started from).
+	delta := rtt - 1 - (r.srtt8 >> 3)
+	r.srtt8 += delta
+	if r.srtt8 <= 0 {
+		r.srtt8 = 1
+	}
+	if delta < 0 {
+		delta = -delta
+	}
+	delta -= r.rttvar4 >> 2
+	r.rttvar4 += delta
+	if r.rttvar4 <= 0 {
+		r.rttvar4 = 1
+	}
+}
+
+// srttTicks returns the current smoothed RTT estimate in slow ticks.
+func (r *rttEstimator) srttTicks() int { return r.srtt8 >> 3 }
+
+// rtoTicks returns the retransmission timeout in slow ticks: the BSD
+// TCP_REXMTVAL value, srtt + 4*rttvar, clamped to [1 s, 64 s].
+func (r *rttEstimator) rtoTicks() int {
+	if !r.sampled {
+		return rtoDefaultTicks
+	}
+	v := (r.srtt8 >> 3) + r.rttvar4
+	return clampTicks(v)
+}
+
+// backedOffRTOTicks applies the exponential backoff to the current RTO.
+func (r *rttEstimator) backedOffRTOTicks() int {
+	return clampTicks(r.rtoTicks() << r.shift)
+}
+
+// backoff doubles the timeout for the next retransmission.
+func (r *rttEstimator) backoff() {
+	if r.shift < maxBackoffShift {
+		r.shift++
+	}
+}
+
+// resetBackoff clears the backoff after an ACK of new data arrives
+// (Karn's algorithm, second half).
+func (r *rttEstimator) resetBackoff() { r.shift = 0 }
+
+func clampTicks(v int) int {
+	if v < rtoMinTicks {
+		return rtoMinTicks
+	}
+	if v > rtoMaxTicks {
+		return rtoMaxTicks
+	}
+	return v
+}
+
+// gridDeadline converts a countdown of n ticks armed at time now into an
+// absolute deadline on the periodic timer grid. The kernel decrements
+// countdown timers on each grid tick, so the first decrement happens at
+// the first tick strictly after now and the timer fires on the n-th.
+func gridDeadline(now time.Duration, n int, grid time.Duration) time.Duration {
+	first := (now/grid)*grid + grid
+	return first + time.Duration(n-1)*grid
+}

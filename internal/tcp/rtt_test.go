@@ -1,0 +1,127 @@
+package tcp
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRTODefaultBeforeFirstSample(t *testing.T) {
+	var r rttEstimator
+	if got := r.rtoTicks(); got != rtoDefaultTicks {
+		t.Fatalf("default RTO = %d ticks, want %d", got, rtoDefaultTicks)
+	}
+}
+
+func TestFirstSampleInitializesEstimator(t *testing.T) {
+	var r rttEstimator
+	r.sampleTicks(4)
+	if r.srttTicks() != 4 {
+		t.Fatalf("srtt = %d ticks, want 4", r.srttTicks())
+	}
+	// rto = srtt + 4*var = 4 + 4*2 = 12 ticks.
+	if got := r.rtoTicks(); got != 12 {
+		t.Fatalf("rto = %d ticks, want 12", got)
+	}
+}
+
+func TestRTOStaysSmallForSubTickRTTs(t *testing.T) {
+	var r rttEstimator
+	for i := 0; i < 50; i++ {
+		r.sampleTicks(1) // sub-tick RTTs
+	}
+	// srtt decays to ~0 and rttvar to its floor; the RTO must never fall
+	// below the 1 s minimum and should stay near it.
+	if got := r.rtoTicks(); got < rtoMinTicks || got > 3 {
+		t.Fatalf("rto = %d ticks, want in [%d, 3]", got, rtoMinTicks)
+	}
+}
+
+func TestRTOClampsToMaximum(t *testing.T) {
+	var r rttEstimator
+	r.sampleTicks(500)
+	if got := r.rtoTicks(); got != rtoMaxTicks {
+		t.Fatalf("rto = %d ticks, want clamp to %d", got, rtoMaxTicks)
+	}
+}
+
+func TestBackoffDoublesAndCaps(t *testing.T) {
+	var r rttEstimator
+	r.sampleTicks(2) // rto = 2 + 4 = 6 ticks
+	base := r.rtoTicks()
+	r.backoff()
+	if got := r.backedOffRTOTicks(); got != base*2 {
+		t.Fatalf("after 1 backoff rto = %d, want %d", got, base*2)
+	}
+	for i := 0; i < 20; i++ {
+		r.backoff()
+	}
+	if got := r.backedOffRTOTicks(); got != rtoMaxTicks {
+		t.Fatalf("backed-off rto = %d, want cap %d", got, rtoMaxTicks)
+	}
+	r.resetBackoff()
+	if got := r.backedOffRTOTicks(); got != base {
+		t.Fatalf("after reset rto = %d, want %d", got, base)
+	}
+}
+
+func TestSampleDurationTickConversion(t *testing.T) {
+	var r rttEstimator
+	// 0.7 s = 1 full tick elapsed + the initial 1 → sample of 2 ticks.
+	r.sampleDuration(700 * time.Millisecond)
+	if r.srttTicks() != 2 {
+		t.Fatalf("srtt = %d ticks, want 2", r.srttTicks())
+	}
+}
+
+func TestEstimatorConvergesOnSteadyRTT(t *testing.T) {
+	var r rttEstimator
+	for i := 0; i < 100; i++ {
+		r.sampleTicks(5)
+	}
+	// The kernel's sample includes the +1 tick counter start, so steady
+	// samples of 5 converge near srtt ≈ 4.
+	if got := r.srttTicks(); got < 3 || got > 5 {
+		t.Fatalf("srtt = %d ticks, want ≈4", got)
+	}
+	if got := r.rtoTicks(); got < rtoMinTicks || got > 12 {
+		t.Fatalf("rto = %d ticks out of plausible range", got)
+	}
+}
+
+func TestVarianceNeverNonPositive(t *testing.T) {
+	var r rttEstimator
+	r.sampleTicks(3)
+	for i := 0; i < 200; i++ {
+		r.sampleTicks(3)
+		if r.rttvar4 <= 0 {
+			t.Fatalf("rttvar4 = %d after %d samples", r.rttvar4, i)
+		}
+		if r.srtt8 <= 0 {
+			t.Fatalf("srtt8 = %d after %d samples", r.srtt8, i)
+		}
+	}
+}
+
+func TestGridDeadline(t *testing.T) {
+	grid := 500 * time.Millisecond
+	cases := []struct {
+		now   time.Duration
+		ticks int
+		want  time.Duration
+	}{
+		// Armed exactly on a tick: first decrement is the *next* tick.
+		{0, 1, 500 * time.Millisecond},
+		{0, 2, 1000 * time.Millisecond},
+		// Armed mid-interval: first decrement comes sooner than a full
+		// tick — the source of BSD's "random" retransmit phase.
+		{200 * time.Millisecond, 1, 500 * time.Millisecond},
+		{499 * time.Millisecond, 1, 500 * time.Millisecond},
+		{500 * time.Millisecond, 1, 1000 * time.Millisecond},
+		{1700 * time.Millisecond, 3, 3000 * time.Millisecond},
+	}
+	for _, c := range cases {
+		if got := gridDeadline(c.now, c.ticks, grid); got != c.want {
+			t.Errorf("gridDeadline(%v, %d) = %v, want %v", c.now, c.ticks, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,412 @@
+package tcp
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"tahoedyn/internal/packet"
+	"tahoedyn/internal/sim"
+)
+
+// SenderConfig parameterizes one TCP data source.
+type SenderConfig struct {
+	// Conn is the connection identifier shared with the receiver.
+	Conn int
+	// SrcHost and DstHost are the host IDs of the data source and sink.
+	SrcHost, DstHost int
+	// MaxWnd is the receiver-advertised maximum window in packets
+	// (maxwnd in the paper; 1000 in all its configurations).
+	MaxWnd int
+	// DataSize is the data packet size in bytes (500 in the paper).
+	DataSize int
+	// FixedWnd, when positive, disables congestion control entirely and
+	// uses a constant window of that many packets (Figs. 8 and 9). A
+	// fixed-window sender is *pure* sliding-window flow control, the
+	// idealized system of the paper's §4.1: it neither retransmits nor
+	// reacts to duplicate ACKs, which is sound because the fixed-window
+	// experiments run with infinite buffers and error-free links where
+	// nothing is ever lost.
+	FixedWnd int
+	// OriginalIncrease selects the unmodified BSD congestion avoidance
+	// rule cwnd += 1/cwnd instead of the paper's 1/floor(cwnd).
+	OriginalIncrease bool
+	// DupThreshold overrides the duplicate-ACK fast retransmit threshold;
+	// zero means DefaultDupThreshold.
+	DupThreshold int
+	// Pace, when positive, spaces successive data transmissions at least
+	// this far apart, turning the source into a *paced* algorithm in the
+	// paper's terminology (§3.1). The paper conjectures that pacing
+	// defeats clustering and hence ACK-compression; this knob lets the
+	// ablation test that.
+	Pace time.Duration
+	// Reno enables 4.3-Reno fast recovery (the successor algorithm the
+	// paper's reference [7] describes): on the third duplicate ACK the
+	// window halves to ssthresh+3 instead of collapsing to one, inflates
+	// by one per further duplicate, and deflates to ssthresh when new
+	// data is acknowledged. Timeouts still collapse the window. This is
+	// an extension used to test whether the paper's two-way phenomena
+	// outlive Tahoe.
+	Reno bool
+}
+
+// SenderStats counts sender-side events.
+type SenderStats struct {
+	DataSent        uint64 // segments handed to the network, incl. retransmissions
+	Retransmits     uint64
+	FastRetransmits uint64 // loss detections via duplicate ACKs
+	Timeouts        uint64 // loss detections via the retransmission timer
+	AcksReceived    uint64
+	Collapses       uint64 // window collapses (congestion epochs entered)
+}
+
+// Sender is the data source half of a Tahoe TCP connection with an
+// infinite amount of data to send (the paper's FTP-like source).
+type Sender struct {
+	eng *sim.Engine
+	net Network
+	ids *IDGen
+	cfg SenderConfig
+
+	una     int // lowest unacknowledged sequence number
+	nxt     int // next sequence number to send
+	maxSent int // highest sequence number ever sent + 1
+
+	cwnd       float64
+	ssthresh   float64
+	dupacks    int
+	inRecovery bool // Reno fast recovery in progress
+
+	rtt      rttEstimator
+	rtx      *sim.Timer
+	timedSeq int // sequence being RTT-timed, -1 if none
+	timedAt  time.Duration
+
+	paceEvent *sim.Event
+	lastTxAt  time.Duration
+	everSent  bool
+	started   bool
+	stats     SenderStats
+
+	// OnCwnd, if set, is called with the new congestion window after
+	// every change.
+	OnCwnd func(cwnd float64)
+	// OnCollapse, if set, is called when a loss is detected and the
+	// window collapses; cause is "dupack" or "timeout".
+	OnCollapse func(cause string)
+	// OnAckArrival, if set, is called for every arriving ACK — the probe
+	// used by the ACK-compression analysis.
+	OnAckArrival func(p *packet.Packet)
+	// OnSend, if set, is called for every data segment transmitted.
+	OnSend func(p *packet.Packet)
+	// OnRTTSample, if set, observes every accepted round-trip-time
+	// measurement (Karn-filtered) — the probe behind the effective-pipe
+	// analysis of §4.3.1.
+	OnRTTSample func(rtt time.Duration)
+}
+
+// NewSender creates a sender. Call Start (directly or via the engine) to
+// begin transmitting.
+func NewSender(eng *sim.Engine, net Network, ids *IDGen, cfg SenderConfig) *Sender {
+	if cfg.MaxWnd <= 0 {
+		panic(fmt.Sprintf("tcp: sender conn %d needs MaxWnd > 0", cfg.Conn))
+	}
+	if cfg.DataSize <= 0 {
+		panic(fmt.Sprintf("tcp: sender conn %d needs DataSize > 0", cfg.Conn))
+	}
+	s := &Sender{
+		eng:      eng,
+		net:      net,
+		ids:      ids,
+		cfg:      cfg,
+		cwnd:     1,
+		ssthresh: float64(cfg.MaxWnd),
+		timedSeq: -1,
+		lastTxAt: -time.Hour, // "long ago": first paced send is immediate
+	}
+	s.rtx = sim.NewTimer(eng, s.onTimeout)
+	return s
+}
+
+// Start begins transmission. The connection is assumed to preexist (no
+// SYN exchange), exactly as in the paper's simulator.
+func (s *Sender) Start() {
+	if s.started {
+		return
+	}
+	s.started = true
+	s.maybeSend()
+}
+
+// Stats returns a copy of the sender counters.
+func (s *Sender) Stats() SenderStats { return s.stats }
+
+// Cwnd returns the current congestion window (in packets, fractional).
+func (s *Sender) Cwnd() float64 { return s.cwnd }
+
+// Ssthresh returns the current slow-start threshold.
+func (s *Sender) Ssthresh() float64 { return s.ssthresh }
+
+// Una returns the lowest unacknowledged sequence number — the connection
+// goodput frontier.
+func (s *Sender) Una() int { return s.una }
+
+// Wnd returns the usable window in packets: the fixed window when
+// configured, otherwise floor(min(cwnd, maxwnd)), at least 1.
+func (s *Sender) Wnd() int {
+	if s.cfg.FixedWnd > 0 {
+		return s.cfg.FixedWnd
+	}
+	w := int(math.Min(s.cwnd, float64(s.cfg.MaxWnd)))
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Handle implements node.Handler for arriving ACKs.
+func (s *Sender) Handle(p *packet.Packet) {
+	if p.Kind != packet.Ack {
+		panic(fmt.Sprintf("tcp: sender conn %d got %v", s.cfg.Conn, p))
+	}
+	s.stats.AcksReceived++
+	if s.OnAckArrival != nil {
+		s.OnAckArrival(p)
+	}
+	ack := p.Seq
+	switch {
+	case ack > s.una:
+		s.onNewAck(ack)
+	case ack == s.una && s.nxt > s.una && !s.pure():
+		s.dupacks++
+		switch {
+		case s.dupacks == s.dupThreshold():
+			s.lossDetected("dupack")
+		case s.dupacks > s.dupThreshold() && s.inRecovery:
+			// Reno window inflation: each further duplicate signals a
+			// departure, letting one more segment out.
+			s.cwnd++
+			if max := float64(s.cfg.MaxWnd); s.cwnd > max {
+				s.cwnd = max
+			}
+			if s.OnCwnd != nil {
+				s.OnCwnd(s.cwnd)
+			}
+			s.maybeSend()
+		}
+	default:
+		// Stale ACK below una, or a pure fixed-window sender: ignore.
+	}
+}
+
+// pure reports whether the sender is the idealized fixed-window source
+// with no loss recovery.
+func (s *Sender) pure() bool { return s.cfg.FixedWnd > 0 }
+
+func (s *Sender) dupThreshold() int {
+	if s.cfg.DupThreshold > 0 {
+		return s.cfg.DupThreshold
+	}
+	return DefaultDupThreshold
+}
+
+// onNewAck processes an acknowledgment of new data.
+func (s *Sender) onNewAck(ack int) {
+	if s.timedSeq >= 0 && ack > s.timedSeq {
+		m := s.eng.Now() - s.timedAt
+		s.rtt.sampleDuration(m)
+		s.timedSeq = -1
+		if s.OnRTTSample != nil {
+			s.OnRTTSample(m)
+		}
+	}
+	s.rtt.resetBackoff()
+	if s.inRecovery {
+		// Reno deflation: new data is acknowledged, recovery ends and
+		// the inflated window snaps back to ssthresh.
+		s.inRecovery = false
+		s.cwnd = s.ssthresh
+		if s.OnCwnd != nil {
+			s.OnCwnd(s.cwnd)
+		}
+	} else {
+		s.openWindow()
+	}
+	s.una = ack
+	s.dupacks = 0
+	if s.pure() {
+		s.maybeSend()
+		return
+	}
+	if s.una >= s.nxt {
+		s.rtx.Stop()
+	} else {
+		s.armTimer()
+	}
+	s.maybeSend()
+}
+
+// openWindow applies the Tahoe window increase for one ACK of new data.
+func (s *Sender) openWindow() {
+	if s.cfg.FixedWnd > 0 {
+		return
+	}
+	if s.cwnd < s.ssthresh {
+		s.cwnd++ // slow start: doubles per round trip
+	} else if s.cfg.OriginalIncrease {
+		s.cwnd += 1 / s.cwnd
+	} else {
+		s.cwnd += 1 / math.Floor(s.cwnd)
+	}
+	if max := float64(s.cfg.MaxWnd); s.cwnd > max {
+		s.cwnd = max
+	}
+	if s.OnCwnd != nil {
+		s.OnCwnd(s.cwnd)
+	}
+}
+
+// lossDetected performs the Tahoe loss response: collapse the window and
+// retransmit the missing segment. After a timeout the kernel rewinds
+// snd_nxt to snd_una (go-back-N); after a fast retransmit it resends only
+// the head segment and restores snd_nxt, which is what keeping nxt does.
+func (s *Sender) lossDetected(cause string) {
+	if cause == "dupack" {
+		s.stats.FastRetransmits++
+		if s.cfg.Reno {
+			s.enterRecovery()
+			return
+		}
+	}
+	s.inRecovery = false
+	s.collapse(cause)
+	if cause == "timeout" {
+		s.nxt = s.una + 1 // resend from una; the head goes out right now
+	}
+	s.retransmitHead()
+}
+
+// enterRecovery performs the Reno fast-retransmit response: halve to
+// ssthresh, set the window to ssthresh+3 (the three duplicates that
+// triggered it are departures), and retransmit the head segment.
+func (s *Sender) enterRecovery() {
+	s.stats.Collapses++
+	ss := math.Min(s.cwnd/2, float64(s.cfg.MaxWnd))
+	if ss < 2 {
+		ss = 2
+	}
+	s.ssthresh = ss
+	s.cwnd = ss + 3
+	s.inRecovery = true
+	if s.OnCwnd != nil {
+		s.OnCwnd(s.cwnd)
+	}
+	if s.OnCollapse != nil {
+		s.OnCollapse("dupack")
+	}
+	s.retransmitHead()
+}
+
+// collapse applies the paper's §2.1 drop response.
+func (s *Sender) collapse(cause string) {
+	s.stats.Collapses++
+	if s.cfg.FixedWnd <= 0 {
+		ss := math.Min(s.cwnd/2, float64(s.cfg.MaxWnd))
+		if ss < 2 {
+			ss = 2
+		}
+		s.ssthresh = ss
+		s.cwnd = 1
+		if s.OnCwnd != nil {
+			s.OnCwnd(s.cwnd)
+		}
+	}
+	if s.OnCollapse != nil {
+		s.OnCollapse(cause)
+	}
+}
+
+// retransmitHead resends the first unacknowledged segment and restarts
+// the retransmission timer with the current backoff.
+func (s *Sender) retransmitHead() {
+	s.transmit(s.una)
+	s.rtx.ResetAt(gridDeadline(s.eng.Now(), s.rtt.backedOffRTOTicks(), SlowTick))
+}
+
+// onTimeout handles retransmission timer expiry.
+func (s *Sender) onTimeout() {
+	if s.una >= s.nxt {
+		return // nothing outstanding; stale timer
+	}
+	s.stats.Timeouts++
+	s.rtt.backoff()
+	s.dupacks = 0
+	s.lossDetected("timeout")
+}
+
+// maybeSend transmits as many new segments as the window allows,
+// honoring the pacing constraint if configured.
+func (s *Sender) maybeSend() {
+	if !s.started {
+		return
+	}
+	for s.nxt < s.una+s.Wnd() {
+		if s.cfg.Pace > 0 {
+			if wait := s.lastTxAt + s.cfg.Pace - s.eng.Now(); s.everSent && wait > 0 {
+				if s.paceEvent == nil || s.paceEvent.Canceled() {
+					s.paceEvent = s.eng.Schedule(wait, func() {
+						s.paceEvent = nil
+						s.maybeSend()
+					})
+				}
+				return
+			}
+		}
+		seq := s.nxt
+		s.nxt++
+		s.transmit(seq)
+		if !s.pure() && !s.rtx.Armed() {
+			s.armTimer()
+		}
+	}
+}
+
+// armTimer starts the retransmission timer with the un-backed-off RTO.
+func (s *Sender) armTimer() {
+	s.rtx.ResetAt(gridDeadline(s.eng.Now(), s.rtt.rtoTicks(), SlowTick))
+}
+
+// transmit emits one data segment. Segments at or above the high-water
+// mark are originals; below it they are retransmissions and are never
+// RTT-timed (Karn's algorithm).
+func (s *Sender) transmit(seq int) {
+	rtx := seq < s.maxSent
+	if seq+1 > s.maxSent {
+		s.maxSent = seq + 1
+	}
+	p := &packet.Packet{
+		ID:         s.ids.Next(),
+		Kind:       packet.Data,
+		Conn:       s.cfg.Conn,
+		Src:        s.cfg.SrcHost,
+		Dst:        s.cfg.DstHost,
+		Seq:        seq,
+		Size:       s.cfg.DataSize,
+		Retransmit: rtx,
+	}
+	if rtx {
+		// Retransmitting invalidates any in-progress RTT timing.
+		s.timedSeq = -1
+		s.stats.Retransmits++
+	} else if s.timedSeq < 0 {
+		s.timedSeq = seq
+		s.timedAt = s.eng.Now()
+	}
+	s.stats.DataSent++
+	s.everSent = true
+	s.lastTxAt = s.eng.Now()
+	if s.OnSend != nil {
+		s.OnSend(p)
+	}
+	s.net.Send(p)
+}

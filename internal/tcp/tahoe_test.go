@@ -1,0 +1,463 @@
+package tcp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"tahoedyn/internal/packet"
+	"tahoedyn/internal/sim"
+)
+
+// pipe is a one-way ideal channel: every accepted packet reaches the
+// peer's Handle after a fixed delay, unless the drop filter eats it.
+type pipe struct {
+	eng   *sim.Engine
+	delay time.Duration
+	dst   interface{ Handle(*packet.Packet) }
+	drop  func(*packet.Packet) bool
+	sent  []*packet.Packet
+}
+
+func (pi *pipe) Send(p *packet.Packet) bool {
+	pi.sent = append(pi.sent, p)
+	if pi.drop != nil && pi.drop(p) {
+		return true // silently lost in the network
+	}
+	if pi.dst == nil {
+		return true // blackhole pipe: used by sender-only tests
+	}
+	pi.eng.Schedule(pi.delay, func() { pi.dst.Handle(p) })
+	return true
+}
+
+// newPair wires a sender and receiver through two pipes with the given
+// one-way delay.
+func newPair(eng *sim.Engine, delay time.Duration, scfg SenderConfig, rcfg ReceiverConfig) (*Sender, *Receiver, *pipe, *pipe) {
+	ids := &IDGen{}
+	fwd := &pipe{eng: eng, delay: delay}
+	rev := &pipe{eng: eng, delay: delay}
+	s := NewSender(eng, fwd, ids, scfg)
+	r := NewReceiver(eng, rev, ids, rcfg)
+	fwd.dst = r
+	rev.dst = s
+	return s, r, fwd, rev
+}
+
+func defaultSenderCfg() SenderConfig {
+	return SenderConfig{Conn: 1, SrcHost: 1, DstHost: 2, MaxWnd: 1000, DataSize: 500}
+}
+
+func defaultReceiverCfg() ReceiverConfig {
+	return ReceiverConfig{Conn: 1, SrcHost: 2, DstHost: 1, AckSize: 50}
+}
+
+func TestSlowStartDoublesPerRoundTrip(t *testing.T) {
+	eng := sim.New()
+	s, _, fwd, _ := newPair(eng, 10*time.Millisecond, defaultSenderCfg(), defaultReceiverCfg())
+	s.Start()
+	// RTT = 20 ms. After k round trips with no loss, cwnd = 2^k.
+	eng.RunUntil(19 * time.Millisecond)
+	if got := len(fwd.sent); got != 1 {
+		t.Fatalf("sent %d packets in first RTT, want 1", got)
+	}
+	eng.RunUntil(39 * time.Millisecond)
+	if got := len(fwd.sent); got != 3 { // +2 in second round trip
+		t.Fatalf("sent %d packets after 2nd RTT, want 3", got)
+	}
+	eng.RunUntil(59 * time.Millisecond)
+	if got := len(fwd.sent); got != 7 {
+		t.Fatalf("sent %d packets after 3rd RTT, want 7", got)
+	}
+	if s.Cwnd() != 4 {
+		t.Fatalf("cwnd = %v, want 4", s.Cwnd())
+	}
+}
+
+func TestCongestionAvoidanceModifiedIncrease(t *testing.T) {
+	eng := sim.New()
+	cfg := defaultSenderCfg()
+	s := NewSender(eng, &pipe{eng: eng}, &IDGen{}, cfg)
+	s.cwnd = 4
+	s.ssthresh = 2 // force congestion avoidance
+	// One epoch: 4 ACKs at cwnd 4 should raise floor(cwnd) by exactly 1.
+	for i := 0; i < 4; i++ {
+		s.openWindow()
+	}
+	if math.Floor(s.cwnd) != 5 {
+		t.Fatalf("after 4 CA ACKs cwnd = %v, want floor exactly 5", s.cwnd)
+	}
+	// And the next 5 ACKs raise it to 6: the paper's modified rule adds
+	// one full packet per epoch with no anomaly.
+	for i := 0; i < 5; i++ {
+		s.openWindow()
+	}
+	if math.Floor(s.cwnd) != 6 {
+		t.Fatalf("after 5 more CA ACKs cwnd = %v, want floor exactly 6", s.cwnd)
+	}
+}
+
+func TestOriginalIncreaseHasAnomaly(t *testing.T) {
+	eng := sim.New()
+	cfg := defaultSenderCfg()
+	cfg.OriginalIncrease = true
+	s := NewSender(eng, &pipe{eng: eng}, &IDGen{}, cfg)
+	s.cwnd = 4
+	s.ssthresh = 2
+	for i := 0; i < 4; i++ {
+		s.openWindow()
+	}
+	// 4 + 1/4 + 1/4.25 + ... < 5: the anomaly the paper removed.
+	if math.Floor(s.cwnd) != 4 {
+		t.Fatalf("original rule after 4 ACKs: cwnd = %v, want floor 4 (anomaly)", s.cwnd)
+	}
+}
+
+func TestCollapseFormula(t *testing.T) {
+	eng := sim.New()
+	s := NewSender(eng, &pipe{eng: eng}, &IDGen{}, defaultSenderCfg())
+	s.cwnd = 17
+	s.collapse("dupack")
+	if s.cwnd != 1 {
+		t.Fatalf("cwnd = %v after collapse, want 1", s.cwnd)
+	}
+	if s.ssthresh != 8.5 {
+		t.Fatalf("ssthresh = %v, want 8.5", s.ssthresh)
+	}
+	// Second collapse while cwnd is 1: ssthresh floors at 2 — the
+	// paper's footnote 9, which drives the out-of-phase mode's slow
+	// square-root window regrowth.
+	s.collapse("timeout")
+	if s.ssthresh != 2 {
+		t.Fatalf("ssthresh = %v after double loss, want 2", s.ssthresh)
+	}
+}
+
+func TestFastRetransmitOnThirdDupAck(t *testing.T) {
+	eng := sim.New()
+	fwd := &pipe{eng: eng}
+	s := NewSender(eng, fwd, &IDGen{}, defaultSenderCfg())
+	s.Start() // sends seq 0
+	// Grow the window so several packets are outstanding.
+	for ack := 1; ack <= 5; ack++ {
+		s.Handle(&packet.Packet{Kind: packet.Ack, Conn: 1, Seq: ack, Size: 50})
+	}
+	sentBefore := len(fwd.sent)
+	cwndBefore := s.Cwnd()
+	// Two dup ACKs: nothing happens.
+	for i := 0; i < 2; i++ {
+		s.Handle(&packet.Packet{Kind: packet.Ack, Conn: 1, Seq: 5, Size: 50})
+	}
+	if len(fwd.sent) != sentBefore || s.Cwnd() != cwndBefore {
+		t.Fatal("sender reacted before the third dup ACK")
+	}
+	// Third dup ACK: fast retransmit of seq 5 and collapse.
+	s.Handle(&packet.Packet{Kind: packet.Ack, Conn: 1, Seq: 5, Size: 50})
+	if len(fwd.sent) != sentBefore+1 {
+		t.Fatalf("sent %d, want one retransmission", len(fwd.sent)-sentBefore)
+	}
+	rtx := fwd.sent[len(fwd.sent)-1]
+	if rtx.Seq != 5 || !rtx.Retransmit {
+		t.Fatalf("retransmission = %v, want retransmitted seq 5", rtx)
+	}
+	if s.Cwnd() != 1 {
+		t.Fatalf("cwnd = %v after fast retransmit, want 1 (Tahoe)", s.Cwnd())
+	}
+	if s.Stats().FastRetransmits != 1 {
+		t.Fatalf("FastRetransmits = %d, want 1", s.Stats().FastRetransmits)
+	}
+	// Fourth and fifth dup ACKs must NOT retrigger.
+	for i := 0; i < 2; i++ {
+		s.Handle(&packet.Packet{Kind: packet.Ack, Conn: 1, Seq: 5, Size: 50})
+	}
+	if s.Stats().FastRetransmits != 1 || len(fwd.sent) != sentBefore+1 {
+		t.Fatal("extra dup ACKs retriggered fast retransmit")
+	}
+}
+
+func TestTimeoutGoBackNAndBackoff(t *testing.T) {
+	eng := sim.New()
+	fwd := &pipe{eng: eng, drop: func(*packet.Packet) bool { return true }}
+	s := NewSender(eng, fwd, &IDGen{}, defaultSenderCfg())
+	s.Start() // seq 0 sent, lost
+	// No RTT samples yet: RTO = 6 ticks = 3 s on the 500 ms grid.
+	eng.RunUntil(3100 * time.Millisecond)
+	if s.Stats().Timeouts != 1 {
+		t.Fatalf("timeouts = %d, want 1", s.Stats().Timeouts)
+	}
+	if got := len(fwd.sent); got != 2 {
+		t.Fatalf("sent = %d, want original + 1 retransmission", got)
+	}
+	if last := fwd.sent[len(fwd.sent)-1]; last.Seq != 0 || !last.Retransmit {
+		t.Fatalf("retransmission = %v", last)
+	}
+	// Second timeout is backed off: 6 ticks doubled = 6 s later.
+	eng.RunUntil(8 * time.Second)
+	if s.Stats().Timeouts != 1 {
+		t.Fatalf("premature second timeout (timeouts = %d)", s.Stats().Timeouts)
+	}
+	eng.RunUntil(10 * time.Second)
+	if s.Stats().Timeouts != 2 {
+		t.Fatalf("timeouts = %d, want 2 by 10s", s.Stats().Timeouts)
+	}
+}
+
+func TestTimeoutResendsWholeWindowGoBackN(t *testing.T) {
+	eng := sim.New()
+	dropAll := true
+	var fwd *pipe
+	fwd = &pipe{eng: eng, delay: time.Millisecond, drop: func(p *packet.Packet) bool { return dropAll }}
+	rev := &pipe{eng: eng, delay: time.Millisecond}
+	ids := &IDGen{}
+	scfg := defaultSenderCfg()
+	scfg.MaxWnd = 20 // keep the event count bounded on these ideal pipes
+	s := NewSender(eng, fwd, ids, scfg)
+	r := NewReceiver(eng, rev, ids, defaultReceiverCfg())
+	fwd.dst = r
+	rev.dst = s
+	s.Start()
+	// Hand-feed ACKs to open the window, then lose everything.
+	dropAll = false
+	eng.RunUntil(100 * time.Millisecond) // a few RTTs of slow start
+	dropAll = true
+	eng.RunUntil(200 * time.Millisecond) // the in-flight window is lost
+	unaAtLoss := s.Una()
+	dropAll = false
+	eng.RunUntil(30 * time.Second) // let the timeout fire and recovery run
+	if s.Stats().Timeouts == 0 {
+		t.Fatal("no timeout despite losing the window")
+	}
+	if s.Una() <= unaAtLoss {
+		t.Fatalf("una did not advance after recovery: %d", s.Una())
+	}
+	if r.RcvNxt() != s.Una() {
+		t.Fatalf("receiver rcvNxt %d != sender una %d", r.RcvNxt(), s.Una())
+	}
+}
+
+func TestKarnNoSampleFromRetransmission(t *testing.T) {
+	eng := sim.New()
+	fwd := &pipe{eng: eng}
+	s := NewSender(eng, fwd, &IDGen{}, defaultSenderCfg())
+	s.Start()
+	eng.RunUntil(3100 * time.Millisecond) // timeout, retransmit seq 0
+	if s.Stats().Retransmits == 0 {
+		t.Fatal("expected a retransmission")
+	}
+	// ACK the retransmitted segment "immediately": must not produce an
+	// RTT sample.
+	s.Handle(&packet.Packet{Kind: packet.Ack, Conn: 1, Seq: 1, Size: 50})
+	if s.rtt.sampled {
+		t.Fatal("RTT sampled from a retransmitted segment (Karn violation)")
+	}
+}
+
+func TestFixedWindowNeverAdjusts(t *testing.T) {
+	eng := sim.New()
+	cfg := defaultSenderCfg()
+	cfg.FixedWnd = 7
+	s, r, fwd, _ := newPair(eng, 5*time.Millisecond, cfg, defaultReceiverCfg())
+	s.Start()
+	eng.RunUntil(4 * time.Millisecond)
+	if got := len(fwd.sent); got != 7 {
+		t.Fatalf("fixed-window sender emitted %d packets up front, want 7", got)
+	}
+	eng.RunUntil(5 * time.Second)
+	if s.Wnd() != 7 {
+		t.Fatalf("Wnd = %d, want 7", s.Wnd())
+	}
+	if s.Stats().Collapses != 0 {
+		t.Fatal("fixed-window sender collapsed")
+	}
+	if r.RcvNxt() == 0 {
+		t.Fatal("no data delivered")
+	}
+	// Exactly 7 packets in flight at all times: sent - acked ∈ [0, 7].
+	if out := s.nxt - s.Una(); out != 7 {
+		t.Fatalf("outstanding = %d, want 7 (saturated fixed window)", out)
+	}
+}
+
+func TestPacedSenderSpacing(t *testing.T) {
+	eng := sim.New()
+	cfg := defaultSenderCfg()
+	cfg.FixedWnd = 10
+	cfg.Pace = 80 * time.Millisecond
+	var times []time.Duration
+	fwd := &pipe{eng: eng}
+	s := NewSender(eng, fwd, &IDGen{}, cfg)
+	s.OnSend = func(*packet.Packet) { times = append(times, eng.Now()) }
+	s.Start()
+	eng.RunUntil(2 * time.Second)
+	if len(times) != 10 {
+		t.Fatalf("sent %d packets, want 10", len(times))
+	}
+	for i := 1; i < len(times); i++ {
+		if d := times[i] - times[i-1]; d < cfg.Pace {
+			t.Fatalf("packets %d,%d spaced %v < pace %v", i-1, i, d, cfg.Pace)
+		}
+	}
+}
+
+func TestReceiverCumulativeAckAfterHole(t *testing.T) {
+	eng := sim.New()
+	rev := &pipe{eng: eng}
+	r := NewReceiver(eng, rev, &IDGen{}, defaultReceiverCfg())
+	data := func(seq int) *packet.Packet {
+		return &packet.Packet{Kind: packet.Data, Conn: 1, Seq: seq, Size: 500}
+	}
+	r.Handle(data(0)) // ack 1
+	r.Handle(data(2)) // hole at 1: dup ack 1
+	r.Handle(data(3)) // dup ack 1
+	acks := func() []int {
+		var out []int
+		for _, p := range rev.sent {
+			out = append(out, p.Seq)
+		}
+		return out
+	}
+	want := []int{1, 1, 1}
+	got := acks()
+	if len(got) != len(want) {
+		t.Fatalf("acks = %v, want %v", got, want)
+	}
+	r.Handle(data(1)) // fills the hole: cumulative ack jumps to 4
+	got = acks()
+	if got[len(got)-1] != 4 {
+		t.Fatalf("after hole filled acks = %v, want last = 4", got)
+	}
+	if r.Stats().DataReceived != 4 {
+		t.Fatalf("DataReceived = %d, want 4", r.Stats().DataReceived)
+	}
+}
+
+func TestReceiverDuplicateDataAckedImmediately(t *testing.T) {
+	eng := sim.New()
+	rev := &pipe{eng: eng}
+	r := NewReceiver(eng, rev, &IDGen{}, defaultReceiverCfg())
+	d := &packet.Packet{Kind: packet.Data, Conn: 1, Seq: 0, Size: 500}
+	r.Handle(d)
+	r.Handle(&packet.Packet{Kind: packet.Data, Conn: 1, Seq: 0, Size: 500})
+	if r.Stats().DupData != 1 {
+		t.Fatalf("DupData = %d, want 1", r.Stats().DupData)
+	}
+	if len(rev.sent) != 2 || rev.sent[1].Seq != 1 {
+		t.Fatalf("dup data not acked immediately: %v", rev.sent)
+	}
+}
+
+func TestDelayedAckCombinesPairs(t *testing.T) {
+	eng := sim.New()
+	rev := &pipe{eng: eng}
+	cfg := defaultReceiverCfg()
+	cfg.DelayedAck = true
+	r := NewReceiver(eng, rev, &IDGen{}, cfg)
+	r.Handle(&packet.Packet{Kind: packet.Data, Conn: 1, Seq: 0, Size: 500})
+	if len(rev.sent) != 0 {
+		t.Fatal("first packet acked immediately despite delayed-ACK")
+	}
+	r.Handle(&packet.Packet{Kind: packet.Data, Conn: 1, Seq: 1, Size: 500})
+	if len(rev.sent) != 1 || rev.sent[0].Seq != 2 {
+		t.Fatalf("second packet should flush one combined ACK: %v", rev.sent)
+	}
+	if r.Stats().AcksCombined != 1 {
+		t.Fatalf("AcksCombined = %d, want 1", r.Stats().AcksCombined)
+	}
+}
+
+func TestDelayedAckTimerFlushOnFastGrid(t *testing.T) {
+	eng := sim.New()
+	rev := &pipe{eng: eng}
+	cfg := defaultReceiverCfg()
+	cfg.DelayedAck = true
+	r := NewReceiver(eng, rev, &IDGen{}, cfg)
+	var flushedAt time.Duration
+	eng.ScheduleAt(70*time.Millisecond, func() {
+		r.Handle(&packet.Packet{Kind: packet.Data, Conn: 1, Seq: 0, Size: 500})
+	})
+	eng.RunUntil(time.Second)
+	if len(rev.sent) != 1 {
+		t.Fatalf("acks sent = %d, want 1 (timer flush)", len(rev.sent))
+	}
+	flushedAt = 200 * time.Millisecond // next fast tick after 70 ms
+	_ = flushedAt
+	if r.Stats().AcksFlushedByTimer != 1 {
+		t.Fatalf("AcksFlushedByTimer = %d, want 1", r.Stats().AcksFlushedByTimer)
+	}
+}
+
+func TestDelayedAckOutOfOrderAcksImmediately(t *testing.T) {
+	eng := sim.New()
+	rev := &pipe{eng: eng}
+	cfg := defaultReceiverCfg()
+	cfg.DelayedAck = true
+	r := NewReceiver(eng, rev, &IDGen{}, cfg)
+	r.Handle(&packet.Packet{Kind: packet.Data, Conn: 1, Seq: 2, Size: 500})
+	if len(rev.sent) != 1 || rev.sent[0].Seq != 0 {
+		t.Fatalf("out-of-order data must ACK immediately: %v", rev.sent)
+	}
+}
+
+// Integration property: over a lossy channel, the connection remains
+// reliable — every byte up to the final una was delivered in order — for
+// arbitrary loss seeds.
+func TestReliabilityUnderRandomLossProperty(t *testing.T) {
+	seeds := []int64{1, 2, 3, 7, 42, 1991}
+	for _, seed := range seeds {
+		rng := rand.New(rand.NewSource(seed))
+		eng := sim.New()
+		fwd := &pipe{eng: eng, delay: 20 * time.Millisecond,
+			drop: func(p *packet.Packet) bool { return rng.Float64() < 0.1 }}
+		rev := &pipe{eng: eng, delay: 20 * time.Millisecond}
+		ids := &IDGen{}
+		scfg := defaultSenderCfg()
+		scfg.MaxWnd = 50
+		s := NewSender(eng, fwd, ids, scfg)
+		r := NewReceiver(eng, rev, ids, defaultReceiverCfg())
+		prevNxt := 0
+		fwd.dst = handlerFunc(func(p *packet.Packet) {
+			r.Handle(p)
+			if r.RcvNxt() < prevNxt {
+				t.Fatalf("seed %d: rcvNxt went backwards: %d -> %d", seed, prevNxt, r.RcvNxt())
+			}
+			prevNxt = r.RcvNxt()
+		})
+		rev.dst = s
+		s.Start()
+		eng.RunUntil(5 * time.Minute)
+		if s.Una() < 50 {
+			t.Fatalf("seed %d: only %d packets acked in 5 min", seed, s.Una())
+		}
+		if r.RcvNxt() < s.Una() {
+			t.Fatalf("seed %d: acked data the receiver never got (una=%d rcvNxt=%d)",
+				seed, s.Una(), r.RcvNxt())
+		}
+	}
+}
+
+type handlerFunc func(*packet.Packet)
+
+func (f handlerFunc) Handle(p *packet.Packet) { f(p) }
+
+func TestSenderRejectsWrongKind(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("sender accepted a data packet")
+		}
+	}()
+	eng := sim.New()
+	s := NewSender(eng, &pipe{eng: eng}, &IDGen{}, defaultSenderCfg())
+	s.Handle(&packet.Packet{Kind: packet.Data})
+}
+
+func TestReceiverRejectsWrongKind(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("receiver accepted an ACK")
+		}
+	}()
+	eng := sim.New()
+	r := NewReceiver(eng, &pipe{eng: eng}, &IDGen{}, defaultReceiverCfg())
+	r.Handle(&packet.Packet{Kind: packet.Ack})
+}

@@ -1,0 +1,47 @@
+// Package tcp implements the BSD 4.3-Tahoe TCP congestion control
+// algorithm as described in §2.1 of Zhang, Shenker & Clark (SIGCOMM '91),
+// together with the receiver-side acknowledgment machinery (including the
+// delayed-ACK option) and a fixed-window mode used by the paper's
+// flow-control-only experiments.
+//
+// Windows and sequence numbers are measured in units of maximum-size
+// packets. The sender's usable window is
+//
+//	wnd = floor(min(cwnd, maxwnd))
+//
+// cwnd grows by 1 per new ACK below ssthresh (slow start) and by
+// 1/floor(cwnd) per new ACK above it — the paper's modified congestion
+// avoidance increase, which removes the anomaly of the original
+// 1/cwnd rule (the original is available as an option). On any detected
+// loss:
+//
+//	ssthresh = max(min(cwnd/2, maxwnd), 2)
+//	cwnd     = 1
+//
+// Losses are detected by three duplicate ACKs (fast retransmit; Tahoe has
+// no fast recovery, so the window still collapses to one) or by the
+// coarse-grained retransmission timer.
+package tcp
+
+import "tahoedyn/internal/packet"
+
+// Network is the sender/receiver's interface to its host: transmit a
+// packet toward the network. It reports whether the packet was accepted
+// by the host's output buffer.
+type Network interface {
+	Send(p *packet.Packet) bool
+}
+
+// IDGen hands out unique packet IDs within one simulation. Each scenario
+// owns one so that runs remain reproducible.
+type IDGen struct{ next uint64 }
+
+// Next returns a fresh packet ID.
+func (g *IDGen) Next() uint64 {
+	g.next++
+	return g.next
+}
+
+// DefaultDupThreshold is the number of duplicate ACKs that triggers a
+// fast retransmit, matching the BSD tcprexmtthresh of 3.
+const DefaultDupThreshold = 3

@@ -1,0 +1,169 @@
+// Package tahoedyn reproduces Zhang, Shenker & Clark, "Observations on
+// the Dynamics of a Congestion Control Algorithm: The Effects of Two-Way
+// Traffic" (SIGCOMM 1991): a deterministic discrete-event network
+// simulator, a from-scratch BSD 4.3-Tahoe TCP congestion control
+// implementation, and the analysis machinery for the paper's phenomena —
+// ACK-compression, packet clustering, and the in-phase/out-of-phase
+// synchronization modes of two-way traffic.
+//
+// The package is a facade over the implementation packages. Typical use:
+//
+//	cfg := tahoedyn.Dumbbell(10*time.Millisecond, 20)
+//	cfg.Conns = []tahoedyn.ConnSpec{
+//	    {SrcHost: 0, DstHost: 1, Start: -1},
+//	    {SrcHost: 1, DstHost: 0, Start: -1},
+//	}
+//	res := tahoedyn.Run(cfg)
+//	fmt.Printf("bottleneck utilization: %.1f%%\n", res.UtilForward()*100)
+//
+// Or run a paper experiment by name:
+//
+//	out := tahoedyn.MustExperiment("fig4-5", tahoedyn.ExpOptions{})
+//	out.WriteText(os.Stdout)
+package tahoedyn
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"tahoedyn/internal/analysis"
+	"tahoedyn/internal/core"
+	"tahoedyn/internal/experiment"
+	"tahoedyn/internal/plot"
+	"tahoedyn/internal/scenario"
+	"tahoedyn/internal/trace"
+)
+
+// Scenario construction and execution.
+type (
+	// Config describes a scenario: topology, link parameters, and
+	// connections. See Dumbbell for the paper's standard parameters.
+	Config = core.Config
+	// ConnSpec describes one TCP connection in a scenario.
+	ConnSpec = core.ConnSpec
+	// Result is a completed run: traces, drops, utilizations, stats.
+	Result = core.Result
+	// CollapseEvent is one congestion-window collapse.
+	CollapseEvent = core.CollapseEvent
+)
+
+// Analysis types.
+type (
+	// Series is a step-function time series (queue length, cwnd, ...).
+	Series = trace.Series
+	// DropEvent is one drop-tail discard.
+	DropEvent = trace.DropEvent
+	// Epoch is one congestion epoch (a burst of drops).
+	Epoch = analysis.Epoch
+	// PhaseMode classifies synchronization: in-phase, out-of-phase, mixed.
+	PhaseMode = analysis.PhaseMode
+	// CompressionStats summarizes ACK inter-arrival compression.
+	CompressionStats = analysis.CompressionStats
+)
+
+// Phase mode constants.
+const (
+	PhaseIn    = analysis.PhaseIn
+	PhaseOut   = analysis.PhaseOut
+	PhaseMixed = analysis.PhaseMixed
+)
+
+// Switch policy constants for Config.Discard and Config.Discipline.
+const (
+	// DropTailDiscard discards arrivals at a full buffer (the paper's
+	// switches).
+	DropTailDiscard = core.DropTail
+	// RandomDropDiscard evicts a uniformly chosen buffered packet.
+	RandomDropDiscard = core.RandomDrop
+	// FIFODiscipline is first-in-first-out service.
+	FIFODiscipline = core.FIFO
+	// FairQueueDiscipline is per-connection self-clocked fair queueing.
+	FairQueueDiscipline = core.FairQueue
+)
+
+// Experiment types.
+type (
+	// ExpOptions tunes an experiment run (seed, duration scale).
+	ExpOptions = experiment.Options
+	// Outcome is an experiment's paper-vs-measured report.
+	Outcome = experiment.Outcome
+	// ExperimentDef is a registry entry: name, title, runner.
+	ExperimentDef = experiment.Definition
+)
+
+// PlotOptions controls ASCII rendering of traces.
+type PlotOptions = plot.Options
+
+// Dumbbell returns the paper's Figure-1 configuration: two switches, a
+// 50 Kbps bottleneck with propagation delay tau and the given per-port
+// buffer (0 = infinite), 10 Mbps access links, 500 B data and 50 B ACK
+// packets. Add connections to Config.Conns before running.
+func Dumbbell(tau time.Duration, buffer int) Config {
+	return core.DumbbellConfig(tau, buffer)
+}
+
+// Run executes a scenario to completion and returns its traces and
+// statistics. Runs are deterministic in Config (including Seed).
+func Run(cfg Config) *Result { return core.Run(cfg) }
+
+// Experiments lists every paper experiment in presentation order.
+func Experiments() []ExperimentDef { return experiment.All() }
+
+// Experiment runs the named paper experiment.
+func Experiment(name string, opts ExpOptions) (*Outcome, error) {
+	def, ok := experiment.Find(name)
+	if !ok {
+		return nil, fmt.Errorf("tahoedyn: unknown experiment %q", name)
+	}
+	return def.Run(opts), nil
+}
+
+// MustExperiment is Experiment, panicking on unknown names.
+func MustExperiment(name string, opts ExpOptions) *Outcome {
+	o, err := Experiment(name, opts)
+	if err != nil {
+		panic(err)
+	}
+	return o
+}
+
+// Analysis helpers re-exported for building custom studies.
+
+// Epochs groups drops into congestion epochs separated by at least gap.
+func Epochs(drops []DropEvent, gap time.Duration) []Epoch {
+	return analysis.Epochs(drops, gap)
+}
+
+// Phase classifies the synchronization of two series over [from, to].
+func Phase(a, b *Series, from, to, step time.Duration) (PhaseMode, float64) {
+	return analysis.Phase(a, b, from, to, step)
+}
+
+// AckCompression computes ACK-compression statistics from sender-side
+// ACK arrival times, given the bottleneck data transmission time.
+func AckCompression(arrivals []time.Duration, dataTx, from time.Duration) CompressionStats {
+	return analysis.AckCompression(arrivals, dataTx, from)
+}
+
+// Clustering is the fraction of adjacent same-connection pairs in a
+// departure sequence (1 = completely clustered, 0 = interleaved).
+func Clustering(deps []trace.Departure) float64 { return analysis.Clustering(deps) }
+
+// PlotASCII renders one or more series as a terminal plot, the paper's
+// figures in ASCII.
+func PlotASCII(w io.Writer, opts PlotOptions, series ...*Series) error {
+	return plot.ASCII(w, opts, series...)
+}
+
+// PlotTSV writes series resampled on a uniform grid as tab-separated
+// values.
+func PlotTSV(w io.Writer, from, to, step time.Duration, series ...*Series) error {
+	return plot.TSV(w, from, to, step, series...)
+}
+
+// ParseScenario reads a JSON scenario description (see
+// internal/scenario for the format) and returns a runnable Config.
+func ParseScenario(r io.Reader) (Config, error) {
+	return scenario.Parse(r)
+}
