@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: build test race vet check bench bench-baseline
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# race exercises the parallel sweep runner and every test that fans runs
+# across workers under the race detector.
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# check is the full verify loop: what CI (and the pre-commit habit)
+# should run.
+check: vet build test race
+
+bench:
+	$(GO) test -bench . -benchtime 1x -benchmem .
+
+# bench-baseline regenerates docs/BENCH_baseline.json; see
+# docs/BENCH_baseline.md for how to read and compare it.
+bench-baseline:
+	$(GO) test -run xxx -bench . -benchtime 1x -json . > docs/BENCH_baseline.json

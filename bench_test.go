@@ -7,6 +7,7 @@ package tahoedyn
 // engine itself.
 
 import (
+	"fmt"
 	"testing"
 	"time"
 
@@ -27,6 +28,7 @@ var benchOpts = experiment.Options{Scale: 0.5}
 // and report its metrics from the last outcome.
 func runExperiment(b *testing.B, name string, metrics func(*experiment.Outcome, *testing.B)) {
 	b.Helper()
+	b.ReportAllocs()
 	def, ok := experiment.Find(name)
 	if !ok {
 		b.Fatalf("unknown experiment %q", name)
@@ -136,6 +138,7 @@ func BenchmarkClusteringMetric(b *testing.B) {
 	cfg.Duration = 400 * time.Second
 	res := Run(cfg)
 	deps := res.TrunkDeps[0][0]
+	b.ReportAllocs()
 	b.ResetTimer()
 	var c float64
 	for i := 0; i < b.N; i++ {
@@ -163,6 +166,44 @@ func BenchmarkEngine(b *testing.B) {
 	}
 }
 
+// BenchmarkEngineScheduleCancel measures the retransmit-timer pattern:
+// every scheduled event is canceled before it fires, so the free list
+// should absorb all allocation and Cancel's remove-by-index should keep
+// the heap at its steady-state size.
+func BenchmarkEngineScheduleCancel(b *testing.B) {
+	b.ReportAllocs()
+	eng := sim.New()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev := eng.Schedule(time.Second, func() {})
+		ev.Cancel()
+	}
+	if eng.Pending() != 0 {
+		b.Fatalf("heap leaked %d events", eng.Pending())
+	}
+}
+
+// BenchmarkEngineDepth measures schedule+fire cost as a function of how
+// many events are already pending, exercising siftUp/siftDown across
+// heap depths.
+func BenchmarkEngineDepth(b *testing.B) {
+	for _, depth := range []int{64, 1024, 16384, 262144} {
+		b.Run(fmt.Sprintf("pending=%d", depth), func(b *testing.B) {
+			b.ReportAllocs()
+			eng := sim.New()
+			// Far-future ballast keeps the heap at the target depth.
+			for i := 0; i < depth; i++ {
+				eng.Schedule(time.Hour+time.Duration(i)*time.Millisecond, func() {})
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				eng.Schedule(time.Microsecond, func() {})
+				eng.Step()
+			}
+		})
+	}
+}
+
 // BenchmarkScenarioThroughput measures end-to-end simulation speed in
 // simulated-seconds per wall-second for the standard two-way scenario.
 func BenchmarkScenarioThroughput(b *testing.B) {
@@ -173,6 +214,7 @@ func BenchmarkScenarioThroughput(b *testing.B) {
 	}
 	cfg.Warmup = 10 * time.Second
 	cfg.Duration = 300 * time.Second
+	b.ReportAllocs()
 	b.ResetTimer()
 	var events uint64
 	for i := 0; i < b.N; i++ {

@@ -1,21 +1,29 @@
 // Command tahoe-sim runs the paper's experiments by name and renders
 // their figures as ASCII plots, metric reports, and optional TSV files.
 //
+// Independent runs — every experiment under -all, and every seed under
+// -seeds — fan across a worker pool (-parallel). Reports are rendered
+// off-line per job and printed in job order, so the output is
+// byte-identical for every worker count.
+//
 // Usage:
 //
 //	tahoe-sim -list
 //	tahoe-sim -experiment fig4-5
 //	tahoe-sim -experiment fig8-fixed -plot -width 120 -height 24
-//	tahoe-sim -all -tsv out/
-//	tahoe-sim -experiment fig6-7 -seed 7 -scale 0.5
+//	tahoe-sim -all -tsv out/ -parallel 8
+//	tahoe-sim -experiment fig6-7 -seeds 1,2,3,4 -scale 0.5
 //	tahoe-sim -config scenario.json
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"strconv"
+	"strings"
 	"time"
 
 	"tahoedyn"
@@ -23,16 +31,18 @@ import (
 
 func main() {
 	var (
-		list   = flag.Bool("list", false, "list available experiments and exit")
-		name   = flag.String("experiment", "", "experiment to run (see -list)")
-		all    = flag.Bool("all", false, "run every experiment")
-		config = flag.String("config", "", "run a JSON scenario file instead of a named experiment")
-		seed   = flag.Int64("seed", 1, "scenario random seed")
-		scale  = flag.Float64("scale", 1.0, "duration scale factor (1.0 = paper-length runs)")
-		doPlot = flag.Bool("plot", true, "render ASCII plots of the figure traces")
-		width  = flag.Int("width", 100, "plot width in characters")
-		height = flag.Int("height", 18, "plot height in characters")
-		tsvDir = flag.String("tsv", "", "directory to write per-experiment TSV trace files")
+		list     = flag.Bool("list", false, "list available experiments and exit")
+		name     = flag.String("experiment", "", "experiment to run (see -list)")
+		all      = flag.Bool("all", false, "run every experiment")
+		config   = flag.String("config", "", "run a JSON scenario file instead of a named experiment")
+		seed     = flag.Int64("seed", 1, "scenario random seed")
+		seedList = flag.String("seeds", "", "comma-separated seeds for multi-seed mode (overrides -seed)")
+		scale    = flag.Float64("scale", 1.0, "duration scale factor (1.0 = paper-length runs)")
+		parallel = flag.Int("parallel", 0, "worker count for independent runs (0 = GOMAXPROCS, 1 = serial)")
+		doPlot   = flag.Bool("plot", true, "render ASCII plots of the figure traces")
+		width    = flag.Int("width", 100, "plot width in characters")
+		height   = flag.Int("height", 18, "plot height in characters")
+		tsvDir   = flag.String("tsv", "", "directory to write per-experiment TSV trace files")
 	)
 	flag.Parse()
 
@@ -64,32 +74,34 @@ func main() {
 		os.Exit(2)
 	}
 
-	opts := tahoedyn.ExpOptions{Seed: *seed, Scale: *scale}
+	seeds, err := parseSeeds(*seedList, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tahoe-sim:", err)
+		os.Exit(2)
+	}
+
+	jobs := buildJobs(names, seeds, *scale, *parallel)
+	rendered, outs, err := renderJobs(jobs, renderOptions{
+		Parallel: *parallel, Plot: *doPlot, Width: *width, Height: *height,
+		SeedHeaders: len(seeds) > 1,
+		// -all with a single seed is exactly the experiment registry in
+		// order: route it through experiment.RunAll.
+		UseRunAll: *all && len(seeds) == 1,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tahoe-sim:", err)
+		os.Exit(2)
+	}
+
 	failed := false
-	for _, n := range names {
-		out, err := tahoedyn.Experiment(n, opts)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "tahoe-sim:", err)
-			os.Exit(2)
-		}
-		if err := out.WriteText(os.Stdout); err != nil {
-			fmt.Fprintln(os.Stderr, "tahoe-sim:", err)
-			os.Exit(1)
-		}
+	for i, buf := range rendered {
+		os.Stdout.Write(buf.Bytes())
+		out := outs[i]
 		if !out.Passed() {
 			failed = true
 		}
-		if *doPlot && len(out.Series) > 0 && out.PlotTo > out.PlotFrom {
-			err := tahoedyn.PlotASCII(os.Stdout, tahoedyn.PlotOptions{
-				Width: *width, Height: *height,
-				From: out.PlotFrom, To: out.PlotTo,
-			}, out.Series...)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "tahoe-sim: plot:", err)
-			}
-		}
 		if *tsvDir != "" && len(out.Series) > 0 && out.PlotTo > out.PlotFrom {
-			if err := writeTSV(*tsvDir, n, out); err != nil {
+			if err := writeTSV(*tsvDir, jobs[i].tsvName(), out); err != nil {
 				fmt.Fprintln(os.Stderr, "tahoe-sim:", err)
 				os.Exit(1)
 			}
@@ -99,6 +111,123 @@ func main() {
 	if failed {
 		os.Exit(1)
 	}
+}
+
+// job is one (experiment, seed) cell of the run grid.
+type job struct {
+	name      string
+	opts      tahoedyn.ExpOptions
+	multiSeed bool
+}
+
+// tsvName returns the TSV file stem: the experiment name, qualified by
+// the seed in multi-seed mode so files do not clobber each other.
+func (j job) tsvName() string {
+	if j.multiSeed {
+		return fmt.Sprintf("%s-seed%d", j.name, j.opts.Seed)
+	}
+	return j.name
+}
+
+// buildJobs expands names × seeds into the job grid, seeds innermost so
+// one experiment's seeds print together. parallel is forwarded into each
+// experiment's options so experiments with internal sweeps (mode-boundary,
+// oneway-buffers) fan their own runs too.
+func buildJobs(names []string, seeds []int64, scale float64, parallel int) []job {
+	multi := len(seeds) > 1
+	var jobs []job
+	for _, n := range names {
+		for _, s := range seeds {
+			jobs = append(jobs, job{
+				name:      n,
+				opts:      tahoedyn.ExpOptions{Seed: s, Scale: scale, Parallel: expWorkers(parallel)},
+				multiSeed: multi,
+			})
+		}
+	}
+	return jobs
+}
+
+// expWorkers maps the CLI -parallel convention (0 = GOMAXPROCS) onto the
+// experiment.Options one (0 = serial, negative = GOMAXPROCS).
+func expWorkers(parallel int) int {
+	if parallel == 0 {
+		return -1
+	}
+	return parallel
+}
+
+type renderOptions struct {
+	Parallel      int
+	Plot          bool
+	Width, Height int
+	SeedHeaders   bool
+	UseRunAll     bool
+}
+
+// renderJobs validates the experiment names, fans the jobs across the
+// worker pool, and renders each report into its own buffer. Buffers come
+// back in job order, so printing them sequentially is deterministic for
+// any worker count.
+func renderJobs(jobs []job, ro renderOptions) ([]*bytes.Buffer, []*tahoedyn.Outcome, error) {
+	// Validate names up front: a bad -experiment must fail before any
+	// worker burns minutes of simulation.
+	known := make(map[string]bool)
+	for _, d := range tahoedyn.Experiments() {
+		known[d.Name] = true
+	}
+	for _, j := range jobs {
+		if !known[j.name] {
+			return nil, nil, fmt.Errorf("unknown experiment %q", j.name)
+		}
+	}
+
+	outs := make([]*tahoedyn.Outcome, len(jobs))
+	if ro.UseRunAll && len(jobs) > 0 {
+		copy(outs, tahoedyn.RunAllExperiments(jobs[0].opts))
+	} else {
+		tahoedyn.ParallelDo(ro.Parallel, len(jobs), func(i int) {
+			outs[i] = tahoedyn.MustExperiment(jobs[i].name, jobs[i].opts)
+		})
+	}
+
+	rendered := make([]*bytes.Buffer, len(jobs))
+	for i, out := range outs {
+		buf := &bytes.Buffer{}
+		if ro.SeedHeaders {
+			fmt.Fprintf(buf, "== seed %d ==\n", jobs[i].opts.Seed)
+		}
+		if err := out.WriteText(buf); err != nil {
+			return nil, nil, err
+		}
+		if ro.Plot && len(out.Series) > 0 && out.PlotTo > out.PlotFrom {
+			err := tahoedyn.PlotASCII(buf, tahoedyn.PlotOptions{
+				Width: ro.Width, Height: ro.Height,
+				From: out.PlotFrom, To: out.PlotTo,
+			}, out.Series...)
+			if err != nil {
+				fmt.Fprintln(buf, "tahoe-sim: plot:", err)
+			}
+		}
+		rendered[i] = buf
+	}
+	return rendered, outs, nil
+}
+
+// parseSeeds returns the multi-seed list, or the single fallback seed.
+func parseSeeds(list string, fallback int64) ([]int64, error) {
+	if list == "" {
+		return []int64{fallback}, nil
+	}
+	var out []int64
+	for _, part := range strings.Split(list, ",") {
+		v, err := strconv.ParseInt(strings.TrimSpace(part), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad seed %q", part)
+		}
+		out = append(out, v)
+	}
+	return out, nil
 }
 
 // runScenarioFile executes an arbitrary JSON scenario and prints a

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"os"
 	"path/filepath"
 	"strings"
@@ -8,6 +9,59 @@ import (
 
 	"tahoedyn"
 )
+
+func TestParseSeeds(t *testing.T) {
+	got, err := parseSeeds("", 7)
+	if err != nil || len(got) != 1 || got[0] != 7 {
+		t.Fatalf("fallback: got %v, %v", got, err)
+	}
+	got, err = parseSeeds("1, 2,3", 7)
+	if err != nil || len(got) != 3 || got[0] != 1 || got[2] != 3 {
+		t.Fatalf("list: got %v, %v", got, err)
+	}
+	if _, err := parseSeeds("1,x", 7); err == nil {
+		t.Fatal("no error for bad seed")
+	}
+}
+
+// Multi-seed output must be byte-identical whether the jobs ran serially
+// or across 8 workers.
+func TestRenderJobsByteIdenticalAcrossWorkerCounts(t *testing.T) {
+	jobs := buildJobs([]string{"oneway-smallpipe"}, []int64{1, 2, 3}, 0.1, 1)
+	render := func(workers int) []byte {
+		rendered, outs, err := renderJobs(jobs, renderOptions{
+			Parallel: workers, Plot: true, Width: 60, Height: 8, SeedHeaders: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(outs) != len(jobs) {
+			t.Fatalf("got %d outcomes, want %d", len(outs), len(jobs))
+		}
+		var all bytes.Buffer
+		for _, buf := range rendered {
+			all.Write(buf.Bytes())
+		}
+		return all.Bytes()
+	}
+	serial, parallel := render(1), render(8)
+	if len(serial) == 0 {
+		t.Fatal("no output rendered")
+	}
+	if !bytes.Equal(serial, parallel) {
+		t.Fatal("rendered output differs between 1 and 8 workers")
+	}
+	if !bytes.Contains(serial, []byte("== seed 2 ==")) {
+		t.Fatal("multi-seed output missing seed header")
+	}
+}
+
+func TestRenderJobsRejectsUnknownExperiment(t *testing.T) {
+	jobs := buildJobs([]string{"no-such-experiment"}, []int64{1}, 0.1, 1)
+	if _, _, err := renderJobs(jobs, renderOptions{Parallel: 1}); err == nil {
+		t.Fatal("unknown experiment did not error")
+	}
+}
 
 func TestWriteTSVCreatesFile(t *testing.T) {
 	dir := t.TempDir()

@@ -5,15 +5,22 @@
 // buffers push the system out-of-phase while larger pipes pull it
 // in-phase.
 //
+// Grid points are independent simulations, so the sweep fans them across
+// a worker pool (-parallel). Results are printed in grid order and are
+// byte-identical for every worker count.
+//
 // Usage:
 //
 //	tahoe-sweep
 //	tahoe-sweep -buffers 10,20,40,80 -taus 10ms,100ms,1s -duration 600s
+//	tahoe-sweep -parallel 8
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
@@ -28,6 +35,7 @@ func main() {
 		duration    = flag.Duration("duration", 800*time.Second, "simulated run length")
 		warmup      = flag.Duration("warmup", 200*time.Second, "discarded warm-up period")
 		seed        = flag.Int64("seed", 1, "scenario random seed")
+		parallel    = flag.Int("parallel", 0, "worker count for the grid (0 = GOMAXPROCS, 1 = serial)")
 	)
 	flag.Parse()
 
@@ -41,27 +49,62 @@ func main() {
 		fmt.Fprintln(os.Stderr, "tahoe-sweep:", err)
 		os.Exit(2)
 	}
+	if *warmup >= *duration {
+		fmt.Fprintf(os.Stderr, "tahoe-sweep: -warmup %v must be shorter than -duration %v\n", *warmup, *duration)
+		os.Exit(2)
+	}
 
-	fmt.Printf("%-8s %-8s %-8s %-10s %-22s %s\n",
-		"tau", "buffer", "pipe P", "util", "window sync (corr)", "queue sync (corr)")
-	for _, tau := range taus {
-		for _, b := range buffers {
+	w := bufio.NewWriter(os.Stdout)
+	sweep(w, sweepOptions{
+		Taus: taus, Buffers: buffers,
+		Duration: *duration, Warmup: *warmup,
+		Seed: *seed, Parallel: *parallel,
+	})
+	w.Flush()
+}
+
+// sweepOptions parameterizes one grid sweep.
+type sweepOptions struct {
+	Taus     []time.Duration
+	Buffers  []int
+	Duration time.Duration
+	Warmup   time.Duration
+	Seed     int64
+	Parallel int
+}
+
+// sweep runs the (tau, buffer) grid on a worker pool and writes the
+// report. All output goes through w so tests can assert byte-identical
+// results across worker counts.
+func sweep(w io.Writer, opts sweepOptions) {
+	var cfgs []tahoedyn.Config
+	for _, tau := range opts.Taus {
+		for _, b := range opts.Buffers {
 			cfg := tahoedyn.Dumbbell(tau, b)
-			cfg.Seed = *seed
-			cfg.Warmup = *warmup
-			cfg.Duration = *duration
+			cfg.Seed = opts.Seed
+			cfg.Warmup = opts.Warmup
+			cfg.Duration = opts.Duration
 			cfg.Conns = []tahoedyn.ConnSpec{
 				{SrcHost: 0, DstHost: 1, Start: -1},
 				{SrcHost: 1, DstHost: 0, Start: -1},
 			}
-			res := tahoedyn.Run(cfg)
-			wMode, wr := tahoedyn.Phase(res.Cwnd[0], res.Cwnd[1], cfg.Warmup, cfg.Duration, time.Second)
-			qMode, qr := tahoedyn.Phase(res.Q1(), res.Q2(), cfg.Warmup, cfg.Duration, time.Second)
-			fmt.Printf("%-8v %-8d %-8.3f %-10.1f %-22s %s\n",
-				tau, b, cfg.PipeSize(), res.UtilForward()*100,
-				fmt.Sprintf("%v (%.2f)", wMode, wr),
-				fmt.Sprintf("%v (%.2f)", qMode, qr))
+			cfgs = append(cfgs, cfg)
 		}
+	}
+	results := tahoedyn.RunMany(opts.Parallel, cfgs)
+
+	fmt.Fprintf(w, "%-8s %-8s %-8s %-10s %-22s %s\n",
+		"tau", "buffer", "pipe P", "util", "window sync (corr)", "queue sync (corr)")
+	for i, res := range results {
+		cfg := res.Cfg
+		tau := opts.Taus[i/len(opts.Buffers)]
+		b := opts.Buffers[i%len(opts.Buffers)]
+		wMode, wr := tahoedyn.Phase(res.Cwnd[0], res.Cwnd[1], cfg.Warmup, cfg.Duration, time.Second)
+		qMode, qr := tahoedyn.Phase(res.Q1(), res.Q2(), cfg.Warmup, cfg.Duration, time.Second)
+		fmt.Fprintf(w, "%-8v %-8d %-8.3f %-10.1f %-22s %s\n",
+			tau, b, cfg.PipeSize(), res.UtilForward()*100,
+			fmt.Sprintf("%v (%.2f)", wMode, wr),
+			fmt.Sprintf("%v (%.2f)", qMode, qr))
 	}
 }
 

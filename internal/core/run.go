@@ -137,7 +137,10 @@ func Run(cfg Config) *Result {
 		instrumentDrops(eng, down, res)
 	}
 
-	// Trunk links between adjacent switches, instrumented.
+	// Trunk links between adjacent switches, instrumented. Trace
+	// containers are presized from the run length so the measurement
+	// path appends without reallocating mid-run.
+	estPkts := estTrunkPackets(cfg)
 	trunks := make([][2]*link.Port, n-1)
 	res.TrunkQueue = make([][2]*trace.Series, n-1)
 	res.TrunkDeps = make([][2][]trace.Departure, n-1)
@@ -164,10 +167,14 @@ func Run(cfg Config) *Result {
 		trunks[i] = [2]*link.Port{right, left}
 		for dir, pt := range trunks[i] {
 			i, dir, pt := i, dir, pt
-			s := trace.NewSeries(pt.Name())
+			// One queue-length point per accepted arrival and per
+			// departure; the trunk carries roughly one direction's data
+			// plus the other's ACKs.
+			s := trace.NewSeriesCap(pt.Name(), clampReserve(4*estPkts))
 			s.Append(0, 0)
 			res.TrunkQueue[i][dir] = s
 			pt.OnQueueLen = func(qlen int) { s.Append(eng.Now(), float64(qlen)) }
+			res.TrunkDeps[i][dir] = make([]trace.Departure, 0, clampReserve(2*estPkts))
 			pt.OnDepart = func(p *packet.Packet) {
 				res.TrunkDeps[i][dir] = append(res.TrunkDeps[i][dir], trace.Departure{
 					T: eng.Now(), Conn: p.Conn, Kind: p.Kind, Seq: p.Seq,
@@ -199,6 +206,10 @@ func Run(cfg Config) *Result {
 	res.Collapses = make([][]CollapseEvent, nc)
 	senders := make([]*tcp.Sender, nc)
 	receivers := make([]*tcp.Receiver, nc)
+	perConn := 0
+	if nc > 0 {
+		perConn = clampReserve(estPkts / nc)
+	}
 	for k, spec := range cfg.Conns {
 		k, spec := k, spec
 		connID := k + 1
@@ -229,10 +240,14 @@ func Run(cfg Config) *Result {
 		dst.Attach(connID, r)
 		senders[k], receivers[k] = s, r
 
-		cw := trace.NewSeries(fmt.Sprintf("cwnd-%d", connID))
+		// The window moves (and an ACK arrives) at most once per
+		// delivered packet, so the per-connection share of the trunk
+		// packet budget bounds both.
+		cw := trace.NewSeriesCap(fmt.Sprintf("cwnd-%d", connID), perConn)
 		cw.Append(0, 1)
 		res.Cwnd[k] = cw
 		s.OnCwnd = func(v float64) { cw.Append(eng.Now(), v) }
+		res.AckArrivals[k] = make([]time.Duration, 0, perConn)
 		s.OnAckArrival = func(*packet.Packet) {
 			res.AckArrivals[k] = append(res.AckArrivals[k], eng.Now())
 		}
@@ -288,6 +303,30 @@ func Run(cfg Config) *Result {
 
 // queueUnbounded names the unbounded-buffer sentinel for readability.
 const queueUnbounded = 0
+
+// estTrunkPackets estimates how many data packets one trunk direction
+// can carry over the whole run — the sizing unit for trace containers.
+func estTrunkPackets(cfg Config) int {
+	tx := cfg.DataTxTime()
+	if tx <= 0 || cfg.Duration <= 0 {
+		return 0
+	}
+	return int(cfg.Duration / tx)
+}
+
+// clampReserve bounds a trace-capacity estimate so a pathological
+// configuration (huge duration, tiny packets) cannot preallocate
+// unbounded memory; beyond the clamp the containers just grow as before.
+func clampReserve(n int) int {
+	const maxReserve = 1 << 19
+	if n > maxReserve {
+		return maxReserve
+	}
+	if n < 0 {
+		return 0
+	}
+	return n
+}
 
 // delayedNet adds a fixed delay in front of a host's output, modeling a
 // longer private path for one connection (unequal RTTs, §5).

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"tahoedyn/internal/core"
+	"tahoedyn/internal/runner"
 	"tahoedyn/internal/trace"
 )
 
@@ -26,6 +27,24 @@ type Options struct {
 	// Scale multiplies the default run durations. 0 means 1.0; benches
 	// use fractions to keep iterations fast.
 	Scale float64
+	// Parallel bounds the worker count for experiments that run several
+	// independent simulations (sweeps, multi-seed grids) and for RunAll.
+	// 0 means serial (the historical behavior), negative means
+	// GOMAXPROCS. Results are deterministic for any value: runs are
+	// independent and collected in job order.
+	Parallel int
+}
+
+// workers translates Options.Parallel into a runner worker count.
+func (o Options) workers() int {
+	switch {
+	case o.Parallel < 0:
+		return runner.DefaultWorkers()
+	case o.Parallel == 0:
+		return 1
+	default:
+		return o.Parallel
+	}
 }
 
 func (o Options) seed() int64 {
@@ -149,6 +168,18 @@ func All() []Definition {
 		{"random-drop", "Random Drop gateways vs drop-tail (extension)", RandomDropStudy},
 		{"fair-queueing", "Fair Queueing cures ACK-compression (extension)", FairQueueStudy},
 	}
+}
+
+// RunAll executes every registered experiment with the given options and
+// returns the outcomes in registry order. Experiments are fanned across
+// opts.Parallel workers; the returned slice is identical for any worker
+// count because each experiment is deterministic in Options and results
+// are collected by registry index.
+func RunAll(opts Options) []*Outcome {
+	defs := All()
+	return runner.Map(opts.workers(), len(defs), func(i int) *Outcome {
+		return defs[i].Run(opts)
+	})
 }
 
 // Find returns the experiment with the given name.

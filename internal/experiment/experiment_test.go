@@ -40,6 +40,52 @@ func TestOptionsDefaults(t *testing.T) {
 	}
 }
 
+func TestOptionsWorkers(t *testing.T) {
+	cases := []struct{ parallel, wantMin int }{
+		{0, 1}, {1, 1}, {4, 4},
+	}
+	for _, c := range cases {
+		if got := (Options{Parallel: c.parallel}).workers(); got != c.wantMin {
+			t.Fatalf("workers(Parallel=%d) = %d, want %d", c.parallel, got, c.wantMin)
+		}
+	}
+	if got := (Options{Parallel: -1}).workers(); got < 1 {
+		t.Fatalf("workers(Parallel=-1) = %d, want >= 1", got)
+	}
+}
+
+// RunAll must return the registry in order, and an experiment with an
+// internal sweep must produce identical metrics serial vs parallel.
+func TestRunAllOrderAndParallelDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every experiment")
+	}
+	outs := RunAll(Options{Scale: 0.02, Parallel: 8})
+	defs := All()
+	if len(outs) != len(defs) {
+		t.Fatalf("RunAll returned %d outcomes, want %d", len(outs), len(defs))
+	}
+	for i, o := range outs {
+		if o.ID != defs[i].Name {
+			t.Fatalf("outcome %d is %q, want %q", i, o.ID, defs[i].Name)
+		}
+	}
+}
+
+func TestModeBoundaryParallelMatchesSerial(t *testing.T) {
+	serial := ModeBoundaryStudy(Options{Scale: 0.05})
+	parallel := ModeBoundaryStudy(Options{Scale: 0.05, Parallel: 8})
+	if len(serial.Metrics) != len(parallel.Metrics) {
+		t.Fatalf("metric counts differ: %d vs %d", len(serial.Metrics), len(parallel.Metrics))
+	}
+	for i := range serial.Metrics {
+		if serial.Metrics[i] != parallel.Metrics[i] {
+			t.Fatalf("metric %d differs:\nserial:   %+v\nparallel: %+v",
+				i, serial.Metrics[i], parallel.Metrics[i])
+		}
+	}
+}
+
 func TestOutcomeWriteText(t *testing.T) {
 	o := &Outcome{
 		ID:    "x",

@@ -6,6 +6,7 @@ import (
 
 	"tahoedyn/internal/analysis"
 	"tahoedyn/internal/core"
+	"tahoedyn/internal/runner"
 	"tahoedyn/internal/trace"
 )
 
@@ -19,16 +20,34 @@ import (
 // matching the paper's own hedge, "usually".
 func ModeBoundaryStudy(opts Options) *Outcome {
 	// Fixed absolute seeds so the grid's statistics do not shift with
-	// the caller's seed choice — the claim is about prevalence.
+	// the caller's seed choice — the claim is about prevalence. All four
+	// grid cells' seed runs are independent, so the whole 4×nSeeds grid
+	// fans across the worker pool; counting happens over the
+	// index-ordered results, which keeps the outcome identical for any
+	// opts.Parallel.
 	const nSeeds = 10
-	outCount := func(tau time.Duration, buffer int) (int, *core.Result) {
-		n := 0
-		var last *core.Result
+	cell := func(tau time.Duration, buffer int) []core.Config {
+		cfgs := make([]core.Config, nSeeds)
 		for seed := int64(1); seed <= nSeeds; seed++ {
 			cfg := twoWayConfig(tau, buffer, seed)
 			cfg.Warmup = opts.scale(200 * time.Second)
 			cfg.Duration = opts.scale(800 * time.Second)
-			res := core.Run(cfg)
+			cfgs[seed-1] = cfg
+		}
+		return cfgs
+	}
+	var grid []core.Config
+	// Fixed pipe (τ = 300 ms, P = 3.75): sweep the buffer; fixed buffer
+	// (B = 20): sweep the pipe.
+	grid = append(grid, cell(300*time.Millisecond, 10)...)
+	grid = append(grid, cell(300*time.Millisecond, 120)...)
+	grid = append(grid, cell(10*time.Millisecond, 20)...)
+	grid = append(grid, cell(time.Second, 20)...)
+	results := runner.RunConfigs(opts.workers(), grid)
+	outCount := func(cellIdx int) (int, *core.Result) {
+		n := 0
+		var last *core.Result
+		for _, res := range results[cellIdx*nSeeds : (cellIdx+1)*nSeeds] {
 			if m, _ := cwndPhase(res, 0, 1); m == analysis.PhaseOut {
 				n++
 			}
@@ -36,13 +55,10 @@ func ModeBoundaryStudy(opts Options) *Outcome {
 		}
 		return n, last
 	}
-
-	// Fixed pipe (τ = 300 ms, P = 3.75): sweep the buffer.
-	outSmallB, _ := outCount(300*time.Millisecond, 10)
-	outLargeB, res := outCount(300*time.Millisecond, 120)
-	// Fixed buffer (B = 20): sweep the pipe.
-	outSmallP, _ := outCount(10*time.Millisecond, 20)
-	outLargeP, _ := outCount(time.Second, 20)
+	outSmallB, _ := outCount(0)
+	outLargeB, res := outCount(1)
+	outSmallP, _ := outCount(2)
+	outLargeP, _ := outCount(3)
 
 	o := &Outcome{
 		ID:     "mode-boundary",

@@ -7,6 +7,7 @@ import (
 
 	"tahoedyn/internal/analysis"
 	"tahoedyn/internal/core"
+	"tahoedyn/internal/runner"
 	"tahoedyn/internal/trace"
 )
 
@@ -112,15 +113,20 @@ func OneWayBufferSweep(opts Options) *Outcome {
 	util := make([]float64, len(buffers))
 	caps := make([]int, len(buffers))
 	idleSeries := trace.NewSeries("idle-fraction-vs-buffer")
-	var twoP float64
+	cfgs := make([]core.Config, len(buffers))
 	for i, b := range buffers {
 		cfg := oneWayConfig(time.Second, b, 3, opts.seed())
 		// Long runs: the oscillation period grows like C², so big
 		// buffers need thousands of simulated seconds per cycle.
 		cfg.Warmup = opts.scale(300 * time.Second)
 		cfg.Duration = opts.scale(3300 * time.Second)
-		res := core.Run(cfg)
-		twoP = 2 * cfg.PipeSize()
+		cfgs[i] = cfg
+	}
+	results := runner.RunConfigs(opts.workers(), cfgs)
+	var twoP float64
+	for i, b := range buffers {
+		res := results[i]
+		twoP = 2 * cfgs[i].PipeSize()
 		caps[i] = b + int(twoP)
 		util[i] = res.UtilForward()
 		idle[i] = 1 - util[i]

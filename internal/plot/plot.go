@@ -138,10 +138,17 @@ func TSV(w io.Writer, from, to, step time.Duration, series ...*trace.Series) err
 	if _, err := fmt.Fprintln(w, strings.Join(cols, "\t")); err != nil {
 		return err
 	}
+	// The grid is time-ordered, so walk each series with a cursor
+	// instead of a binary search per cell.
+	cursors := make([]trace.Cursor, len(series))
+	for i, s := range series {
+		cursors[i] = s.Cursor()
+	}
+	row := make([]string, 0, len(series)+1)
 	for t := from; t < to; t += step {
-		row := []string{fmt.Sprintf("%.6f", t.Seconds())}
-		for _, s := range series {
-			row = append(row, fmt.Sprintf("%g", s.At(t)))
+		row = append(row[:0], fmt.Sprintf("%.6f", t.Seconds()))
+		for i := range cursors {
+			row = append(row, fmt.Sprintf("%g", cursors[i].At(t)))
 		}
 		if _, err := fmt.Fprintln(w, strings.Join(row, "\t")); err != nil {
 			return err

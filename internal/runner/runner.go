@@ -1,0 +1,91 @@
+// Package runner fans independent simulation runs across OS threads.
+//
+// Every simulation run (core.Run) is single-threaded and fully
+// deterministic in its Config, so a parameter sweep is embarrassingly
+// parallel: the runner executes jobs on a small worker pool and delivers
+// results indexed by job, which keeps the output ordering — and therefore
+// every byte a CLI prints — identical no matter how many workers ran.
+//
+// Workers pull job indices from a shared counter, so heterogeneous run
+// lengths load-balance without any coordination beyond one atomic add.
+package runner
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"tahoedyn/internal/core"
+)
+
+// DefaultWorkers returns the worker count used when a caller passes 0:
+// GOMAXPROCS, the number of OS threads the runtime will actually run.
+func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// Each runs fn(i) for every i in [0, n), using at most workers concurrent
+// goroutines. workers == 0 means DefaultWorkers; workers <= 1 (or n <= 1)
+// runs inline on the caller's goroutine with no synchronization at all,
+// so the serial path is bit-for-bit the pre-runner behavior.
+//
+// A panic in any fn is re-raised on the caller's goroutine after all
+// workers have drained.
+func Each(workers, n int, fn func(i int)) {
+	if workers == 0 {
+		workers = DefaultWorkers()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var (
+		next     atomic.Int64
+		panicked atomic.Value
+		wg       sync.WaitGroup
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							panicked.CompareAndSwap(nil, fmt.Sprintf("runner: job %d panicked: %v", i, r))
+						}
+					}()
+					fn(i)
+				}()
+			}
+		}()
+	}
+	wg.Wait()
+	if p := panicked.Load(); p != nil {
+		panic(p)
+	}
+}
+
+// Map runs fn(i) for every i in [0, n) on the worker pool and returns the
+// results in index order, regardless of completion order.
+func Map[T any](workers, n int, fn func(i int) T) []T {
+	out := make([]T, n)
+	Each(workers, n, func(i int) { out[i] = fn(i) })
+	return out
+}
+
+// RunConfigs executes every configuration with core.Run on the worker
+// pool and returns the results in configuration order. Each run is
+// deterministic in its Config (including Seed), so the returned slice is
+// identical for any worker count.
+func RunConfigs(workers int, cfgs []core.Config) []*core.Result {
+	return Map(workers, len(cfgs), func(i int) *core.Result { return core.Run(cfgs[i]) })
+}

@@ -1,0 +1,88 @@
+package runner
+
+import (
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"tahoedyn/internal/core"
+)
+
+func TestEachCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7, 64} {
+		n := 100
+		var counts [100]atomic.Int32
+		Each(workers, n, func(i int) { counts[i].Add(1) })
+		for i := range counts {
+			if got := counts[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestEachZeroJobs(t *testing.T) {
+	Each(4, 0, func(int) { t.Fatal("fn called with no jobs") })
+}
+
+func TestMapPreservesIndexOrder(t *testing.T) {
+	got := Map(8, 50, func(i int) int { return i * i })
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+func TestEachPanicPropagates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("worker panic did not propagate")
+		}
+	}()
+	Each(4, 8, func(i int) {
+		if i == 3 {
+			panic("boom")
+		}
+	})
+}
+
+// sweepConfigs is a small but real parameter grid: two-way dumbbells
+// across buffer sizes and seeds, long enough to produce drops, epochs,
+// and phase dynamics.
+func sweepConfigs() []core.Config {
+	var cfgs []core.Config
+	for _, buffer := range []int{10, 20} {
+		for seed := int64(1); seed <= 3; seed++ {
+			cfg := core.DumbbellConfig(10*time.Millisecond, buffer)
+			cfg.Seed = seed
+			cfg.Warmup = 10 * time.Second
+			cfg.Duration = 60 * time.Second
+			cfg.Conns = []core.ConnSpec{
+				{SrcHost: 0, DstHost: 1, Start: -1},
+				{SrcHost: 1, DstHost: 0, Start: -1},
+			}
+			cfgs = append(cfgs, cfg)
+		}
+	}
+	return cfgs
+}
+
+// TestRunConfigsDeterministicAcrossWorkerCounts is the core guarantee of
+// the parallel layer: fanning real simulation runs across a pool produces
+// results deep-equal to the serial path, in the same order. Run with
+// -race (scripts/check.sh does) this also proves the runs share no state.
+func TestRunConfigsDeterministicAcrossWorkerCounts(t *testing.T) {
+	cfgs := sweepConfigs()
+	serial := RunConfigs(1, cfgs)
+	parallel := RunConfigs(8, cfgs)
+	if len(serial) != len(parallel) {
+		t.Fatalf("result counts differ: %d vs %d", len(serial), len(parallel))
+	}
+	for i := range serial {
+		if !reflect.DeepEqual(serial[i], parallel[i]) {
+			t.Fatalf("run %d differs between serial and 8-worker execution", i)
+		}
+	}
+}

@@ -4,10 +4,18 @@
 // Events scheduled for the same instant fire in the order they were
 // scheduled, which makes every run bit-reproducible: there is no
 // wall-clock time and no goroutine scheduling anywhere in the simulator.
+//
+// The event queue is an inlined 4-ary min-heap of *Event ordered by
+// (time, sequence). A 4-ary layout halves the tree depth of a binary
+// heap, trading a few extra comparisons per level for far fewer cache
+// misses on the sift paths — the engine hot loop is pop/push dominated.
+// Events are recycled through a per-engine free list, so steady-state
+// scheduling does not allocate, and Cancel removes the event from the
+// heap immediately by index: canceled retransmission timers (one per
+// ACK in TCP workloads) never linger in the queue.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"time"
 )
@@ -18,26 +26,41 @@ type Time = time.Duration
 
 // Event is a scheduled callback. It is returned by the scheduling methods
 // so the caller can cancel it before it fires.
+//
+// An Event handle is single-shot: once the callback has run or Cancel has
+// returned, the engine recycles the Event for a later Schedule call, and
+// the old handle must not be used again. (Calling Cancel twice in a row,
+// or after the callback fired, is safe as long as no new event was
+// scheduled in between; long-lived holders should clear their reference
+// when the callback runs, as sim.Timer does.)
 type Event struct {
 	at       Time
 	seq      uint64
 	fn       func()
-	index    int // heap index; -1 once removed
+	eng      *Engine
+	index    int32 // position in the heap; -1 once fired or canceled
 	canceled bool
 }
 
 // At reports the time the event is scheduled to fire.
 func (e *Event) At() Time { return e.at }
 
-// Cancel prevents the event from firing. Canceling an event that already
-// fired or was already canceled is a no-op.
+// Cancel prevents the event from firing and removes it from the event
+// queue immediately. Canceling an event that already fired or was already
+// canceled is a no-op; a nil receiver is also a no-op.
 func (e *Event) Cancel() {
-	if e != nil {
-		e.canceled = true
+	if e == nil || e.index < 0 {
+		return
 	}
+	eng := e.eng
+	eng.removeAt(int(e.index))
+	e.canceled = true
+	e.fn = nil
+	eng.free = append(eng.free, e)
 }
 
-// Canceled reports whether Cancel has been called on the event.
+// Canceled reports whether Cancel has been called on the event (and the
+// event has not been recycled since).
 func (e *Event) Canceled() bool { return e.canceled }
 
 // Engine is a discrete-event scheduler. The zero value is not usable; use
@@ -45,7 +68,8 @@ func (e *Event) Canceled() bool { return e.canceled }
 type Engine struct {
 	now       Time
 	seq       uint64
-	events    eventHeap
+	heap      []*Event
+	free      []*Event
 	processed uint64
 }
 
@@ -61,9 +85,9 @@ func (e *Engine) Now() Time { return e.now }
 // for benchmarks and engine diagnostics.
 func (e *Engine) Processed() uint64 { return e.processed }
 
-// Pending returns the number of events currently queued (including
-// canceled events that have not yet been discarded).
-func (e *Engine) Pending() int { return len(e.events) }
+// Pending returns the number of events currently queued. Canceled events
+// are removed immediately, so they are never counted.
+func (e *Engine) Pending() int { return len(e.heap) }
 
 // Schedule queues fn to run after delay d. A negative delay panics: the
 // simulated world cannot schedule work in its own past.
@@ -84,26 +108,41 @@ func (e *Engine) ScheduleAt(t Time, fn func()) *Event {
 }
 
 func (e *Engine) at(t Time, fn func()) *Event {
-	ev := &Event{at: t, seq: e.seq, fn: fn}
+	var ev *Event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+	} else {
+		ev = &Event{eng: e}
+	}
+	ev.at = t
+	ev.seq = e.seq
+	ev.fn = fn
+	ev.canceled = false
 	e.seq++
-	heap.Push(&e.events, ev)
+	i := len(e.heap)
+	e.heap = append(e.heap, ev)
+	ev.index = int32(i)
+	e.siftUp(i)
 	return ev
 }
 
 // Step executes the next event, if any, advancing the clock to its
 // timestamp. It returns false when the queue is empty.
 func (e *Engine) Step() bool {
-	for len(e.events) > 0 {
-		ev := heap.Pop(&e.events).(*Event)
-		if ev.canceled {
-			continue
-		}
-		e.now = ev.at
-		e.processed++
-		ev.fn()
-		return true
+	if len(e.heap) == 0 {
+		return false
 	}
-	return false
+	ev := e.heap[0]
+	e.removeAt(0)
+	e.now = ev.at
+	e.processed++
+	fn := ev.fn
+	ev.fn = nil
+	e.free = append(e.free, ev)
+	fn()
+	return true
 }
 
 // Run executes events until the queue is empty.
@@ -115,15 +154,7 @@ func (e *Engine) Run() {
 // RunUntil executes events with timestamps <= t and then advances the
 // clock to exactly t. Events scheduled for later remain queued.
 func (e *Engine) RunUntil(t Time) {
-	for len(e.events) > 0 {
-		next := e.events[0]
-		if next.canceled {
-			heap.Pop(&e.events)
-			continue
-		}
-		if next.at > t {
-			break
-		}
+	for len(e.heap) > 0 && e.heap[0].at <= t {
 		e.Step()
 	}
 	if t > e.now {
@@ -131,37 +162,85 @@ func (e *Engine) RunUntil(t Time) {
 	}
 }
 
-// eventHeap orders events by (time, sequence) so simultaneous events fire
-// in scheduling order.
-type eventHeap []*Event
+// less orders events by (time, sequence) so simultaneous events fire in
+// scheduling order.
+func less(a, b *Event) bool {
+	return a.at < b.at || (a.at == b.at && a.seq < b.seq)
+}
 
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// removeAt detaches the event at heap position i, restoring the heap
+// property. The detached event's index is set to -1.
+func (e *Engine) removeAt(i int) {
+	h := e.heap
+	n := len(h) - 1
+	ev := h[i]
+	if i != n {
+		moved := h[n]
+		h[i] = moved
+		moved.index = int32(i)
+		h[n] = nil
+		e.heap = h[:n]
+		if !e.siftDown(i) {
+			e.siftUp(i)
+		}
+	} else {
+		h[n] = nil
+		e.heap = h[:n]
 	}
-	return h[i].seq < h[j].seq
-}
-
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-
-func (h *eventHeap) Push(x any) {
-	ev := x.(*Event)
-	ev.index = len(*h)
-	*h = append(*h, ev)
-}
-
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
 	ev.index = -1
-	*h = old[:n-1]
-	return ev
+}
+
+// siftUp moves the event at position i toward the root until its parent
+// is no larger. The moving event is held in a register and written once.
+func (e *Engine) siftUp(i int) {
+	h := e.heap
+	ev := h[i]
+	for i > 0 {
+		p := (i - 1) / 4
+		if !less(ev, h[p]) {
+			break
+		}
+		h[i] = h[p]
+		h[i].index = int32(i)
+		i = p
+	}
+	h[i] = ev
+	ev.index = int32(i)
+}
+
+// siftDown moves the event at position i toward the leaves until no child
+// is smaller. It reports whether the event moved.
+func (e *Engine) siftDown(i int) bool {
+	h := e.heap
+	n := len(h)
+	if i >= n {
+		return false
+	}
+	ev := h[i]
+	start := i
+	for {
+		c := i*4 + 1
+		if c >= n {
+			break
+		}
+		best := c
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		for j := c + 1; j < end; j++ {
+			if less(h[j], h[best]) {
+				best = j
+			}
+		}
+		if !less(h[best], ev) {
+			break
+		}
+		h[i] = h[best]
+		h[i].index = int32(i)
+		i = best
+	}
+	h[i] = ev
+	ev.index = int32(i)
+	return i != start
 }

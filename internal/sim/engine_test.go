@@ -190,6 +190,93 @@ func TestCancelSubsetProperty(t *testing.T) {
 	}
 }
 
+// Regression for the event-memory-growth bug: Cancel used to leave the
+// event in the heap (and Pending() counted it) until it was popped, so a
+// schedule/cancel loop — exactly the retransmit-timer-per-ACK pattern —
+// grew the queue without bound. Cancel now removes immediately.
+func TestPendingBoundedUnderScheduleCancelLoop(t *testing.T) {
+	eng := New()
+	for i := 0; i < 100000; i++ {
+		ev := eng.Schedule(time.Hour, func() {})
+		if got := eng.Pending(); got != 1 {
+			t.Fatalf("Pending = %d after schedule %d, want 1", got, i)
+		}
+		ev.Cancel()
+		if got := eng.Pending(); got != 0 {
+			t.Fatalf("Pending = %d after cancel %d, want 0", got, i)
+		}
+	}
+	eng.Run()
+	if eng.Processed() != 0 {
+		t.Fatalf("Processed = %d, want 0", eng.Processed())
+	}
+}
+
+// Canceling from the middle of a populated heap must preserve the heap
+// order of everything else.
+func TestCancelMiddleOfHeapPreservesOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		eng := New()
+		var fired []time.Duration
+		events := make([]*Event, 200)
+		for i := range events {
+			d := time.Duration(rng.Intn(1000)) * time.Millisecond
+			events[i] = eng.Schedule(d, func() { fired = append(fired, eng.Now()) })
+		}
+		// Cancel every third event, scattered through the heap.
+		canceled := 0
+		for i := 0; i < len(events); i += 3 {
+			events[i].Cancel()
+			canceled++
+		}
+		if got, want := eng.Pending(), len(events)-canceled; got != want {
+			t.Fatalf("Pending = %d, want %d", got, want)
+		}
+		eng.Run()
+		if len(fired) != len(events)-canceled {
+			t.Fatalf("fired %d, want %d", len(fired), len(events)-canceled)
+		}
+		if !sort.SliceIsSorted(fired, func(i, j int) bool { return fired[i] < fired[j] }) {
+			t.Fatalf("fired out of order: %v", fired)
+		}
+	}
+}
+
+// Pooled events must be reusable: ordering and tie-breaking stay correct
+// across many schedule→fire→reschedule generations of the same storage.
+func TestEventPoolReuseKeepsDeterminism(t *testing.T) {
+	run := func() []int {
+		eng := New()
+		var got []int
+		n := 0
+		var tick func()
+		tick = func() {
+			got = append(got, n)
+			n++
+			if n < 1000 {
+				// Two same-time events per tick: one canceled, one live —
+				// churning the pool while ties are in the heap.
+				dead := eng.Schedule(time.Millisecond, func() { t.Fatal("canceled event fired") })
+				eng.Schedule(time.Millisecond, tick)
+				dead.Cancel()
+			}
+		}
+		eng.Schedule(time.Millisecond, tick)
+		eng.Run()
+		return got
+	}
+	a, b := run(), run()
+	if len(a) != 1000 || len(b) != 1000 {
+		t.Fatalf("runs fired %d and %d events, want 1000", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != i || b[i] != i {
+			t.Fatalf("nondeterministic order at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
 func TestTimerResetStopAndRearm(t *testing.T) {
 	eng := New()
 	count := 0

@@ -39,8 +39,11 @@ func (t *Timer) Stop() {
 	}
 }
 
-// Armed reports whether the timer has a pending expiration.
-func (t *Timer) Armed() bool { return t.ev != nil && !t.ev.Canceled() }
+// Armed reports whether the timer has a pending expiration. The timer
+// clears its event reference on both Stop and expiry, so a non-nil event
+// is always pending — the reference is never left pointing at a recycled
+// engine event.
+func (t *Timer) Armed() bool { return t.ev != nil }
 
 // Deadline returns the pending expiration time; valid only when Armed.
 func (t *Timer) Deadline() Time {

@@ -353,7 +353,9 @@ func (s *Sender) maybeSend() {
 	for s.nxt < s.una+s.Wnd() {
 		if s.cfg.Pace > 0 {
 			if wait := s.lastTxAt + s.cfg.Pace - s.eng.Now(); s.everSent && wait > 0 {
-				if s.paceEvent == nil || s.paceEvent.Canceled() {
+				// A non-nil paceEvent is always pending: the callback
+				// clears it before resuming, and nothing cancels it.
+				if s.paceEvent == nil {
 					s.paceEvent = s.eng.Schedule(wait, func() {
 						s.paceEvent = nil
 						s.maybeSend()

@@ -33,6 +33,18 @@ type Series struct {
 // NewSeries returns an empty named series.
 func NewSeries(name string) *Series { return &Series{Name: name} }
 
+// NewSeriesCap returns an empty named series with room for capacity
+// points before the first append reallocates. Instrumentation that knows
+// roughly how many samples a run will produce (one per queue change, one
+// per ACK, ...) reserves up front so the measurement path never grows the
+// backing array mid-run.
+func NewSeriesCap(name string, capacity int) *Series {
+	if capacity < 0 {
+		capacity = 0
+	}
+	return &Series{Name: name, Points: make([]Point, 0, capacity)}
+}
+
 // Append records that the series took value v at time t. Appends must be
 // in nondecreasing time order; equal-time appends overwrite so the series
 // stores the final value at each instant.
@@ -91,8 +103,38 @@ func (s *Series) window(from, to time.Duration) []Point {
 	return s.Points[lo:hi]
 }
 
+// Cursor walks a series at nondecreasing query times in amortized O(1)
+// per query, where At would pay a binary search each call. Analysis
+// loops that scan a series in time order (resampling, TSV export,
+// correlation grids) should take a cursor once and advance it.
+//
+// The zero Cursor is not usable; obtain one from Series.Cursor. The
+// series must not be appended to while a cursor is in use.
+type Cursor struct {
+	pts []Point
+	i   int // number of points consumed: pts[:i] have T <= last query
+}
+
+// Cursor returns a cursor positioned before the first point.
+func (s *Series) Cursor() Cursor { return Cursor{pts: s.Points} }
+
+// At returns the series value at time t, like Series.At, but t must be
+// >= every earlier query on this cursor. The cursor only moves forward,
+// so a full time-ordered scan costs O(points + queries) in total.
+func (c *Cursor) At(t time.Duration) float64 {
+	for c.i < len(c.pts) && c.pts[c.i].T <= t {
+		c.i++
+	}
+	if c.i == 0 {
+		return 0
+	}
+	return c.pts[c.i-1].V
+}
+
 // Sample resamples the step function onto a uniform grid of the given
-// step over [from, to), returning one value per grid cell.
+// step over [from, to), returning one value per grid cell. The grid is
+// walked with a cursor, so the cost is linear in points + cells rather
+// than cells × log(points).
 func (s *Series) Sample(from, to time.Duration, step time.Duration) []float64 {
 	if step <= 0 {
 		panic("trace: non-positive sample step")
@@ -102,8 +144,9 @@ func (s *Series) Sample(from, to time.Duration, step time.Duration) []float64 {
 		n = 0
 	}
 	out := make([]float64, n)
+	cur := s.Cursor()
 	for i := range out {
-		out[i] = s.At(from + time.Duration(i)*step)
+		out[i] = cur.At(from + time.Duration(i)*step)
 	}
 	return out
 }

@@ -75,6 +75,78 @@ func TestSample(t *testing.T) {
 	}
 }
 
+// Property: a cursor advanced over any nondecreasing query sequence
+// agrees exactly with the binary-search At.
+func TestCursorMatchesAt(t *testing.T) {
+	f := func(raw []uint16, queries []uint16) bool {
+		s := NewSeries("q")
+		last := time.Duration(-1)
+		for i, r := range raw {
+			tm := time.Duration(r) * time.Millisecond
+			if tm <= last {
+				tm = last + time.Millisecond
+			}
+			last = tm
+			s.Append(tm, float64(i))
+		}
+		// Sort the queries to make them nondecreasing.
+		qs := make([]time.Duration, len(queries))
+		for i, q := range queries {
+			qs[i] = time.Duration(q) * time.Millisecond
+		}
+		for i := 1; i < len(qs); i++ {
+			for j := i; j > 0 && qs[j] < qs[j-1]; j-- {
+				qs[j], qs[j-1] = qs[j-1], qs[j]
+			}
+		}
+		cur := s.Cursor()
+		for _, q := range qs {
+			if cur.At(q) != s.At(q) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCursorRepeatedQueries(t *testing.T) {
+	s := NewSeries("q")
+	s.Append(sec(1), 5)
+	s.Append(sec(3), 7)
+	cur := s.Cursor()
+	for _, c := range []struct {
+		at   time.Duration
+		want float64
+	}{{0, 0}, {0, 0}, {sec(1), 5}, {sec(1), 5}, {sec(2), 5}, {sec(3), 7}, {sec(3), 7}, {sec(9), 7}} {
+		if got := cur.At(c.at); got != c.want {
+			t.Fatalf("cursor At(%v) = %v, want %v", c.at, got, c.want)
+		}
+	}
+}
+
+func TestNewSeriesCapReservesWithoutGrowth(t *testing.T) {
+	s := NewSeriesCap("q", 100)
+	if s.Len() != 0 {
+		t.Fatalf("new series has %d points", s.Len())
+	}
+	if got := cap(s.Points); got < 100 {
+		t.Fatalf("cap = %d, want >= 100", got)
+	}
+	base := &s.Points[:1][0]
+	for i := 0; i < 100; i++ {
+		s.Append(time.Duration(i)*time.Second, float64(i))
+	}
+	if &s.Points[0] != base {
+		t.Fatal("backing array reallocated within reserved capacity")
+	}
+	if got := cap(NewSeriesCap("q", -5).Points); got != 0 {
+		t.Fatalf("negative capacity reserved %d points", got)
+	}
+}
+
 func TestTimeAverage(t *testing.T) {
 	s := NewSeries("q")
 	s.Append(sec(0), 0)

@@ -31,6 +31,7 @@ import (
 	"tahoedyn/internal/core"
 	"tahoedyn/internal/experiment"
 	"tahoedyn/internal/plot"
+	"tahoedyn/internal/runner"
 	"tahoedyn/internal/scenario"
 	"tahoedyn/internal/trace"
 )
@@ -107,8 +108,27 @@ func Dumbbell(tau time.Duration, buffer int) Config {
 // statistics. Runs are deterministic in Config (including Seed).
 func Run(cfg Config) *Result { return core.Run(cfg) }
 
+// RunMany executes the configurations on a worker pool of the given
+// size and returns the results in configuration order. workers follows
+// the runner convention: 0 means GOMAXPROCS, <= 1 means serial. Each run
+// is single-threaded and deterministic in its Config, so the returned
+// slice is byte-for-byte identical for every worker count.
+func RunMany(workers int, cfgs []Config) []*Result {
+	return runner.RunConfigs(workers, cfgs)
+}
+
+// ParallelDo runs fn(i) for every i in [0, n) on a worker pool of the
+// given size (0 = GOMAXPROCS, <= 1 = serial on the calling goroutine).
+// It is the generic fan-out primitive behind RunMany, for callers whose
+// jobs are not plain configs — e.g. rendering experiment reports.
+func ParallelDo(workers, n int, fn func(i int)) { runner.Each(workers, n, fn) }
+
 // Experiments lists every paper experiment in presentation order.
 func Experiments() []ExperimentDef { return experiment.All() }
+
+// RunAllExperiments executes every registered experiment, fanning them
+// across opts.Parallel workers, and returns outcomes in registry order.
+func RunAllExperiments(opts ExpOptions) []*Outcome { return experiment.RunAll(opts) }
 
 // Experiment runs the named paper experiment.
 func Experiment(name string, opts ExpOptions) (*Outcome, error) {
