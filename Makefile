@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet check bench bench-baseline
+.PHONY: build test race vet check bench bench-baseline bench-record bench-compare
 
 build:
 	$(GO) build ./...
@@ -27,3 +27,17 @@ bench:
 # docs/BENCH_baseline.md for how to read and compare it.
 bench-baseline:
 	$(GO) test -run xxx -bench . -benchtime 1x -json . > docs/BENCH_baseline.json
+
+# bench-record captures a recording for the current tree, e.g.
+#   make bench-record OUT=docs/BENCH_pr2.json
+OUT ?= docs/BENCH_pr2.json
+bench-record:
+	$(GO) test -run xxx -bench . -benchtime 1x -json . > $(OUT)
+
+# bench-compare diffs two recordings: exit 1 if any paper metric
+# (util-*, bands-passed, events/run) changed, warnings for allocs/op
+# regressions. Override OLD/NEW to compare arbitrary recordings.
+OLD ?= docs/BENCH_baseline.json
+NEW ?= docs/BENCH_pr2.json
+bench-compare:
+	scripts/benchcmp.sh $(OLD) $(NEW)

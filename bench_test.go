@@ -226,6 +226,60 @@ func BenchmarkScenarioThroughput(b *testing.B) {
 	b.ReportMetric(float64(events), "events/run")
 }
 
+// steadyStateConfig is the standard two-way scenario set up for stepped
+// execution: a short warmup and a far-out Duration so trace containers
+// are presized well past anything the bench steps into.
+func steadyStateConfig() core.Config {
+	cfg := core.DumbbellConfig(10*time.Millisecond, 20)
+	cfg.Conns = []core.ConnSpec{
+		{SrcHost: 0, DstHost: 1, Start: -1},
+		{SrcHost: 1, DstHost: 0, Start: -1},
+	}
+	cfg.Warmup = 10 * time.Second
+	cfg.Duration = time.Hour
+	return cfg
+}
+
+// BenchmarkScenarioSteadyStateAllocs measures per-simulated-second heap
+// allocations once the two-way scenario is past slow start: the packet
+// pool and the engine free list should absorb the entire per-packet
+// path, so allocs/op reads ~0 at real benchtime. pool-misses counts
+// packets the pool had to allocate over the whole run (the transient
+// working set, not a per-iteration cost).
+func BenchmarkScenarioSteadyStateAllocs(b *testing.B) {
+	cfg := steadyStateConfig()
+	s := core.Build(cfg)
+	s.RunUntil(cfg.Warmup)
+	b.ReportAllocs()
+	b.ResetTimer()
+	t := cfg.Warmup
+	for i := 0; i < b.N; i++ {
+		t += time.Second
+		s.RunUntil(t)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(s.Pool().Allocs()), "pool-misses")
+	b.ReportMetric(float64(s.Pool().Recycled())/float64(b.N), "recycled/op")
+}
+
+// TestSteadyStateAllocs is the hard assertion behind the benchmark:
+// advancing the warmed scenario must not allocate beyond stray amortized
+// container growth.
+func TestSteadyStateAllocs(t *testing.T) {
+	cfg := steadyStateConfig()
+	s := core.Build(cfg)
+	// Warm well past slow start so the pool and free lists are populated.
+	s.RunUntil(30 * time.Second)
+	now := 30 * time.Second
+	allocs := testing.AllocsPerRun(50, func() {
+		now += time.Second
+		s.RunUntil(now)
+	})
+	if allocs > 1 {
+		t.Errorf("steady-state simulation allocates %.2f/sim-second, want ~0", allocs)
+	}
+}
+
 // BenchmarkTahoeSender isolates the TCP state machine: a sender and
 // receiver wired back-to-back through zero-delay function calls.
 func BenchmarkTahoeSender(b *testing.B) {

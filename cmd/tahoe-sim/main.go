@@ -27,9 +27,16 @@ import (
 	"time"
 
 	"tahoedyn"
+	"tahoedyn/internal/prof"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+// run is main with an exit code: the profile flush is deferred here,
+// which a direct os.Exit in the body would skip.
+func run() int {
 	var (
 		list     = flag.Bool("list", false, "list available experiments and exit")
 		name     = flag.String("experiment", "", "experiment to run (see -list)")
@@ -43,22 +50,34 @@ func main() {
 		width    = flag.Int("width", 100, "plot width in characters")
 		height   = flag.Int("height", 18, "plot height in characters")
 		tsvDir   = flag.String("tsv", "", "directory to write per-experiment TSV trace files")
+		profFl   = prof.AddFlags(flag.String)
 	)
 	flag.Parse()
+
+	stopProf, err := prof.Start(profFl.Config())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tahoe-sim:", err)
+		return 2
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(os.Stderr, "tahoe-sim:", err)
+		}
+	}()
 
 	if *list {
 		for _, d := range tahoedyn.Experiments() {
 			fmt.Printf("  %-20s %s\n", d.Name, d.Title)
 		}
-		return
+		return 0
 	}
 
 	if *config != "" {
 		if err := runScenarioFile(*config, *width, *height, *doPlot); err != nil {
 			fmt.Fprintln(os.Stderr, "tahoe-sim:", err)
-			os.Exit(1)
+			return 1
 		}
-		return
+		return 0
 	}
 
 	var names []string
@@ -71,13 +90,13 @@ func main() {
 		names = []string{*name}
 	default:
 		fmt.Fprintln(os.Stderr, "tahoe-sim: need -experiment <name>, -all, or -list")
-		os.Exit(2)
+		return 2
 	}
 
 	seeds, err := parseSeeds(*seedList, *seed)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tahoe-sim:", err)
-		os.Exit(2)
+		return 2
 	}
 
 	jobs := buildJobs(names, seeds, *scale, *parallel)
@@ -90,7 +109,7 @@ func main() {
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tahoe-sim:", err)
-		os.Exit(2)
+		return 2
 	}
 
 	failed := false
@@ -103,14 +122,15 @@ func main() {
 		if *tsvDir != "" && len(out.Series) > 0 && out.PlotTo > out.PlotFrom {
 			if err := writeTSV(*tsvDir, jobs[i].tsvName(), out); err != nil {
 				fmt.Fprintln(os.Stderr, "tahoe-sim:", err)
-				os.Exit(1)
+				return 1
 			}
 		}
 		fmt.Println()
 	}
 	if failed {
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }
 
 // job is one (experiment, seed) cell of the run grid.

@@ -26,9 +26,17 @@ import (
 	"time"
 
 	"tahoedyn"
+	"tahoedyn/internal/prof"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+// run is main with an exit code so the deferred profile flush always
+// executes; sweeps are the longest-running tool and the primary
+// profiling target.
+func run() int {
 	var (
 		buffersFlag = flag.String("buffers", "10,20,40,80", "comma-separated buffer sizes in packets")
 		tausFlag    = flag.String("taus", "10ms,100ms,300ms,1s", "comma-separated propagation delays")
@@ -36,23 +44,35 @@ func main() {
 		warmup      = flag.Duration("warmup", 200*time.Second, "discarded warm-up period")
 		seed        = flag.Int64("seed", 1, "scenario random seed")
 		parallel    = flag.Int("parallel", 0, "worker count for the grid (0 = GOMAXPROCS, 1 = serial)")
+		profFl      = prof.AddFlags(flag.String)
 	)
 	flag.Parse()
 
 	buffers, err := parseInts(*buffersFlag)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tahoe-sweep:", err)
-		os.Exit(2)
+		return 2
 	}
 	taus, err := parseDurations(*tausFlag)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tahoe-sweep:", err)
-		os.Exit(2)
+		return 2
 	}
 	if *warmup >= *duration {
 		fmt.Fprintf(os.Stderr, "tahoe-sweep: -warmup %v must be shorter than -duration %v\n", *warmup, *duration)
-		os.Exit(2)
+		return 2
 	}
+
+	stopProf, err := prof.Start(profFl.Config())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tahoe-sweep:", err)
+		return 2
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(os.Stderr, "tahoe-sweep:", err)
+		}
+	}()
 
 	w := bufio.NewWriter(os.Stdout)
 	sweep(w, sweepOptions{
@@ -61,6 +81,7 @@ func main() {
 		Seed: *seed, Parallel: *parallel,
 	})
 	w.Flush()
+	return 0
 }
 
 // sweepOptions parameterizes one grid sweep.

@@ -116,6 +116,13 @@ type Config struct {
 	// Conns lists the connections.
 	Conns []ConnSpec
 
+	// NoPool disables the per-run packet free list, allocating every
+	// packet on the heap as the pre-pool simulator did. Pooling is
+	// behavior-neutral — the determinism tests assert byte-identical
+	// output both ways — so this exists only for those tests and for
+	// memory-debugging sessions where distinct packet addresses help.
+	NoPool bool
+
 	// Seed drives all scenario randomness (random start times).
 	Seed int64
 	// StartSpread bounds random connection start times.

@@ -1,0 +1,92 @@
+package core
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"tahoedyn/internal/plot"
+	"tahoedyn/internal/trace"
+)
+
+// twoWay is the §4 two-way dumbbell at reduced duration, enough to cross
+// several congestion epochs in both phase modes.
+func twoWay(tau time.Duration) Config {
+	cfg := DumbbellConfig(tau, DefaultBuffer)
+	cfg.Conns = []ConnSpec{
+		{SrcHost: 0, DstHost: 1, Start: -1},
+		{SrcHost: 1, DstHost: 0, Start: -1},
+	}
+	cfg.Warmup = 20 * time.Second
+	cfg.Duration = 80 * time.Second
+	return cfg
+}
+
+// tsvOf renders the run's headline series — both bottleneck queues and
+// both congestion windows — exactly as the figure pipeline would.
+func tsvOf(t *testing.T, res *Result) string {
+	t.Helper()
+	var sb strings.Builder
+	err := plot.TSV(&sb, res.MeasureFrom, res.MeasureTo, 100*time.Millisecond,
+		res.Q1(), res.Q2(), res.Cwnd[0], res.Cwnd[1])
+	if err != nil {
+		t.Fatalf("TSV: %v", err)
+	}
+	return sb.String()
+}
+
+// Pooling must be invisible to the physics: a pooled run and a
+// NoPool run of the same configuration produce byte-identical plot
+// output and identical traces, drop logs, stats, and event counts.
+// This covers both paper modes: out-of-phase (Figs. 4–5, τ=10 ms)
+// and in-phase (Figs. 6–7, τ=1 s).
+func TestPooledRunsAreByteIdentical(t *testing.T) {
+	cases := []struct {
+		name string
+		tau  time.Duration
+	}{
+		{"fig4-5-out-of-phase", 10 * time.Millisecond},
+		{"fig6-7-in-phase", time.Second},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			pooled := twoWay(tc.tau)
+			plain := twoWay(tc.tau)
+			plain.NoPool = true
+			a := Run(pooled)
+			b := Run(plain)
+
+			if got, want := tsvOf(t, a), tsvOf(t, b); got != want {
+				t.Fatal("pooled and non-pooled TSV output differ")
+			}
+			if !reflect.DeepEqual(a.Drops, b.Drops) {
+				t.Fatalf("drop logs differ: %d vs %d events", len(a.Drops), len(b.Drops))
+			}
+			if !reflect.DeepEqual(a.TrunkDeps, b.TrunkDeps) {
+				t.Fatal("trunk departure logs differ")
+			}
+			if !reflect.DeepEqual(a.SenderStats, b.SenderStats) ||
+				!reflect.DeepEqual(a.ReceiverStats, b.ReceiverStats) {
+				t.Fatal("endpoint stats differ")
+			}
+			if !reflect.DeepEqual(a.Delivered, b.Delivered) {
+				t.Fatalf("delivered = %v vs %v", a.Delivered, b.Delivered)
+			}
+			if !reflect.DeepEqual(a.TrunkUtil, b.TrunkUtil) {
+				t.Fatalf("utilization = %v vs %v", a.TrunkUtil, b.TrunkUtil)
+			}
+			if a.Events != b.Events {
+				t.Fatalf("events = %d vs %d", a.Events, b.Events)
+			}
+			if !seriesEqual(a.RTT[0], b.RTT[0]) || !seriesEqual(a.RTT[1], b.RTT[1]) {
+				t.Fatal("RTT series differ")
+			}
+		})
+	}
+}
+
+// seriesEqual compares two trace series point by point.
+func seriesEqual(a, b *trace.Series) bool {
+	return reflect.DeepEqual(a.Points, b.Points)
+}

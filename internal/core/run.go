@@ -84,10 +84,114 @@ func (r *Result) UtilReverse() float64 { return r.TrunkUtil[0][1] }
 
 // Run builds the scenario and executes it to completion.
 func Run(cfg Config) *Result {
+	return Build(cfg).Finish()
+}
+
+// Sim is a built, runnable scenario: the network is wired, the
+// connection starts are scheduled, and the clock is at zero. Run is
+// Build + Finish; the split exists so callers (steady-state benchmarks,
+// future live dashboards) can advance the simulation in increments.
+type Sim struct {
+	cfg  Config
+	eng  *sim.Engine
+	pool *packet.Pool
+	res  *Result
+
+	trunks    [][2]*link.Port
+	senders   []*tcp.Sender
+	receivers []*tcp.Receiver
+
+	// Warmup-boundary snapshots: measurement baselines taken exactly at
+	// cfg.Warmup, regardless of the RunUntil step pattern.
+	warmSnapped   bool
+	busyAt        [][2]time.Duration
+	deliveredWarm []int
+
+	finished bool
+}
+
+// Now returns the current simulated time.
+func (s *Sim) Now() time.Duration { return s.eng.Now() }
+
+// Events returns the number of engine events processed so far.
+func (s *Sim) Events() uint64 { return s.eng.Processed() }
+
+// Pool returns the run's packet pool (nil when cfg.NoPool).
+func (s *Sim) Pool() *packet.Pool { return s.pool }
+
+// RunUntil advances the simulation to time t. Crossing cfg.Warmup takes
+// the measurement-baseline snapshot at exactly the warmup boundary, so
+// any step pattern yields the same measurements as one straight run.
+func (s *Sim) RunUntil(t time.Duration) {
+	if !s.warmSnapped && t >= s.cfg.Warmup {
+		s.eng.RunUntil(s.cfg.Warmup)
+		s.snapshotWarmup()
+	}
+	s.eng.RunUntil(t)
+}
+
+// snapshotWarmup records the trunk busy time and receiver progress at
+// the warmup boundary; measurements are deltas from here.
+func (s *Sim) snapshotWarmup() {
+	s.warmSnapped = true
+	s.busyAt = make([][2]time.Duration, len(s.trunks))
+	for i := range s.trunks {
+		s.busyAt[i][0] = s.trunks[i][0].Stats().Busy
+		s.busyAt[i][1] = s.trunks[i][1].Stats().Busy
+	}
+	s.deliveredWarm = make([]int, len(s.receivers))
+	for k := range s.receivers {
+		s.deliveredWarm[k] = s.receivers[k].RcvNxt()
+	}
+}
+
+// Finish runs the scenario to cfg.Duration and computes the final
+// statistics. It is idempotent; the first call finalizes the Result.
+func (s *Sim) Finish() *Result {
+	if s.finished {
+		return s.res
+	}
+	s.finished = true
+	s.RunUntil(s.cfg.Warmup)
+	s.RunUntil(s.cfg.Duration)
+
+	res, cfg := s.res, s.cfg
+	nc := len(cfg.Conns)
+	window := cfg.Duration - cfg.Warmup
+	for i := range s.trunks {
+		for dir := range s.trunks[i] {
+			res.TrunkUtil[i][dir] = float64(s.trunks[i][dir].Stats().Busy-s.busyAt[i][dir]) / float64(window)
+		}
+	}
+	res.SenderStats = make([]tcp.SenderStats, nc)
+	res.ReceiverStats = make([]tcp.ReceiverStats, nc)
+	res.Delivered = make([]int, nc)
+	res.Goodput = make([]int, nc)
+	for k := range s.senders {
+		res.SenderStats[k] = s.senders[k].Stats()
+		res.ReceiverStats[k] = s.receivers[k].Stats()
+		res.Delivered[k] = s.receivers[k].RcvNxt()
+		res.Goodput[k] = res.Delivered[k] - s.deliveredWarm[k]
+	}
+	res.Events = s.eng.Processed()
+	return res
+}
+
+// Build assembles the scenario: topology, instrumentation, connections,
+// and scheduled start times. The returned Sim has not executed any
+// events yet.
+func Build(cfg Config) *Sim {
 	cfg.Normalize()
 	eng := sim.New()
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	ids := &tcp.IDGen{}
+	// One packet free list per run: at steady state the whole simulation
+	// recycles rather than allocates. NoPool keeps the old allocate-and-
+	// discard behavior (the determinism tests compare the two).
+	var pool *packet.Pool
+	if !cfg.NoPool {
+		pool = packet.NewPool()
+	}
 
 	res := &Result{
 		Cfg:         cfg,
@@ -122,6 +226,7 @@ func Run(cfg Config) *Result {
 			Bandwidth: cfg.AccessBandwidth,
 			Delay:     cfg.AccessDelay,
 			Buffer:    queueUnbounded,
+			Pool:      pool,
 		}, switches[i])
 		hosts[i].SetOutput(up)
 		down := link.NewPort(eng, link.Config{
@@ -132,6 +237,7 @@ func Run(cfg Config) *Result {
 			Discard:    cfg.Discard,
 			Rand:       portRand(),
 			Discipline: cfg.Discipline,
+			Pool:       pool,
 		}, hosts[i])
 		switches[i].AddRoute(i+1, down)
 		instrumentDrops(eng, down, res)
@@ -154,6 +260,7 @@ func Run(cfg Config) *Result {
 			Discard:    cfg.Discard,
 			Rand:       portRand(),
 			Discipline: cfg.Discipline,
+			Pool:       pool,
 		}, switches[i+1])
 		left := link.NewPort(eng, link.Config{
 			Name:       fmt.Sprintf("sw%d->sw%d", i+1, i),
@@ -163,6 +270,7 @@ func Run(cfg Config) *Result {
 			Discard:    cfg.Discard,
 			Rand:       portRand(),
 			Discipline: cfg.Discipline,
+			Pool:       pool,
 		}, switches[i])
 		trunks[i] = [2]*link.Port{right, left}
 		for dir, pt := range trunks[i] {
@@ -228,6 +336,7 @@ func Run(cfg Config) *Result {
 			OriginalIncrease: spec.OriginalIncrease,
 			Reno:             spec.Reno,
 			Pace:             spec.Pace,
+			Pool:             pool,
 		})
 		r := tcp.NewReceiver(eng, dst, ids, tcp.ReceiverConfig{
 			Conn:       connID,
@@ -235,6 +344,7 @@ func Run(cfg Config) *Result {
 			DstHost:    src.ID(),
 			AckSize:    cfg.AckSize,
 			DelayedAck: spec.DelayedAck,
+			Pool:       pool,
 		})
 		src.Attach(connID, s)
 		dst.Attach(connID, r)
@@ -267,38 +377,15 @@ func Run(cfg Config) *Result {
 		eng.ScheduleAt(start, s.Start)
 	}
 
-	// Run to warmup, snapshot trunk busy time and receiver progress,
-	// then run to the end.
-	eng.RunUntil(cfg.Warmup)
-	busyAt := make([][2]time.Duration, n-1)
-	for i := range trunks {
-		busyAt[i][0] = trunks[i][0].Stats().Busy
-		busyAt[i][1] = trunks[i][1].Stats().Busy
+	return &Sim{
+		cfg:       cfg,
+		eng:       eng,
+		pool:      pool,
+		res:       res,
+		trunks:    trunks,
+		senders:   senders,
+		receivers: receivers,
 	}
-	deliveredWarm := make([]int, nc)
-	for k := range receivers {
-		deliveredWarm[k] = receivers[k].RcvNxt()
-	}
-	eng.RunUntil(cfg.Duration)
-
-	window := cfg.Duration - cfg.Warmup
-	for i := range trunks {
-		for dir := range trunks[i] {
-			res.TrunkUtil[i][dir] = float64(trunks[i][dir].Stats().Busy-busyAt[i][dir]) / float64(window)
-		}
-	}
-	res.SenderStats = make([]tcp.SenderStats, nc)
-	res.ReceiverStats = make([]tcp.ReceiverStats, nc)
-	res.Delivered = make([]int, nc)
-	res.Goodput = make([]int, nc)
-	for k := range senders {
-		res.SenderStats[k] = senders[k].Stats()
-		res.ReceiverStats[k] = receivers[k].Stats()
-		res.Delivered[k] = receivers[k].RcvNxt()
-		res.Goodput[k] = res.Delivered[k] - deliveredWarm[k]
-	}
-	res.Events = eng.Processed()
-	return res
 }
 
 // queueUnbounded names the unbounded-buffer sentinel for readability.
@@ -338,10 +425,19 @@ type delayedNet struct {
 
 // Send implements tcp.Network. The delay element has unbounded storage,
 // so acceptance is immediate; ordering is preserved because the delay is
-// constant and the engine breaks timestamp ties in schedule order.
+// constant and the engine breaks timestamp ties in schedule order. The
+// in-flight leg is a typed event bound to the element itself, so the
+// per-packet path allocates nothing.
 func (dn *delayedNet) Send(p *packet.Packet) bool {
-	dn.eng.Schedule(dn.d, func() { dn.dst.Send(p) })
+	dn.eng.SchedulePacket(dn.d, dn, p)
 	return true
+}
+
+// Deliver implements sim.PacketSink: the delay has elapsed, hand the
+// packet to the host's output. A full buffer there drops (and releases)
+// it like any other arrival.
+func (dn *delayedNet) Deliver(p *packet.Packet) {
+	dn.dst.Send(p)
 }
 
 // instrumentDrops wires a port's drop hook into the result's drop log.

@@ -19,6 +19,9 @@ type Lossy struct {
 	Dropped uint64
 	// OnDrop, if set, is called for every randomly dropped packet.
 	OnDrop func(p *packet.Packet)
+	// Pool, when non-nil, receives dropped packets: the error model is
+	// the drop site and therefore the terminal owner (see packet.Pool).
+	Pool *packet.Pool
 }
 
 // NewLossy wraps dst with a Bernoulli loss model of probability prob,
@@ -34,6 +37,7 @@ func (l *Lossy) Deliver(p *packet.Packet) {
 		if l.OnDrop != nil {
 			l.OnDrop(p)
 		}
+		l.Pool.Put(p)
 		return
 	}
 	l.dst.Deliver(p)

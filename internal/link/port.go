@@ -37,10 +37,10 @@ const (
 )
 
 // Receiver consumes packets delivered by a line. Hosts and switches
-// implement it.
-type Receiver interface {
-	Deliver(p *packet.Packet)
-}
+// implement it. It is the engine's PacketSink: a port propagates a
+// packet by scheduling a typed event bound to its destination, so the
+// per-packet path schedules without allocating a closure.
+type Receiver = sim.PacketSink
 
 // Stats accumulates per-port counters. Busy time divided by elapsed time
 // is the line utilization.
@@ -76,6 +76,11 @@ type Config struct {
 	Rand *rand.Rand
 	// Discipline is the service order; the zero value is FIFO.
 	Discipline Discipline
+	// Pool, when non-nil, receives packets the port discards: a drop is
+	// the end of a packet's life, so the drop site releases it (after the
+	// OnDrop hook has observed it). See packet.Pool for the ownership
+	// protocol.
+	Pool *packet.Pool
 }
 
 // Port is an output port: a FIFO drop-tail buffer draining into a simplex
@@ -88,6 +93,12 @@ type Port struct {
 	inService *packet.Packet
 	dst       Receiver
 	busy      bool
+
+	// curTx is the serialization time of the transmission in progress;
+	// finishFn is the completion callback bound once at construction so
+	// starting a transmission schedules no closure.
+	curTx    time.Duration
+	finishFn func()
 
 	stats Stats
 
@@ -113,6 +124,7 @@ func NewPort(eng *sim.Engine, cfg Config, dst Receiver) *Port {
 		panic("link: RandomDrop needs a Rand source on " + cfg.Name)
 	}
 	pt := &Port{eng: eng, cfg: cfg, q: queue.New(cfg.Buffer), dst: dst}
+	pt.finishFn = pt.finishTx
 	if cfg.Discipline == FairQueue {
 		pt.fq = newFQSched()
 	}
@@ -122,8 +134,13 @@ func NewPort(eng *sim.Engine, cfg Config, dst Receiver) *Port {
 // Name returns the port's trace name.
 func (pt *Port) Name() string { return pt.cfg.Name }
 
-// QueueLen returns the current queue length in packets, including the
-// packet being transmitted.
+// QueueLen returns the current queue length in packets, counting the
+// packet being transmitted exactly once — the FIFO convention, where the
+// in-service packet stays at the head of the queue until its last bit is
+// sent. Under FairQueue the in-service packet is held outside the
+// scheduler, so it is added back here. Both branches are O(1): the FIFO
+// tracks its length directly and the fair-queueing scheduler keeps a
+// running total across flows.
 func (pt *Port) QueueLen() int {
 	if pt.fq != nil {
 		n := pt.fq.Len()
@@ -196,12 +213,14 @@ func (pt *Port) Send(p *packet.Packet) bool {
 	return true
 }
 
-// drop records a discarded packet.
+// drop records a discarded packet and, as the packet's terminal owner,
+// releases it back to the pool once the drop hook has seen it.
 func (pt *Port) drop(p *packet.Packet) {
 	pt.stats.Dropped++
 	if pt.OnDrop != nil {
 		pt.OnDrop(p)
 	}
+	pt.cfg.Pool.Put(p)
 }
 
 // sendFQ is the FairQueue enqueue path: tag and store the arrival, then
@@ -245,13 +264,14 @@ func (pt *Port) startTx() {
 		return
 	}
 	pt.busy = true
-	tx := pt.TxTime(head.Size)
-	pt.eng.Schedule(tx, func() { pt.finishTx(tx) })
+	pt.curTx = pt.TxTime(head.Size)
+	pt.eng.Schedule(pt.curTx, pt.finishFn)
 }
 
 // finishTx completes the in-progress transmission: the packet leaves the
-// port, propagation begins, and the next packet (if any) starts.
-func (pt *Port) finishTx(tx time.Duration) {
+// port, propagation begins (a typed event bound to the destination, so
+// nothing allocates), and the next packet (if any) starts.
+func (pt *Port) finishTx() {
 	var p *packet.Packet
 	if pt.fq != nil {
 		p = pt.inService
@@ -260,7 +280,7 @@ func (pt *Port) finishTx(tx time.Duration) {
 		p = pt.q.Pop()
 	}
 	pt.busy = false
-	pt.stats.Busy += tx
+	pt.stats.Busy += pt.curTx
 	pt.stats.Transmitted++
 	pt.stats.TxBytes += uint64(p.Size)
 	if pt.OnDepart != nil {
@@ -269,7 +289,7 @@ func (pt *Port) finishTx(tx time.Duration) {
 	if pt.OnQueueLen != nil {
 		pt.OnQueueLen(pt.QueueLen())
 	}
-	pt.eng.Schedule(pt.cfg.Delay, func() { pt.dst.Deliver(p) })
+	pt.eng.SchedulePacket(pt.cfg.Delay, pt.dst, p)
 	if pt.QueueLen() > 0 {
 		pt.startTx()
 	}

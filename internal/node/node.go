@@ -62,7 +62,10 @@ type Host struct {
 	id         int
 	out        *link.Port
 	processing time.Duration
-	endpoints  map[int]Handler
+	// endpoints is indexed by connection id. Connection ids are small
+	// dense integers, so a slice keeps the per-packet dispatch a bounds
+	// check instead of a map probe.
+	endpoints []Handler
 
 	// received counts packets accepted by this host, for conservation
 	// checks.
@@ -76,7 +79,6 @@ func NewHost(eng *sim.Engine, id int, processing time.Duration) *Host {
 		eng:        eng,
 		id:         id,
 		processing: processing,
-		endpoints:  make(map[int]Handler),
 	}
 }
 
@@ -89,28 +91,56 @@ func (h *Host) SetOutput(out *link.Port) { h.out = out }
 // Attach registers the endpoint that handles packets of connection conn
 // arriving at this host.
 func (h *Host) Attach(conn int, ep Handler) {
-	if _, dup := h.endpoints[conn]; dup {
+	if conn < 0 {
+		panic(fmt.Sprintf("host %d: negative conn id %d", h.id, conn))
+	}
+	if h.endpoint(conn) != nil {
 		panic(fmt.Sprintf("host %d: endpoint for conn %d already attached", h.id, conn))
 	}
+	for conn >= len(h.endpoints) {
+		h.endpoints = append(h.endpoints, nil)
+	}
 	h.endpoints[conn] = ep
+}
+
+// endpoint returns the handler for conn, or nil if none is attached.
+func (h *Host) endpoint(conn int) Handler {
+	if conn < 0 || conn >= len(h.endpoints) {
+		return nil
+	}
+	return h.endpoints[conn]
 }
 
 // Received returns the number of packets this host has accepted.
 func (h *Host) Received() uint64 { return h.received }
 
 // Deliver implements link.Receiver: after the processing delay, the
-// packet is handed to its connection's endpoint.
+// packet is handed to its connection's endpoint. The delayed hand-off is
+// a typed event bound to the host's dispatch step, so the per-packet
+// path schedules no closure.
 func (h *Host) Deliver(p *packet.Packet) {
-	ep, ok := h.endpoints[p.Conn]
-	if !ok {
+	if h.endpoint(p.Conn) == nil {
 		panic(fmt.Sprintf("host %d: no endpoint for conn %d (%v)", h.id, p.Conn, p))
 	}
 	h.received++
 	if h.processing == 0 {
-		ep.Handle(p)
+		h.endpoints[p.Conn].Handle(p)
 		return
 	}
-	h.eng.Schedule(h.processing, func() { ep.Handle(p) })
+	h.eng.SchedulePacket(h.processing, (*hostDispatch)(h), p)
+}
+
+// hostDispatch is the Host's second sim.PacketSink identity: the
+// endpoint hand-off that runs once the processing delay has elapsed.
+// (Host.Deliver itself is the first — the arrival from the wire.) The
+// pointer conversion is free, so scheduling the dispatch allocates
+// nothing.
+type hostDispatch Host
+
+// Deliver hands the processed packet to its connection's endpoint.
+func (hd *hostDispatch) Deliver(p *packet.Packet) {
+	h := (*Host)(hd)
+	h.endpoints[p.Conn].Handle(p)
 }
 
 // Send transmits p out the host's port. It reports whether the packet

@@ -59,6 +59,10 @@ type Packet struct {
 	// Retransmit marks retransmitted data segments. Per Karn's algorithm
 	// these must not contribute RTT samples.
 	Retransmit bool
+
+	// released marks a packet sitting in a Pool free list. It is the
+	// double-release/use-after-release checker's state; see Pool.
+	released bool
 }
 
 // String renders a compact human-readable description for traces.

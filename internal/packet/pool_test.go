@@ -1,0 +1,100 @@
+package packet
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPoolRecyclesPackets(t *testing.T) {
+	pl := NewPool()
+	p := pl.Get()
+	if p == nil {
+		t.Fatal("Get returned nil")
+	}
+	if pl.Allocs() != 1 || pl.Recycled() != 0 {
+		t.Fatalf("after first Get: allocs=%d recycled=%d", pl.Allocs(), pl.Recycled())
+	}
+	p.ID, p.Seq, p.Size = 7, 3, 500
+	pl.Put(p)
+	if pl.Free() != 1 {
+		t.Fatalf("Free = %d, want 1", pl.Free())
+	}
+	q := pl.Get()
+	if q != p {
+		t.Fatal("Get did not recycle the released packet")
+	}
+	if pl.Allocs() != 1 || pl.Recycled() != 1 {
+		t.Fatalf("after recycle: allocs=%d recycled=%d", pl.Allocs(), pl.Recycled())
+	}
+	if *q != (Packet{}) {
+		t.Fatalf("recycled packet not zeroed: %+v", *q)
+	}
+	if q.Released() {
+		t.Fatal("recycled packet still marked released")
+	}
+}
+
+func TestPoolDoubleReleasePanics(t *testing.T) {
+	pl := NewPool()
+	p := pl.Get()
+	pl.Put(p)
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("double release did not panic")
+		}
+		if !strings.Contains(r.(string), "double release") {
+			t.Fatalf("panic = %v, want double-release message", r)
+		}
+	}()
+	pl.Put(p)
+}
+
+func TestPoolPoisonsReleasedPackets(t *testing.T) {
+	pl := NewPool()
+	p := pl.Get()
+	p.ID, p.Seq, p.Size = 42, 10, 500
+	pl.Put(p)
+	if !p.Released() {
+		t.Fatal("released packet not marked")
+	}
+	if p.Size >= 0 || p.Seq >= 0 {
+		t.Fatalf("released packet not poisoned: size=%d seq=%d", p.Size, p.Seq)
+	}
+	if p.ID != 0 {
+		t.Fatalf("released packet keeps ID %d", p.ID)
+	}
+}
+
+func TestNilPoolFallsBackToHeap(t *testing.T) {
+	var pl *Pool
+	p := pl.Get()
+	if p == nil {
+		t.Fatal("nil pool Get returned nil")
+	}
+	pl.Put(p) // must not panic
+	pl.Put(p) // not even twice: a nil pool does no release checking
+	if pl.Free() != 0 || pl.Allocs() != 0 || pl.Recycled() != 0 {
+		t.Fatal("nil pool reported non-zero counters")
+	}
+}
+
+func TestPoolPutNilIsNoOp(t *testing.T) {
+	pl := NewPool()
+	pl.Put(nil)
+	if pl.Free() != 0 {
+		t.Fatalf("Free = %d after Put(nil)", pl.Free())
+	}
+}
+
+func BenchmarkPoolGetPut(b *testing.B) {
+	pl := NewPool()
+	pl.Put(pl.Get()) // warm: one packet circulating
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := pl.Get()
+		p.Size = 500
+		pl.Put(p)
+	}
+}

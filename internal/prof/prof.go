@@ -1,0 +1,101 @@
+// Package prof wires the standard Go profilers into the command-line
+// tools. It exists so every command exposes the same three flags —
+// -cpuprofile, -memprofile, -http — with the same semantics, and so the
+// commands' main functions stay structured as run() + os.Exit (profiles
+// are flushed by the returned stop function, which a bare os.Exit would
+// skip).
+package prof
+
+import (
+	"fmt"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof handlers on DefaultServeMux
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Config names the profiling outputs a command wants. The zero value
+// disables everything, so commands can pass their flag values through
+// unconditionally.
+type Config struct {
+	// CPUFile receives a CPU profile covering Start..stop.
+	CPUFile string
+	// MemFile receives a heap profile taken at stop, after a GC, so it
+	// shows live steady-state memory rather than garbage.
+	MemFile string
+	// HTTPAddr, when non-empty, serves net/http/pprof on this address
+	// (e.g. "localhost:6060") for live inspection of long runs.
+	HTTPAddr string
+}
+
+// Start begins the requested profilers. The returned stop function
+// flushes and closes them; callers must run it on every exit path that
+// should produce profiles (deferring it inside run() before os.Exit is
+// the intended pattern). Start never returns a nil stop.
+func Start(cfg Config) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cfg.CPUFile != "" {
+		cpuFile, err = os.Create(cfg.CPUFile)
+		if err != nil {
+			return noop, fmt.Errorf("cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return noop, fmt.Errorf("cpuprofile: %w", err)
+		}
+	}
+	if cfg.HTTPAddr != "" {
+		go func() {
+			// The server runs for the life of the process; an unusable
+			// address should be loud but not fatal to the simulation.
+			if err := http.ListenAndServe(cfg.HTTPAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "prof: pprof server:", err)
+			}
+		}()
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return fmt.Errorf("cpuprofile: %w", err)
+			}
+		}
+		if cfg.MemFile != "" {
+			f, err := os.Create(cfg.MemFile)
+			if err != nil {
+				return fmt.Errorf("memprofile: %w", err)
+			}
+			runtime.GC() // profile live objects, not collectible garbage
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				f.Close()
+				return fmt.Errorf("memprofile: %w", err)
+			}
+			return f.Close()
+		}
+		return nil
+	}, nil
+}
+
+func noop() error { return nil }
+
+// Flags is the conventional flag trio. Commands register it with
+// AddFlags and pass the result to Start after flag.Parse.
+type Flags struct {
+	CPU, Mem, HTTP *string
+}
+
+// AddFlags registers -cpuprofile, -memprofile, and -http on the default
+// flag set via the provided registrar (usually flag.String).
+func AddFlags(str func(name, value, usage string) *string) Flags {
+	return Flags{
+		CPU:  str("cpuprofile", "", "write a CPU profile of the run to `file`"),
+		Mem:  str("memprofile", "", "write a heap profile to `file` on exit"),
+		HTTP: str("http", "", "serve net/http/pprof on `addr` (e.g. localhost:6060)"),
+	}
+}
+
+// Config converts parsed flag values into a Start configuration.
+func (f Flags) Config() Config {
+	return Config{CPUFile: *f.CPU, MemFile: *f.Mem, HTTPAddr: *f.HTTP}
+}

@@ -18,6 +18,8 @@ package sim
 import (
 	"fmt"
 	"time"
+
+	"tahoedyn/internal/packet"
 )
 
 // Time is a point in simulated time, measured as an offset from the start
@@ -34,12 +36,26 @@ type Time = time.Duration
 // scheduled in between; long-lived holders should clear their reference
 // when the callback runs, as sim.Timer does.)
 type Event struct {
-	at       Time
-	seq      uint64
-	fn       func()
+	at  Time
+	seq uint64
+	fn  func()
+	// sink/arg are the typed-dispatch alternative to fn: when sink is
+	// non-nil the event fires as sink.Deliver(arg) instead of fn(). The
+	// sink is a long-lived object bound once at wiring time, so the
+	// per-packet hot path schedules without allocating a closure.
+	sink     PacketSink
+	arg      *packet.Packet
 	eng      *Engine
 	index    int32 // position in the heap; -1 once fired or canceled
 	canceled bool
+}
+
+// PacketSink consumes a packet carried by a typed event. Network
+// elements (ports' destinations, hosts, delay elements) implement it;
+// binding the sink once at construction is what makes SchedulePacket
+// allocation-free, where an equivalent closure would allocate per call.
+type PacketSink interface {
+	Deliver(p *packet.Packet)
 }
 
 // At reports the time the event is scheduled to fire.
@@ -56,6 +72,8 @@ func (e *Event) Cancel() {
 	eng.removeAt(int(e.index))
 	e.canceled = true
 	e.fn = nil
+	e.sink = nil
+	e.arg = nil
 	eng.free = append(eng.free, e)
 }
 
@@ -107,6 +125,25 @@ func (e *Engine) ScheduleAt(t Time, fn func()) *Event {
 	return e.at(t, fn)
 }
 
+// SchedulePacket queues sink.Deliver(p) to run after delay d. It is the
+// typed, closure-free twin of Schedule for the per-packet hot path: the
+// sink is pre-bound by the caller, so nothing is allocated per call.
+// Ordering is identical to Schedule — typed and plain events share one
+// clock and one sequence counter.
+//
+// The scheduled event owns p until it fires; a caller that Cancels a
+// packet event takes ownership back (and is responsible for releasing
+// the packet if it is pooled).
+func (e *Engine) SchedulePacket(d time.Duration, sink PacketSink, p *packet.Packet) *Event {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	ev := e.at(e.now+d, nil)
+	ev.sink = sink
+	ev.arg = p
+	return ev
+}
+
 func (e *Engine) at(t Time, fn func()) *Event {
 	var ev *Event
 	if n := len(e.free); n > 0 {
@@ -138,10 +175,16 @@ func (e *Engine) Step() bool {
 	e.removeAt(0)
 	e.now = ev.at
 	e.processed++
-	fn := ev.fn
+	fn, sink, arg := ev.fn, ev.sink, ev.arg
 	ev.fn = nil
+	ev.sink = nil
+	ev.arg = nil
 	e.free = append(e.free, ev)
-	fn()
+	if sink != nil {
+		sink.Deliver(arg)
+	} else {
+		fn()
+	}
 	return true
 }
 

@@ -11,24 +11,30 @@ type Timer struct {
 	eng *Engine
 	fn  func()
 	ev  *Event
+	// expireFn is the t.expire method value, bound once at construction:
+	// a method value allocates, and retransmission timers rearm on every
+	// ACK, so Reset must not create one per call.
+	expireFn func()
 }
 
 // NewTimer returns a stopped timer that runs fn when it expires.
 func NewTimer(eng *Engine, fn func()) *Timer {
-	return &Timer{eng: eng, fn: fn}
+	t := &Timer{eng: eng, fn: fn}
+	t.expireFn = t.expire
+	return t
 }
 
 // Reset (re)arms the timer to fire after d, canceling any pending
 // expiration.
 func (t *Timer) Reset(d time.Duration) {
 	t.Stop()
-	t.ev = t.eng.Schedule(d, t.expire)
+	t.ev = t.eng.Schedule(d, t.expireFn)
 }
 
 // ResetAt (re)arms the timer to fire at absolute time at.
 func (t *Timer) ResetAt(at Time) {
 	t.Stop()
-	t.ev = t.eng.ScheduleAt(at, t.expire)
+	t.ev = t.eng.ScheduleAt(at, t.expireFn)
 }
 
 // Stop cancels a pending expiration, if any.

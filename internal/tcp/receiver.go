@@ -21,6 +21,11 @@ type ReceiverConfig struct {
 	// first unacknowledged data packet until a second arrives or the
 	// 200 ms fast timer flushes it (§2.1, §5).
 	DelayedAck bool
+	// Pool, when non-nil, recycles packets: outgoing ACKs are drawn from
+	// it and arriving data segments are released back to it once Handle
+	// has consumed them (the receiver is the segment's terminal sink). A
+	// nil pool allocates per packet, the pre-pool behavior.
+	Pool *packet.Pool
 }
 
 // ReceiverStats counts receiver-side events.
@@ -68,8 +73,16 @@ func (r *Receiver) Stats() ReceiverStats { return r.stats }
 // acknowledgment value).
 func (r *Receiver) RcvNxt() int { return r.rcvNxt }
 
-// Handle implements node.Handler for arriving data segments.
+// Handle implements node.Handler for arriving data segments. The
+// receiver is the segment's terminal sink: once Handle returns, the
+// packet goes back to the pool — only its sequence number survives, in
+// the reassembly state.
 func (r *Receiver) Handle(p *packet.Packet) {
+	r.handleData(p)
+	r.cfg.Pool.Put(p)
+}
+
+func (r *Receiver) handleData(p *packet.Packet) {
 	if p.Kind != packet.Data {
 		panic(fmt.Sprintf("tcp: receiver conn %d got %v", r.cfg.Conn, p))
 	}
@@ -124,15 +137,14 @@ func (r *Receiver) flushDelayedAck() {
 func (r *Receiver) sendAck() {
 	r.pending = 0
 	r.delTimer.Stop()
-	p := &packet.Packet{
-		ID:   r.ids.Next(),
-		Kind: packet.Ack,
-		Conn: r.cfg.Conn,
-		Src:  r.cfg.SrcHost,
-		Dst:  r.cfg.DstHost,
-		Seq:  r.rcvNxt,
-		Size: r.cfg.AckSize,
-	}
+	p := r.cfg.Pool.Get()
+	p.ID = r.ids.Next()
+	p.Kind = packet.Ack
+	p.Conn = r.cfg.Conn
+	p.Src = r.cfg.SrcHost
+	p.Dst = r.cfg.DstHost
+	p.Seq = r.rcvNxt
+	p.Size = r.cfg.AckSize
 	r.stats.AcksSent++
 	if r.OnAckSent != nil {
 		r.OnAckSent(p)

@@ -48,6 +48,11 @@ type SenderConfig struct {
 	// an extension used to test whether the paper's two-way phenomena
 	// outlive Tahoe.
 	Reno bool
+	// Pool, when non-nil, recycles packets: outgoing segments are drawn
+	// from it and arriving ACKs are released back to it once Handle has
+	// consumed them (the sender is the ACK's terminal sink). A nil pool
+	// allocates per packet, the pre-pool behavior.
+	Pool *packet.Pool
 }
 
 // SenderStats counts sender-side events.
@@ -83,6 +88,7 @@ type Sender struct {
 	timedAt  time.Duration
 
 	paceEvent *sim.Event
+	paceFn    func() // pacing resume, bound once so pacing never allocates
 	lastTxAt  time.Duration
 	everSent  bool
 	started   bool
@@ -125,6 +131,10 @@ func NewSender(eng *sim.Engine, net Network, ids *IDGen, cfg SenderConfig) *Send
 		lastTxAt: -time.Hour, // "long ago": first paced send is immediate
 	}
 	s.rtx = sim.NewTimer(eng, s.onTimeout)
+	s.paceFn = func() {
+		s.paceEvent = nil
+		s.maybeSend()
+	}
 	return s
 }
 
@@ -164,8 +174,15 @@ func (s *Sender) Wnd() int {
 	return w
 }
 
-// Handle implements node.Handler for arriving ACKs.
+// Handle implements node.Handler for arriving ACKs. The sender is the
+// ACK's terminal sink: once Handle returns, the packet goes back to the
+// pool, so callbacks fired from here must not retain it.
 func (s *Sender) Handle(p *packet.Packet) {
+	s.handleAck(p)
+	s.cfg.Pool.Put(p)
+}
+
+func (s *Sender) handleAck(p *packet.Packet) {
 	if p.Kind != packet.Ack {
 		panic(fmt.Sprintf("tcp: sender conn %d got %v", s.cfg.Conn, p))
 	}
@@ -356,10 +373,7 @@ func (s *Sender) maybeSend() {
 				// A non-nil paceEvent is always pending: the callback
 				// clears it before resuming, and nothing cancels it.
 				if s.paceEvent == nil {
-					s.paceEvent = s.eng.Schedule(wait, func() {
-						s.paceEvent = nil
-						s.maybeSend()
-					})
+					s.paceEvent = s.eng.Schedule(wait, s.paceFn)
 				}
 				return
 			}
@@ -386,16 +400,15 @@ func (s *Sender) transmit(seq int) {
 	if seq+1 > s.maxSent {
 		s.maxSent = seq + 1
 	}
-	p := &packet.Packet{
-		ID:         s.ids.Next(),
-		Kind:       packet.Data,
-		Conn:       s.cfg.Conn,
-		Src:        s.cfg.SrcHost,
-		Dst:        s.cfg.DstHost,
-		Seq:        seq,
-		Size:       s.cfg.DataSize,
-		Retransmit: rtx,
-	}
+	p := s.cfg.Pool.Get()
+	p.ID = s.ids.Next()
+	p.Kind = packet.Data
+	p.Conn = s.cfg.Conn
+	p.Src = s.cfg.SrcHost
+	p.Dst = s.cfg.DstHost
+	p.Seq = seq
+	p.Size = s.cfg.DataSize
+	p.Retransmit = rtx
 	if rtx {
 		// Retransmitting invalidates any in-progress RTT timing.
 		s.timedSeq = -1

@@ -1,0 +1,127 @@
+#!/bin/sh
+# benchcmp.sh OLD.json NEW.json — compare two benchmark recordings made
+# with `go test -bench . -json` (e.g. docs/BENCH_baseline.json and
+# docs/BENCH_prN.json).
+#
+# The comparison has two severities:
+#
+#   hard  Paper metrics — util-*, bands-passed, events/run — are
+#         deterministic outputs of the simulation, so any difference
+#         means the physics changed: exit 1.
+#   soft  allocs/op regressions beyond 25% (plus slack for one-shot
+#         noise) are warned about but do not fail; wall-clock metrics
+#         (ns/op, sim-events/s) are reported informationally only.
+#
+# Benchmarks present in only one recording are listed but never fail the
+# gate, so adding a benchmark does not require regenerating history.
+set -eu
+
+if [ $# -ne 2 ]; then
+    echo "usage: $0 OLD.json NEW.json" >&2
+    exit 2
+fi
+old=$1
+new=$2
+for f in "$old" "$new"; do
+    if [ ! -r "$f" ]; then
+        echo "benchcmp: cannot read $f" >&2
+        exit 2
+    fi
+done
+
+exec awk -v oldfile="$old" -v newfile="$new" '
+# Reassemble the benchmark text from the JSON event stream: every
+# "Output" payload is concatenated in order (a single benchmark row can
+# be split across several events), then unescaped and split into lines.
+function slurp(file,   line, idx, payload, text) {
+    text = ""
+    while ((getline line < file) > 0) {
+        idx = index(line, "\"Output\":\"")
+        if (idx == 0) continue
+        payload = substr(line, idx + 10)
+        sub(/"}[[:space:]]*$/, "", payload)
+        text = text payload
+    }
+    close(file)
+    # go test -json escapes tabs, newlines, and quotes; benchmark rows
+    # contain nothing else that needs unescaping.
+    gsub(/\\t/, "\t", text)
+    gsub(/\\"/, "\"", text)
+    gsub(/\\u003c/, "<", text); gsub(/\\u003e/, ">", text); gsub(/\\u0026/, "\\&", text)
+    gsub(/\\n/, "\n", text)
+    return text
+}
+
+# parse() records every "value unit" pair of every benchmark row into
+# val[tag, name, unit] and seen[tag, name]. GOMAXPROCS suffixes (-8) are
+# stripped so recordings from different machines compare.
+function parse(tag, text,   lines, n, i, f, nf, name, j, pair, np, p) {
+    n = split(text, lines, "\n")
+    for (i = 1; i <= n; i++) {
+        if (lines[i] !~ /^Benchmark/ || lines[i] !~ /ns\/op/) continue
+        nf = split(lines[i], f, "\t")
+        name = f[1]
+        gsub(/[[:space:]]+$/, "", name)
+        sub(/-[0-9]+$/, "", name)
+        seen[tag, name] = 1
+        names[name] = 1
+        for (j = 3; j <= nf; j++) {
+            np = split(f[j], p, /[[:space:]]+/)
+            if (np < 2) continue
+            # p[] may lead with an empty field from leading spaces.
+            pair = (p[1] == "") ? 2 : 1
+            if (pair + 1 > np) continue
+            val[tag, name, p[pair + 1]] = p[pair]
+            units[name, p[pair + 1]] = 1
+        }
+    }
+}
+
+function ishard(unit) {
+    return unit ~ /^util-/ || unit == "bands-passed" || unit == "events\/run"
+}
+
+BEGIN {
+    parse("old", slurp(oldfile))
+    parse("new", slurp(newfile))
+
+    hardfail = 0
+    softwarn = 0
+    for (name in names) {
+        if (!(("old", name) in seen)) { onlynew = onlynew "  " name "\n"; continue }
+        if (!(("new", name) in seen)) { onlyold = onlyold "  " name "\n"; continue }
+        for (key in units) {
+            split(key, k, SUBSEP)
+            if (k[1] != name) continue
+            unit = k[2]
+            has_old = (("old", name, unit) in val)
+            has_new = (("new", name, unit) in val)
+            if (!has_old || !has_new) continue
+            ov = val["old", name, unit]
+            nv = val["new", name, unit]
+            if (ishard(unit)) {
+                if (ov != nv) {
+                    printf "FAIL %s %s: %s -> %s (paper metric drifted)\n", name, unit, ov, nv
+                    hardfail = 1
+                }
+            } else if (unit == "allocs/op") {
+                if (nv + 0 > (ov + 0) * 1.25 + 16) {
+                    printf "warn %s allocs/op: %s -> %s (regression)\n", name, ov, nv
+                    softwarn = 1
+                }
+            } else if (unit == "sim-events/s" && ov + 0 > 0) {
+                delta = (nv - ov) / ov * 100
+                printf "info %s sim-events/s: %s -> %s (%+.1f%%)\n", name, ov, nv, delta
+            }
+        }
+    }
+    if (onlyold != "") printf "note: only in %s:\n%s", oldfile, onlyold
+    if (onlynew != "") printf "note: only in %s:\n%s", newfile, onlynew
+    if (hardfail) {
+        print "benchcmp: FAIL — paper metrics changed"
+        exit 1
+    }
+    if (softwarn) print "benchcmp: ok (with allocation warnings)"
+    else print "benchcmp: ok — paper metrics identical"
+}
+' </dev/null
