@@ -127,6 +127,14 @@ func BenchmarkUnequalRTT(b *testing.B) {
 	runExperiment(b, "unequal-rtt", nil)
 }
 
+func BenchmarkParkingLot(b *testing.B) {
+	runExperiment(b, "parking-lot", nil)
+}
+
+func BenchmarkCongestionWave(b *testing.B) {
+	runExperiment(b, "congestion-wave", nil)
+}
+
 // BenchmarkClusteringMetric measures the clustering analysis over a
 // realistic departure log (E13).
 func BenchmarkClusteringMetric(b *testing.B) {
@@ -330,8 +338,8 @@ func TestFacadeRunAndAnalyze(t *testing.T) {
 
 func TestFacadeExperimentRegistry(t *testing.T) {
 	defs := Experiments()
-	if len(defs) != 19 {
-		t.Fatalf("registry has %d experiments, want 19", len(defs))
+	if len(defs) != 21 {
+		t.Fatalf("registry has %d experiments, want 21", len(defs))
 	}
 	if _, err := Experiment("nope", ExpOptions{}); err == nil {
 		t.Fatal("unknown experiment did not error")

@@ -20,6 +20,7 @@ import (
 	"bytes"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strconv"
@@ -50,9 +51,15 @@ func run() int {
 		width    = flag.Int("width", 100, "plot width in characters")
 		height   = flag.Int("height", 18, "plot height in characters")
 		tsvDir   = flag.String("tsv", "", "directory to write per-experiment TSV trace files")
+		validate = flag.Bool("validate", false, "with -config: parse, compile, and print the resolved scenario without running it")
 		profFl   = prof.AddFlags(flag.String)
 	)
 	flag.Parse()
+
+	if *validate && *config == "" {
+		fmt.Fprintln(os.Stderr, "tahoe-sim: -validate requires -config <file>")
+		return 2
+	}
 
 	stopProf, err := prof.Start(profFl.Config())
 	if err != nil {
@@ -73,6 +80,13 @@ func run() int {
 	}
 
 	if *config != "" {
+		if *validate {
+			if err := validateScenarioFile(os.Stdout, *config); err != nil {
+				fmt.Fprintln(os.Stderr, "tahoe-sim:", err)
+				return 1
+			}
+			return 0
+		}
 		if err := runScenarioFile(*config, *width, *height, *doPlot); err != nil {
 			fmt.Fprintln(os.Stderr, "tahoe-sim:", err)
 			return 1
@@ -287,6 +301,62 @@ func runScenarioFile(path string, width, height int, doPlot bool) error {
 		return tahoedyn.PlotASCII(os.Stdout, tahoedyn.PlotOptions{
 			Width: width, Height: height, From: from, To: cfg.Duration,
 		}, res.Q1(), res.Q2())
+	}
+	return nil
+}
+
+// validateScenarioFile parses and compiles a scenario without running
+// it, printing the resolved configuration: per-link parameters after
+// defaulting, host placement, forwarding tables, and connections. A
+// scenario that prints cleanly here is guaranteed to build.
+func validateScenarioFile(w io.Writer, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	cfg, err := tahoedyn.ParseScenario(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	topo, err := tahoedyn.CompileTopology(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%s: valid\n", path)
+	fmt.Fprintf(w, "  switches: %d  hosts: %d  links: %d  connections: %d\n",
+		topo.Switches, topo.NumHosts(), len(topo.Links), len(cfg.Conns))
+	fmt.Fprintf(w, "  seed %d, warmup %v, duration %v\n", cfg.Seed, cfg.Warmup, cfg.Duration)
+	for i, l := range topo.Links {
+		buffer := fmt.Sprintf("%d pkts", l.Buffer)
+		if l.Buffer <= 0 {
+			buffer = "unbounded"
+		}
+		fmt.Fprintf(w, "  link %d: sw%d <-> sw%d  %d bit/s, delay %v, buffer %s\n",
+			i, l.A, l.B, l.Bandwidth, l.Delay, buffer)
+	}
+	for h := 0; h < topo.NumHosts(); h++ {
+		fmt.Fprintf(w, "  host %d on sw%d\n", h, topo.HostSwitch(h))
+	}
+	for s := 0; s < topo.Switches; s++ {
+		fmt.Fprintf(w, "  sw%d routes:", s)
+		for h := 0; h < topo.NumHosts(); h++ {
+			hop, local := topo.NextHop(s, h)
+			if local {
+				fmt.Fprintf(w, "  h%d:local", h)
+				continue
+			}
+			next := topo.Links[hop.Link].B
+			if hop.Dir == 1 {
+				next = topo.Links[hop.Link].A
+			}
+			fmt.Fprintf(w, "  h%d:link%d->sw%d", h, hop.Link, next)
+		}
+		fmt.Fprintln(w)
+	}
+	for i, c := range cfg.Conns {
+		hops := topo.PathHops(c.SrcHost, c.DstHost)
+		fmt.Fprintf(w, "  conn %d: h%d -> h%d (%d trunk hops)\n", i+1, c.SrcHost, c.DstHost, hops)
 	}
 	return nil
 }

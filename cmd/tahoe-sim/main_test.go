@@ -82,6 +82,55 @@ func TestWriteTSVCreatesFile(t *testing.T) {
 	}
 }
 
+func TestValidateScenarioFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "pl.json")
+	js := `{"trunk_delay":"10ms","buffer":20,
+	        "topology":{"generator":"parking-lot","size":3},
+	        "conns":[{"src":0,"dst":3},{"src":1,"dst":2}]}`
+	if err := os.WriteFile(path, []byte(js), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := validateScenarioFile(&buf, path); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"valid",
+		"switches: 4  hosts: 4  links: 3",
+		"link 0: sw0 <-> sw1  50000 bit/s, delay 10ms, buffer 20 pkts",
+		"h3:link0->sw1",
+		"conn 1: h0 -> h3 (3 trunk hops)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("validate output missing %q:\n%s", want, out)
+		}
+	}
+	// A broken scenario must error without running anything.
+	bad := filepath.Join(dir, "bad.json")
+	os.WriteFile(bad, []byte(`{"trunk_delay":"10ms","buffer":20,
+	    "topology":{"switches":3,"links":[{"a":0,"b":1}]},
+	    "conns":[{"src":0,"dst":1}]}`), 0o644)
+	if err := validateScenarioFile(&buf, bad); err == nil {
+		t.Fatal("disconnected topology did not error")
+	}
+}
+
+// Every shipped scenario must validate.
+func TestValidateShippedScenarios(t *testing.T) {
+	files, err := filepath.Glob("../../scenarios/*.json")
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no shipped scenarios found: %v", err)
+	}
+	for _, p := range files {
+		var buf bytes.Buffer
+		if err := validateScenarioFile(&buf, p); err != nil {
+			t.Errorf("%s: %v", p, err)
+		}
+	}
+}
+
 func TestRunScenarioFile(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "s.json")

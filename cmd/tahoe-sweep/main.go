@@ -9,11 +9,16 @@
 // a worker pool (-parallel). Results are printed in grid order and are
 // byte-identical for every worker count.
 //
+// The -topology flag generalizes the swept network beyond the dumbbell:
+// "chain:N" runs the two-way pair end to end over a line of N switches,
+// and "parking-lot:H" adds one single-hop cross connection per trunk, so
+// the grid maps the mode boundary under multi-bottleneck conditions.
+//
 // Usage:
 //
 //	tahoe-sweep
 //	tahoe-sweep -buffers 10,20,40,80 -taus 10ms,100ms,1s -duration 600s
-//	tahoe-sweep -parallel 8
+//	tahoe-sweep -topology parking-lot:3 -parallel 8
 package main
 
 import (
@@ -22,6 +27,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -44,9 +50,15 @@ func run() int {
 		warmup      = flag.Duration("warmup", 200*time.Second, "discarded warm-up period")
 		seed        = flag.Int64("seed", 1, "scenario random seed")
 		parallel    = flag.Int("parallel", 0, "worker count for the grid (0 = GOMAXPROCS, 1 = serial)")
+		topoFlag    = flag.String("topology", "dumbbell", "swept network: dumbbell, chain:N, or parking-lot:H")
 		profFl      = prof.AddFlags(flag.String)
 	)
 	flag.Parse()
+
+	if _, _, err := topoWorkload(*topoFlag); err != nil {
+		fmt.Fprintln(os.Stderr, "tahoe-sweep:", err)
+		return 2
+	}
 
 	buffers, err := parseInts(*buffersFlag)
 	if err != nil {
@@ -79,6 +91,7 @@ func run() int {
 		Taus: taus, Buffers: buffers,
 		Duration: *duration, Warmup: *warmup,
 		Seed: *seed, Parallel: *parallel,
+		Topology: *topoFlag,
 	})
 	w.Flush()
 	return 0
@@ -92,23 +105,75 @@ type sweepOptions struct {
 	Warmup   time.Duration
 	Seed     int64
 	Parallel int
+	// Topology selects the swept network: "" or "dumbbell" for the
+	// classic two-switch line, "chain:N", or "parking-lot:H".
+	Topology string
+}
+
+// topoWorkload resolves a -topology spec into an optional explicit graph
+// and the connection set run at every grid point. Connections 0 and 1
+// are always the end-to-end two-way pair the sync columns report on;
+// parking-lot adds one single-hop cross connection per trunk after them.
+func topoWorkload(spec string) (*tahoedyn.Graph, []tahoedyn.ConnSpec, error) {
+	pair := func(a, b int) []tahoedyn.ConnSpec {
+		return []tahoedyn.ConnSpec{
+			{SrcHost: a, DstHost: b, Start: -1},
+			{SrcHost: b, DstHost: a, Start: -1},
+		}
+	}
+	name, arg, hasArg := strings.Cut(spec, ":")
+	n := 0
+	if hasArg {
+		var err error
+		if n, err = strconv.Atoi(arg); err != nil {
+			return nil, nil, fmt.Errorf("bad -topology size %q", arg)
+		}
+	}
+	switch name {
+	case "", "dumbbell":
+		if hasArg {
+			return nil, nil, fmt.Errorf("-topology dumbbell takes no size")
+		}
+		return nil, pair(0, 1), nil
+	case "chain":
+		if n < 2 {
+			return nil, nil, fmt.Errorf("-topology chain:N needs N >= 2")
+		}
+		g := tahoedyn.ChainTopology(n)
+		return &g, pair(0, n-1), nil
+	case "parking-lot":
+		if n < 1 {
+			return nil, nil, fmt.Errorf("-topology parking-lot:H needs H >= 1")
+		}
+		g := tahoedyn.ParkingLotTopology(n)
+		conns := pair(0, n)
+		for h := 0; h < n; h++ {
+			conns = append(conns, tahoedyn.ConnSpec{SrcHost: h, DstHost: h + 1, Start: -1})
+		}
+		return &g, conns, nil
+	default:
+		return nil, nil, fmt.Errorf("unknown -topology %q (want dumbbell, chain:N, or parking-lot:H)", spec)
+	}
 }
 
 // sweep runs the (tau, buffer) grid on a worker pool and writes the
 // report. All output goes through w so tests can assert byte-identical
 // results across worker counts.
 func sweep(w io.Writer, opts sweepOptions) {
+	graph, conns, err := topoWorkload(opts.Topology)
+	if err != nil {
+		fmt.Fprintln(w, "tahoe-sweep:", err)
+		return
+	}
 	var cfgs []tahoedyn.Config
 	for _, tau := range opts.Taus {
 		for _, b := range opts.Buffers {
 			cfg := tahoedyn.Dumbbell(tau, b)
+			cfg.Topology = graph
 			cfg.Seed = opts.Seed
 			cfg.Warmup = opts.Warmup
 			cfg.Duration = opts.Duration
-			cfg.Conns = []tahoedyn.ConnSpec{
-				{SrcHost: 0, DstHost: 1, Start: -1},
-				{SrcHost: 1, DstHost: 0, Start: -1},
-			}
+			cfg.Conns = append([]tahoedyn.ConnSpec(nil), conns...)
 			cfgs = append(cfgs, cfg)
 		}
 	}

@@ -1,0 +1,50 @@
+package analysis
+
+import (
+	"time"
+
+	"tahoedyn/internal/trace"
+)
+
+// FirstAbove returns the first time in [from, to] at which the series
+// reaches or exceeds the threshold, and whether such a crossing exists.
+// It is the wavefront detector of the congestion-wave experiments: with
+// threshold = pre-pulse baseline + margin, the returned time is when a
+// hop's queue first feels the pulse.
+func FirstAbove(s *trace.Series, from, to time.Duration, threshold float64) (time.Duration, bool) {
+	for _, p := range s.Points {
+		if p.T < from {
+			continue
+		}
+		if p.T > to {
+			break
+		}
+		if p.V >= threshold {
+			return p.T, true
+		}
+	}
+	return 0, false
+}
+
+// ArgMax returns the time and value of the series' maximum over
+// [from, to]. Ties go to the earliest sample; a window with no samples
+// returns (0, 0).
+func ArgMax(s *trace.Series, from, to time.Duration) (time.Duration, float64) {
+	var (
+		bestT time.Duration
+		bestV float64
+		found bool
+	)
+	for _, p := range s.Points {
+		if p.T < from {
+			continue
+		}
+		if p.T > to {
+			break
+		}
+		if !found || p.V > bestV {
+			bestT, bestV, found = p.T, p.V, true
+		}
+	}
+	return bestT, bestV
+}

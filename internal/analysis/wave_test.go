@@ -1,0 +1,50 @@
+package analysis
+
+import (
+	"testing"
+	"time"
+
+	"tahoedyn/internal/trace"
+)
+
+func waveSeries() *trace.Series {
+	s := trace.NewSeries("q")
+	for i, v := range []float64{1, 1, 2, 5, 9, 7, 3, 1} {
+		s.Append(time.Duration(i)*time.Second, v)
+	}
+	return s
+}
+
+func TestFirstAbove(t *testing.T) {
+	s := waveSeries()
+	got, ok := FirstAbove(s, 0, 10*time.Second, 5)
+	if !ok || got != 3*time.Second {
+		t.Fatalf("FirstAbove(5) = %v, %v", got, ok)
+	}
+	// Window start excludes earlier crossings.
+	got, ok = FirstAbove(s, 4*time.Second, 10*time.Second, 5)
+	if !ok || got != 4*time.Second {
+		t.Fatalf("FirstAbove(5) from 4s = %v, %v", got, ok)
+	}
+	if _, ok = FirstAbove(s, 0, 10*time.Second, 100); ok {
+		t.Fatal("threshold above the series should not be found")
+	}
+	if _, ok = FirstAbove(s, 6*time.Second, 7*time.Second, 5); ok {
+		t.Fatal("crossing outside the window should not be found")
+	}
+}
+
+func TestArgMax(t *testing.T) {
+	s := waveSeries()
+	at, v := ArgMax(s, 0, 10*time.Second)
+	if at != 4*time.Second || v != 9 {
+		t.Fatalf("ArgMax = %v, %v", at, v)
+	}
+	at, v = ArgMax(s, 5*time.Second, 10*time.Second)
+	if at != 5*time.Second || v != 7 {
+		t.Fatalf("windowed ArgMax = %v, %v", at, v)
+	}
+	if at, v = ArgMax(s, 20*time.Second, 30*time.Second); at != 0 || v != 0 {
+		t.Fatalf("empty-window ArgMax = %v, %v", at, v)
+	}
+}

@@ -1,15 +1,18 @@
 // Package core assembles the paper's network configurations and runs
-// them: it is the reproduction's scenario engine. A scenario is a line
-// of switches (two for the Figure-1 dumbbell, four for the §5 topology
-// from [19]) with one host per switch, a set of TCP connections between
-// hosts, and a measurement window. Running a scenario yields the traces
-// and statistics the paper's figures are drawn from.
+// them: it is the reproduction's scenario engine. A scenario is a
+// network topology — by default a line of switches (two for the
+// Figure-1 dumbbell, four for the §5 topology from [19]) with one host
+// per switch, or any graph described by Config.Topology — plus a set of
+// TCP connections between hosts and a measurement window. Running a
+// scenario yields the traces and statistics the paper's figures are
+// drawn from.
 package core
 
 import (
 	"time"
 
 	"tahoedyn/internal/link"
+	"tahoedyn/internal/topology"
 )
 
 // Discard selects the switch overflow policy.
@@ -89,8 +92,16 @@ type ConnSpec struct {
 // use the With* helpers or fill the fields and call Normalize.
 type Config struct {
 	// Switches is the number of switches on the line (>= 2). Host i
-	// hangs off switch i.
+	// hangs off switch i. Ignored (and overwritten by Normalize) when
+	// Topology is set.
 	Switches int
+	// Topology, when non-nil, replaces the default switch line with an
+	// arbitrary graph: duplex links with per-link bandwidth/delay/buffer
+	// overrides, explicit host placement, and static shortest-path
+	// routing (see internal/topology). Zero-valued link parameters
+	// inherit the Trunk*/Buffer defaults below. Connection host indices
+	// refer to the topology's host list.
+	Topology *topology.Graph
 	// TrunkBandwidth and TrunkDelay describe every switch-switch line;
 	// TrunkDelay is the paper's propagation delay τ.
 	TrunkBandwidth int64
@@ -158,11 +169,18 @@ func DumbbellConfig(tau time.Duration, buffer int) Config {
 // configuration, panicking on nonsense (this is construction-time
 // programmer error, not runtime input).
 func (c *Config) Normalize() {
-	if c.Switches == 0 {
-		c.Switches = 2
-	}
-	if c.Switches < 2 {
-		panic("core: a scenario needs at least 2 switches")
+	if c.Topology != nil {
+		if c.Topology.Switches < 1 {
+			panic("core: topology has no switches")
+		}
+		c.Switches = c.Topology.Switches
+	} else {
+		if c.Switches == 0 {
+			c.Switches = 2
+		}
+		if c.Switches < 2 {
+			panic("core: a scenario needs at least 2 switches")
+		}
 	}
 	if c.TrunkBandwidth == 0 {
 		c.TrunkBandwidth = DefaultTrunkBandwidth
@@ -197,6 +215,7 @@ func (c *Config) Normalize() {
 	if len(c.Conns) == 0 {
 		panic("core: no connections configured")
 	}
+	hosts := c.HostCount()
 	for i := range c.Conns {
 		s := &c.Conns[i]
 		if s.MaxWnd == 0 {
@@ -205,10 +224,61 @@ func (c *Config) Normalize() {
 		if s.SrcHost == s.DstHost {
 			panic("core: connection src == dst")
 		}
-		if s.SrcHost < 0 || s.SrcHost >= c.Switches || s.DstHost < 0 || s.DstHost >= c.Switches {
+		if s.SrcHost < 0 || s.SrcHost >= hosts || s.DstHost < 0 || s.DstHost >= hosts {
 			panic("core: connection host index out of range")
 		}
 	}
+}
+
+// HostCount returns the number of hosts the scenario will build: the
+// topology's host list, or one host per switch when no explicit
+// topology (or no host list) is given.
+func (c *Config) HostCount() int {
+	if c.Topology != nil && len(c.Topology.Hosts) > 0 {
+		return len(c.Topology.Hosts)
+	}
+	if c.Topology != nil {
+		return c.Topology.Switches
+	}
+	if c.Switches == 0 {
+		return 2
+	}
+	return c.Switches
+}
+
+// Graph returns the effective topology graph: the explicit Topology,
+// or the default line of Switches switches with one host each.
+func (c *Config) Graph() topology.Graph {
+	if c.Topology != nil {
+		return *c.Topology
+	}
+	n := c.Switches
+	if n == 0 {
+		n = 2
+	}
+	return topology.Chain(n)
+}
+
+// CompileTopology resolves the effective graph against this
+// configuration's trunk defaults and computes the forwarding tables.
+// Build calls it (panicking on error, as for any construction-time
+// programmer error); tahoe-sim -validate calls it directly to surface
+// topology problems as ordinary errors.
+func (c *Config) CompileTopology() (*topology.Compiled, error) {
+	bw := c.TrunkBandwidth
+	if bw == 0 {
+		bw = DefaultTrunkBandwidth
+	}
+	size := c.DataSize
+	if size == 0 {
+		size = DefaultDataSize
+	}
+	return c.Graph().Compile(topology.Defaults{
+		Bandwidth: bw,
+		Delay:     c.TrunkDelay,
+		Buffer:    c.Buffer,
+		DataSize:  size,
+	})
 }
 
 // PipeSize returns the paper's pipe size P = μτ/M: the number of data

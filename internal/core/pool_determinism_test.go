@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"tahoedyn/internal/plot"
+	"tahoedyn/internal/topology"
 	"tahoedyn/internal/trace"
 )
 
@@ -23,65 +24,101 @@ func twoWay(tau time.Duration) Config {
 	return cfg
 }
 
-// tsvOf renders the run's headline series — both bottleneck queues and
-// both congestion windows — exactly as the figure pipeline would.
+// parkingLotShort is a multi-bottleneck configuration: the classic
+// 3-hop parking lot — one long connection across every trunk against
+// one single-hop cross connection per trunk — at reduced duration.
+func parkingLotShort() Config {
+	g := topology.ParkingLot(3)
+	cfg := Config{
+		Topology:   &g,
+		TrunkDelay: 10 * time.Millisecond,
+		Buffer:     DefaultBuffer,
+		Seed:       1,
+	}
+	cfg.Conns = []ConnSpec{
+		{SrcHost: 0, DstHost: 3, Start: -1},
+		{SrcHost: 0, DstHost: 1, Start: -1},
+		{SrcHost: 1, DstHost: 2, Start: -1},
+		{SrcHost: 2, DstHost: 3, Start: -1},
+	}
+	cfg.Warmup = 20 * time.Second
+	cfg.Duration = 80 * time.Second
+	return cfg
+}
+
+// tsvOf renders the run's headline series — every trunk queue in both
+// directions and every congestion window — exactly as the figure
+// pipeline would.
 func tsvOf(t *testing.T, res *Result) string {
 	t.Helper()
+	var series []*trace.Series
+	for i := range res.TrunkQueue {
+		series = append(series, res.TrunkQueue[i][0], res.TrunkQueue[i][1])
+	}
+	series = append(series, res.Cwnd...)
 	var sb strings.Builder
-	err := plot.TSV(&sb, res.MeasureFrom, res.MeasureTo, 100*time.Millisecond,
-		res.Q1(), res.Q2(), res.Cwnd[0], res.Cwnd[1])
+	err := plot.TSV(&sb, res.MeasureFrom, res.MeasureTo, 100*time.Millisecond, series...)
 	if err != nil {
 		t.Fatalf("TSV: %v", err)
 	}
 	return sb.String()
 }
 
+// assertRunsIdentical asserts two runs produced the same physics:
+// byte-identical plot output and identical traces, drop logs, stats,
+// and event counts.
+func assertRunsIdentical(t *testing.T, a, b *Result) {
+	t.Helper()
+	if got, want := tsvOf(t, a), tsvOf(t, b); got != want {
+		t.Fatal("TSV output differs")
+	}
+	if !reflect.DeepEqual(a.Drops, b.Drops) {
+		t.Fatalf("drop logs differ: %d vs %d events", len(a.Drops), len(b.Drops))
+	}
+	if !reflect.DeepEqual(a.TrunkDeps, b.TrunkDeps) {
+		t.Fatal("trunk departure logs differ")
+	}
+	if !reflect.DeepEqual(a.SenderStats, b.SenderStats) ||
+		!reflect.DeepEqual(a.ReceiverStats, b.ReceiverStats) {
+		t.Fatal("endpoint stats differ")
+	}
+	if !reflect.DeepEqual(a.Delivered, b.Delivered) {
+		t.Fatalf("delivered = %v vs %v", a.Delivered, b.Delivered)
+	}
+	if !reflect.DeepEqual(a.TrunkUtil, b.TrunkUtil) {
+		t.Fatalf("utilization = %v vs %v", a.TrunkUtil, b.TrunkUtil)
+	}
+	if a.Events != b.Events {
+		t.Fatalf("events = %d vs %d", a.Events, b.Events)
+	}
+	for k := range a.RTT {
+		if !seriesEqual(a.RTT[k], b.RTT[k]) {
+			t.Fatalf("RTT series %d differ", k)
+		}
+	}
+}
+
 // Pooling must be invisible to the physics: a pooled run and a
 // NoPool run of the same configuration produce byte-identical plot
 // output and identical traces, drop logs, stats, and event counts.
-// This covers both paper modes: out-of-phase (Figs. 4–5, τ=10 ms)
-// and in-phase (Figs. 6–7, τ=1 s).
+// This covers both paper modes — out-of-phase (Figs. 4–5, τ=10 ms) and
+// in-phase (Figs. 6–7, τ=1 s) — plus a multi-bottleneck parking-lot
+// topology run.
 func TestPooledRunsAreByteIdentical(t *testing.T) {
 	cases := []struct {
 		name string
-		tau  time.Duration
+		cfg  func() Config
 	}{
-		{"fig4-5-out-of-phase", 10 * time.Millisecond},
-		{"fig6-7-in-phase", time.Second},
+		{"fig4-5-out-of-phase", func() Config { return twoWay(10 * time.Millisecond) }},
+		{"fig6-7-in-phase", func() Config { return twoWay(time.Second) }},
+		{"parking-lot-multibottleneck", parkingLotShort},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			pooled := twoWay(tc.tau)
-			plain := twoWay(tc.tau)
+			pooled := tc.cfg()
+			plain := tc.cfg()
 			plain.NoPool = true
-			a := Run(pooled)
-			b := Run(plain)
-
-			if got, want := tsvOf(t, a), tsvOf(t, b); got != want {
-				t.Fatal("pooled and non-pooled TSV output differ")
-			}
-			if !reflect.DeepEqual(a.Drops, b.Drops) {
-				t.Fatalf("drop logs differ: %d vs %d events", len(a.Drops), len(b.Drops))
-			}
-			if !reflect.DeepEqual(a.TrunkDeps, b.TrunkDeps) {
-				t.Fatal("trunk departure logs differ")
-			}
-			if !reflect.DeepEqual(a.SenderStats, b.SenderStats) ||
-				!reflect.DeepEqual(a.ReceiverStats, b.ReceiverStats) {
-				t.Fatal("endpoint stats differ")
-			}
-			if !reflect.DeepEqual(a.Delivered, b.Delivered) {
-				t.Fatalf("delivered = %v vs %v", a.Delivered, b.Delivered)
-			}
-			if !reflect.DeepEqual(a.TrunkUtil, b.TrunkUtil) {
-				t.Fatalf("utilization = %v vs %v", a.TrunkUtil, b.TrunkUtil)
-			}
-			if a.Events != b.Events {
-				t.Fatalf("events = %d vs %d", a.Events, b.Events)
-			}
-			if !seriesEqual(a.RTT[0], b.RTT[0]) || !seriesEqual(a.RTT[1], b.RTT[1]) {
-				t.Fatal("RTT series differ")
-			}
+			assertRunsIdentical(t, Run(pooled), Run(plain))
 		})
 	}
 }

@@ -10,6 +10,7 @@ import (
 	"tahoedyn/internal/packet"
 	"tahoedyn/internal/sim"
 	"tahoedyn/internal/tcp"
+	"tahoedyn/internal/topology"
 	"tahoedyn/internal/trace"
 )
 
@@ -20,10 +21,14 @@ type CollapseEvent struct {
 }
 
 // Result carries everything a scenario run produced. Trunk index i is
-// the line between switch i and switch i+1; direction 0 is rightward
-// (toward higher host indices), direction 1 leftward.
+// topology link i — for line topologies, the line between switch i and
+// switch i+1 — and direction 0 transmits A→B (rightward on a line),
+// direction 1 B→A (leftward).
 type Result struct {
 	Cfg Config
+	// Topo is the compiled topology the run was built from: resolved
+	// link parameters, host placement, and forwarding tables.
+	Topo *topology.Compiled
 
 	// TrunkQueue[i][dir] is the queue-length series of the port feeding
 	// trunk i in the given direction. For the dumbbell, TrunkQueue[0][0]
@@ -182,6 +187,10 @@ func (s *Sim) Finish() *Result {
 // events yet.
 func Build(cfg Config) *Sim {
 	cfg.Normalize()
+	topo, err := cfg.CompileTopology()
+	if err != nil {
+		panic("core: " + err.Error())
+	}
 	eng := sim.New()
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	ids := &tcp.IDGen{}
@@ -195,24 +204,32 @@ func Build(cfg Config) *Sim {
 
 	res := &Result{
 		Cfg:         cfg,
+		Topo:        topo,
 		MeasureFrom: cfg.Warmup,
 		MeasureTo:   cfg.Duration,
 	}
 
-	// Build hosts and switches along the line.
-	n := cfg.Switches
-	hosts := make([]*node.Host, n)
-	switches := make([]*node.Switch, n)
-	for i := 0; i < n; i++ {
-		hosts[i] = node.NewHost(eng, i+1, cfg.HostProcessing)
+	// Build the switches and the hosts at their attachment points. Host
+	// h gets ID h+1, the identifier packets carry in Src/Dst.
+	nSw := topo.Switches
+	nh := topo.NumHosts()
+	switches := make([]*node.Switch, nSw)
+	for i := 0; i < nSw; i++ {
 		switches[i] = node.NewSwitch(i)
+	}
+	hosts := make([]*node.Host, nh)
+	for h := 0; h < nh; h++ {
+		hosts[h] = node.NewHost(eng, h+1, cfg.HostProcessing)
 	}
 
 	// Host <-> switch access links. The host's own interface buffer is
 	// unbounded (a source may always burst into its own NIC); the
 	// switch's port toward the host uses the switch buffer, per §2.2.
 	// portRand derives an independent, reproducible RNG per switch port
-	// for the RandomDrop policy.
+	// for the RandomDrop policy. Port creation order — host access ports
+	// in host order, then trunk ports in link order, forward direction
+	// first — is part of the determinism contract: it fixes the RNG
+	// draw sequence.
 	portRand := func() *rand.Rand {
 		if cfg.Discard != RandomDrop {
 			return nil
@@ -220,17 +237,18 @@ func Build(cfg Config) *Sim {
 		return rand.New(rand.NewSource(rng.Int63()))
 	}
 
-	for i := 0; i < n; i++ {
+	for h := 0; h < nh; h++ {
+		sw := topo.HostSwitch(h)
 		up := link.NewPort(eng, link.Config{
-			Name:      fmt.Sprintf("h%d->sw%d", i+1, i),
+			Name:      fmt.Sprintf("h%d->sw%d", h+1, sw),
 			Bandwidth: cfg.AccessBandwidth,
 			Delay:     cfg.AccessDelay,
 			Buffer:    queueUnbounded,
 			Pool:      pool,
-		}, switches[i])
-		hosts[i].SetOutput(up)
+		}, switches[sw])
+		hosts[h].SetOutput(up)
 		down := link.NewPort(eng, link.Config{
-			Name:       fmt.Sprintf("sw%d->h%d", i, i+1),
+			Name:       fmt.Sprintf("sw%d->h%d", sw, h+1),
 			Bandwidth:  cfg.AccessBandwidth,
 			Delay:      cfg.AccessDelay,
 			Buffer:     cfg.Buffer,
@@ -238,53 +256,54 @@ func Build(cfg Config) *Sim {
 			Rand:       portRand(),
 			Discipline: cfg.Discipline,
 			Pool:       pool,
-		}, hosts[i])
-		switches[i].AddRoute(i+1, down)
+		}, hosts[h])
+		switches[sw].AddRoute(h+1, down)
 		instrumentDrops(eng, down, res)
 	}
 
-	// Trunk links between adjacent switches, instrumented. Trace
+	// Trunk ports, one pair per topology link, instrumented. Trace
 	// containers are presized from the run length so the measurement
 	// path appends without reallocating mid-run.
 	estPkts := estTrunkPackets(cfg)
-	trunks := make([][2]*link.Port, n-1)
-	res.TrunkQueue = make([][2]*trace.Series, n-1)
-	res.TrunkDeps = make([][2][]trace.Departure, n-1)
-	res.TrunkUtil = make([][2]float64, n-1)
-	for i := 0; i < n-1; i++ {
-		right := link.NewPort(eng, link.Config{
-			Name:       fmt.Sprintf("sw%d->sw%d", i, i+1),
-			Bandwidth:  cfg.TrunkBandwidth,
-			Delay:      cfg.TrunkDelay,
-			Buffer:     cfg.Buffer,
+	nl := len(topo.Links)
+	trunks := make([][2]*link.Port, nl)
+	res.TrunkQueue = make([][2]*trace.Series, nl)
+	res.TrunkDeps = make([][2][]trace.Departure, nl)
+	res.TrunkUtil = make([][2]float64, nl)
+	for li, l := range topo.Links {
+		fwd := link.NewPort(eng, link.Config{
+			Name:       fmt.Sprintf("sw%d->sw%d", l.A, l.B),
+			Bandwidth:  l.Bandwidth,
+			Delay:      l.Delay,
+			Buffer:     l.Buffer,
 			Discard:    cfg.Discard,
 			Rand:       portRand(),
 			Discipline: cfg.Discipline,
 			Pool:       pool,
-		}, switches[i+1])
-		left := link.NewPort(eng, link.Config{
-			Name:       fmt.Sprintf("sw%d->sw%d", i+1, i),
-			Bandwidth:  cfg.TrunkBandwidth,
-			Delay:      cfg.TrunkDelay,
-			Buffer:     cfg.Buffer,
+		}, switches[l.B])
+		rev := link.NewPort(eng, link.Config{
+			Name:       fmt.Sprintf("sw%d->sw%d", l.B, l.A),
+			Bandwidth:  l.Bandwidth,
+			Delay:      l.Delay,
+			Buffer:     l.Buffer,
 			Discard:    cfg.Discard,
 			Rand:       portRand(),
 			Discipline: cfg.Discipline,
 			Pool:       pool,
-		}, switches[i])
-		trunks[i] = [2]*link.Port{right, left}
-		for dir, pt := range trunks[i] {
-			i, dir, pt := i, dir, pt
+		}, switches[l.A])
+		trunks[li] = [2]*link.Port{fwd, rev}
+		for dir, pt := range trunks[li] {
+			li, dir, pt := li, dir, pt
 			// One queue-length point per accepted arrival and per
 			// departure; the trunk carries roughly one direction's data
 			// plus the other's ACKs.
 			s := trace.NewSeriesCap(pt.Name(), clampReserve(4*estPkts))
 			s.Append(0, 0)
-			res.TrunkQueue[i][dir] = s
+			res.TrunkQueue[li][dir] = s
 			pt.OnQueueLen = func(qlen int) { s.Append(eng.Now(), float64(qlen)) }
-			res.TrunkDeps[i][dir] = make([]trace.Departure, 0, clampReserve(2*estPkts))
+			res.TrunkDeps[li][dir] = make([]trace.Departure, 0, clampReserve(2*estPkts))
 			pt.OnDepart = func(p *packet.Packet) {
-				res.TrunkDeps[i][dir] = append(res.TrunkDeps[i][dir], trace.Departure{
+				res.TrunkDeps[li][dir] = append(res.TrunkDeps[li][dir], trace.Departure{
 					T: eng.Now(), Conn: p.Conn, Kind: p.Kind, Seq: p.Seq,
 				})
 			}
@@ -292,17 +311,17 @@ func Build(cfg Config) *Sim {
 		}
 	}
 
-	// Routing along the line: right for higher host IDs, left for lower.
-	for i := 0; i < n; i++ {
-		for h := 0; h < n; h++ {
-			if h == i {
+	// Forwarding tables from the compiled shortest-path routes: at each
+	// switch, traffic for a non-local host leaves on the computed
+	// next-hop link direction (local hosts' access routes were added
+	// above).
+	for s := 0; s < nSw; s++ {
+		for h := 0; h < nh; h++ {
+			hop, isLocal := topo.NextHop(s, h)
+			if isLocal {
 				continue
 			}
-			if h > i {
-				switches[i].AddRoute(h+1, trunks[i][0])
-			} else {
-				switches[i].AddRoute(h+1, trunks[i-1][1])
-			}
+			switches[s].AddRoute(h+1, trunks[hop.Link][hop.Dir])
 		}
 	}
 

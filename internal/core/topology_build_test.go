@@ -1,0 +1,150 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"tahoedyn/internal/topology"
+)
+
+// TestDumbbellAsTopologyBitIdentical is the acceptance gate for the
+// topology layer: expressing the default line through an explicit
+// topology.Graph must change nothing — same traces, drops, stats, and
+// event counts, byte for byte. Covers both §4 phase modes and the
+// four-switch line of [19].
+func TestDumbbellAsTopologyBitIdentical(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  func() Config
+	}{
+		{"fig4-5-out-of-phase", func() Config { return twoWay(10 * time.Millisecond) }},
+		{"fig6-7-in-phase", func() Config { return twoWay(time.Second) }},
+		{"four-switch-line", func() Config {
+			cfg := Config{
+				Switches:   4,
+				TrunkDelay: 10 * time.Millisecond,
+				Buffer:     30,
+				Seed:       1,
+				Warmup:     20 * time.Second,
+				Duration:   80 * time.Second,
+			}
+			cfg.Conns = []ConnSpec{
+				{SrcHost: 0, DstHost: 3, Start: -1},
+				{SrcHost: 3, DstHost: 0, Start: -1},
+				{SrcHost: 1, DstHost: 2, Start: -1},
+			}
+			return cfg
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			implicit := tc.cfg()
+			explicit := tc.cfg()
+			g := topology.Chain(implicit.HostCount())
+			explicit.Topology = &g
+			explicit.Switches = 0 // must be derived from the graph
+			assertRunsIdentical(t, Run(implicit), Run(explicit))
+		})
+	}
+}
+
+// TestTopologyRunsAreSeedDeterministic locks the new-workload guarantee:
+// the same multi-bottleneck configuration and seed always produce
+// byte-identical traces.
+func TestTopologyRunsAreSeedDeterministic(t *testing.T) {
+	a := Run(parkingLotShort())
+	b := Run(parkingLotShort())
+	assertRunsIdentical(t, a, b)
+}
+
+// TestParkingLotSharesBottlenecks sanity-checks the multi-bottleneck
+// build: a parking-lot run must exercise every trunk (traffic and
+// queueing on each hop) and route the long connection across all three.
+func TestParkingLotSharesBottlenecks(t *testing.T) {
+	cfg := parkingLotShort()
+	res := Run(cfg)
+	if len(res.TrunkQueue) != 3 {
+		t.Fatalf("trunks = %d, want 3", len(res.TrunkQueue))
+	}
+	if got := res.Topo.PathHops(0, 3); got != 3 {
+		t.Fatalf("long-path hops = %d, want 3", got)
+	}
+	for i := range res.TrunkUtil {
+		if u := res.TrunkUtil[i][0]; u < 0.5 {
+			t.Errorf("trunk %d forward utilization = %.2f, want busy", i, u)
+		}
+		if res.TrunkQueue[i][0].Max(res.MeasureFrom, res.MeasureTo) < 2 {
+			t.Errorf("trunk %d queue never built", i)
+		}
+	}
+	for k, g := range res.Goodput {
+		if g <= 0 {
+			t.Errorf("connection %d made no progress", k+1)
+		}
+	}
+}
+
+// TestMultipleHostsPerSwitchRuns exercises explicit host placement: two
+// sources on switch 0 sharing the dumbbell against one sink host.
+func TestMultipleHostsPerSwitchRuns(t *testing.T) {
+	g := topology.Graph{
+		Switches: 2,
+		Links:    []topology.LinkSpec{{A: 0, B: 1}},
+		Hosts:    []topology.HostSpec{{Switch: 0}, {Switch: 0}, {Switch: 1}},
+	}
+	cfg := Config{
+		Topology:   &g,
+		TrunkDelay: 10 * time.Millisecond,
+		Buffer:     DefaultBuffer,
+		Seed:       1,
+		Warmup:     10 * time.Second,
+		Duration:   40 * time.Second,
+	}
+	cfg.Conns = []ConnSpec{
+		{SrcHost: 0, DstHost: 2, Start: -1},
+		{SrcHost: 1, DstHost: 2, Start: -1},
+	}
+	res := Run(cfg)
+	if res.UtilForward() < 0.9 {
+		t.Fatalf("bottleneck utilization = %.2f, want saturated", res.UtilForward())
+	}
+	if res.Goodput[0] <= 0 || res.Goodput[1] <= 0 {
+		t.Fatalf("goodput = %v", res.Goodput)
+	}
+}
+
+// TestPerLinkOverridesRespected gives the middle link of a chain a
+// tenth of the default bandwidth; it must become the lone bottleneck.
+func TestPerLinkOverridesRespected(t *testing.T) {
+	g := topology.Graph{
+		Switches: 3,
+		Links: []topology.LinkSpec{
+			{A: 0, B: 1, Bandwidth: 500_000},
+			{A: 1, B: 2}, // default 50 Kbps: the bottleneck
+		},
+	}
+	cfg := Config{
+		Topology:   &g,
+		TrunkDelay: 10 * time.Millisecond,
+		Buffer:     DefaultBuffer,
+		Seed:       1,
+		Warmup:     10 * time.Second,
+		Duration:   40 * time.Second,
+	}
+	cfg.Conns = []ConnSpec{{SrcHost: 0, DstHost: 2, Start: -1}}
+	res := Run(cfg)
+	if bw := res.Topo.Links[0].Bandwidth; bw != 500_000 {
+		t.Fatalf("link 0 bandwidth = %d", bw)
+	}
+	slow, fast := res.TrunkUtil[1][0], res.TrunkUtil[0][0]
+	if slow < 0.9 {
+		t.Errorf("bottleneck link utilization = %.2f, want saturated", slow)
+	}
+	if fast > 0.5 {
+		t.Errorf("fast link utilization = %.2f, want mostly idle", fast)
+	}
+	if res.TrunkQueue[0][0].Max(res.MeasureFrom, res.MeasureTo) >
+		res.TrunkQueue[1][0].Max(res.MeasureFrom, res.MeasureTo) {
+		t.Error("queue built at the fast link instead of the bottleneck")
+	}
+}

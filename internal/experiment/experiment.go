@@ -164,6 +164,8 @@ func All() []Definition {
 		{"four-switch", "Four-switch topology from [19] (§5)", FourSwitchTopology},
 		{"unequal-rtt", "Unequal RTTs break complete clustering (§5)", UnequalRTTStudy},
 		{"pacing-ablation", "Paced sender ablation (§3.1 conjecture)", PacingAblation},
+		{"parking-lot", "Parking-lot fairness across 3 bottlenecks (extension)", ParkingLotFairness},
+		{"congestion-wave", "Congestion-wave propagation down a 4-bottleneck chain (extension)", CongestionWaveProbe},
 		{"reno", "Reno fast recovery: phenomena outlive Tahoe (extension)", RenoTwoWay},
 		{"random-drop", "Random Drop gateways vs drop-tail (extension)", RandomDropStudy},
 		{"fair-queueing", "Fair Queueing cures ACK-compression (extension)", FairQueueStudy},

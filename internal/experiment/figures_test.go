@@ -147,6 +147,25 @@ func TestFairQueueStudy(t *testing.T) {
 	runAndCheck(t, "fair-queueing")
 }
 
+func TestParkingLotFairness(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale experiment")
+	}
+	runAndCheck(t, "parking-lot")
+}
+
+func TestCongestionWaveProbe(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale experiment")
+	}
+	o := runAndCheck(t, "congestion-wave")
+	// The acceptance criterion: the wave must be seen propagating across
+	// at least 3 bottleneck hops (here all 4).
+	if len(o.Series) < 3 {
+		t.Fatalf("wave experiment exposes %d hop series, want >= 3", len(o.Series))
+	}
+}
+
 // Every experiment must at least run and produce metrics at tiny scale —
 // the smoke path exercised even with -short skipped full runs.
 func TestAllExperimentsSmoke(t *testing.T) {

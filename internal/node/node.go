@@ -25,33 +25,53 @@ type Handler interface {
 }
 
 // Switch forwards packets toward their destination host. Forwarding is
-// instantaneous; all queueing happens in the output ports.
+// instantaneous; all queueing happens in the output ports. The
+// forwarding table is a dense slice indexed by destination host ID —
+// host IDs are small consecutive integers, so the per-packet lookup is
+// a bounds check, not a map probe — and is populated from the compiled
+// topology's next-hop computation (or directly via AddRoute).
 type Switch struct {
-	id     int
-	routes map[int]*link.Port
+	id    int
+	table []*link.Port
 }
 
-// NewSwitch returns a switch with no routes.
+// NewSwitch returns a switch with an empty forwarding table.
 func NewSwitch(id int) *Switch {
-	return &Switch{id: id, routes: make(map[int]*link.Port)}
+	return &Switch{id: id}
 }
 
 // ID returns the switch identifier.
 func (s *Switch) ID() int { return s.id }
 
-// AddRoute directs packets destined for host dst out the given port.
+// AddRoute directs packets destined for host dst out the given port,
+// replacing any previous route for dst.
 func (s *Switch) AddRoute(dst int, out *link.Port) {
-	s.routes[dst] = out
+	if dst < 0 {
+		panic(fmt.Sprintf("switch %d: negative route destination %d", s.id, dst))
+	}
+	for dst >= len(s.table) {
+		s.table = append(s.table, nil)
+	}
+	s.table[dst] = out
+}
+
+// Route returns the output port for host dst, or nil if none is set.
+// It exists for forwarding-table inspection (tests, tahoe-sim
+// -validate); the hot path is Deliver.
+func (s *Switch) Route(dst int) *link.Port {
+	if dst < 0 || dst >= len(s.table) {
+		return nil
+	}
+	return s.table[dst]
 }
 
 // Deliver implements link.Receiver: look up the output port for the
 // packet's destination and enqueue it there.
 func (s *Switch) Deliver(p *packet.Packet) {
-	out, ok := s.routes[p.Dst]
-	if !ok {
+	if p.Dst < 0 || p.Dst >= len(s.table) || s.table[p.Dst] == nil {
 		panic(fmt.Sprintf("switch %d: no route to host %d for %v", s.id, p.Dst, p))
 	}
-	out.Send(p)
+	s.table[p.Dst].Send(p)
 }
 
 // Host terminates TCP connections. Incoming packets are charged the

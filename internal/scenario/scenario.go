@@ -4,21 +4,30 @@
 // downstream users can keep scenarios in files instead of Go code:
 //
 //	tahoe-sim -config two-way.json
+//
+// Encoding is canonical: Encode always produces the same bytes for the
+// same File, and Decode∘Encode is a fixed point on canonical files. The
+// golden tests pin the shipped scenarios to this form.
 package scenario
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
 	"time"
 
 	"tahoedyn/internal/core"
+	"tahoedyn/internal/topology"
 )
 
 // File is the JSON representation of a core.Config.
 type File struct {
-	// Switches on the line; 0 means 2 (the dumbbell).
+	// Switches on the line; 0 means 2 (the dumbbell). Ignored when
+	// Topology is set.
 	Switches int `json:"switches,omitempty"`
+	// Topology replaces the default switch line with an arbitrary graph.
+	Topology *Topology `json:"topology,omitempty"`
 	// TrunkBandwidth in bits/s; 0 means the paper's 50000.
 	TrunkBandwidth int64 `json:"trunk_bandwidth,omitempty"`
 	// TrunkDelay is the propagation delay τ, e.g. "10ms".
@@ -34,11 +43,14 @@ type File struct {
 	Discard string `json:"discard,omitempty"`
 	// Discipline is "fifo" (default) or "fair-queue".
 	Discipline string `json:"discipline,omitempty"`
-	// DataSize/AckSize in bytes; zero DataSize means 500. AckSize zero
-	// is honored as written only when AckSizeZero is set, because the
-	// JSON zero value must still default to 50.
-	DataSize    int  `json:"data_size,omitempty"`
-	AckSize     int  `json:"ack_size,omitempty"`
+	// DataSize/AckSize in bytes; zero DataSize means 500. AckSize is a
+	// pointer so that an explicit 0 (the zero-length-ACK conjecture
+	// experiments) is distinguishable from "omitted, use the paper's 50".
+	DataSize int  `json:"data_size,omitempty"`
+	AckSize  *int `json:"ack_size,omitempty"`
+	// AckSizeZero is the deprecated spelling of "ack_size": 0 from before
+	// AckSize was a pointer. Old files still load; new files should write
+	// "ack_size": 0 instead.
 	AckSizeZero bool `json:"ack_size_zero,omitempty"`
 
 	Conns []Conn `json:"conns"`
@@ -47,6 +59,48 @@ type File struct {
 	StartSpread string `json:"start_spread,omitempty"`
 	Warmup      string `json:"warmup,omitempty"`
 	Duration    string `json:"duration,omitempty"`
+}
+
+// Topology is the JSON representation of a topology.Graph: either a
+// named generator or an explicit switch/link list, optionally with
+// explicit host placement and route overrides.
+type Topology struct {
+	// Generator names a built-in graph: "dumbbell", "chain", or
+	// "parking-lot". Mutually exclusive with Switches/Links.
+	Generator string `json:"generator,omitempty"`
+	// Size parameterizes the generator: switches for "chain", bottleneck
+	// hops for "parking-lot". Ignored for "dumbbell".
+	Size int `json:"size,omitempty"`
+	// Switches/Links describe an explicit graph.
+	Switches int        `json:"switches,omitempty"`
+	Links    []TopoLink `json:"links,omitempty"`
+	// Hosts places hosts on switches; empty means one host per switch.
+	Hosts []TopoHost `json:"hosts,omitempty"`
+	// Routes override the shortest-path next hop for (at, dst) pairs.
+	Routes []TopoRoute `json:"routes,omitempty"`
+}
+
+// TopoLink is one duplex link. Zero Bandwidth/Delay/Buffer inherit the
+// scenario's trunk defaults; Buffer -1 means unbounded.
+type TopoLink struct {
+	A         int    `json:"a"`
+	B         int    `json:"b"`
+	Bandwidth int64  `json:"bandwidth,omitempty"`
+	Delay     string `json:"delay,omitempty"`
+	Buffer    int    `json:"buffer,omitempty"`
+}
+
+// TopoHost places one host on a switch.
+type TopoHost struct {
+	Switch int `json:"switch"`
+}
+
+// TopoRoute forces packets for host dst arriving at switch at to leave
+// toward neighbor switch via.
+type TopoRoute struct {
+	At  int `json:"at"`
+	Dst int `json:"dst"`
+	Via int `json:"via"`
 }
 
 // Conn is the JSON representation of a core.ConnSpec.
@@ -64,18 +118,43 @@ type Conn struct {
 	Start string `json:"start,omitempty"`
 }
 
-// Parse reads a JSON scenario and converts it to a runnable Config.
-func Parse(r io.Reader) (core.Config, error) {
+// Decode reads a JSON scenario file without converting it: the result
+// re-encodes to the same bytes when the input is canonical.
+func Decode(r io.Reader) (*File, error) {
 	var f File
 	dec := json.NewDecoder(r)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&f); err != nil {
-		return core.Config{}, fmt.Errorf("scenario: %w", err)
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	return &f, nil
+}
+
+// Encode writes the canonical JSON form: two-space indent, fixed field
+// order, trailing newline. Encoding the result of Decode reproduces a
+// canonical input byte for byte.
+func (f *File) Encode(w io.Writer) error {
+	b, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return fmt.Errorf("scenario: %w", err)
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// Parse reads a JSON scenario and converts it to a runnable Config.
+func Parse(r io.Reader) (core.Config, error) {
+	f, err := Decode(r)
+	if err != nil {
+		return core.Config{}, err
 	}
 	return f.Config()
 }
 
-// Config converts the file form to a core.Config, applying defaults.
+// Config converts the file form to a core.Config, applying defaults and
+// validating the topology and connection endpoints, so that file errors
+// surface as errors rather than core's construction-time panics.
 func (f *File) Config() (core.Config, error) {
 	cfg := core.Config{
 		Switches:        f.Switches,
@@ -83,11 +162,18 @@ func (f *File) Config() (core.Config, error) {
 		Buffer:          f.Buffer,
 		AccessBandwidth: f.AccessBandwidth,
 		DataSize:        f.DataSize,
-		AckSize:         f.AckSize,
 		Seed:            f.Seed,
 	}
-	if f.AckSize == 0 && !f.AckSizeZero {
+	switch {
+	case f.AckSize != nil:
+		cfg.AckSize = *f.AckSize
+	case f.AckSizeZero:
+		cfg.AckSize = 0
+	default:
 		cfg.AckSize = core.DefaultAckSize
+	}
+	if cfg.AckSize < 0 {
+		return cfg, fmt.Errorf("scenario: negative ack_size")
 	}
 	var err error
 	if cfg.TrunkDelay, err = parseDur("trunk_delay", f.TrunkDelay, 0); err != nil {
@@ -127,6 +213,13 @@ func (f *File) Config() (core.Config, error) {
 	default:
 		return cfg, fmt.Errorf("scenario: unknown discipline %q", f.Discipline)
 	}
+	if f.Topology != nil {
+		g, err := f.Topology.graph()
+		if err != nil {
+			return cfg, err
+		}
+		cfg.Topology = &g
+	}
 	if len(f.Conns) == 0 {
 		return cfg, fmt.Errorf("scenario: at least one connection is required")
 	}
@@ -156,7 +249,93 @@ func (f *File) Config() (core.Config, error) {
 		}
 		cfg.Conns = append(cfg.Conns, spec)
 	}
+	if err := validate(&cfg); err != nil {
+		return cfg, err
+	}
 	return cfg, nil
+}
+
+// validate surfaces the errors core.Build would panic on: an
+// uncompilable topology (disconnected graph, bad link endpoints, bad
+// route overrides) or a connection naming a host that doesn't exist.
+func validate(cfg *core.Config) error {
+	if _, err := cfg.CompileTopology(); err != nil {
+		return fmt.Errorf("scenario: %w", err)
+	}
+	hosts := cfg.HostCount()
+	for i, c := range cfg.Conns {
+		if c.SrcHost == c.DstHost {
+			return fmt.Errorf("scenario: conns[%d]: src == dst", i)
+		}
+		if c.SrcHost < 0 || c.SrcHost >= hosts || c.DstHost < 0 || c.DstHost >= hosts {
+			return fmt.Errorf("scenario: conns[%d]: host index out of range (have %d hosts)", i, hosts)
+		}
+	}
+	return nil
+}
+
+// graph converts the JSON topology to a topology.Graph.
+func (t *Topology) graph() (topology.Graph, error) {
+	var g topology.Graph
+	explicit := t.Switches != 0 || len(t.Links) > 0
+	switch t.Generator {
+	case "":
+		if !explicit {
+			return g, fmt.Errorf("scenario: topology needs a generator or explicit switches/links")
+		}
+		g = topology.Graph{Switches: t.Switches}
+		for i, l := range t.Links {
+			d, err := parseDur(fmt.Sprintf("topology.links[%d].delay", i), l.Delay, 0)
+			if err != nil {
+				return g, err
+			}
+			g.Links = append(g.Links, topology.LinkSpec{
+				A: l.A, B: l.B,
+				Bandwidth: l.Bandwidth,
+				Delay:     d,
+				Buffer:    l.Buffer,
+			})
+		}
+	case "dumbbell":
+		g = topology.Dumbbell()
+	case "chain":
+		if t.Size < 2 {
+			return g, fmt.Errorf("scenario: chain topology needs size >= 2")
+		}
+		g = topology.Chain(t.Size)
+	case "parking-lot":
+		if t.Size < 1 {
+			return g, fmt.Errorf("scenario: parking-lot topology needs size >= 1")
+		}
+		g = topology.ParkingLot(t.Size)
+	default:
+		return g, fmt.Errorf("scenario: unknown topology generator %q", t.Generator)
+	}
+	if t.Generator != "" && explicit {
+		return g, fmt.Errorf("scenario: topology generator %q excludes explicit switches/links", t.Generator)
+	}
+	for _, h := range t.Hosts {
+		g.Hosts = append(g.Hosts, topology.HostSpec{Switch: h.Switch})
+	}
+	for _, r := range t.Routes {
+		g.Routes = append(g.Routes, topology.RouteSpec{At: r.At, Dst: r.Dst, Via: r.Via})
+	}
+	return g, nil
+}
+
+// Canonical re-encodes raw scenario bytes into canonical form. It is
+// what `tahoe-sim -validate` prints and what the golden tests assert
+// shipped files already are.
+func Canonical(raw []byte) ([]byte, error) {
+	f, err := Decode(bytes.NewReader(raw))
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	if err := f.Encode(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
 }
 
 func parseDur(field, s string, def time.Duration) (time.Duration, error) {

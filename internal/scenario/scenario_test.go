@@ -1,6 +1,9 @@
 package scenario
 
 import (
+	"bytes"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
@@ -60,7 +63,9 @@ func TestParsePolicies(t *testing.T) {
 }
 
 func TestParseZeroAck(t *testing.T) {
-	j := `{"trunk_delay":"1s","buffer":0,"ack_size_zero":true,
+	// The modern spelling: an explicit "ack_size": 0 is honored as
+	// written, distinguishable from omission thanks to the pointer field.
+	j := `{"trunk_delay":"1s","buffer":0,"ack_size":0,
 	       "conns":[{"src":0,"dst":1,"fixed_wnd":30}]}`
 	cfg, err := Parse(strings.NewReader(j))
 	if err != nil {
@@ -68,6 +73,156 @@ func TestParseZeroAck(t *testing.T) {
 	}
 	if cfg.AckSize != 0 {
 		t.Fatalf("AckSize = %d, want 0", cfg.AckSize)
+	}
+	// The deprecated pre-pointer spelling must keep loading.
+	j = `{"trunk_delay":"1s","buffer":0,"ack_size_zero":true,
+	       "conns":[{"src":0,"dst":1,"fixed_wnd":30}]}`
+	if cfg, err = Parse(strings.NewReader(j)); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.AckSize != 0 {
+		t.Fatalf("legacy AckSize = %d, want 0", cfg.AckSize)
+	}
+	// An explicit nonzero ack_size wins over everything.
+	j = `{"trunk_delay":"1s","buffer":0,"ack_size":40,
+	       "conns":[{"src":0,"dst":1}]}`
+	if cfg, err = Parse(strings.NewReader(j)); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.AckSize != 40 {
+		t.Fatalf("AckSize = %d, want 40", cfg.AckSize)
+	}
+}
+
+func TestParseTopologyGenerator(t *testing.T) {
+	j := `{"trunk_delay":"10ms","buffer":20,
+	       "topology":{"generator":"parking-lot","size":3},
+	       "conns":[{"src":0,"dst":3},{"src":1,"dst":2}]}`
+	cfg, err := Parse(strings.NewReader(j))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Topology == nil || cfg.Topology.Switches != 4 || len(cfg.Topology.Links) != 3 {
+		t.Fatalf("topology = %+v", cfg.Topology)
+	}
+	if cfg.HostCount() != 4 {
+		t.Fatalf("hosts = %d", cfg.HostCount())
+	}
+}
+
+func TestParseTopologyExplicit(t *testing.T) {
+	j := `{"trunk_delay":"10ms","buffer":20,
+	       "topology":{
+	         "switches":3,
+	         "links":[{"a":0,"b":1,"bandwidth":500000},
+	                  {"a":1,"b":2,"delay":"50ms","buffer":-1}],
+	         "hosts":[{"switch":0},{"switch":2},{"switch":2}],
+	         "routes":[{"at":1,"dst":1,"via":2}]},
+	       "conns":[{"src":0,"dst":1},{"src":0,"dst":2}]}`
+	cfg, err := Parse(strings.NewReader(j))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := cfg.Topology
+	if g == nil || g.Switches != 3 || len(g.Hosts) != 3 || len(g.Routes) != 1 {
+		t.Fatalf("topology = %+v", g)
+	}
+	if g.Links[0].Bandwidth != 500000 || g.Links[1].Delay != 50*time.Millisecond || g.Links[1].Buffer != -1 {
+		t.Fatalf("links = %+v", g.Links)
+	}
+	compiled, err := cfg.CompileTopology()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if compiled.NumHosts() != 3 {
+		t.Fatalf("compiled hosts = %d", compiled.NumHosts())
+	}
+}
+
+func TestParseTopologyErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty topology":      `{"trunk_delay":"1s","buffer":20,"topology":{},"conns":[{"src":0,"dst":1}]}`,
+		"unknown generator":   `{"trunk_delay":"1s","buffer":20,"topology":{"generator":"torus","size":3},"conns":[{"src":0,"dst":1}]}`,
+		"chain too small":     `{"trunk_delay":"1s","buffer":20,"topology":{"generator":"chain","size":1},"conns":[{"src":0,"dst":1}]}`,
+		"parking lot size":    `{"trunk_delay":"1s","buffer":20,"topology":{"generator":"parking-lot"},"conns":[{"src":0,"dst":1}]}`,
+		"generator and links": `{"trunk_delay":"1s","buffer":20,"topology":{"generator":"chain","size":3,"switches":3},"conns":[{"src":0,"dst":1}]}`,
+		"bad link delay":      `{"trunk_delay":"1s","buffer":20,"topology":{"switches":2,"links":[{"a":0,"b":1,"delay":"x"}]},"conns":[{"src":0,"dst":1}]}`,
+		"disconnected":        `{"trunk_delay":"1s","buffer":20,"topology":{"switches":3,"links":[{"a":0,"b":1}]},"conns":[{"src":0,"dst":1}]}`,
+		"self loop":           `{"trunk_delay":"1s","buffer":20,"topology":{"switches":2,"links":[{"a":0,"b":0},{"a":0,"b":1}]},"conns":[{"src":0,"dst":1}]}`,
+		"bad route override":  `{"trunk_delay":"1s","buffer":20,"topology":{"generator":"chain","size":3,"routes":[{"at":0,"dst":2,"via":2}]},"conns":[{"src":0,"dst":1}]}`,
+		"host out of range":   `{"trunk_delay":"1s","buffer":20,"conns":[{"src":0,"dst":5}]}`,
+		"src equals dst":      `{"trunk_delay":"1s","buffer":20,"conns":[{"src":1,"dst":1}]}`,
+		"negative ack size":   `{"trunk_delay":"1s","buffer":20,"ack_size":-1,"conns":[{"src":0,"dst":1}]}`,
+	}
+	for name, j := range cases {
+		if _, err := Parse(strings.NewReader(j)); err == nil {
+			t.Errorf("%s: no error", name)
+		}
+	}
+}
+
+// TestGoldenScenarioFiles pins every shipped scenario to the canonical
+// encoding: Decode∘Encode must reproduce the file byte for byte, and
+// each file must parse into a compilable configuration.
+func TestGoldenScenarioFiles(t *testing.T) {
+	files, err := filepath.Glob("../../scenarios/*.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) < 5 {
+		t.Fatalf("expected at least 5 shipped scenarios, found %d", len(files))
+	}
+	for _, p := range files {
+		t.Run(filepath.Base(p), func(t *testing.T) {
+			raw, err := os.ReadFile(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			canon, err := Canonical(raw)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(raw, canon) {
+				t.Errorf("%s is not in canonical form; run it through scenario.Canonical", p)
+			}
+			// Canonicalizing twice must be a fixed point.
+			again, err := Canonical(canon)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(canon, again) {
+				t.Error("Canonical is not idempotent")
+			}
+			cfg, err := Parse(bytes.NewReader(raw))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := cfg.CompileTopology(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestEncodeStable asserts the canonical encoder's output is
+// deterministic across calls.
+func TestEncodeStable(t *testing.T) {
+	f, err := Decode(strings.NewReader(twoWayJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b bytes.Buffer
+	if err := f.Encode(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Encode(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("Encode is not deterministic")
+	}
+	if a.Len() == 0 || a.Bytes()[a.Len()-1] != '\n' {
+		t.Fatal("Encode must end with a newline")
 	}
 }
 

@@ -1,0 +1,396 @@
+// Package topology describes simulated networks as arbitrary graphs:
+// switches joined by duplex links, hosts hanging off switches, and
+// static shortest-path routes between every host pair. It generalizes
+// the paper's dumbbell — which becomes the two-switch special case of
+// the Chain generator — to multi-bottleneck configurations such as the
+// parking lot, the workload of the congestion-wave and drop-tail
+// synchronization studies that follow the paper.
+//
+// A Graph is purely declarative. Compile resolves per-link parameter
+// defaults and computes per-switch forwarding tables with Dijkstra
+// shortest paths; internal/core consumes the compiled form to wire
+// hosts, switches, and ports. Everything is deterministic: link weights
+// are integer durations and every tie is broken by the lowest switch or
+// link index, so the same Graph always compiles to the same routes.
+package topology
+
+import (
+	"fmt"
+	"time"
+)
+
+// Unbounded marks a LinkSpec or HostSpec buffer as explicitly infinite.
+// (Zero means "inherit the scenario default", which itself may be
+// unbounded: the scenario convention is that a non-positive default
+// buffer is infinite.)
+const Unbounded = -1
+
+// LinkSpec describes one duplex link between switches A and B. Each
+// direction gets its own output port with its own buffer, like the
+// paper's switch lines. Zero-valued parameters inherit the scenario
+// trunk defaults at Compile time.
+type LinkSpec struct {
+	// A and B are the switch endpoints (A != B).
+	A, B int
+	// Bandwidth is the line rate in bits/s; 0 inherits the default.
+	Bandwidth int64
+	// Delay is the propagation delay; 0 inherits the default.
+	Delay time.Duration
+	// Buffer is the per-direction port buffer in packets; 0 inherits the
+	// default, Unbounded (-1) is explicitly infinite.
+	Buffer int
+}
+
+// HostSpec attaches one host to a switch. Hosts are the endpoints
+// connection specs refer to by index.
+type HostSpec struct {
+	// Switch is the switch the host hangs off.
+	Switch int
+}
+
+// RouteSpec overrides one computed route: at switch At, traffic for
+// host Dst leaves toward neighbor switch Via instead of the
+// shortest-path next hop. Overrides are applied after Dijkstra and can
+// express policy routing (or, misused, loops — Compile only checks that
+// Via is a neighbor of At).
+type RouteSpec struct {
+	// At is the switch whose forwarding table is overridden.
+	At int
+	// Dst is the destination host index.
+	Dst int
+	// Via is the neighbor switch the packet is forwarded toward.
+	Via int
+}
+
+// Graph is a declarative network description. The zero value is not
+// usable; fill the fields or use a generator (Dumbbell, Chain,
+// ParkingLot).
+type Graph struct {
+	// Switches is the number of switches, indexed 0..Switches-1.
+	Switches int
+	// Links are the duplex switch-switch lines.
+	Links []LinkSpec
+	// Hosts lists the hosts; empty means one host per switch, host i at
+	// switch i (the line topologies' convention).
+	Hosts []HostSpec
+	// Routes optionally override computed shortest-path routes.
+	Routes []RouteSpec
+}
+
+// Chain returns n switches in a line — switch i linked to switch i+1 —
+// with one host per switch. Chain(2) is the paper's dumbbell; longer
+// chains are the multi-hop configurations of §5 and the congestion-wave
+// experiments. All link parameters inherit the scenario defaults.
+func Chain(n int) Graph {
+	g := Graph{Switches: n}
+	for i := 0; i+1 < n; i++ {
+		g.Links = append(g.Links, LinkSpec{A: i, B: i + 1})
+	}
+	return g
+}
+
+// Dumbbell returns the paper's Figure-1 topology: two switches, one
+// trunk, one host per side.
+func Dumbbell() Graph { return Chain(2) }
+
+// ParkingLot returns the classic parking-lot topology: hops bottleneck
+// links in a row (hops+1 switches, one host per switch). The canonical
+// workload runs one long connection across every hop (host 0 → host
+// hops) against one single-hop cross connection per link (host i →
+// host i+1), so every trunk is a bottleneck shared by exactly two
+// connections.
+func ParkingLot(hops int) Graph { return Chain(hops + 1) }
+
+// Defaults carries the scenario-level parameters that zero-valued
+// LinkSpec fields inherit, plus the data packet size used for the
+// routing metric's transmission-delay term.
+type Defaults struct {
+	// Bandwidth is the default trunk rate in bits/s.
+	Bandwidth int64
+	// Delay is the default trunk propagation delay.
+	Delay time.Duration
+	// Buffer is the default per-port buffer; <= 0 means unbounded.
+	Buffer int
+	// DataSize is the data packet size in bytes for the routing metric.
+	DataSize int
+}
+
+// Link is a compiled LinkSpec: every parameter resolved. Buffer <= 0
+// means unbounded (the internal/link convention).
+type Link struct {
+	A, B      int
+	Bandwidth int64
+	Delay     time.Duration
+	Buffer    int
+}
+
+// Hop identifies one output direction of one link: Dir 0 transmits
+// A→B, Dir 1 transmits B→A.
+type Hop struct {
+	Link, Dir int
+}
+
+// local marks a forwarding-table entry whose destination host is
+// attached to the switch itself.
+var local = Hop{Link: -1}
+
+// Compiled is a Graph with resolved link parameters and per-switch
+// forwarding tables. Build it with Graph.Compile.
+type Compiled struct {
+	// Switches is the switch count.
+	Switches int
+	// Links are the resolved duplex links, in Graph order.
+	Links []Link
+	// Hosts are the attachment points, in Graph order (defaulted to one
+	// per switch when the Graph listed none).
+	Hosts []HostSpec
+
+	// next[s*len(Hosts)+h] is the forwarding decision at switch s for
+	// host h; the local sentinel means h is attached to s.
+	next []Hop
+	// dataSize is the Defaults.DataSize the graph was compiled with,
+	// retained for the Weight metric.
+	dataSize int
+}
+
+// NumHosts returns the number of hosts.
+func (c *Compiled) NumHosts() int { return len(c.Hosts) }
+
+// HostSwitch returns the switch host h is attached to.
+func (c *Compiled) HostSwitch(h int) int { return c.Hosts[h].Switch }
+
+// NextHop returns the forwarding decision at switch sw for traffic to
+// host h. local reports whether the host is attached to sw itself (in
+// which case the Hop is meaningless).
+func (c *Compiled) NextHop(sw, h int) (hop Hop, isLocal bool) {
+	hop = c.next[sw*len(c.Hosts)+h]
+	return hop, hop.Link < 0
+}
+
+// PathHops returns the number of switch-switch links a packet from host
+// src to host dst traverses, or -1 if the route loops (possible only
+// with misused overrides).
+func (c *Compiled) PathHops(src, dst int) int {
+	sw := c.Hosts[src].Switch
+	hops := 0
+	for {
+		hop, isLocal := c.NextHop(sw, dst)
+		if isLocal {
+			return hops
+		}
+		l := c.Links[hop.Link]
+		if hop.Dir == 0 {
+			sw = l.B
+		} else {
+			sw = l.A
+		}
+		hops++
+		if hops > c.Switches {
+			return -1
+		}
+	}
+}
+
+// Weight returns link li's routing metric: propagation delay plus the
+// transmission delay of one data packet.
+func (c *Compiled) Weight(li int) time.Duration {
+	l := c.Links[li]
+	bits := int64(c.dataSize) * 8
+	return l.Delay + time.Duration(bits*int64(time.Second)/l.Bandwidth)
+}
+
+// Compile validates the graph, resolves per-link defaults, and computes
+// shortest-path forwarding tables. The metric is propagation plus
+// data-packet transmission delay per link; ties are broken
+// deterministically by lowest switch index during the Dijkstra sweep
+// and lowest link index when choosing among equal-cost next hops.
+func (g Graph) Compile(def Defaults) (*Compiled, error) {
+	if g.Switches < 1 {
+		return nil, fmt.Errorf("topology: need at least 1 switch, have %d", g.Switches)
+	}
+	if def.DataSize <= 0 {
+		def.DataSize = 500
+	}
+	c := &Compiled{Switches: g.Switches, dataSize: def.DataSize}
+
+	// Resolve links.
+	for i, ls := range g.Links {
+		if ls.A < 0 || ls.A >= g.Switches || ls.B < 0 || ls.B >= g.Switches {
+			return nil, fmt.Errorf("topology: link %d endpoints (%d,%d) out of range", i, ls.A, ls.B)
+		}
+		if ls.A == ls.B {
+			return nil, fmt.Errorf("topology: link %d is a self-loop on switch %d", i, ls.A)
+		}
+		l := Link{A: ls.A, B: ls.B, Bandwidth: ls.Bandwidth, Delay: ls.Delay, Buffer: ls.Buffer}
+		if l.Bandwidth == 0 {
+			l.Bandwidth = def.Bandwidth
+		}
+		if l.Bandwidth <= 0 {
+			return nil, fmt.Errorf("topology: link %d has no bandwidth (and no default)", i)
+		}
+		if l.Delay == 0 {
+			l.Delay = def.Delay
+		}
+		switch {
+		case l.Buffer == 0:
+			l.Buffer = def.Buffer
+		case l.Buffer < 0: // Unbounded
+			l.Buffer = 0
+		}
+		c.Links = append(c.Links, l)
+	}
+
+	// Resolve hosts.
+	c.Hosts = g.Hosts
+	if len(c.Hosts) == 0 {
+		c.Hosts = make([]HostSpec, g.Switches)
+		for i := range c.Hosts {
+			c.Hosts[i] = HostSpec{Switch: i}
+		}
+	}
+	for h, hs := range c.Hosts {
+		if hs.Switch < 0 || hs.Switch >= g.Switches {
+			return nil, fmt.Errorf("topology: host %d switch %d out of range", h, hs.Switch)
+		}
+	}
+
+	if err := c.computeRoutes(); err != nil {
+		return nil, err
+	}
+	if err := c.applyOverrides(g.Routes); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// computeRoutes fills the forwarding tables with Dijkstra shortest
+// paths toward every host's switch.
+func (c *Compiled) computeRoutes() error {
+	nh := len(c.Hosts)
+	c.next = make([]Hop, c.Switches*nh)
+	// Distance vectors toward each destination switch are shared by all
+	// hosts on that switch.
+	distTo := make(map[int][]time.Duration)
+	for h, hs := range c.Hosts {
+		dist, ok := distTo[hs.Switch]
+		if !ok {
+			dist = c.dijkstra(hs.Switch)
+			distTo[hs.Switch] = dist
+		}
+		for s := 0; s < c.Switches; s++ {
+			if s == hs.Switch {
+				c.next[s*nh+h] = local
+				continue
+			}
+			hop, found := c.bestHop(s, dist)
+			if !found {
+				return fmt.Errorf("topology: switch %d cannot reach host %d (switch %d): graph is disconnected", s, h, hs.Switch)
+			}
+			c.next[s*nh+h] = hop
+		}
+	}
+	return nil
+}
+
+// dijkstra returns every switch's shortest distance to dst under the
+// link Weight metric. Unreachable switches keep the maxDist sentinel.
+// The O(n²) selection loop is deliberate: switch counts are small, and
+// picking the lowest-index minimum each round makes the sweep order —
+// and therefore the routes — deterministic.
+func (c *Compiled) dijkstra(dst int) []time.Duration {
+	const maxDist = time.Duration(1<<63 - 1)
+	dist := make([]time.Duration, c.Switches)
+	for i := range dist {
+		dist[i] = maxDist
+	}
+	dist[dst] = 0
+	done := make([]bool, c.Switches)
+	for {
+		u, best := -1, maxDist
+		for s := 0; s < c.Switches; s++ {
+			if !done[s] && dist[s] < best {
+				u, best = s, dist[s]
+			}
+		}
+		if u < 0 {
+			return dist
+		}
+		done[u] = true
+		for li, l := range c.Links {
+			var v int
+			switch u {
+			case l.A:
+				v = l.B
+			case l.B:
+				v = l.A
+			default:
+				continue
+			}
+			if d := best + c.Weight(li); d < dist[v] {
+				dist[v] = d
+			}
+		}
+	}
+}
+
+// bestHop picks the outgoing hop at switch s that minimizes link weight
+// plus the neighbor's distance; among equal-cost hops the lowest link
+// index wins.
+func (c *Compiled) bestHop(s int, dist []time.Duration) (Hop, bool) {
+	const maxDist = time.Duration(1<<63 - 1)
+	best, bestCost := Hop{}, maxDist
+	for li, l := range c.Links {
+		var neighbor, dir int
+		switch s {
+		case l.A:
+			neighbor, dir = l.B, 0
+		case l.B:
+			neighbor, dir = l.A, 1
+		default:
+			continue
+		}
+		if dist[neighbor] == maxDist {
+			continue
+		}
+		if cost := c.Weight(li) + dist[neighbor]; cost < bestCost {
+			best, bestCost = Hop{Link: li, Dir: dir}, cost
+		}
+	}
+	return best, bestCost != maxDist
+}
+
+// applyOverrides rewrites forwarding entries per the RouteSpecs.
+func (c *Compiled) applyOverrides(routes []RouteSpec) error {
+	nh := len(c.Hosts)
+	for _, r := range routes {
+		if r.At < 0 || r.At >= c.Switches {
+			return fmt.Errorf("topology: route override at unknown switch %d", r.At)
+		}
+		if r.Dst < 0 || r.Dst >= nh {
+			return fmt.Errorf("topology: route override for unknown host %d", r.Dst)
+		}
+		if c.Hosts[r.Dst].Switch == r.At {
+			return fmt.Errorf("topology: route override at switch %d for its own host %d", r.At, r.Dst)
+		}
+		hop, found := c.hopToward(r.At, r.Via)
+		if !found {
+			return fmt.Errorf("topology: route override via %d: not a neighbor of switch %d", r.Via, r.At)
+		}
+		c.next[r.At*nh+r.Dst] = hop
+	}
+	return nil
+}
+
+// hopToward returns the lowest-index link direction from switch s to
+// neighbor via.
+func (c *Compiled) hopToward(s, via int) (Hop, bool) {
+	for li, l := range c.Links {
+		if l.A == s && l.B == via {
+			return Hop{Link: li, Dir: 0}, true
+		}
+		if l.B == s && l.A == via {
+			return Hop{Link: li, Dir: 1}, true
+		}
+	}
+	return Hop{}, false
+}

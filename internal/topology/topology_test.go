@@ -1,0 +1,207 @@
+package topology
+
+import (
+	"testing"
+	"time"
+)
+
+// def is a paper-standard defaults block: 50 Kbps trunks, 10 ms delay,
+// 20-packet buffers, 500 B data packets.
+func def() Defaults {
+	return Defaults{Bandwidth: 50_000, Delay: 10 * time.Millisecond, Buffer: 20, DataSize: 500}
+}
+
+func TestGenerators(t *testing.T) {
+	d := Dumbbell()
+	if d.Switches != 2 || len(d.Links) != 1 {
+		t.Fatalf("dumbbell = %+v", d)
+	}
+	c := Chain(5)
+	if c.Switches != 5 || len(c.Links) != 4 {
+		t.Fatalf("chain = %+v", c)
+	}
+	for i, l := range c.Links {
+		if l.A != i || l.B != i+1 {
+			t.Fatalf("chain link %d = %+v", i, l)
+		}
+	}
+	p := ParkingLot(3)
+	if p.Switches != 4 || len(p.Links) != 3 {
+		t.Fatalf("parking lot = %+v", p)
+	}
+}
+
+func TestCompileChainRoutes(t *testing.T) {
+	c, err := Chain(4).Compile(def())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumHosts() != 4 {
+		t.Fatalf("hosts = %d", c.NumHosts())
+	}
+	// Switch 0 forwards to host 3 via link 0 rightward; switch 3 to host
+	// 0 via link 2 leftward.
+	if hop, local := c.NextHop(0, 3); local || hop != (Hop{Link: 0, Dir: 0}) {
+		t.Fatalf("next(0,3) = %+v local=%v", hop, local)
+	}
+	if hop, local := c.NextHop(3, 0); local || hop != (Hop{Link: 2, Dir: 1}) {
+		t.Fatalf("next(3,0) = %+v local=%v", hop, local)
+	}
+	// Local delivery at the attachment switch.
+	if _, local := c.NextHop(2, 2); !local {
+		t.Fatal("host 2 not local at switch 2")
+	}
+	if got := c.PathHops(0, 3); got != 3 {
+		t.Fatalf("path 0→3 = %d hops", got)
+	}
+	if got := c.PathHops(1, 1); got != 0 {
+		t.Fatalf("path 1→1 = %d hops", got)
+	}
+}
+
+func TestCompileResolvesDefaults(t *testing.T) {
+	g := Graph{
+		Switches: 3,
+		Links: []LinkSpec{
+			{A: 0, B: 1},
+			{A: 1, B: 2, Bandwidth: 1_000_000, Delay: time.Second, Buffer: Unbounded},
+		},
+	}
+	c, err := g.Compile(def())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l := c.Links[0]; l.Bandwidth != 50_000 || l.Delay != 10*time.Millisecond || l.Buffer != 20 {
+		t.Fatalf("link 0 = %+v", l)
+	}
+	if l := c.Links[1]; l.Bandwidth != 1_000_000 || l.Delay != time.Second || l.Buffer != 0 {
+		t.Fatalf("link 1 = %+v (want unbounded buffer 0)", l)
+	}
+}
+
+// TestShortestPathPrefersFastRoute builds a triangle where the direct
+// 0–2 link is slow and the two-hop detour via 1 is fast; routing must
+// take the detour by total delay, not hop count.
+func TestShortestPathPrefersFastRoute(t *testing.T) {
+	g := Graph{
+		Switches: 3,
+		Links: []LinkSpec{
+			{A: 0, B: 2, Delay: 10 * time.Second}, // slow direct
+			{A: 0, B: 1, Delay: time.Millisecond},
+			{A: 1, B: 2, Delay: time.Millisecond},
+		},
+	}
+	c, err := g.Compile(def())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hop, _ := c.NextHop(0, 2); hop != (Hop{Link: 1, Dir: 0}) {
+		t.Fatalf("next(0, host2) = %+v, want detour via switch 1", hop)
+	}
+	if got := c.PathHops(0, 2); got != 2 {
+		t.Fatalf("path hops = %d, want 2", got)
+	}
+}
+
+// TestEqualCostTieBreak gives two identical parallel paths; the lowest
+// link index must win, deterministically.
+func TestEqualCostTieBreak(t *testing.T) {
+	g := Graph{
+		Switches: 4,
+		// 0–1–3 and 0–2–3, identical weights.
+		Links: []LinkSpec{
+			{A: 0, B: 1}, {A: 1, B: 3},
+			{A: 0, B: 2}, {A: 2, B: 3},
+		},
+	}
+	for i := 0; i < 10; i++ {
+		c, err := g.Compile(def())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hop, _ := c.NextHop(0, 3); hop != (Hop{Link: 0, Dir: 0}) {
+			t.Fatalf("iteration %d: next(0, host3) = %+v, want link 0", i, hop)
+		}
+	}
+}
+
+func TestRouteOverride(t *testing.T) {
+	g := Graph{
+		Switches: 3,
+		Links: []LinkSpec{
+			{A: 0, B: 2},               // direct, default weight
+			{A: 0, B: 1}, {A: 1, B: 2}, // detour
+		},
+		Routes: []RouteSpec{{At: 0, Dst: 2, Via: 1}},
+	}
+	c, err := g.Compile(def())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hop, _ := c.NextHop(0, 2); hop != (Hop{Link: 1, Dir: 0}) {
+		t.Fatalf("override ignored: next(0, host2) = %+v", hop)
+	}
+	if got := c.PathHops(0, 2); got != 2 {
+		t.Fatalf("overridden path hops = %d, want 2", got)
+	}
+	// Host 0's routes are untouched.
+	if hop, _ := c.NextHop(2, 0); hop != (Hop{Link: 0, Dir: 1}) {
+		t.Fatalf("next(2, host0) = %+v", hop)
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	cases := map[string]Graph{
+		"no switches":       {},
+		"link out of range": {Switches: 2, Links: []LinkSpec{{A: 0, B: 5}}},
+		"self loop":         {Switches: 2, Links: []LinkSpec{{A: 1, B: 1}}},
+		"host out of range": {Switches: 2, Links: []LinkSpec{{A: 0, B: 1}}, Hosts: []HostSpec{{Switch: 7}}},
+		"disconnected":      {Switches: 3, Links: []LinkSpec{{A: 0, B: 1}}},
+		"override bad via":  {Switches: 3, Links: []LinkSpec{{A: 0, B: 1}, {A: 1, B: 2}}, Routes: []RouteSpec{{At: 0, Dst: 2, Via: 2}}},
+		"override own host": {Switches: 2, Links: []LinkSpec{{A: 0, B: 1}}, Routes: []RouteSpec{{At: 0, Dst: 0, Via: 1}}},
+		"override bad host": {Switches: 2, Links: []LinkSpec{{A: 0, B: 1}}, Routes: []RouteSpec{{At: 0, Dst: 9, Via: 1}}},
+		"override bad at":   {Switches: 2, Links: []LinkSpec{{A: 0, B: 1}}, Routes: []RouteSpec{{At: 5, Dst: 1, Via: 1}}},
+		"no bandwidth":      {Switches: 2, Links: []LinkSpec{{A: 0, B: 1}}},
+	}
+	for name, g := range cases {
+		d := def()
+		if name == "no bandwidth" {
+			d.Bandwidth = 0
+		}
+		if _, err := g.Compile(d); err == nil {
+			t.Errorf("%s: compiled without error", name)
+		}
+	}
+}
+
+func TestMultipleHostsPerSwitch(t *testing.T) {
+	g := Graph{
+		Switches: 2,
+		Links:    []LinkSpec{{A: 0, B: 1}},
+		Hosts:    []HostSpec{{Switch: 0}, {Switch: 0}, {Switch: 1}},
+	}
+	c, err := g.Compile(def())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, local := c.NextHop(0, 1); !local {
+		t.Fatal("host 1 should be local at switch 0")
+	}
+	if hop, local := c.NextHop(0, 2); local || hop != (Hop{Link: 0, Dir: 0}) {
+		t.Fatalf("next(0, host2) = %+v", hop)
+	}
+	if got := c.PathHops(0, 1); got != 0 {
+		t.Fatalf("same-switch path = %d hops", got)
+	}
+}
+
+func TestWeightMetric(t *testing.T) {
+	c, err := Dumbbell().Compile(def())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 500 B at 50 Kbps = 80 ms transmission + 10 ms propagation.
+	if w := c.Weight(0); w != 90*time.Millisecond {
+		t.Fatalf("weight = %v, want 90ms", w)
+	}
+}

@@ -33,6 +33,7 @@ import (
 	"tahoedyn/internal/plot"
 	"tahoedyn/internal/runner"
 	"tahoedyn/internal/scenario"
+	"tahoedyn/internal/topology"
 	"tahoedyn/internal/trace"
 )
 
@@ -95,6 +96,44 @@ type (
 
 // PlotOptions controls ASCII rendering of traces.
 type PlotOptions = plot.Options
+
+// Topology types, for scenarios beyond the default switch line. Set
+// Config.Topology to a *Graph; links inherit the Trunk*/Buffer defaults
+// unless overridden per link.
+type (
+	// Graph is a declarative network: switches, duplex links, host
+	// placement, and optional route overrides.
+	Graph = topology.Graph
+	// LinkSpec is one duplex link with optional per-link overrides.
+	LinkSpec = topology.LinkSpec
+	// HostSpec places one host on a switch.
+	HostSpec = topology.HostSpec
+	// RouteSpec overrides the computed next hop for one (switch, host).
+	RouteSpec = topology.RouteSpec
+	// CompiledTopology is a validated graph with forwarding tables.
+	CompiledTopology = topology.Compiled
+)
+
+// UnboundedBuffer marks a link buffer as infinite in LinkSpec.Buffer
+// (0 means "inherit the scenario default").
+const UnboundedBuffer = topology.Unbounded
+
+// ChainTopology returns a line of n switches, one host each — the
+// dumbbell for n = 2, the four-switch line of [19] for n = 4.
+func ChainTopology(n int) Graph { return topology.Chain(n) }
+
+// ParkingLotTopology returns a chain of hops+1 switches — the classic
+// multi-bottleneck fairness topology when loaded with one long
+// connection (host 0 to host hops) against one cross connection per hop.
+func ParkingLotTopology(hops int) Graph { return topology.ParkingLot(hops) }
+
+// CompileTopology validates and compiles cfg's effective topology
+// (explicit or default line), returning per-link resolved parameters and
+// forwarding tables. Run does this internally; it is exported for
+// validation and inspection.
+func CompileTopology(cfg Config) (*CompiledTopology, error) {
+	return cfg.CompileTopology()
+}
 
 // Dumbbell returns the paper's Figure-1 configuration: two switches, a
 // 50 Kbps bottleneck with propagation delay tau and the given per-port
