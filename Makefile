@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet check bench bench-baseline bench-record bench-compare
+.PHONY: build test race vet check bench bench-baseline bench-record bench-compare trace-demo
 
 build:
 	$(GO) build ./...
@@ -22,6 +22,12 @@ check: vet build test race
 
 bench:
 	$(GO) test -bench . -benchtime 1x -benchmem .
+
+# trace-demo streams two seconds of packet lifecycle events from the
+# paper's fig4-5 configuration as JSONL — a quick look at what
+# `tahoe-trace -follow` (DESIGN.md §10) produces.
+trace-demo:
+	$(GO) run ./cmd/tahoe-trace -follow -tau 10ms -at 300s -span 2s
 
 # bench-baseline regenerates docs/BENCH_baseline.json; see
 # docs/BENCH_baseline.md for how to read and compare it.

@@ -13,6 +13,7 @@ import (
 
 	"tahoedyn/internal/core"
 	"tahoedyn/internal/experiment"
+	"tahoedyn/internal/obs"
 	"tahoedyn/internal/packet"
 	"tahoedyn/internal/sim"
 )
@@ -272,19 +273,40 @@ func BenchmarkScenarioSteadyStateAllocs(b *testing.B) {
 
 // TestSteadyStateAllocs is the hard assertion behind the benchmark:
 // advancing the warmed scenario must not allocate beyond stray amortized
-// container growth.
+// container growth. The obs variants pin the zero-overhead contract —
+// a nil Config.Obs, an empty (all-disabled) Options, and even live
+// metrics+progress instruments must keep the hot path allocation-free.
 func TestSteadyStateAllocs(t *testing.T) {
-	cfg := steadyStateConfig()
-	s := core.Build(cfg)
-	// Warm well past slow start so the pool and free lists are populated.
-	s.RunUntil(30 * time.Second)
-	now := 30 * time.Second
-	allocs := testing.AllocsPerRun(50, func() {
-		now += time.Second
-		s.RunUntil(now)
-	})
-	if allocs > 1 {
-		t.Errorf("steady-state simulation allocates %.2f/sim-second, want ~0", allocs)
+	cases := []struct {
+		name string
+		obs  func() *obs.Options
+	}{
+		{"obs-nil", func() *obs.Options { return nil }},
+		{"obs-empty-options", func() *obs.Options { return &obs.Options{} }},
+		{"obs-metrics-and-progress", func() *obs.Options {
+			return &obs.Options{
+				Metrics:  true,
+				Progress: &obs.Progress{Every: 10 * time.Second, Fn: func(obs.Snapshot) {}},
+			}
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := steadyStateConfig()
+			cfg.Obs = tc.obs()
+			s := core.Build(cfg)
+			// Warm well past slow start so the pool and free lists are
+			// populated.
+			s.RunUntil(30 * time.Second)
+			now := 30 * time.Second
+			allocs := testing.AllocsPerRun(50, func() {
+				now += time.Second
+				s.RunUntil(now)
+			})
+			if allocs > 1 {
+				t.Errorf("steady-state simulation allocates %.2f/sim-second, want ~0", allocs)
+			}
+		})
 	}
 }
 

@@ -52,9 +52,13 @@ func run() int {
 		height   = flag.Int("height", 18, "plot height in characters")
 		tsvDir   = flag.String("tsv", "", "directory to write per-experiment TSV trace files")
 		validate = flag.Bool("validate", false, "with -config: parse, compile, and print the resolved scenario without running it")
+		progress = flag.Duration("progress", 0, "print liveness to stderr every interval of simulated time (0 = off)")
+		lenient  = flag.Bool("lenient", false, "with -config: ignore unknown JSON fields instead of rejecting them (warns on stderr)")
 		profFl   = prof.AddFlags(flag.String)
 	)
 	flag.Parse()
+
+	prog := progressObserver(*progress)
 
 	if *validate && *config == "" {
 		fmt.Fprintln(os.Stderr, "tahoe-sim: -validate requires -config <file>")
@@ -81,17 +85,21 @@ func run() int {
 
 	if *config != "" {
 		if *validate {
-			if err := validateScenarioFile(os.Stdout, *config); err != nil {
+			if err := validateScenarioFile(os.Stdout, *config, *lenient); err != nil {
 				fmt.Fprintln(os.Stderr, "tahoe-sim:", err)
 				return 1
 			}
 			return 0
 		}
-		if err := runScenarioFile(*config, *width, *height, *doPlot); err != nil {
+		if err := runScenarioFile(*config, *width, *height, *doPlot, *lenient, prog); err != nil {
 			fmt.Fprintln(os.Stderr, "tahoe-sim:", err)
 			return 1
 		}
 		return 0
+	}
+	if *lenient {
+		fmt.Fprintln(os.Stderr, "tahoe-sim: -lenient requires -config <file>")
+		return 2
 	}
 
 	var names []string
@@ -113,7 +121,7 @@ func run() int {
 		return 2
 	}
 
-	jobs := buildJobs(names, seeds, *scale, *parallel)
+	jobs := buildJobs(names, seeds, *scale, *parallel, prog)
 	rendered, outs, err := renderJobs(jobs, renderOptions{
 		Parallel: *parallel, Plot: *doPlot, Width: *width, Height: *height,
 		SeedHeaders: len(seeds) > 1,
@@ -167,19 +175,32 @@ func (j job) tsvName() string {
 // one experiment's seeds print together. parallel is forwarded into each
 // experiment's options so experiments with internal sweeps (mode-boundary,
 // oneway-buffers) fan their own runs too.
-func buildJobs(names []string, seeds []int64, scale float64, parallel int) []job {
+func buildJobs(names []string, seeds []int64, scale float64, parallel int, prog *tahoedyn.Progress) []job {
 	multi := len(seeds) > 1
 	var jobs []job
 	for _, n := range names {
 		for _, s := range seeds {
 			jobs = append(jobs, job{
 				name:      n,
-				opts:      tahoedyn.ExpOptions{Seed: s, Scale: scale, Parallel: expWorkers(parallel)},
+				opts:      tahoedyn.ExpOptions{Seed: s, Scale: scale, Parallel: expWorkers(parallel), Observer: prog},
 				multiSeed: multi,
 			})
 		}
 	}
 	return jobs
+}
+
+// progressObserver builds the -progress stderr reporter. The callback
+// runs inside simulations that may execute on several workers at once,
+// so it prints one self-contained line per sample and nothing else.
+func progressObserver(every time.Duration) *tahoedyn.Progress {
+	if every <= 0 {
+		return nil
+	}
+	return &tahoedyn.Progress{Every: every, Fn: func(s tahoedyn.ProgressSnapshot) {
+		fmt.Fprintf(os.Stderr, "tahoe-sim: t=%v/%v (%3.0f%%) events=%d\n",
+			s.Now.Round(time.Millisecond), s.End, s.Frac()*100, s.Events)
+	}}
 }
 
 // expWorkers maps the CLI -parallel convention (0 = GOMAXPROCS) onto the
@@ -264,18 +285,35 @@ func parseSeeds(list string, fallback int64) ([]int64, error) {
 	return out, nil
 }
 
+// loadScenario parses a scenario file, strictly by default. With
+// lenient, unknown JSON fields are warned about on stderr and ignored
+// — the escape hatch for files written by newer or foreign tools.
+func loadScenario(path string, lenient bool) (tahoedyn.Config, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return tahoedyn.Config{}, err
+	}
+	defer f.Close()
+	if !lenient {
+		return tahoedyn.ParseScenario(f)
+	}
+	cfg, unknown, err := tahoedyn.ParseScenarioLenient(f)
+	for _, p := range unknown {
+		fmt.Fprintf(os.Stderr, "tahoe-sim: %s: ignoring unknown field %q\n", path, p)
+	}
+	return cfg, err
+}
+
 // runScenarioFile executes an arbitrary JSON scenario and prints a
 // generic dynamics report: utilizations, synchronization, drops, and the
 // bottleneck queue plot.
-func runScenarioFile(path string, width, height int, doPlot bool) error {
-	f, err := os.Open(path)
+func runScenarioFile(path string, width, height int, doPlot, lenient bool, prog *tahoedyn.Progress) error {
+	cfg, err := loadScenario(path, lenient)
 	if err != nil {
 		return err
 	}
-	cfg, err := tahoedyn.ParseScenario(f)
-	f.Close()
-	if err != nil {
-		return err
+	if prog != nil {
+		cfg.Obs = &tahoedyn.ObsOptions{Progress: prog}
 	}
 	res := tahoedyn.Run(cfg)
 	cfg = res.Cfg // normalized copy, with defaults filled in
@@ -309,13 +347,8 @@ func runScenarioFile(path string, width, height int, doPlot bool) error {
 // it, printing the resolved configuration: per-link parameters after
 // defaulting, host placement, forwarding tables, and connections. A
 // scenario that prints cleanly here is guaranteed to build.
-func validateScenarioFile(w io.Writer, path string) error {
-	f, err := os.Open(path)
-	if err != nil {
-		return err
-	}
-	cfg, err := tahoedyn.ParseScenario(f)
-	f.Close()
+func validateScenarioFile(w io.Writer, path string, lenient bool) error {
+	cfg, err := loadScenario(path, lenient)
 	if err != nil {
 		return err
 	}

@@ -27,7 +27,7 @@ func TestParseSeeds(t *testing.T) {
 // Multi-seed output must be byte-identical whether the jobs ran serially
 // or across 8 workers.
 func TestRenderJobsByteIdenticalAcrossWorkerCounts(t *testing.T) {
-	jobs := buildJobs([]string{"oneway-smallpipe"}, []int64{1, 2, 3}, 0.1, 1)
+	jobs := buildJobs([]string{"oneway-smallpipe"}, []int64{1, 2, 3}, 0.1, 1, nil)
 	render := func(workers int) []byte {
 		rendered, outs, err := renderJobs(jobs, renderOptions{
 			Parallel: workers, Plot: true, Width: 60, Height: 8, SeedHeaders: true,
@@ -57,7 +57,7 @@ func TestRenderJobsByteIdenticalAcrossWorkerCounts(t *testing.T) {
 }
 
 func TestRenderJobsRejectsUnknownExperiment(t *testing.T) {
-	jobs := buildJobs([]string{"no-such-experiment"}, []int64{1}, 0.1, 1)
+	jobs := buildJobs([]string{"no-such-experiment"}, []int64{1}, 0.1, 1, nil)
 	if _, _, err := renderJobs(jobs, renderOptions{Parallel: 1}); err == nil {
 		t.Fatal("unknown experiment did not error")
 	}
@@ -92,7 +92,7 @@ func TestValidateScenarioFile(t *testing.T) {
 		t.Fatal(err)
 	}
 	var buf bytes.Buffer
-	if err := validateScenarioFile(&buf, path); err != nil {
+	if err := validateScenarioFile(&buf, path, false); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -112,7 +112,7 @@ func TestValidateScenarioFile(t *testing.T) {
 	os.WriteFile(bad, []byte(`{"trunk_delay":"10ms","buffer":20,
 	    "topology":{"switches":3,"links":[{"a":0,"b":1}]},
 	    "conns":[{"src":0,"dst":1}]}`), 0o644)
-	if err := validateScenarioFile(&buf, bad); err == nil {
+	if err := validateScenarioFile(&buf, bad, false); err == nil {
 		t.Fatal("disconnected topology did not error")
 	}
 }
@@ -125,7 +125,7 @@ func TestValidateShippedScenarios(t *testing.T) {
 	}
 	for _, p := range files {
 		var buf bytes.Buffer
-		if err := validateScenarioFile(&buf, p); err != nil {
+		if err := validateScenarioFile(&buf, p, false); err != nil {
 			t.Errorf("%s: %v", p, err)
 		}
 	}
@@ -140,15 +140,15 @@ func TestRunScenarioFile(t *testing.T) {
 	if err := os.WriteFile(path, []byte(js), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := runScenarioFile(path, 60, 8, false); err != nil {
+	if err := runScenarioFile(path, 60, 8, false, false, nil); err != nil {
 		t.Fatal(err)
 	}
-	if err := runScenarioFile(filepath.Join(dir, "missing.json"), 60, 8, false); err == nil {
+	if err := runScenarioFile(filepath.Join(dir, "missing.json"), 60, 8, false, false, nil); err == nil {
 		t.Fatal("no error for missing file")
 	}
 	bad := filepath.Join(dir, "bad.json")
 	os.WriteFile(bad, []byte(`{}`), 0o644)
-	if err := runScenarioFile(bad, 60, 8, false); err == nil {
+	if err := runScenarioFile(bad, 60, 8, false, false, nil); err == nil {
 		t.Fatal("no error for invalid scenario")
 	}
 }

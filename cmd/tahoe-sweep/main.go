@@ -51,6 +51,7 @@ func run() int {
 		seed        = flag.Int64("seed", 1, "scenario random seed")
 		parallel    = flag.Int("parallel", 0, "worker count for the grid (0 = GOMAXPROCS, 1 = serial)")
 		topoFlag    = flag.String("topology", "dumbbell", "swept network: dumbbell, chain:N, or parking-lot:H")
+		progress    = flag.Bool("progress", false, "print grid-point completion liveness to stderr")
 		profFl      = prof.AddFlags(flag.String)
 	)
 	flag.Parse()
@@ -91,7 +92,7 @@ func run() int {
 		Taus: taus, Buffers: buffers,
 		Duration: *duration, Warmup: *warmup,
 		Seed: *seed, Parallel: *parallel,
-		Topology: *topoFlag,
+		Topology: *topoFlag, Progress: *progress,
 	})
 	w.Flush()
 	return 0
@@ -108,6 +109,9 @@ type sweepOptions struct {
 	// Topology selects the swept network: "" or "dumbbell" for the
 	// classic two-switch line, "chain:N", or "parking-lot:H".
 	Topology string
+	// Progress prints per-grid-point completion liveness to stderr.
+	// Stdout — the report itself — is unaffected.
+	Progress bool
 }
 
 // topoWorkload resolves a -topology spec into an optional explicit graph
@@ -177,7 +181,19 @@ func sweep(w io.Writer, opts sweepOptions) {
 			cfgs = append(cfgs, cfg)
 		}
 	}
-	results := tahoedyn.RunMany(opts.Parallel, cfgs)
+	var done func(completed, total int)
+	if opts.Progress {
+		// Completion counts go to stderr so the stdout report stays
+		// byte-identical with and without -progress. The callback may run
+		// on any worker; Fprintf writes each line in one call.
+		done = func(completed, total int) {
+			fmt.Fprintf(os.Stderr, "tahoe-sweep: %d/%d grid points done\n", completed, total)
+		}
+	}
+	results := make([]*tahoedyn.Result, len(cfgs))
+	tahoedyn.ParallelDoLive(opts.Parallel, len(cfgs), func(i int) {
+		results[i] = tahoedyn.Run(cfgs[i])
+	}, done)
 
 	fmt.Fprintf(w, "%-8s %-8s %-8s %-10s %-22s %s\n",
 		"tau", "buffer", "pipe P", "util", "window sync (corr)", "queue sync (corr)")

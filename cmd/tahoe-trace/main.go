@@ -7,9 +7,18 @@
 //
 //	tahoe-trace
 //	tahoe-trace -tau 1s -w1 30 -w2 25 -at 300s -span 10s
+//
+// With -follow the same run is instead observed through the structured
+// tracing layer: every packet lifecycle event inside the window streams
+// to stdout as JSONL (one self-contained object per event, after a
+// {"v":N} header), optionally restricted with -filter:
+//
+//	tahoe-trace -follow
+//	tahoe-trace -follow -filter conn=2,type=drop
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"os"
@@ -21,14 +30,41 @@ import (
 	"tahoedyn/internal/trace"
 )
 
+// windowSink forwards only the events inside [from, to) to the wrapped
+// sink, so -follow streams the same window the departure table shows.
+type windowSink struct {
+	sink     tahoedyn.TraceSink
+	from, to time.Duration
+	scratch  []tahoedyn.TraceEvent
+}
+
+func (s *windowSink) Begin() error { return s.sink.Begin() }
+
+func (s *windowSink) Events(locs []string, events []tahoedyn.TraceEvent) error {
+	s.scratch = s.scratch[:0]
+	for _, e := range events {
+		if e.T >= s.from && e.T < s.to {
+			s.scratch = append(s.scratch, e)
+		}
+	}
+	if len(s.scratch) == 0 {
+		return nil
+	}
+	return s.sink.Events(locs, s.scratch)
+}
+
+func (s *windowSink) Close() error { return s.sink.Close() }
+
 func main() {
 	var (
-		tau  = flag.Duration("tau", 10*time.Millisecond, "bottleneck propagation delay τ")
-		w1   = flag.Int("w1", 30, "fixed window of connection 1 (host 1 → 2)")
-		w2   = flag.Int("w2", 25, "fixed window of connection 2 (host 2 → 1)")
-		at   = flag.Duration("at", 300*time.Second, "start of the displayed window")
-		span = flag.Duration("span", 5*time.Second, "length of the displayed window")
-		seed = flag.Int64("seed", 1, "scenario random seed")
+		tau    = flag.Duration("tau", 10*time.Millisecond, "bottleneck propagation delay τ")
+		w1     = flag.Int("w1", 30, "fixed window of connection 1 (host 1 → 2)")
+		w2     = flag.Int("w2", 25, "fixed window of connection 2 (host 2 → 1)")
+		at     = flag.Duration("at", 300*time.Second, "start of the displayed window")
+		span   = flag.Duration("span", 5*time.Second, "length of the displayed window")
+		seed   = flag.Int64("seed", 1, "scenario random seed")
+		follow = flag.Bool("follow", false, "stream lifecycle events in the window as JSONL instead of the departure table")
+		filter = flag.String("filter", "", `with -follow: event filter, e.g. "conn=2,type=drop|timeout"`)
 	)
 	flag.Parse()
 
@@ -42,6 +78,36 @@ func main() {
 	cfg.Duration = *at + *span + time.Second
 	if cfg.Duration < 200*time.Second {
 		cfg.Duration = 200 * time.Second
+	}
+
+	if *follow {
+		flt, err := tahoedyn.ParseTraceFilter(*filter)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tahoe-trace:", err)
+			os.Exit(2)
+		}
+		w := bufio.NewWriter(os.Stdout)
+		cfg.Obs = &tahoedyn.ObsOptions{Trace: &tahoedyn.TraceOptions{
+			Sink:   &windowSink{sink: tahoedyn.NewJSONLSink(w), from: *at, to: *at + *span},
+			Filter: flt,
+			// A small ring keeps the stream live: each 256-event batch is
+			// written (and flushed) as soon as the simulation produces it.
+			RingSize: 256,
+		}}
+		res := tahoedyn.Run(cfg)
+		if res.TraceErr != nil {
+			fmt.Fprintln(os.Stderr, "tahoe-trace:", res.TraceErr)
+			os.Exit(1)
+		}
+		if err := w.Flush(); err != nil {
+			fmt.Fprintln(os.Stderr, "tahoe-trace:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *filter != "" {
+		fmt.Fprintln(os.Stderr, "tahoe-trace: -filter requires -follow")
+		os.Exit(2)
 	}
 	res := tahoedyn.Run(cfg)
 

@@ -1,6 +1,7 @@
 package tahoedyn_test
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -51,6 +52,55 @@ func ExampleExperiment() {
 	fmt.Printf("%s: passed=%v, %d metrics\n", out.ID, out.Passed(), len(out.Metrics))
 	// Output:
 	// fig8-fixed: passed=true, 8 metrics
+}
+
+// ExampleRunE is the error-returning entry point: invalid
+// configurations come back as ordinary errors instead of panics, so a
+// service embedding the simulator can validate untrusted input.
+func ExampleRunE() {
+	bad := tahoedyn.Dumbbell(10*time.Millisecond, 20)
+	bad.Conns = []tahoedyn.ConnSpec{{SrcHost: 0, DstHost: 99, Start: -1}}
+	if _, err := tahoedyn.RunE(bad); err != nil {
+		fmt.Println("rejected:", err)
+	}
+
+	good := tahoedyn.Dumbbell(10*time.Millisecond, 20)
+	good.Conns = []tahoedyn.ConnSpec{{SrcHost: 0, DstHost: 1, Start: -1}}
+	good.Warmup = 50 * time.Second
+	good.Duration = 200 * time.Second
+	res, err := tahoedyn.RunE(good)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("utilization: %.0f%%\n", res.UtilForward()*100)
+	// Output:
+	// rejected: core: connection 0 host index out of range (src 0, dst 99, 2 hosts)
+	// utilization: 100%
+}
+
+// ExampleRunContext runs a simulation under a context deadline. A
+// canceled run returns the context's error and no Result; here the
+// context stays live so the run completes normally.
+func ExampleRunContext() {
+	cfg := tahoedyn.Dumbbell(10*time.Millisecond, 20)
+	cfg.Conns = []tahoedyn.ConnSpec{
+		{SrcHost: 0, DstHost: 1, Start: -1},
+		{SrcHost: 1, DstHost: 0, Start: -1},
+	}
+	cfg.Warmup = 50 * time.Second
+	cfg.Duration = 200 * time.Second
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	res, err := tahoedyn.RunContext(ctx, cfg)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("events: >0 %v, drops: >0 %v\n", res.Events > 0, len(res.Drops) > 0)
+	// Output:
+	// events: >0 true, drops: >0 true
 }
 
 // ExampleConfig_PipeSize shows the paper's pipe-size arithmetic: at

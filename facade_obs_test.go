@@ -1,0 +1,246 @@
+package tahoedyn
+
+// Facade-level observability tests: the obs-on-vs-off identity across
+// every shipped scenario file, the error-returning run family, and
+// sink sharing under the parallel runner (exercised by `go test -race`).
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// loadShippedScenario parses one scenarios/*.json file and shortens it
+// so every file's identity check stays fast.
+func loadShippedScenario(t *testing.T, path string) Config {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	cfg, err := ParseScenario(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Warmup = 20 * time.Second
+	cfg.Duration = 80 * time.Second
+	return cfg
+}
+
+// assertSameRun compares the exported physics of two results.
+func assertSameRun(t *testing.T, a, b *Result) {
+	t.Helper()
+	if a.Events != b.Events {
+		t.Fatalf("events = %d vs %d", a.Events, b.Events)
+	}
+	if !reflect.DeepEqual(a.Drops, b.Drops) {
+		t.Fatalf("drop logs differ: %d vs %d", len(a.Drops), len(b.Drops))
+	}
+	if !reflect.DeepEqual(a.TrunkDeps, b.TrunkDeps) {
+		t.Fatal("trunk departure logs differ")
+	}
+	if !reflect.DeepEqual(a.TrunkUtil, b.TrunkUtil) {
+		t.Fatalf("utilization = %v vs %v", a.TrunkUtil, b.TrunkUtil)
+	}
+	if !reflect.DeepEqual(a.Delivered, b.Delivered) {
+		t.Fatalf("delivered = %v vs %v", a.Delivered, b.Delivered)
+	}
+	if !reflect.DeepEqual(a.SenderStats, b.SenderStats) {
+		t.Fatal("sender stats differ")
+	}
+}
+
+// TestObsIdentityAcrossShippedScenarios runs every scenario file the
+// repository ships, with and without the full observability stack, and
+// asserts the physics is identical. This is the user-facing face of the
+// never-perturb contract: whatever scenario a user traces, the trace is
+// of the same run they would have had without it.
+func TestObsIdentityAcrossShippedScenarios(t *testing.T) {
+	files, err := filepath.Glob("scenarios/*.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) < 5 {
+		t.Fatalf("found %d shipped scenarios, want at least 5", len(files))
+	}
+	for _, path := range files {
+		path := path
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			t.Parallel()
+			plain := loadShippedScenario(t, path)
+			observed := loadShippedScenario(t, path)
+			sink := NewMemorySink()
+			var samples atomic.Int64
+			observed.Obs = &ObsOptions{
+				Trace:   &TraceOptions{Sink: sink},
+				Metrics: true,
+				Progress: &Progress{
+					Every: 10 * time.Second,
+					Fn:    func(ProgressSnapshot) { samples.Add(1) },
+				},
+			}
+			resObs, err := RunE(observed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertSameRun(t, Run(plain), resObs)
+			if resObs.TraceErr != nil {
+				t.Fatalf("TraceErr = %v", resObs.TraceErr)
+			}
+			if sink.Len() == 0 || samples.Load() == 0 || resObs.Metrics == nil {
+				t.Fatalf("observability inert: events=%d samples=%d metrics=%v",
+					sink.Len(), samples.Load(), resObs.Metrics != nil)
+			}
+		})
+	}
+}
+
+// TestJSONLGoldenFixedPointOnFig45 runs the fig4-5 configuration with a
+// JSONL sink and pins the stream's schema validity: it decodes, and
+// re-encoding the decoded stream reproduces the bytes exactly.
+func TestJSONLGoldenFixedPointOnFig45(t *testing.T) {
+	cfg := Dumbbell(10*time.Millisecond, 20)
+	cfg.Conns = []ConnSpec{
+		{SrcHost: 0, DstHost: 1, Start: -1},
+		{SrcHost: 1, DstHost: 0, Start: -1},
+	}
+	cfg.Warmup = 20 * time.Second
+	cfg.Duration = 60 * time.Second
+	var stream bytes.Buffer
+	cfg.Obs = &ObsOptions{Trace: &TraceOptions{Sink: NewJSONLSink(&stream)}}
+	res, err := RunE(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TraceErr != nil {
+		t.Fatal(res.TraceErr)
+	}
+	if !strings.HasPrefix(stream.String(), "{\"v\":1}\n") {
+		t.Fatalf("stream missing version header: %.40q", stream.String())
+	}
+	locs, events, err := DecodeJSONLTrace(bytes.NewReader(stream.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) == 0 {
+		t.Fatal("decoded no events")
+	}
+	var second bytes.Buffer
+	if err := EncodeJSONLTrace(&second, locs, events); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(stream.Bytes(), second.Bytes()) {
+		t.Fatal("decode∘encode of the fig4-5 stream is not a fixed point")
+	}
+}
+
+// TestRunManyEAggregatesErrors pins the sweep-facing error contract:
+// slots stay positional, bad configs come back as indexed errors, and
+// good configs still run.
+func TestRunManyEAggregatesErrors(t *testing.T) {
+	good := Dumbbell(10*time.Millisecond, 20)
+	good.Conns = []ConnSpec{{SrcHost: 0, DstHost: 1, Start: -1}}
+	good.Warmup = 5 * time.Second
+	good.Duration = 20 * time.Second
+	bad := good
+	bad.Conns = []ConnSpec{{SrcHost: 0, DstHost: 99, Start: -1}}
+
+	results, err := RunManyE(context.Background(), 2, []Config{good, bad, good})
+	if err == nil {
+		t.Fatal("RunManyE swallowed the bad config")
+	}
+	if !strings.Contains(err.Error(), "config 1") {
+		t.Fatalf("error does not index the bad config: %v", err)
+	}
+	if len(results) != 3 || results[0] == nil || results[1] != nil || results[2] == nil {
+		t.Fatalf("results = %v", results)
+	}
+	assertSameRun(t, results[0], results[2])
+
+	// Cancellation: a pre-canceled context skips every run.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	results, err = RunManyE(ctx, 2, []Config{good, good})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	for i, r := range results {
+		if r != nil {
+			t.Fatalf("result %d survived cancellation", i)
+		}
+	}
+}
+
+// TestSharedJSONLSinkUnderRunMany shares one JSONL sink across a
+// parallel RunMany. Under `go test -race` this pins the sink's
+// concurrency contract; in any mode it checks every line stayed intact
+// (concurrent runs may interleave lines but never split one).
+func TestSharedJSONLSinkUnderRunMany(t *testing.T) {
+	// A plain buffer is safe: the sink's own mutex serializes every
+	// access to the underlying writer (that is the contract under test).
+	var stream bytes.Buffer
+	sink := NewJSONLSink(&stream)
+	var cfgs []Config
+	for i := 0; i < 4; i++ {
+		cfg := Dumbbell(10*time.Millisecond, 20)
+		cfg.Seed = int64(i + 1)
+		cfg.Conns = []ConnSpec{
+			{SrcHost: 0, DstHost: 1, Start: -1},
+			{SrcHost: 1, DstHost: 0, Start: -1},
+		}
+		cfg.Warmup = 5 * time.Second
+		cfg.Duration = 25 * time.Second
+		cfg.Obs = &ObsOptions{Trace: &TraceOptions{Sink: sink, RingSize: 256}}
+		cfgs = append(cfgs, cfg)
+	}
+	results := RunMany(4, cfgs)
+	for i, res := range results {
+		if res.TraceErr != nil {
+			t.Fatalf("run %d: TraceErr = %v", i, res.TraceErr)
+		}
+	}
+	lines := strings.Split(strings.TrimSuffix(stream.String(), "\n"), "\n")
+	if len(lines) < 1000 {
+		t.Fatalf("shared sink saw only %d lines", len(lines))
+	}
+	headers := 0
+	for _, line := range lines {
+		if line == "{\"v\":1}" {
+			headers++
+			continue
+		}
+		if !strings.HasPrefix(line, "{\"t_ns\":") || !strings.HasSuffix(line, "}") {
+			t.Fatalf("torn line: %q", line)
+		}
+	}
+	if headers != len(cfgs) {
+		t.Fatalf("saw %d headers, want %d (one per run)", headers, len(cfgs))
+	}
+}
+
+// TestExperimentObserver pins the satellite wiring: an Observer set on
+// ExpOptions receives samples from the simulations an experiment runs,
+// without changing the outcome.
+func TestExperimentObserver(t *testing.T) {
+	var samples atomic.Int64
+	opts := ExpOptions{Scale: 0.2, Observer: &Progress{
+		Every: 10 * time.Second,
+		Fn:    func(ProgressSnapshot) { samples.Add(1) },
+	}}
+	out := MustExperiment("oneway-smallpipe", opts)
+	if samples.Load() == 0 {
+		t.Fatal("Observer never fired")
+	}
+	plain := MustExperiment("oneway-smallpipe", ExpOptions{Scale: 0.2})
+	if !reflect.DeepEqual(out.Metrics, plain.Metrics) {
+		t.Fatal("Observer changed the experiment's metrics")
+	}
+}

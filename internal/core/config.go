@@ -9,9 +9,11 @@
 package core
 
 import (
+	"fmt"
 	"time"
 
 	"tahoedyn/internal/link"
+	"tahoedyn/internal/obs"
 	"tahoedyn/internal/topology"
 )
 
@@ -141,6 +143,13 @@ type Config struct {
 
 	// Warmup is discarded before measurement; Duration ends the run.
 	Warmup, Duration time.Duration
+
+	// Obs, when non-nil, enables the observability layer for this run:
+	// structured event tracing, the per-run metrics registry
+	// (Result.Metrics), and progress sampling. Nil — the zero value —
+	// disables all of it at zero cost, and enabling it never changes the
+	// run's Result (see internal/obs).
+	Obs *obs.Options
 }
 
 // DumbbellConfig returns the paper's Figure-1 configuration: two
@@ -167,11 +176,21 @@ func DumbbellConfig(tau time.Duration, buffer int) Config {
 
 // Normalize fills zero fields with paper defaults and validates the
 // configuration, panicking on nonsense (this is construction-time
-// programmer error, not runtime input).
+// programmer error, not runtime input). Callers handling untrusted
+// input should go through BuildE/RunE, which surface the same problems
+// as errors.
 func (c *Config) Normalize() {
+	if err := c.normalize(); err != nil {
+		panic(err.Error())
+	}
+}
+
+// normalize fills zero fields with paper defaults and validates,
+// returning the first problem found.
+func (c *Config) normalize() error {
 	if c.Topology != nil {
 		if c.Topology.Switches < 1 {
-			panic("core: topology has no switches")
+			return fmt.Errorf("core: topology has no switches")
 		}
 		c.Switches = c.Topology.Switches
 	} else {
@@ -179,14 +198,20 @@ func (c *Config) Normalize() {
 			c.Switches = 2
 		}
 		if c.Switches < 2 {
-			panic("core: a scenario needs at least 2 switches")
+			return fmt.Errorf("core: a scenario needs at least 2 switches")
 		}
 	}
 	if c.TrunkBandwidth == 0 {
 		c.TrunkBandwidth = DefaultTrunkBandwidth
 	}
+	if c.TrunkBandwidth < 0 {
+		return fmt.Errorf("core: negative TrunkBandwidth %d", c.TrunkBandwidth)
+	}
 	if c.AccessBandwidth == 0 {
 		c.AccessBandwidth = DefaultAccessBandwidth
+	}
+	if c.AccessBandwidth < 0 {
+		return fmt.Errorf("core: negative AccessBandwidth %d", c.AccessBandwidth)
 	}
 	if c.AccessDelay == 0 {
 		c.AccessDelay = DefaultAccessDelay
@@ -198,10 +223,10 @@ func (c *Config) Normalize() {
 		c.DataSize = DefaultDataSize
 	}
 	if c.DataSize < 0 {
-		panic("core: negative DataSize")
+		return fmt.Errorf("core: negative DataSize")
 	}
 	if c.AckSize < 0 {
-		panic("core: negative AckSize")
+		return fmt.Errorf("core: negative AckSize")
 	}
 	if c.StartSpread == 0 {
 		c.StartSpread = time.Second
@@ -210,10 +235,10 @@ func (c *Config) Normalize() {
 		c.Duration = 600 * time.Second
 	}
 	if c.Warmup >= c.Duration {
-		panic("core: warmup must precede the end of the run")
+		return fmt.Errorf("core: warmup %v must precede the end of the run at %v", c.Warmup, c.Duration)
 	}
 	if len(c.Conns) == 0 {
-		panic("core: no connections configured")
+		return fmt.Errorf("core: no connections configured")
 	}
 	hosts := c.HostCount()
 	for i := range c.Conns {
@@ -222,12 +247,14 @@ func (c *Config) Normalize() {
 			s.MaxWnd = DefaultMaxWnd
 		}
 		if s.SrcHost == s.DstHost {
-			panic("core: connection src == dst")
+			return fmt.Errorf("core: connection %d src == dst (host %d)", i, s.SrcHost)
 		}
 		if s.SrcHost < 0 || s.SrcHost >= hosts || s.DstHost < 0 || s.DstHost >= hosts {
-			panic("core: connection host index out of range")
+			return fmt.Errorf("core: connection %d host index out of range (src %d, dst %d, %d hosts)",
+				i, s.SrcHost, s.DstHost, hosts)
 		}
 	}
+	return nil
 }
 
 // HostCount returns the number of hosts the scenario will build: the

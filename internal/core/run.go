@@ -1,12 +1,14 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
 
 	"tahoedyn/internal/link"
 	"tahoedyn/internal/node"
+	"tahoedyn/internal/obs"
 	"tahoedyn/internal/packet"
 	"tahoedyn/internal/sim"
 	"tahoedyn/internal/tcp"
@@ -72,6 +74,15 @@ type Result struct {
 
 	// Events is the number of simulator events processed (for benches).
 	Events uint64
+
+	// Metrics is the run's metrics registry (queue occupancy, per-conn
+	// RTT, ACK inter-arrival, epoch lengths, final counters). Nil unless
+	// Config.Obs.Metrics was set.
+	Metrics *obs.Metrics
+	// TraceErr is the first error the trace sink reported, if tracing
+	// was enabled. A sink failure never interrupts the simulation; it
+	// surfaces here.
+	TraceErr error
 }
 
 // Q1 returns the dumbbell's switch-1 bottleneck queue series.
@@ -87,9 +98,35 @@ func (r *Result) UtilForward() float64 { return r.TrunkUtil[0][0] }
 // UtilReverse returns the opposite direction's utilization.
 func (r *Result) UtilReverse() float64 { return r.TrunkUtil[0][1] }
 
-// Run builds the scenario and executes it to completion.
+// Run builds the scenario and executes it to completion, panicking on
+// an invalid configuration. It is the MustRun-style convenience for
+// trusted, programmatic configs; callers handling external input
+// should use RunE or RunContext.
 func Run(cfg Config) *Result {
 	return Build(cfg).Finish()
+}
+
+// RunE builds and executes the scenario, returning configuration and
+// topology-compilation problems as errors instead of panicking.
+func RunE(cfg Config) (*Result, error) {
+	s, err := BuildE(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return s.finish(nil)
+}
+
+// RunContext is RunE with cancellation: when ctx is canceled the run
+// stops within one event batch (at most a few thousand events) and
+// returns ctx's error. The partially executed Sim is discarded
+// cleanly — per-run state (packet pool included) is never shared, so
+// cancellation cannot corrupt other runs.
+func RunContext(ctx context.Context, cfg Config) (*Result, error) {
+	s, err := BuildE(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return s.FinishContext(ctx)
 }
 
 // Sim is a built, runnable scenario: the network is wired, the
@@ -105,6 +142,19 @@ type Sim struct {
 	trunks    [][2]*link.Port
 	senders   []*tcp.Sender
 	receivers []*tcp.Receiver
+
+	// Observability (all nil/zero when cfg.Obs is unset). The tracer and
+	// metrics registry are created at build time so every instrument is
+	// registered in deterministic order before the first event.
+	tracer   *obs.Tracer
+	metrics  *obs.Metrics
+	progress *obs.Progress
+	// nextProgressT/nextProgressE are the next progress-sample
+	// thresholds on the time and event axes.
+	nextProgressT time.Duration
+	nextProgressE uint64
+	// epochHist receives inter-collapse intervals at finish time.
+	epochHist *obs.Histogram
 
 	// Warmup-boundary snapshots: measurement baselines taken exactly at
 	// cfg.Warmup, regardless of the RunUntil step pattern.
@@ -128,11 +178,71 @@ func (s *Sim) Pool() *packet.Pool { return s.pool }
 // the measurement-baseline snapshot at exactly the warmup boundary, so
 // any step pattern yields the same measurements as one straight run.
 func (s *Sim) RunUntil(t time.Duration) {
+	s.runUntil(nil, t)
+}
+
+// runUntil is RunUntil with optional cancellation (nil ctx never
+// cancels).
+func (s *Sim) runUntil(ctx context.Context, t time.Duration) error {
 	if !s.warmSnapped && t >= s.cfg.Warmup {
-		s.eng.RunUntil(s.cfg.Warmup)
+		if err := s.span(ctx, s.cfg.Warmup); err != nil {
+			return err
+		}
 		s.snapshotWarmup()
 	}
-	s.eng.RunUntil(t)
+	return s.span(ctx, t)
+}
+
+// span advances the engine to time t. With no cancellation and no
+// progress observer it is a single uninterrupted RunUntil — the
+// zero-overhead path. Otherwise the engine runs in bounded batches
+// with checks between them; the batching never schedules events, so
+// the event sequence (and hence the Result) is identical either way.
+func (s *Sim) span(ctx context.Context, t time.Duration) error {
+	if ctx == nil && s.progress == nil {
+		s.eng.RunUntil(t)
+		return nil
+	}
+	const batch = 4096
+	for {
+		done := s.eng.RunUntilN(t, batch)
+		s.observeProgress()
+		if done {
+			return nil
+		}
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// observeProgress fires the progress callback if an axis threshold was
+// crossed since the last batch (or on every batch when no axis is
+// configured).
+func (s *Sim) observeProgress() {
+	p := s.progress
+	if p == nil {
+		return
+	}
+	now, events := s.eng.Now(), s.eng.Processed()
+	fire := p.Every == 0 && p.EveryEvents == 0
+	if p.Every > 0 && now >= s.nextProgressT {
+		fire = true
+		for now >= s.nextProgressT {
+			s.nextProgressT += p.Every
+		}
+	}
+	if p.EveryEvents > 0 && events >= s.nextProgressE {
+		fire = true
+		for events >= s.nextProgressE {
+			s.nextProgressE += p.EveryEvents
+		}
+	}
+	if fire && p.Fn != nil {
+		p.Fn(obs.Snapshot{Now: now, End: s.cfg.Duration, Events: events})
+	}
 }
 
 // snapshotWarmup records the trunk busy time and receiver progress at
@@ -153,12 +263,30 @@ func (s *Sim) snapshotWarmup() {
 // Finish runs the scenario to cfg.Duration and computes the final
 // statistics. It is idempotent; the first call finalizes the Result.
 func (s *Sim) Finish() *Result {
+	res, _ := s.finish(nil) // nil ctx never cancels
+	return res
+}
+
+// FinishContext is Finish with cancellation: when ctx is canceled the
+// run stops within one event batch and returns ctx's error without
+// finalizing. The Sim stays resumable — a later Finish/FinishContext
+// call continues from exactly where the canceled one stopped, with
+// pool and measurement state intact.
+func (s *Sim) FinishContext(ctx context.Context) (*Result, error) {
+	return s.finish(ctx)
+}
+
+func (s *Sim) finish(ctx context.Context) (*Result, error) {
 	if s.finished {
-		return s.res
+		return s.res, nil
+	}
+	if err := s.runUntil(ctx, s.cfg.Warmup); err != nil {
+		return nil, err
+	}
+	if err := s.runUntil(ctx, s.cfg.Duration); err != nil {
+		return nil, err
 	}
 	s.finished = true
-	s.RunUntil(s.cfg.Warmup)
-	s.RunUntil(s.cfg.Duration)
 
 	res, cfg := s.res, s.cfg
 	nc := len(cfg.Conns)
@@ -179,17 +307,110 @@ func (s *Sim) Finish() *Result {
 		res.Goodput[k] = res.Delivered[k] - s.deliveredWarm[k]
 	}
 	res.Events = s.eng.Processed()
-	return res
+	s.exportMetrics()
+	if s.tracer != nil {
+		res.TraceErr = s.tracer.Close()
+	}
+	return res, nil
+}
+
+// exportMetrics fills the finish-time counters, gauges, and the epoch
+// histogram. Build-time histograms (queue occupancy, RTT, ACK
+// inter-arrival) were fed during the run.
+func (s *Sim) exportMetrics() {
+	m := s.metrics
+	if m == nil {
+		return
+	}
+	res := s.res
+	var drops, dataSent, rtx, timeouts, acks, collapses, delivered float64
+	for k := range res.SenderStats {
+		st := &res.SenderStats[k]
+		dataSent += float64(st.DataSent)
+		rtx += float64(st.Retransmits)
+		timeouts += float64(st.Timeouts)
+		acks += float64(st.AcksReceived)
+		collapses += float64(st.Collapses)
+		delivered += float64(res.Delivered[k])
+	}
+	drops = float64(len(res.Drops))
+	m.NewCounter("core/events").Add(float64(res.Events))
+	m.NewCounter("tcp/data-sent").Add(dataSent)
+	m.NewCounter("tcp/retransmits").Add(rtx)
+	m.NewCounter("tcp/timeouts").Add(timeouts)
+	m.NewCounter("tcp/acks-received").Add(acks)
+	m.NewCounter("tcp/collapses").Add(collapses)
+	m.NewCounter("tcp/delivered").Add(delivered)
+	m.NewCounter("link/drops").Add(drops)
+	if s.pool != nil {
+		m.NewCounter("pool/allocs").Add(float64(s.pool.Allocs()))
+		m.NewCounter("pool/recycled").Add(float64(s.pool.Recycled()))
+	}
+	for i := range s.trunks {
+		for dir := range s.trunks[i] {
+			pt := s.trunks[i][dir]
+			m.NewGauge("util/" + pt.Name()).Set(res.TrunkUtil[i][dir])
+			m.NewGauge("queue-mean/" + pt.Name()).Set(
+				res.TrunkQueue[i][dir].TimeAverage(res.MeasureFrom, res.MeasureTo))
+		}
+	}
+	for k := range res.Cwnd {
+		if last, ok := res.Cwnd[k].Last(); ok {
+			m.NewGauge(fmt.Sprintf("cwnd-final/conn%d", k+1)).Set(last.V)
+		}
+	}
+	// Epoch lengths: the interval between successive window collapses of
+	// one connection — the paper's congestion-epoch period.
+	for k := range res.Collapses {
+		evs := res.Collapses[k]
+		for i := 1; i < len(evs); i++ {
+			s.epochHist.Observe((evs[i].T - evs[i-1].T).Seconds())
+		}
+	}
 }
 
 // Build assembles the scenario: topology, instrumentation, connections,
 // and scheduled start times. The returned Sim has not executed any
-// events yet.
+// events yet. Build panics on an invalid configuration; BuildE returns
+// the problem as an error.
 func Build(cfg Config) *Sim {
-	cfg.Normalize()
+	s, err := BuildE(cfg)
+	if err != nil {
+		panic(err.Error())
+	}
+	return s
+}
+
+// BuildE is Build with error reporting: configuration validation and
+// topology compilation problems come back as errors instead of panics.
+func BuildE(cfg Config) (*Sim, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
 	topo, err := cfg.CompileTopology()
 	if err != nil {
-		panic("core: " + err.Error())
+		return nil, err
+	}
+	// Observability instruments. All stay nil when cfg.Obs is unset; nil
+	// instruments no-op at every call site.
+	var (
+		tracer   *obs.Tracer
+		metrics  *obs.Metrics
+		progress *obs.Progress
+	)
+	if cfg.Obs != nil {
+		if cfg.Obs.Trace != nil {
+			if cfg.Obs.Trace.Sink == nil {
+				return nil, fmt.Errorf("core: Obs.Trace set without a Sink")
+			}
+			tracer = obs.NewTracer(*cfg.Obs.Trace)
+		}
+		if cfg.Obs.Metrics {
+			metrics = obs.NewMetrics()
+		}
+		if cfg.Obs.Progress != nil {
+			progress = cfg.Obs.Progress
+		}
 	}
 	eng := sim.New()
 	rng := rand.New(rand.NewSource(cfg.Seed))
@@ -245,6 +466,7 @@ func Build(cfg Config) *Sim {
 			Delay:     cfg.AccessDelay,
 			Buffer:    queueUnbounded,
 			Pool:      pool,
+			Obs:       tracer,
 		}, switches[sw])
 		hosts[h].SetOutput(up)
 		down := link.NewPort(eng, link.Config{
@@ -256,9 +478,13 @@ func Build(cfg Config) *Sim {
 			Rand:       portRand(),
 			Discipline: cfg.Discipline,
 			Pool:       pool,
+			Obs:        tracer,
 		}, hosts[h])
 		switches[sw].AddRoute(h+1, down)
 		instrumentDrops(eng, down, res)
+		if tracer != nil {
+			hosts[h].SetObs(tracer, fmt.Sprintf("host%d", h+1))
+		}
 	}
 
 	// Trunk ports, one pair per topology link, instrumented. Trace
@@ -280,6 +506,7 @@ func Build(cfg Config) *Sim {
 			Rand:       portRand(),
 			Discipline: cfg.Discipline,
 			Pool:       pool,
+			Obs:        tracer,
 		}, switches[l.B])
 		rev := link.NewPort(eng, link.Config{
 			Name:       fmt.Sprintf("sw%d->sw%d", l.B, l.A),
@@ -290,6 +517,7 @@ func Build(cfg Config) *Sim {
 			Rand:       portRand(),
 			Discipline: cfg.Discipline,
 			Pool:       pool,
+			Obs:        tracer,
 		}, switches[l.A])
 		trunks[li] = [2]*link.Port{fwd, rev}
 		for dir, pt := range trunks[li] {
@@ -300,7 +528,11 @@ func Build(cfg Config) *Sim {
 			s := trace.NewSeriesCap(pt.Name(), clampReserve(4*estPkts))
 			s.Append(0, 0)
 			res.TrunkQueue[li][dir] = s
-			pt.OnQueueLen = func(qlen int) { s.Append(eng.Now(), float64(qlen)) }
+			qh := metrics.NewHistogram("queue/"+pt.Name(), queueBounds)
+			pt.OnQueueLen = func(qlen int) {
+				s.Append(eng.Now(), float64(qlen))
+				qh.Observe(float64(qlen))
+			}
 			res.TrunkDeps[li][dir] = make([]trace.Departure, 0, clampReserve(2*estPkts))
 			pt.OnDepart = func(p *packet.Packet) {
 				res.TrunkDeps[li][dir] = append(res.TrunkDeps[li][dir], trace.Departure{
@@ -368,6 +600,8 @@ func Build(cfg Config) *Sim {
 		src.Attach(connID, s)
 		dst.Attach(connID, r)
 		senders[k], receivers[k] = s, r
+		s.Obs = tracer
+		s.ObsLoc = tracer.Loc(fmt.Sprintf("conn%d", connID))
 
 		// The window moves (and an ACK arrives) at most once per
 		// delivered packet, so the per-connection share of the trunk
@@ -377,13 +611,22 @@ func Build(cfg Config) *Sim {
 		res.Cwnd[k] = cw
 		s.OnCwnd = func(v float64) { cw.Append(eng.Now(), v) }
 		res.AckArrivals[k] = make([]time.Duration, 0, perConn)
+		ackGapHist := metrics.NewHistogram(fmt.Sprintf("ack-gap-seconds/conn%d", connID), ackGapBounds)
+		lastAck := time.Duration(-1)
 		s.OnAckArrival = func(*packet.Packet) {
-			res.AckArrivals[k] = append(res.AckArrivals[k], eng.Now())
+			now := eng.Now()
+			res.AckArrivals[k] = append(res.AckArrivals[k], now)
+			if lastAck >= 0 {
+				ackGapHist.Observe((now - lastAck).Seconds())
+			}
+			lastAck = now
 		}
 		rttSeries := trace.NewSeries(fmt.Sprintf("rtt-%d", connID))
 		res.RTT[k] = rttSeries
+		rttHist := metrics.NewHistogram(fmt.Sprintf("rtt-seconds/conn%d", connID), rttBounds)
 		s.OnRTTSample = func(m time.Duration) {
 			rttSeries.Append(eng.Now(), m.Seconds())
+			rttHist.Observe(m.Seconds())
 		}
 		s.OnCollapse = func(cause string) {
 			res.Collapses[k] = append(res.Collapses[k], CollapseEvent{eng.Now(), cause})
@@ -396,7 +639,7 @@ func Build(cfg Config) *Sim {
 		eng.ScheduleAt(start, s.Start)
 	}
 
-	return &Sim{
+	sm := &Sim{
 		cfg:       cfg,
 		eng:       eng,
 		pool:      pool,
@@ -404,8 +647,30 @@ func Build(cfg Config) *Sim {
 		trunks:    trunks,
 		senders:   senders,
 		receivers: receivers,
+		tracer:    tracer,
+		metrics:   metrics,
+		progress:  progress,
+		epochHist: metrics.NewHistogram("epoch-seconds", epochBounds),
 	}
+	res.Metrics = metrics
+	if progress != nil {
+		sm.nextProgressT = progress.Every
+		sm.nextProgressE = progress.EveryEvents
+	}
+	return sm, nil
 }
+
+// Histogram bucket bounds for the built-in metrics. Chosen to bracket
+// the paper's operating ranges: queues up to a few hundred packets,
+// RTTs from milliseconds to the multi-second compressed regime, ACK
+// gaps from sub-millisecond compression bursts to idle-period scale,
+// and congestion epochs of seconds to minutes.
+var (
+	queueBounds  = []float64{0, 1, 2, 5, 10, 20, 40, 80, 160, 320}
+	rttBounds    = []float64{0.05, 0.1, 0.25, 0.5, 1, 2, 5, 10, 30}
+	ackGapBounds = []float64{0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.25, 0.5, 1, 5}
+	epochBounds  = []float64{1, 2, 5, 10, 20, 50, 100, 200, 500}
+)
 
 // queueUnbounded names the unbounded-buffer sentinel for readability.
 const queueUnbounded = 0

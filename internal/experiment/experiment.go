@@ -16,11 +16,14 @@ import (
 	"time"
 
 	"tahoedyn/internal/core"
+	"tahoedyn/internal/obs"
 	"tahoedyn/internal/runner"
 	"tahoedyn/internal/trace"
 )
 
-// Options tunes an experiment run.
+// Options tunes an experiment run. The zero value is a fully usable
+// default — every field has a documented zero-value meaning, so call
+// sites never need to spell out knobs they don't care about.
 type Options struct {
 	// Seed selects the scenario randomness; 0 means 1.
 	Seed int64
@@ -33,6 +36,12 @@ type Options struct {
 	// GOMAXPROCS. Results are deterministic for any value: runs are
 	// independent and collected in job order.
 	Parallel int
+	// Observer, when non-nil, receives progress samples from every
+	// simulation an experiment runs (tahoe-sim -progress wires this to
+	// stderr). Observation is passive: results are byte-identical with
+	// or without it. The callback must be safe for concurrent use when
+	// Parallel enables more than one worker.
+	Observer *obs.Progress
 }
 
 // workers translates Options.Parallel into a runner worker count.

@@ -27,7 +27,7 @@ func DelayedACKStudy(opts Options) *Outcome {
 		}
 		cfg.Warmup = opts.scale(200 * time.Second)
 		cfg.Duration = opts.scale(800 * time.Second)
-		return core.Run(cfg)
+		return runCore(opts, cfg)
 	}
 	smallOff := run(8, false)
 	smallDel := run(8, true)
@@ -99,7 +99,7 @@ func FourSwitchTopology(opts Options) *Outcome {
 	}
 	cfg.Warmup = opts.scale(200 * time.Second)
 	cfg.Duration = opts.scale(600 * time.Second)
-	res := core.Run(cfg)
+	res := runCore(opts, cfg)
 
 	// Aggregate over the middle trunk (index 1), the busiest.
 	midQ := res.TrunkQueue[1][0]
@@ -160,7 +160,7 @@ func PacingAblation(opts Options) *Outcome {
 		}
 		cfg.Warmup = opts.scale(200 * time.Second)
 		cfg.Duration = opts.scale(800 * time.Second)
-		return core.Run(cfg)
+		return runCore(opts, cfg)
 	}
 	unpaced := run(0)
 	paced := run(80 * time.Millisecond)

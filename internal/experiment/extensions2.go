@@ -23,7 +23,7 @@ func RenoTwoWay(opts Options) *Outcome {
 		}
 		cfg.Warmup = opts.scale(200 * time.Second)
 		cfg.Duration = opts.scale(800 * time.Second)
-		return core.Run(cfg)
+		return runCore(opts, cfg)
 	}
 	small := run(10 * time.Millisecond)
 	large := run(time.Second)
@@ -74,7 +74,7 @@ func RandomDropStudy(opts Options) *Outcome {
 		cfg.Discard = d
 		cfg.Warmup = opts.scale(200 * time.Second)
 		cfg.Duration = opts.scale(800 * time.Second)
-		return core.Run(cfg)
+		return runCore(opts, cfg)
 	}
 	tail := runOneWay(core.DropTail)
 	random := runOneWay(core.RandomDrop)
@@ -97,7 +97,7 @@ func RandomDropStudy(opts Options) *Outcome {
 	cfg2.Discard = core.RandomDrop
 	cfg2.Warmup = opts.scale(200 * time.Second)
 	cfg2.Duration = opts.scale(800 * time.Second)
-	twoWay := core.Run(cfg2)
+	twoWay := runCore(opts, cfg2)
 	ackDrops := 0
 	for _, d := range dropsAfter(twoWay.Drops, twoWay.MeasureFrom) {
 		if d.Kind == packet.Ack {
@@ -150,7 +150,7 @@ func UnequalRTTStudy(opts Options) *Outcome {
 		cfg.Conns[2].ExtraDelay = 2 * extra
 		cfg.Warmup = opts.scale(200 * time.Second)
 		cfg.Duration = opts.scale(800 * time.Second)
-		return core.Run(cfg)
+		return runCore(opts, cfg)
 	}
 	equal := run(0)
 	unequal := run(100 * time.Millisecond) // ≫ the 80 ms data tx time

@@ -22,7 +22,7 @@ func FairQueueStudy(opts Options) *Outcome {
 		cfg.Discipline = d
 		cfg.Warmup = opts.scale(200 * time.Second)
 		cfg.Duration = opts.scale(800 * time.Second)
-		return core.Run(cfg)
+		return runCore(opts, cfg)
 	}
 	fifo := twoWay(core.FIFO)
 	fq := twoWay(core.FairQueue)
@@ -34,7 +34,7 @@ func FairQueueStudy(opts Options) *Outcome {
 		cfg.Conns[2].ExtraDelay = 800 * time.Millisecond
 		cfg.Warmup = opts.scale(200 * time.Second)
 		cfg.Duration = opts.scale(800 * time.Second)
-		return core.Run(cfg)
+		return runCore(opts, cfg)
 	}
 	uFIFO := unequal(core.FIFO)
 	uFQ := unequal(core.FairQueue)

@@ -30,7 +30,7 @@ func Fig8FixedWindowSmallPipe(opts Options) *Outcome {
 	cfg := fixedWindowConfig(10*time.Millisecond, 30, 25, opts.seed())
 	cfg.Warmup = opts.scale(200 * time.Second)
 	cfg.Duration = opts.scale(800 * time.Second)
-	res := core.Run(cfg)
+	res := runCore(opts, cfg)
 
 	q1max := res.Q1().Max(res.MeasureFrom, res.MeasureTo)
 	q2max := res.Q2().Max(res.MeasureFrom, res.MeasureTo)
@@ -79,7 +79,7 @@ func Fig9FixedWindowLargePipe(opts Options) *Outcome {
 	cfg := fixedWindowConfig(time.Second, 30, 25, opts.seed())
 	cfg.Warmup = opts.scale(200 * time.Second)
 	cfg.Duration = opts.scale(800 * time.Second)
-	res := core.Run(cfg)
+	res := runCore(opts, cfg)
 
 	q1max := res.Q1().Max(res.MeasureFrom, res.MeasureTo)
 	q2max := res.Q2().Max(res.MeasureFrom, res.MeasureTo)
@@ -158,7 +158,7 @@ func ZeroACKConjecture(opts Options) *Outcome {
 		cfg.AckSize = 0
 		cfg.Warmup = opts.scale(200 * time.Second)
 		cfg.Duration = opts.scale(600 * time.Second)
-		res := core.Run(cfg)
+		res := runCore(opts, cfg)
 		if o.Result == nil {
 			o.Result = res
 			o.Series = []*trace.Series{res.Q1(), res.Q2()}
@@ -210,7 +210,7 @@ func ACKCompressionProbe(opts Options) *Outcome {
 	cfg := fixedWindowConfig(10*time.Millisecond, 30, 25, opts.seed())
 	cfg.Warmup = opts.scale(100 * time.Second)
 	cfg.Duration = opts.scale(500 * time.Second)
-	twoWay := core.Run(cfg)
+	twoWay := runCore(opts, cfg)
 
 	// One-way baseline with the same adaptive machinery disabled: a
 	// single fixed-window connection. ACK spacing can never shrink.
@@ -219,7 +219,7 @@ func ACKCompressionProbe(opts Options) *Outcome {
 	oneCfg.Conns = []core.ConnSpec{{SrcHost: 0, DstHost: 1, FixedWnd: 30, Start: -1}}
 	oneCfg.Warmup = opts.scale(100 * time.Second)
 	oneCfg.Duration = opts.scale(500 * time.Second)
-	oneWay := core.Run(oneCfg)
+	oneWay := runCore(opts, oneCfg)
 
 	compTwo := compression(twoWay, 0)
 	compOne := compression(oneWay, 0)

@@ -5,6 +5,7 @@ import (
 
 	"tahoedyn/internal/analysis"
 	"tahoedyn/internal/core"
+	"tahoedyn/internal/obs"
 	"tahoedyn/internal/packet"
 	"tahoedyn/internal/trace"
 )
@@ -125,3 +126,15 @@ func plotWindow(res *core.Result, span time.Duration) (time.Duration, time.Durat
 
 // coreRunForProbe runs a config; indirection keeps probe files terse.
 func coreRunForProbe(cfg core.Config) *core.Result { return core.Run(cfg) }
+
+// runCore executes one simulation on behalf of an experiment, threading
+// the experiment-level observability knobs (Options.Observer) into the
+// run. Every experiment's simulation goes through here, so enabling
+// -progress on the CLI covers all of them. Observation is passive: the
+// Result is byte-identical with or without an Observer.
+func runCore(o Options, cfg core.Config) *core.Result {
+	if o.Observer != nil {
+		cfg.Obs = &obs.Options{Progress: o.Observer}
+	}
+	return core.Run(cfg)
+}

@@ -22,7 +22,7 @@ func IncreaseRuleStudy(opts Options) *Outcome {
 		}
 		cfg.Warmup = opts.scale(200 * time.Second)
 		cfg.Duration = opts.scale(900 * time.Second)
-		return core.Run(cfg)
+		return runCore(opts, cfg)
 	}
 	modified := run(false)
 	original := run(true)

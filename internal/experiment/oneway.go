@@ -20,7 +20,7 @@ func Fig2OneWay(opts Options) *Outcome {
 	cfg := oneWayConfig(time.Second, core.DefaultBuffer, 3, opts.seed())
 	cfg.Warmup = opts.scale(200 * time.Second)
 	cfg.Duration = opts.scale(800 * time.Second)
-	res := core.Run(cfg)
+	res := runCore(opts, cfg)
 
 	epochs := measuredEpochs(res, 10*time.Second)
 	period := meanEpochPeriod(epochs)
@@ -79,7 +79,7 @@ func OneWaySmallPipe(opts Options) *Outcome {
 	cfg := oneWayConfig(10*time.Millisecond, core.DefaultBuffer, 3, opts.seed())
 	cfg.Warmup = opts.scale(100 * time.Second)
 	cfg.Duration = opts.scale(500 * time.Second)
-	res := core.Run(cfg)
+	res := runCore(opts, cfg)
 
 	util := res.UtilForward()
 	comp := compression(res, 0)

@@ -37,7 +37,7 @@ func ParkingLotFairness(opts Options) *Outcome {
 	for h := 0; h < hops; h++ {
 		cfg.Conns = append(cfg.Conns, core.ConnSpec{SrcHost: h, DstHost: h + 1, Start: -1})
 	}
-	res := core.Run(cfg)
+	res := runCore(opts, cfg)
 
 	long := res.Goodput[0]
 	crossMean := 0.0

@@ -28,8 +28,8 @@ func Fig3TenConns(opts Options) *Outcome {
 		cfg.Duration = opts.scale(800 * time.Second)
 		return cfg
 	}
-	res := core.Run(build(30))
-	res60 := core.Run(build(60))
+	res := runCore(opts, build(30))
+	res60 := runCore(opts, build(60))
 
 	util := res.UtilForward()
 	util60 := res60.UtilForward()
@@ -80,7 +80,7 @@ func Fig45TwoWaySmallPipe(opts Options) *Outcome {
 		cfg := twoWayConfig(10*time.Millisecond, buffer, opts.seed())
 		cfg.Warmup = opts.scale(200 * time.Second)
 		cfg.Duration = opts.scale(800 * time.Second)
-		return core.Run(cfg)
+		return runCore(opts, cfg)
 	}
 	res := run(20)
 	res60 := run(60)
@@ -150,7 +150,7 @@ func Fig67TwoWayLargePipe(opts Options) *Outcome {
 	cfg := twoWayConfig(time.Second, core.DefaultBuffer, opts.seed())
 	cfg.Warmup = opts.scale(200 * time.Second)
 	cfg.Duration = opts.scale(800 * time.Second)
-	res := core.Run(cfg)
+	res := runCore(opts, cfg)
 
 	util := res.UtilForward()
 	epochs := measuredEpochs(res, 10*time.Second)

@@ -55,7 +55,7 @@ func CongestionWaveProbe(opts Options) *Outcome {
 		FixedWnd: 25,
 		Start:    pulseAt,
 	})
-	res := core.Run(cfg)
+	res := runCore(opts, cfg)
 
 	// Per hop: baseline over the pre-pulse measurement window, then the
 	// wavefront arrival and the queue peak after the pulse.

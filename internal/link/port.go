@@ -17,6 +17,7 @@ import (
 	"math/rand"
 	"time"
 
+	"tahoedyn/internal/obs"
 	"tahoedyn/internal/packet"
 	"tahoedyn/internal/queue"
 	"tahoedyn/internal/sim"
@@ -81,6 +82,10 @@ type Config struct {
 	// OnDrop hook has observed it). See packet.Pool for the ownership
 	// protocol.
 	Pool *packet.Pool
+	// Obs, when non-nil, receives structured trace events (enqueue,
+	// dequeue, transmit, drop) at this port, tagged with its Name. A nil
+	// tracer costs one pointer check per event site.
+	Obs *obs.Tracer
 }
 
 // Port is an output port: a FIFO drop-tail buffer draining into a simplex
@@ -99,6 +104,10 @@ type Port struct {
 	// starting a transmission schedules no closure.
 	curTx    time.Duration
 	finishFn func()
+
+	// obsLoc is the port's interned trace location (0 when cfg.Obs is
+	// nil, in which case it is never read).
+	obsLoc obs.Loc
 
 	stats Stats
 
@@ -128,6 +137,9 @@ func NewPort(eng *sim.Engine, cfg Config, dst Receiver) *Port {
 	if cfg.Discipline == FairQueue {
 		pt.fq = newFQSched()
 	}
+	// Intern the trace location at build time so the emit path never
+	// touches the name string.
+	pt.obsLoc = cfg.Obs.Loc(cfg.Name)
 	return pt
 }
 
@@ -204,6 +216,9 @@ func (pt *Port) Send(p *packet.Packet) bool {
 		return false
 	}
 	pt.stats.Enqueued++
+	if pt.cfg.Obs != nil {
+		pt.cfg.Obs.Packet(obs.Enqueue, pt.eng.Now(), pt.obsLoc, p, float64(pt.q.Len()))
+	}
 	if pt.OnQueueLen != nil {
 		pt.OnQueueLen(pt.q.Len())
 	}
@@ -217,6 +232,9 @@ func (pt *Port) Send(p *packet.Packet) bool {
 // releases it back to the pool once the drop hook has seen it.
 func (pt *Port) drop(p *packet.Packet) {
 	pt.stats.Dropped++
+	if pt.cfg.Obs != nil {
+		pt.cfg.Obs.Packet(obs.Drop, pt.eng.Now(), pt.obsLoc, p, float64(pt.QueueLen()))
+	}
 	if pt.OnDrop != nil {
 		pt.OnDrop(p)
 	}
@@ -238,6 +256,9 @@ func (pt *Port) sendFQ(p *packet.Packet) bool {
 	}
 	if accepted {
 		pt.stats.Enqueued++
+		if pt.cfg.Obs != nil {
+			pt.cfg.Obs.Packet(obs.Enqueue, pt.eng.Now(), pt.obsLoc, p, float64(pt.QueueLen()))
+		}
 		if pt.OnQueueLen != nil {
 			pt.OnQueueLen(pt.QueueLen())
 		}
@@ -265,6 +286,9 @@ func (pt *Port) startTx() {
 	}
 	pt.busy = true
 	pt.curTx = pt.TxTime(head.Size)
+	if pt.cfg.Obs != nil {
+		pt.cfg.Obs.Packet(obs.Dequeue, pt.eng.Now(), pt.obsLoc, head, float64(pt.QueueLen()))
+	}
 	pt.eng.Schedule(pt.curTx, pt.finishFn)
 }
 
@@ -283,6 +307,9 @@ func (pt *Port) finishTx() {
 	pt.stats.Busy += pt.curTx
 	pt.stats.Transmitted++
 	pt.stats.TxBytes += uint64(p.Size)
+	if pt.cfg.Obs != nil {
+		pt.cfg.Obs.Packet(obs.Transmit, pt.eng.Now(), pt.obsLoc, p, float64(pt.QueueLen()))
+	}
 	if pt.OnDepart != nil {
 		pt.OnDepart(p)
 	}

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"tahoedyn/internal/link"
+	"tahoedyn/internal/obs"
 	"tahoedyn/internal/packet"
 	"tahoedyn/internal/sim"
 )
@@ -90,6 +91,11 @@ type Host struct {
 	// received counts packets accepted by this host, for conservation
 	// checks.
 	received uint64
+
+	// obs, when non-nil, receives a Deliver trace event for every packet
+	// this host accepts; obsLoc is its interned location ("host0", ...).
+	obs    *obs.Tracer
+	obsLoc obs.Loc
 }
 
 // NewHost returns a host with the given per-packet processing delay.
@@ -107,6 +113,13 @@ func (h *Host) ID() int { return h.id }
 
 // SetOutput attaches the host's output port (toward its switch).
 func (h *Host) SetOutput(out *link.Port) { h.out = out }
+
+// SetObs attaches a tracer to the host; arriving packets then emit
+// Deliver events at the named location. Call before the run starts.
+func (h *Host) SetObs(t *obs.Tracer, name string) {
+	h.obs = t
+	h.obsLoc = t.Loc(name)
+}
 
 // Attach registers the endpoint that handles packets of connection conn
 // arriving at this host.
@@ -143,6 +156,9 @@ func (h *Host) Deliver(p *packet.Packet) {
 		panic(fmt.Sprintf("host %d: no endpoint for conn %d (%v)", h.id, p.Conn, p))
 	}
 	h.received++
+	if h.obs != nil {
+		h.obs.Packet(obs.Deliver, h.eng.Now(), h.obsLoc, p, 0)
+	}
 	if h.processing == 0 {
 		h.endpoints[p.Conn].Handle(p)
 		return

@@ -1,0 +1,303 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+)
+
+// Metrics is a per-run registry of counters, gauges, and fixed-bucket
+// histograms. A nil *Metrics is a valid disabled registry: NewCounter,
+// NewGauge, and NewHistogram all return nil on it, and the returned nil
+// instruments absorb every observation for free. Instruments render in
+// registration order, which the build makes deterministic, so the text
+// and JSON outputs are stable run to run.
+//
+// Metrics are single-run, single-goroutine objects like the engine;
+// aggregate across runs by reading the finished registries.
+type Metrics struct {
+	counters   []*Counter
+	gauges     []*Gauge
+	histograms []*Histogram
+}
+
+// NewMetrics returns an empty registry.
+func NewMetrics() *Metrics { return &Metrics{} }
+
+// Counter is a monotonically increasing count.
+type Counter struct {
+	name string
+	n    float64
+}
+
+// NewCounter registers a counter; nil registry returns a nil (disabled)
+// counter.
+func (m *Metrics) NewCounter(name string) *Counter {
+	if m == nil {
+		return nil
+	}
+	c := &Counter{name: name}
+	m.counters = append(m.counters, c)
+	return c
+}
+
+// Add increments the counter. Nil-safe.
+func (c *Counter) Add(delta float64) {
+	if c != nil {
+		c.n += delta
+	}
+}
+
+// Inc adds one. Nil-safe.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 for nil).
+func (c *Counter) Value() float64 {
+	if c == nil {
+		return 0
+	}
+	return c.n
+}
+
+// Gauge is a point-in-time value; Set overwrites.
+type Gauge struct {
+	name string
+	v    float64
+	set  bool
+}
+
+// NewGauge registers a gauge; nil registry returns a nil (disabled)
+// gauge.
+func (m *Metrics) NewGauge(name string) *Gauge {
+	if m == nil {
+		return nil
+	}
+	g := &Gauge{name: name}
+	m.gauges = append(m.gauges, g)
+	return g
+}
+
+// Set overwrites the gauge's value. Nil-safe.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.v, g.set = v, true
+	}
+}
+
+// Value returns the last value set (0 for nil or never-set).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return g.v
+}
+
+// Histogram counts observations into fixed upper-bound buckets plus an
+// overflow bucket, and tracks count, sum, min, and max exactly.
+type Histogram struct {
+	name    string
+	bounds  []float64 // ascending upper bounds
+	buckets []uint64  // len(bounds)+1; last is overflow
+	n       uint64
+	sum     float64
+	min     float64
+	max     float64
+}
+
+// NewHistogram registers a histogram with the given ascending bucket
+// upper bounds (an observation v lands in the first bucket with
+// v <= bound, or in the overflow bucket). Nil registry returns a nil
+// (disabled) histogram.
+func (m *Metrics) NewHistogram(name string, bounds []float64) *Histogram {
+	if m == nil {
+		return nil
+	}
+	if !sort.Float64sAreSorted(bounds) {
+		panic(fmt.Sprintf("obs: histogram %q bounds not ascending", name))
+	}
+	h := &Histogram{
+		name:    name,
+		bounds:  append([]float64(nil), bounds...),
+		buckets: make([]uint64, len(bounds)+1),
+		min:     math.Inf(1),
+		max:     math.Inf(-1),
+	}
+	m.histograms = append(m.histograms, h)
+	return h
+}
+
+// Observe records one value. Nil-safe and allocation-free.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.buckets[i]++
+	h.n++
+	h.sum += v
+	if v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// N returns the observation count.
+func (h *Histogram) N() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.n
+}
+
+// Sum returns the sum of observations.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum
+}
+
+// Mean returns the mean observation (0 when empty).
+func (h *Histogram) Mean() float64 {
+	if h == nil || h.n == 0 {
+		return 0
+	}
+	return h.sum / float64(h.n)
+}
+
+// Min and Max return the extreme observations (0 when empty).
+func (h *Histogram) Min() float64 {
+	if h == nil || h.n == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Max returns the largest observation (0 when empty).
+func (h *Histogram) Max() float64 {
+	if h == nil || h.n == 0 {
+		return 0
+	}
+	return h.max
+}
+
+// Buckets returns copies of the bounds and counts (the last count is
+// the overflow bucket).
+func (h *Histogram) Buckets() (bounds []float64, counts []uint64) {
+	if h == nil {
+		return nil, nil
+	}
+	return append([]float64(nil), h.bounds...), append([]uint64(nil), h.buckets...)
+}
+
+// fnum formats a metric value the way both renderers share: integers
+// without a decimal point, everything else in shortest form.
+func fnum(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatFloat(v, 'f', 0, 64)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WriteText renders the registry in a human-readable layout, in
+// registration order.
+func (m *Metrics) WriteText(w io.Writer) error {
+	if m == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+	for _, c := range m.counters {
+		fmt.Fprintf(bw, "counter %-32s %s\n", c.name, fnum(c.n))
+	}
+	for _, g := range m.gauges {
+		fmt.Fprintf(bw, "gauge   %-32s %s\n", g.name, fnum(g.v))
+	}
+	for _, h := range m.histograms {
+		fmt.Fprintf(bw, "hist    %-32s n=%d mean=%s min=%s max=%s\n",
+			h.name, h.n, fnum(h.Mean()), fnum(h.Min()), fnum(h.Max()))
+		for i, b := range h.buckets {
+			if b == 0 {
+				continue
+			}
+			if i < len(h.bounds) {
+				fmt.Fprintf(bw, "          le %-12s %d\n", fnum(h.bounds[i]), b)
+			} else {
+				fmt.Fprintf(bw, "          le +inf        %d\n", b)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteJSON renders the registry as one JSON object with "counters",
+// "gauges", and "histograms" arrays in registration order. Arrays, not
+// maps, so the output is deterministic without a sort pass.
+func (m *Metrics) WriteJSON(w io.Writer) error {
+	if m == nil {
+		_, err := io.WriteString(w, "{}\n")
+		return err
+	}
+	var b []byte
+	b = append(b, `{"counters":[`...)
+	for i, c := range m.counters {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = append(b, `{"name":`...)
+		b = strconv.AppendQuote(b, c.name)
+		b = append(b, `,"value":`...)
+		b = append(b, fnum(c.n)...)
+		b = append(b, '}')
+	}
+	b = append(b, `],"gauges":[`...)
+	for i, g := range m.gauges {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = append(b, `{"name":`...)
+		b = strconv.AppendQuote(b, g.name)
+		b = append(b, `,"value":`...)
+		b = append(b, fnum(g.v)...)
+		b = append(b, '}')
+	}
+	b = append(b, `],"histograms":[`...)
+	for i, h := range m.histograms {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = append(b, `{"name":`...)
+		b = strconv.AppendQuote(b, h.name)
+		b = append(b, `,"n":`...)
+		b = strconv.AppendUint(b, h.n, 10)
+		b = append(b, `,"sum":`...)
+		b = append(b, fnum(h.sum)...)
+		b = append(b, `,"min":`...)
+		b = append(b, fnum(h.Min())...)
+		b = append(b, `,"max":`...)
+		b = append(b, fnum(h.Max())...)
+		b = append(b, `,"bounds":[`...)
+		for j, bound := range h.bounds {
+			if j > 0 {
+				b = append(b, ',')
+			}
+			b = append(b, fnum(bound)...)
+		}
+		b = append(b, `],"buckets":[`...)
+		for j, n := range h.buckets {
+			if j > 0 {
+				b = append(b, ',')
+			}
+			b = strconv.AppendUint(b, n, 10)
+		}
+		b = append(b, `]}`...)
+	}
+	b = append(b, `]}`...)
+	b = append(b, '\n')
+	_, err := w.Write(b)
+	return err
+}

@@ -1,0 +1,329 @@
+// Package obs is the simulator's observability layer: structured packet
+// tracing, per-run metrics, and progress sampling. It exists so the
+// packet-level dynamics the paper was discovered from — ACK trains
+// compressing, queues locking in and out of phase — can be watched while
+// a run executes instead of reconstructed from post-hoc aggregates.
+//
+// The layer is strictly passive and strictly pay-for-what-you-use:
+//
+//   - A nil *Tracer, nil *Histogram, or nil *Progress is a valid,
+//     disabled instrument; every emit method no-ops on a nil receiver.
+//     With observability disabled the hot path pays one nil check per
+//     site and allocates nothing (TestSteadyStateAllocs pins this).
+//   - Observation never perturbs the physics. Tracing and metrics hang
+//     off hooks that already fire; progress sampling batches the engine
+//     loop without scheduling events. A run with observability on is
+//     byte-identical to the same run with it off (the identity tests in
+//     core pin this).
+//
+// Event streams leave the process through pluggable Sinks: JSONL for
+// humans and jq, a compact versioned binary format for volume, and an
+// in-memory sink for tests. See DESIGN.md §10 for the event taxonomy
+// and the sink contract.
+package obs
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"tahoedyn/internal/packet"
+)
+
+// Type classifies one packet-lifecycle event.
+type Type uint8
+
+// The event taxonomy. Enqueue through Deliver are packet events and
+// carry the packet's identity; Timeout and CwndChange are value events
+// keyed by connection only.
+const (
+	// Enqueue: a port accepted an arriving packet into its buffer.
+	// Val is the queue length after the arrival.
+	Enqueue Type = iota
+	// Dequeue: a packet reached the head of a port's queue and began
+	// serializing onto the line. Val is the queue length at that moment.
+	Dequeue
+	// Transmit: a packet's last bit left a port (propagation begins).
+	// Val is the queue length after the departure.
+	Transmit
+	// Drop: a port discarded a packet (drop-tail, Random Drop eviction,
+	// or fair-queueing longest-flow drop). Val is the queue length.
+	Drop
+	// Deliver: a packet arrived at its terminal host.
+	Deliver
+	// Timeout: a sender's retransmission timer fired with data
+	// outstanding. Val is the cumulative timeout count.
+	Timeout
+	// CwndChange: a sender's congestion window changed. Val is the new
+	// window in packets.
+	CwndChange
+
+	numTypes
+)
+
+// typeNames are the wire spellings of the event taxonomy, in Type order.
+var typeNames = [numTypes]string{
+	"enqueue", "dequeue", "transmit", "drop", "deliver", "timeout", "cwnd",
+}
+
+// String returns the wire spelling ("enqueue", "drop", "cwnd", ...).
+func (t Type) String() string {
+	if int(t) < len(typeNames) {
+		return typeNames[t]
+	}
+	return fmt.Sprintf("Type(%d)", uint8(t))
+}
+
+// ParseType resolves a wire spelling back to a Type.
+func ParseType(s string) (Type, error) {
+	for i, n := range typeNames {
+		if n == s {
+			return Type(i), nil
+		}
+	}
+	return 0, fmt.Errorf("obs: unknown event type %q", s)
+}
+
+// PacketEvent reports whether events of this type carry packet identity
+// (kind, seq, size, id) rather than just a connection and a value.
+func (t Type) PacketEvent() bool { return t <= Deliver }
+
+// Loc identifies a network location (a port, a host, a connection
+// endpoint) in the trace. Locations are interned per run by Tracer.Loc;
+// sinks resolve them back to names.
+type Loc uint16
+
+// Event is one structured trace record. The layout is fixed-size and
+// pointer-free so a run's ring buffer is a single allocation.
+type Event struct {
+	// T is the simulated time of the event.
+	T time.Duration
+	// Val is the type-dependent measurement: queue length for port
+	// events, the new window for CwndChange, the cumulative timeout
+	// count for Timeout, 0 for Deliver.
+	Val float64
+	// ID is the packet's unique identifier; 0 for value events.
+	ID uint64
+	// Conn is the 1-based connection the event belongs to.
+	Conn int32
+	// Seq and Size are the packet's sequence number and byte size;
+	// 0 for value events.
+	Seq, Size int32
+	// Loc is the interned location the event happened at.
+	Loc Loc
+	// Type classifies the event.
+	Type Type
+	// Kind is the packet kind (data or ACK); meaningful only when
+	// Type.PacketEvent() is true.
+	Kind packet.Kind
+}
+
+// Filter selects the subset of events a tracer records. The zero Filter
+// matches everything.
+type Filter struct {
+	// Conn, when nonzero, matches only that 1-based connection.
+	Conn int
+	// Types, when nonzero, is a bitmask of 1<<Type to match.
+	Types uint32
+}
+
+// Match reports whether an event of the given type and connection
+// passes the filter.
+func (f Filter) Match(typ Type, conn int) bool {
+	return (f.Types == 0 || f.Types&(1<<typ) != 0) &&
+		(f.Conn == 0 || conn == f.Conn)
+}
+
+// ParseFilter parses the CLI filter syntax: comma-separated key=value
+// pairs, where key is "conn" (a 1-based connection number) or "type"
+// (one or more event-type names joined with "|"). Repeated keys union
+// for type and overwrite for conn. Example: "conn=2,type=drop|timeout".
+func ParseFilter(s string) (Filter, error) {
+	var f Filter
+	if s == "" {
+		return f, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		key, val, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return f, fmt.Errorf("obs: bad filter term %q (want key=value)", part)
+		}
+		switch key {
+		case "conn":
+			n, err := strconv.Atoi(val)
+			if err != nil || n <= 0 {
+				return f, fmt.Errorf("obs: bad filter conn %q (want a positive integer)", val)
+			}
+			f.Conn = n
+		case "type":
+			for _, name := range strings.Split(val, "|") {
+				t, err := ParseType(strings.TrimSpace(name))
+				if err != nil {
+					return f, err
+				}
+				f.Types |= 1 << t
+			}
+		default:
+			return f, fmt.Errorf("obs: unknown filter key %q (want conn or type)", key)
+		}
+	}
+	return f, nil
+}
+
+// TraceOptions configures one run's event tracer.
+type TraceOptions struct {
+	// Sink receives the event batches. Required.
+	Sink Sink
+	// Filter restricts which events are recorded; the zero value keeps
+	// everything.
+	Filter Filter
+	// RingSize is the number of events buffered before a flush to the
+	// sink; 0 means 4096. Smaller rings flush more often, which is what
+	// `tahoe-trace -follow` uses to stream a run live.
+	RingSize int
+}
+
+// Options enables observability for one run. A nil *Options (the
+// default everywhere) disables the whole layer.
+type Options struct {
+	// Trace, when non-nil, records packet-lifecycle events to its sink.
+	Trace *TraceOptions
+	// Metrics, when true, registers per-run counters, gauges, and
+	// histograms and exports them on Result.Metrics.
+	Metrics bool
+	// Progress, when non-nil, samples the run as it executes.
+	Progress *Progress
+}
+
+// Tracer records structured events into a preallocated ring buffer and
+// flushes them to its sink in batches. A nil *Tracer is disabled: every
+// emit no-ops. Tracers are single-run, single-goroutine objects, like
+// the engine they observe; only the Sink may be shared across runs.
+type Tracer struct {
+	filter Filter
+	buf    []Event
+	n      int
+	sink   Sink
+	locs   []string
+	began  bool
+	err    error
+}
+
+// NewTracer returns a tracer writing to the options' sink.
+func NewTracer(o TraceOptions) *Tracer {
+	if o.Sink == nil {
+		panic("obs: TraceOptions.Sink is required")
+	}
+	ring := o.RingSize
+	if ring <= 0 {
+		ring = 4096
+	}
+	return &Tracer{filter: o.Filter, buf: make([]Event, ring), sink: o.Sink}
+}
+
+// Loc interns a location name, returning its stable id. Interning
+// happens at build time (ports, hosts, and connections are created
+// before the first event), so the emit path never touches strings.
+func (t *Tracer) Loc(name string) Loc {
+	if t == nil {
+		return 0
+	}
+	for i, n := range t.locs {
+		if n == name {
+			return Loc(i)
+		}
+	}
+	t.locs = append(t.locs, name)
+	return Loc(len(t.locs) - 1)
+}
+
+// Packet records a packet-lifecycle event. Nil-receiver safe; callers
+// on the hot path should still branch on the tracer pointer so argument
+// evaluation is skipped when tracing is off.
+func (t *Tracer) Packet(typ Type, now time.Duration, loc Loc, p *packet.Packet, val float64) {
+	if t == nil || !t.filter.Match(typ, p.Conn) {
+		return
+	}
+	t.push(Event{
+		T: now, Val: val, ID: p.ID, Conn: int32(p.Conn),
+		Seq: int32(p.Seq), Size: int32(p.Size),
+		Loc: loc, Type: typ, Kind: p.Kind,
+	})
+}
+
+// Value records a value event (Timeout, CwndChange) for a connection.
+func (t *Tracer) Value(typ Type, now time.Duration, loc Loc, conn int, val float64) {
+	if t == nil || !t.filter.Match(typ, conn) {
+		return
+	}
+	t.push(Event{T: now, Val: val, Conn: int32(conn), Loc: loc, Type: typ})
+}
+
+// push appends to the ring, flushing when it fills. After a sink error
+// the tracer goes quiet rather than failing the run; Err surfaces the
+// first error.
+func (t *Tracer) push(ev Event) {
+	if t.err != nil {
+		return
+	}
+	t.buf[t.n] = ev
+	t.n++
+	if t.n == len(t.buf) {
+		t.flushBatch()
+	}
+}
+
+func (t *Tracer) flushBatch() {
+	if !t.began {
+		t.began = true
+		if err := t.sink.Begin(); err != nil {
+			t.err = err
+			t.n = 0
+			return
+		}
+	}
+	if t.n > 0 {
+		if err := t.sink.Events(t.locs, t.buf[:t.n]); err != nil {
+			t.err = err
+		}
+		t.n = 0
+	}
+}
+
+// Flush drains the ring to the sink and returns the first error the
+// sink ever reported.
+func (t *Tracer) Flush() error {
+	if t == nil {
+		return nil
+	}
+	if t.err == nil {
+		t.flushBatch()
+	}
+	return t.err
+}
+
+// Close flushes and closes the sink. The run owns the sink lifecycle:
+// Begin, zero or more Events batches, Close.
+func (t *Tracer) Close() error {
+	if t == nil {
+		return nil
+	}
+	err := t.Flush()
+	if cerr := t.sink.Close(); err == nil {
+		err = cerr
+	}
+	if t.err == nil {
+		t.err = err
+	}
+	return err
+}
+
+// Err returns the first sink error, if any. The tracer stops recording
+// after an error; the simulation itself is never interrupted.
+func (t *Tracer) Err() error {
+	if t == nil {
+		return nil
+	}
+	return t.err
+}

@@ -1,0 +1,368 @@
+package obs
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"tahoedyn/internal/packet"
+)
+
+// fixtureEvents is a small mixed stream: packet events on two locations
+// and value events on a third, covering both JSONL line shapes.
+func fixtureEvents() ([]string, []Event) {
+	locs := []string{"sw0->sw1", "sw1->sw0", "conn2"}
+	events := []Event{
+		{T: 1500 * time.Millisecond, Val: 3, ID: 42, Conn: 1, Seq: 7, Size: 500, Loc: 0, Type: Enqueue, Kind: packet.Data},
+		{T: 1580 * time.Millisecond, Val: 2, ID: 42, Conn: 1, Seq: 7, Size: 500, Loc: 0, Type: Transmit, Kind: packet.Data},
+		{T: 1600 * time.Millisecond, Val: 4, ID: 43, Conn: 2, Seq: 9, Size: 50, Loc: 1, Type: Drop, Kind: packet.Ack},
+		{T: 2 * time.Second, Val: 5.5, Conn: 2, Loc: 2, Type: CwndChange},
+		{T: 2500 * time.Millisecond, Val: 1, Conn: 2, Loc: 2, Type: Timeout},
+	}
+	return locs, events
+}
+
+func TestTypeNamesRoundTrip(t *testing.T) {
+	for typ := Type(0); typ < numTypes; typ++ {
+		got, err := ParseType(typ.String())
+		if err != nil {
+			t.Fatalf("ParseType(%q): %v", typ.String(), err)
+		}
+		if got != typ {
+			t.Fatalf("ParseType(%q) = %v, want %v", typ.String(), got, typ)
+		}
+	}
+	if _, err := ParseType("bogus"); err == nil {
+		t.Fatal("ParseType accepted an unknown name")
+	}
+	if !Drop.PacketEvent() || !Deliver.PacketEvent() {
+		t.Fatal("Drop/Deliver should be packet events")
+	}
+	if Timeout.PacketEvent() || CwndChange.PacketEvent() {
+		t.Fatal("Timeout/CwndChange should be value events")
+	}
+}
+
+func TestParseFilter(t *testing.T) {
+	f, err := ParseFilter("conn=2,type=drop|timeout")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Conn != 2 || f.Types != 1<<Drop|1<<Timeout {
+		t.Fatalf("filter = %+v", f)
+	}
+	if !f.Match(Drop, 2) || f.Match(Drop, 1) || f.Match(Enqueue, 2) {
+		t.Fatal("Match disagrees with the parsed filter")
+	}
+	if zero, err := ParseFilter(""); err != nil || zero != (Filter{}) {
+		t.Fatalf("empty filter = %+v, %v", zero, err)
+	}
+	if !(Filter{}).Match(Enqueue, 7) {
+		t.Fatal("zero filter must match everything")
+	}
+	for _, bad := range []string{"conn=0", "conn=x", "type=bogus", "weird=1", "justakey"} {
+		if _, err := ParseFilter(bad); err == nil {
+			t.Errorf("ParseFilter(%q) did not error", bad)
+		}
+	}
+}
+
+// TestTracerRingAndLifecycle pins the ring semantics: batches reach the
+// sink only when the ring fills or on Flush/Close, Begin happens once
+// lazily, and the location table arrives with every batch.
+func TestTracerRingAndLifecycle(t *testing.T) {
+	sink := NewMemorySink()
+	tr := NewTracer(TraceOptions{Sink: sink, RingSize: 4})
+	loc := tr.Loc("portA")
+	if again := tr.Loc("portA"); again != loc {
+		t.Fatalf("re-interning the same name gave %d, then %d", loc, again)
+	}
+	p := &packet.Packet{ID: 1, Conn: 1, Seq: 1, Size: 500, Kind: packet.Data}
+	for i := 0; i < 3; i++ {
+		tr.Packet(Enqueue, time.Duration(i)*time.Second, loc, p, float64(i))
+	}
+	if begun, _ := sink.Lifecycle(); begun != 0 || sink.Len() != 0 {
+		t.Fatalf("sink touched before the ring filled: begun=%d len=%d", begun, sink.Len())
+	}
+	tr.Value(CwndChange, 3*time.Second, tr.Loc("conn1"), 1, 2) // fills the ring
+	if begun, _ := sink.Lifecycle(); begun != 1 || sink.Len() != 4 {
+		t.Fatalf("after ring fill: begun=%d len=%d, want 1, 4", begun, sink.Len())
+	}
+	tr.Packet(Deliver, 4*time.Second, loc, p, 0)
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	begun, closed := sink.Lifecycle()
+	if begun != 1 || closed != 1 || sink.Len() != 5 {
+		t.Fatalf("after Close: begun=%d closed=%d len=%d", begun, closed, sink.Len())
+	}
+	locs, events := sink.Snapshot()
+	if len(locs) != 2 || locs[0] != "portA" || locs[1] != "conn1" {
+		t.Fatalf("locs = %v", locs)
+	}
+	if events[3].Type != CwndChange || events[3].Loc != 1 {
+		t.Fatalf("event 3 = %+v", events[3])
+	}
+}
+
+func TestTracerFilterDropsEvents(t *testing.T) {
+	sink := NewMemorySink()
+	tr := NewTracer(TraceOptions{Sink: sink, Filter: Filter{Conn: 2}, RingSize: 2})
+	loc := tr.Loc("port")
+	p1 := &packet.Packet{ID: 1, Conn: 1, Kind: packet.Data}
+	p2 := &packet.Packet{ID: 2, Conn: 2, Kind: packet.Data}
+	tr.Packet(Enqueue, time.Second, loc, p1, 0)
+	tr.Packet(Enqueue, time.Second, loc, p2, 0)
+	tr.Value(CwndChange, time.Second, loc, 1, 3)
+	tr.Value(CwndChange, time.Second, loc, 2, 3)
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	_, events := sink.Snapshot()
+	if len(events) != 2 {
+		t.Fatalf("got %d events, want 2", len(events))
+	}
+	for _, ev := range events {
+		if ev.Conn != 2 {
+			t.Fatalf("filtered stream leaked conn %d", ev.Conn)
+		}
+	}
+}
+
+// TestNilInstrumentsNoOp pins the disabled path: every method on every
+// nil instrument is a safe no-op.
+func TestNilInstrumentsNoOp(t *testing.T) {
+	var tr *Tracer
+	p := &packet.Packet{Conn: 1}
+	tr.Packet(Enqueue, 0, tr.Loc("x"), p, 0)
+	tr.Value(CwndChange, 0, 0, 1, 0)
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	var m *Metrics
+	c := m.NewCounter("c")
+	g := m.NewGauge("g")
+	h := m.NewHistogram("h", []float64{1})
+	if c != nil || g != nil || h != nil {
+		t.Fatal("nil registry returned live instruments")
+	}
+	c.Inc()
+	c.Add(2)
+	g.Set(1)
+	h.Observe(1)
+	if c.Value() != 0 || g.Value() != 0 || h.N() != 0 || h.Mean() != 0 {
+		t.Fatal("nil instruments accumulated state")
+	}
+	if b, n := h.Buckets(); b != nil || n != nil {
+		t.Fatal("nil histogram returned buckets")
+	}
+	if err := m.WriteText(new(bytes.Buffer)); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != "{}\n" {
+		t.Fatalf("nil registry JSON = %q", buf.String())
+	}
+}
+
+// TestJSONLGolden pins the JSONL schema byte-for-byte: the header line
+// and one line of each shape (packet event, value event).
+func TestJSONLGolden(t *testing.T) {
+	locs, events := fixtureEvents()
+	var buf bytes.Buffer
+	if err := EncodeJSONL(&buf, locs, events); err != nil {
+		t.Fatal(err)
+	}
+	want := `{"v":1}
+{"t_ns":1500000000,"type":"enqueue","loc":"sw0->sw1","conn":1,"val":3,"kind":"DATA","seq":7,"size":500,"id":42}
+{"t_ns":1580000000,"type":"transmit","loc":"sw0->sw1","conn":1,"val":2,"kind":"DATA","seq":7,"size":500,"id":42}
+{"t_ns":1600000000,"type":"drop","loc":"sw1->sw0","conn":2,"val":4,"kind":"ACK","seq":9,"size":50,"id":43}
+{"t_ns":2000000000,"type":"cwnd","loc":"conn2","conn":2,"val":5.5}
+{"t_ns":2500000000,"type":"timeout","loc":"conn2","conn":2,"val":1}
+`
+	if got := buf.String(); got != want {
+		t.Fatalf("JSONL stream changed:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestJSONLFixedPoint pins Decode∘Encode as a fixed point: decoding the
+// canonical stream and re-encoding it reproduces the bytes exactly.
+func TestJSONLFixedPoint(t *testing.T) {
+	locs, events := fixtureEvents()
+	var first bytes.Buffer
+	if err := EncodeJSONL(&first, locs, events); err != nil {
+		t.Fatal(err)
+	}
+	gotLocs, gotEvents, err := DecodeJSONL(bytes.NewReader(first.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotLocs, locs) {
+		t.Fatalf("decoded locs = %v, want %v", gotLocs, locs)
+	}
+	if !reflect.DeepEqual(gotEvents, events) {
+		t.Fatalf("decoded events differ:\ngot  %+v\nwant %+v", gotEvents, events)
+	}
+	var second bytes.Buffer
+	if err := EncodeJSONL(&second, gotLocs, gotEvents); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first.Bytes(), second.Bytes()) {
+		t.Fatal("decode∘encode is not a fixed point")
+	}
+}
+
+func TestJSONLRejectsBadStreams(t *testing.T) {
+	cases := map[string]string{
+		"future version": "{\"v\":2}\n",
+		"missing header": "",
+		"bad header":     "not json\n",
+		"bad event":      "{\"v\":1}\n{\"t_ns\":1,\"type\":\"bogus\",\"loc\":\"x\",\"conn\":1,\"val\":0}\n",
+		"bad kind":       "{\"v\":1}\n{\"t_ns\":1,\"type\":\"drop\",\"loc\":\"x\",\"conn\":1,\"val\":0,\"kind\":\"NOPE\",\"seq\":1,\"size\":1,\"id\":1}\n",
+	}
+	for name, in := range cases {
+		if _, _, err := DecodeJSONL(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: decode did not error", name)
+		}
+	}
+}
+
+// TestBinaryFixedPoint pins the binary format: encode → decode →
+// encode reproduces the bytes, and the decoded stream equals the input.
+func TestBinaryFixedPoint(t *testing.T) {
+	locs, events := fixtureEvents()
+	var first bytes.Buffer
+	if err := EncodeBinary(&first, locs, events); err != nil {
+		t.Fatal(err)
+	}
+	gotLocs, gotEvents, err := DecodeBinary(bytes.NewReader(first.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotLocs, locs) || !reflect.DeepEqual(gotEvents, events) {
+		t.Fatal("binary round trip lost data")
+	}
+	var second bytes.Buffer
+	if err := EncodeBinary(&second, gotLocs, gotEvents); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first.Bytes(), second.Bytes()) {
+		t.Fatal("binary decode∘encode is not a fixed point")
+	}
+}
+
+// TestBinaryHeaderGolden pins the on-disk header so the format cannot
+// drift silently: magic "TOBS", version 1 little-endian.
+func TestBinaryHeaderGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := EncodeBinary(&buf, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	want := []byte{'T', 'O', 'B', 'S', 1, 0}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("empty binary stream = %v, want %v", buf.Bytes(), want)
+	}
+}
+
+func TestBinaryRejectsBadStreams(t *testing.T) {
+	locs, events := fixtureEvents()
+	var good bytes.Buffer
+	if err := EncodeBinary(&good, locs, events); err != nil {
+		t.Fatal(err)
+	}
+	futureVersion := append([]byte("TOBS"), 2, 0)
+	badMagic := append([]byte("XOBS"), 1, 0)
+	truncated := good.Bytes()[:good.Len()-5]
+	badTag := append(append([]byte{}, good.Bytes()...), 99)
+	cases := map[string][]byte{
+		"future version": futureVersion,
+		"bad magic":      badMagic,
+		"short header":   []byte("TOB"),
+		"truncated":      truncated,
+		"unknown tag":    badTag,
+	}
+	for name, in := range cases {
+		if _, _, err := DecodeBinary(bytes.NewReader(in)); err == nil {
+			t.Errorf("%s: decode did not error", name)
+		}
+	}
+}
+
+// TestMetricsRenderGolden pins both renderers byte-for-byte in
+// registration order.
+func TestMetricsRenderGolden(t *testing.T) {
+	m := NewMetrics()
+	c := m.NewCounter("events")
+	c.Add(41)
+	c.Inc()
+	g := m.NewGauge("util/fwd")
+	g.Set(0.5)
+	h := m.NewHistogram("queue", []float64{1, 2, 5})
+	for _, v := range []float64{0, 1, 3, 10} {
+		h.Observe(v)
+	}
+	if h.N() != 4 || h.Sum() != 14 || h.Mean() != 3.5 || h.Min() != 0 || h.Max() != 10 {
+		t.Fatalf("histogram stats: n=%d sum=%v mean=%v min=%v max=%v",
+			h.N(), h.Sum(), h.Mean(), h.Min(), h.Max())
+	}
+	bounds, counts := h.Buckets()
+	if !reflect.DeepEqual(bounds, []float64{1, 2, 5}) || !reflect.DeepEqual(counts, []uint64{2, 0, 1, 1}) {
+		t.Fatalf("buckets: bounds=%v counts=%v", bounds, counts)
+	}
+
+	var text bytes.Buffer
+	if err := m.WriteText(&text); err != nil {
+		t.Fatal(err)
+	}
+	wantText := "counter events                           42\n" +
+		"gauge   util/fwd                         0.5\n" +
+		"hist    queue                            n=4 mean=3.5 min=0 max=10\n" +
+		"          le 1            2\n" +
+		"          le 5            1\n" +
+		"          le +inf        1\n"
+	if text.String() != wantText {
+		t.Fatalf("text render changed:\ngot:\n%q\nwant:\n%q", text.String(), wantText)
+	}
+
+	var js bytes.Buffer
+	if err := m.WriteJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	wantJSON := `{"counters":[{"name":"events","value":42}],` +
+		`"gauges":[{"name":"util/fwd","value":0.5}],` +
+		`"histograms":[{"name":"queue","n":4,"sum":14,"min":0,"max":10,` +
+		`"bounds":[1,2,5],"buckets":[2,0,1,1]}]}` + "\n"
+	if js.String() != wantJSON {
+		t.Fatalf("JSON render changed:\ngot:\n%s\nwant:\n%s", js.String(), wantJSON)
+	}
+}
+
+func TestProgressFrac(t *testing.T) {
+	cases := []struct {
+		s    Snapshot
+		want float64
+	}{
+		{Snapshot{Now: 5 * time.Second, End: 10 * time.Second}, 0.5},
+		{Snapshot{Now: 0, End: 10 * time.Second}, 0},
+		{Snapshot{Now: 15 * time.Second, End: 10 * time.Second}, 1},
+		{Snapshot{Now: 5 * time.Second, End: 0}, 0},
+		{Snapshot{Now: -time.Second, End: 10 * time.Second}, 0},
+	}
+	for _, tc := range cases {
+		if got := tc.s.Frac(); got != tc.want {
+			t.Errorf("Frac(%+v) = %v, want %v", tc.s, got, tc.want)
+		}
+	}
+}

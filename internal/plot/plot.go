@@ -12,14 +12,23 @@ import (
 	"tahoedyn/internal/trace"
 )
 
-// Options controls ASCII rendering.
+// Options controls ASCII rendering. The zero value is NOT usable on
+// its own: From/To must describe a non-empty window (To > From), which
+// ASCII reports as an error rather than guessing. Every other field
+// has a documented zero-value default, so callers normally set just
+// the window:
+//
+//	plot.ASCII(w, series, plot.Options{To: cfg.Duration})
 type Options struct {
 	// Width and Height are the plot area size in characters. Zero means
 	// the defaults (100x20).
 	Width, Height int
-	// From and To bound the plotted time window.
+	// From and To bound the plotted time window. From's zero value
+	// starts at the beginning of the run; To has no default — a window
+	// with To <= From is rejected.
 	From, To time.Duration
-	// YMax fixes the top of the y axis; zero means autoscale.
+	// YMax fixes the top of the y axis; zero means autoscale to the
+	// window's maximum across all series.
 	YMax float64
 }
 

@@ -11,6 +11,8 @@
 package runner
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -82,10 +84,54 @@ func Map[T any](workers, n int, fn func(i int) T) []T {
 	return out
 }
 
+// EachDone is Each with a completion callback: after every job
+// finishes, done(completed, n) reports how many of the n jobs are done
+// so far. The callback may run on any worker goroutine (serially never
+// concurrently with itself is NOT guaranteed on the parallel path), so
+// it must be safe for concurrent use; sweep CLIs use it to print
+// liveness to stderr without touching the result ordering.
+func EachDone(workers, n int, fn func(i int), done func(completed, total int)) {
+	if done == nil {
+		Each(workers, n, fn)
+		return
+	}
+	var completed atomic.Int64
+	Each(workers, n, func(i int) {
+		fn(i)
+		done(int(completed.Add(1)), n)
+	})
+}
+
 // RunConfigs executes every configuration with core.Run on the worker
 // pool and returns the results in configuration order. Each run is
 // deterministic in its Config (including Seed), so the returned slice is
 // identical for any worker count.
 func RunConfigs(workers int, cfgs []core.Config) []*core.Result {
 	return Map(workers, len(cfgs), func(i int) *core.Result { return core.Run(cfgs[i]) })
+}
+
+// RunConfigsE executes every configuration with core.RunContext on the
+// worker pool. Invalid configurations come back as errors rather than
+// panics: the returned slice always has len(cfgs) entries, failed or
+// canceled runs are nil, and the error is the errors.Join of every
+// per-config failure (tagged with its index). Canceling ctx stops each
+// in-flight run within one event batch and skips runs not yet started;
+// result ordering is still configuration order, so a partial sweep is
+// byte-stable too.
+func RunConfigsE(ctx context.Context, workers int, cfgs []core.Config) ([]*core.Result, error) {
+	results := make([]*core.Result, len(cfgs))
+	errs := make([]error, len(cfgs))
+	Each(workers, len(cfgs), func(i int) {
+		if err := ctx.Err(); err != nil {
+			errs[i] = fmt.Errorf("config %d: %w", i, err)
+			return
+		}
+		res, err := core.RunContext(ctx, cfgs[i])
+		if err != nil {
+			errs[i] = fmt.Errorf("config %d: %w", i, err)
+			return
+		}
+		results[i] = res
+	})
+	return results, errors.Join(errs...)
 }

@@ -13,8 +13,12 @@ package scenario
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"reflect"
+	"sort"
+	"strings"
 	"time"
 
 	"tahoedyn/internal/core"
@@ -120,14 +124,123 @@ type Conn struct {
 
 // Decode reads a JSON scenario file without converting it: the result
 // re-encodes to the same bytes when the input is canonical.
+//
+// Decode is strict about field names: every key in the document that no
+// File field declares is an error, and — unlike encoding/json's
+// DisallowUnknownFields, which stops at the first offender — the
+// returned error is the errors.Join of one error per unknown field,
+// each naming its full path (e.g. "topology.links[0].bandwith"). Use
+// DecodeLenient to load a file from a newer or foreign producer anyway.
 func Decode(r io.Reader) (*File, error) {
-	var f File
-	dec := json.NewDecoder(r)
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&f); err != nil {
-		return nil, fmt.Errorf("scenario: %w", err)
+	f, unknown, err := decode(r)
+	if err != nil {
+		return nil, err
 	}
-	return &f, nil
+	if len(unknown) > 0 {
+		errs := make([]error, len(unknown))
+		for i, path := range unknown {
+			errs[i] = fmt.Errorf("scenario: unknown field %q", path)
+		}
+		return nil, errors.Join(errs...)
+	}
+	return f, nil
+}
+
+// DecodeLenient reads a JSON scenario file, ignoring unknown fields
+// instead of rejecting them. The paths of the ignored fields are
+// returned so callers can warn (tahoe-sim -lenient prints them to
+// stderr). Syntax and type errors are still errors.
+func DecodeLenient(r io.Reader) (*File, []string, error) {
+	return decode(r)
+}
+
+// decode is the shared strict/lenient reader: unmarshal leniently, then
+// diff the document's keys against the File schema.
+func decode(r io.Reader) (*File, []string, error) {
+	raw, err := io.ReadAll(r)
+	if err != nil {
+		return nil, nil, fmt.Errorf("scenario: %w", err)
+	}
+	var f File
+	if err := json.Unmarshal(raw, &f); err != nil {
+		return nil, nil, fmt.Errorf("scenario: %w", err)
+	}
+	var doc any
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return nil, nil, fmt.Errorf("scenario: %w", err)
+	}
+	var unknown []string
+	unknownFields(reflect.TypeOf(File{}), doc, "", &unknown)
+	return &f, unknown, nil
+}
+
+// unknownFields walks the decoded JSON document alongside the target Go
+// type and appends the path of every object key the type has no field
+// for. Paths use dotted/indexed notation rooted at the document
+// ("topology.links[0].bandwith"). Keys within one object are reported
+// in sorted order (JSON object keys are unordered after decoding).
+func unknownFields(t reflect.Type, doc any, path string, out *[]string) {
+	for t.Kind() == reflect.Pointer {
+		t = t.Elem()
+	}
+	switch t.Kind() {
+	case reflect.Struct:
+		obj, ok := doc.(map[string]any)
+		if !ok {
+			return
+		}
+		fields := jsonFields(t)
+		keys := make([]string, 0, len(obj))
+		for k := range obj {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			child := path + "." + k
+			if path == "" {
+				child = k
+			}
+			ft, ok := fields[k]
+			if !ok {
+				*out = append(*out, child)
+				continue
+			}
+			unknownFields(ft, obj[k], child, out)
+		}
+	case reflect.Slice, reflect.Array:
+		arr, ok := doc.([]any)
+		if !ok {
+			return
+		}
+		for i, el := range arr {
+			unknownFields(t.Elem(), el, fmt.Sprintf("%s[%d]", path, i), out)
+		}
+	}
+}
+
+// jsonFields maps a struct's JSON key names to their field types,
+// honoring `json:"name,opts"` tags the way encoding/json does for the
+// flat, tag-complete structs this package declares.
+func jsonFields(t reflect.Type) map[string]reflect.Type {
+	fields := make(map[string]reflect.Type, t.NumField())
+	for i := 0; i < t.NumField(); i++ {
+		sf := t.Field(i)
+		if !sf.IsExported() {
+			continue
+		}
+		name := sf.Name
+		if tag := sf.Tag.Get("json"); tag != "" {
+			tagName, _, _ := strings.Cut(tag, ",")
+			if tagName == "-" {
+				continue
+			}
+			if tagName != "" {
+				name = tagName
+			}
+		}
+		fields[name] = sf.Type
+	}
+	return fields
 }
 
 // Encode writes the canonical JSON form: two-space indent, fixed field
@@ -144,12 +257,24 @@ func (f *File) Encode(w io.Writer) error {
 }
 
 // Parse reads a JSON scenario and converts it to a runnable Config.
+// Unknown fields are errors, all of them reported at once; see Decode.
 func Parse(r io.Reader) (core.Config, error) {
 	f, err := Decode(r)
 	if err != nil {
 		return core.Config{}, err
 	}
 	return f.Config()
+}
+
+// ParseLenient is Parse with unknown fields ignored rather than
+// rejected; the ignored paths are returned alongside the Config.
+func ParseLenient(r io.Reader) (core.Config, []string, error) {
+	f, unknown, err := DecodeLenient(r)
+	if err != nil {
+		return core.Config{}, nil, err
+	}
+	cfg, err := f.Config()
+	return cfg, unknown, err
 }
 
 // Config converts the file form to a core.Config, applying defaults and

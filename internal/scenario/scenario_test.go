@@ -287,3 +287,95 @@ func TestParseErrors(t *testing.T) {
 		}
 	}
 }
+
+// TestDecodeRejectsAllUnknownFields pins the strict-decode contract:
+// every unknown key in the document is reported at once, each with its
+// full path, not just the first one encoding/json would stop at.
+func TestDecodeRejectsAllUnknownFields(t *testing.T) {
+	in := `{
+  "trunk_delay": "10ms",
+  "bufer": 20,
+  "topology": {
+    "generator": "chain",
+    "size": 3,
+    "colour": "red"
+  },
+  "conns": [
+    {"src": 0, "dst": 1},
+    {"src": 1, "dst": 0, "typo_field": true}
+  ],
+  "extra_top": 1
+}`
+	_, err := Decode(strings.NewReader(in))
+	if err == nil {
+		t.Fatal("strict decode accepted unknown fields")
+	}
+	for _, path := range []string{
+		`"bufer"`, `"extra_top"`, `"topology.colour"`, `"conns[1].typo_field"`,
+	} {
+		if !strings.Contains(err.Error(), path) {
+			t.Errorf("error does not name %s:\n%v", path, err)
+		}
+	}
+	if strings.Contains(err.Error(), `"trunk_delay"`) {
+		t.Errorf("error names a known field:\n%v", err)
+	}
+}
+
+// TestDecodeUnknownFieldsInNestedLists covers deep paths through the
+// explicit-topology lists.
+func TestDecodeUnknownFieldsInNestedLists(t *testing.T) {
+	in := `{
+  "trunk_delay": "10ms",
+  "topology": {
+    "switches": 2,
+    "links": [{"a": 0, "b": 1, "bandwith": 50000}],
+    "routes": [{"at": 0, "dst": 1, "vai": 1}]
+  },
+  "conns": [{"src": 0, "dst": 1}]
+}`
+	_, err := Decode(strings.NewReader(in))
+	if err == nil {
+		t.Fatal("strict decode accepted unknown fields")
+	}
+	for _, path := range []string{`"topology.links[0].bandwith"`, `"topology.routes[0].vai"`} {
+		if !strings.Contains(err.Error(), path) {
+			t.Errorf("error does not name %s:\n%v", path, err)
+		}
+	}
+}
+
+// TestDecodeLenient accepts the same document, returns the ignored
+// paths in sorted order, and still parses to a runnable config.
+func TestDecodeLenient(t *testing.T) {
+	in := `{
+  "trunk_delay": "10ms",
+  "bufer": 20,
+  "conns": [{"src": 0, "dst": 1, "typo_field": true}]
+}`
+	f, unknown, err := DecodeLenient(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"bufer", "conns[0].typo_field"}
+	if len(unknown) != len(want) || unknown[0] != want[0] || unknown[1] != want[1] {
+		t.Fatalf("unknown = %v, want %v", unknown, want)
+	}
+	if f.TrunkDelay != "10ms" {
+		t.Fatalf("lenient decode lost known fields: %+v", f)
+	}
+	cfg, unknown2, err := ParseLenient(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(unknown2) != 2 {
+		t.Fatalf("ParseLenient unknown = %v", unknown2)
+	}
+	if cfg.TrunkDelay != 10*time.Millisecond || len(cfg.Conns) != 1 {
+		t.Fatalf("ParseLenient cfg = %+v", cfg)
+	}
+	// Strict Parse must reject the same bytes.
+	if _, err := Parse(strings.NewReader(in)); err == nil {
+		t.Fatal("strict Parse accepted unknown fields")
+	}
+}

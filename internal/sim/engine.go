@@ -205,6 +205,28 @@ func (e *Engine) RunUntil(t Time) {
 	}
 }
 
+// RunUntilN is RunUntil with a step budget: it executes at most max
+// events with timestamps <= t. It returns true when the horizon was
+// reached (no events <= t remain; the clock then sits at exactly t) and
+// false when the budget ran out first (the clock sits at the last
+// executed event). Callers use it to regain control between batches —
+// for progress sampling or cancellation checks — without scheduling
+// any events of their own, so the event sequence is identical to one
+// uninterrupted RunUntil(t).
+func (e *Engine) RunUntilN(t Time, max int) bool {
+	for max > 0 && len(e.heap) > 0 && e.heap[0].at <= t {
+		e.Step()
+		max--
+	}
+	if len(e.heap) == 0 || e.heap[0].at > t {
+		if t > e.now {
+			e.now = t
+		}
+		return true
+	}
+	return false
+}
+
 // less orders events by (time, sequence) so simultaneous events fire in
 // scheduling order.
 func less(a, b *Event) bool {

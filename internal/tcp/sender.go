@@ -5,6 +5,7 @@ import (
 	"math"
 	"time"
 
+	"tahoedyn/internal/obs"
 	"tahoedyn/internal/packet"
 	"tahoedyn/internal/sim"
 )
@@ -109,6 +110,12 @@ type Sender struct {
 	// measurement (Karn-filtered) — the probe behind the effective-pipe
 	// analysis of §4.3.1.
 	OnRTTSample func(rtt time.Duration)
+
+	// Obs, when non-nil, receives CwndChange and Timeout trace events at
+	// location ObsLoc. Set both before the run starts (core does this
+	// when observability is enabled).
+	Obs    *obs.Tracer
+	ObsLoc obs.Loc
 }
 
 // NewSender creates a sender. Call Start (directly or via the engine) to
@@ -206,13 +213,23 @@ func (s *Sender) handleAck(p *packet.Packet) {
 			if max := float64(s.cfg.MaxWnd); s.cwnd > max {
 				s.cwnd = max
 			}
-			if s.OnCwnd != nil {
-				s.OnCwnd(s.cwnd)
-			}
+			s.cwndChanged()
 			s.maybeSend()
 		}
 	default:
 		// Stale ACK below una, or a pure fixed-window sender: ignore.
+	}
+}
+
+// cwndChanged reports a congestion-window change to both observation
+// channels: the OnCwnd hook and the structured trace. Every window
+// mutation funnels through here so the two cannot drift apart.
+func (s *Sender) cwndChanged() {
+	if s.OnCwnd != nil {
+		s.OnCwnd(s.cwnd)
+	}
+	if s.Obs != nil {
+		s.Obs.Value(obs.CwndChange, s.eng.Now(), s.ObsLoc, s.cfg.Conn, s.cwnd)
 	}
 }
 
@@ -243,9 +260,7 @@ func (s *Sender) onNewAck(ack int) {
 		// the inflated window snaps back to ssthresh.
 		s.inRecovery = false
 		s.cwnd = s.ssthresh
-		if s.OnCwnd != nil {
-			s.OnCwnd(s.cwnd)
-		}
+		s.cwndChanged()
 	} else {
 		s.openWindow()
 	}
@@ -278,9 +293,7 @@ func (s *Sender) openWindow() {
 	if max := float64(s.cfg.MaxWnd); s.cwnd > max {
 		s.cwnd = max
 	}
-	if s.OnCwnd != nil {
-		s.OnCwnd(s.cwnd)
-	}
+	s.cwndChanged()
 }
 
 // lossDetected performs the Tahoe loss response: collapse the window and
@@ -315,9 +328,7 @@ func (s *Sender) enterRecovery() {
 	s.ssthresh = ss
 	s.cwnd = ss + 3
 	s.inRecovery = true
-	if s.OnCwnd != nil {
-		s.OnCwnd(s.cwnd)
-	}
+	s.cwndChanged()
 	if s.OnCollapse != nil {
 		s.OnCollapse("dupack")
 	}
@@ -334,9 +345,7 @@ func (s *Sender) collapse(cause string) {
 		}
 		s.ssthresh = ss
 		s.cwnd = 1
-		if s.OnCwnd != nil {
-			s.OnCwnd(s.cwnd)
-		}
+		s.cwndChanged()
 	}
 	if s.OnCollapse != nil {
 		s.OnCollapse(cause)
@@ -356,6 +365,9 @@ func (s *Sender) onTimeout() {
 		return // nothing outstanding; stale timer
 	}
 	s.stats.Timeouts++
+	if s.Obs != nil {
+		s.Obs.Value(obs.Timeout, s.eng.Now(), s.ObsLoc, s.cfg.Conn, float64(s.stats.Timeouts))
+	}
 	s.rtt.backoff()
 	s.dupacks = 0
 	s.lossDetected("timeout")

@@ -63,6 +63,16 @@ func (s *Series) Append(t time.Duration, v float64) {
 // Len returns the number of stored points.
 func (s *Series) Len() int { return len(s.Points) }
 
+// Last returns the final point of the series, and false when it is
+// empty. It is the O(1) "where did this trace end up" accessor the
+// metrics export uses.
+func (s *Series) Last() (Point, bool) {
+	if len(s.Points) == 0 {
+		return Point{}, false
+	}
+	return s.Points[len(s.Points)-1], true
+}
+
 // At returns the series value at time t: the value of the last point at
 // or before t, or 0 before the first point.
 func (s *Series) At(t time.Duration) float64 {

@@ -7,10 +7,15 @@
 #
 #   hard  Paper metrics — util-*, bands-passed, events/run — are
 #         deterministic outputs of the simulation, so any difference
-#         means the physics changed: exit 1.
-#   soft  allocs/op regressions beyond 25% (plus slack for one-shot
-#         noise) are warned about but do not fail; wall-clock metrics
-#         (ns/op, sim-events/s) are reported informationally only.
+#         means the physics changed: exit 1. allocs/op on the
+#         steady-state benchmark (BenchmarkScenarioSteadyStateAllocs)
+#         is also hard: the obs-disabled hot path is contractually
+#         allocation-free, so any increase there is a real leak, not
+#         noise.
+#   soft  allocs/op regressions elsewhere beyond 25% (plus slack for
+#         one-shot noise) are warned about but do not fail; wall-clock
+#         metrics (ns/op, sim-events/s) are reported informationally
+#         only.
 #
 # Benchmarks present in only one recording are listed but never fail the
 # gate, so adding a benchmark does not require regenerating history.
@@ -105,7 +110,14 @@ BEGIN {
                     hardfail = 1
                 }
             } else if (unit == "allocs/op") {
-                if (nv + 0 > (ov + 0) * 1.25 + 16) {
+                if (name ~ /SteadyStateAllocs/) {
+                    # The zero-overhead contract: the obs-disabled
+                    # steady-state path may never start allocating.
+                    if (nv + 0 > ov + 0) {
+                        printf "FAIL %s allocs/op: %s -> %s (steady-state path must stay allocation-free)\n", name, ov, nv
+                        hardfail = 1
+                    }
+                } else if (nv + 0 > (ov + 0) * 1.25 + 16) {
                     printf "warn %s allocs/op: %s -> %s (regression)\n", name, ov, nv
                     softwarn = 1
                 }
@@ -118,7 +130,7 @@ BEGIN {
     if (onlyold != "") printf "note: only in %s:\n%s", oldfile, onlyold
     if (onlynew != "") printf "note: only in %s:\n%s", newfile, onlynew
     if (hardfail) {
-        print "benchcmp: FAIL — paper metrics changed"
+        print "benchcmp: FAIL — hard gate (paper metrics / steady-state allocs) tripped"
         exit 1
     }
     if (softwarn) print "benchcmp: ok (with allocation warnings)"

@@ -23,6 +23,7 @@
 package tahoedyn
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -30,6 +31,7 @@ import (
 	"tahoedyn/internal/analysis"
 	"tahoedyn/internal/core"
 	"tahoedyn/internal/experiment"
+	"tahoedyn/internal/obs"
 	"tahoedyn/internal/plot"
 	"tahoedyn/internal/runner"
 	"tahoedyn/internal/scenario"
@@ -97,6 +99,83 @@ type (
 // PlotOptions controls ASCII rendering of traces.
 type PlotOptions = plot.Options
 
+// Observability types. Attach an ObsOptions to Config.Obs to trace
+// packet lifecycle events, collect per-run metrics on Result.Metrics,
+// or sample live progress. A nil Config.Obs costs nothing (the
+// steady-state hot path stays allocation-free) and enabling any of it
+// never changes the simulation Result.
+type (
+	// ObsOptions selects what a run observes: Trace, Metrics, Progress.
+	ObsOptions = obs.Options
+	// TraceOptions configures packet-event tracing: the Sink, an
+	// optional Filter, and the flush granularity (RingSize).
+	TraceOptions = obs.TraceOptions
+	// TraceFilter restricts tracing to a connection and/or event types.
+	TraceFilter = obs.Filter
+	// TraceEvent is one recorded packet lifecycle event.
+	TraceEvent = obs.Event
+	// TraceEventType enumerates the lifecycle stages (TraceEnqueue...).
+	TraceEventType = obs.Type
+	// TraceSink receives batches of trace events (JSONL, binary, memory).
+	TraceSink = obs.Sink
+	// Progress asks for periodic snapshots of a running simulation.
+	Progress = obs.Progress
+	// ProgressSnapshot is one liveness sample: sim clock and event count.
+	ProgressSnapshot = obs.Snapshot
+	// Metrics is the per-run registry exported on Result.Metrics.
+	Metrics = obs.Metrics
+)
+
+// Trace event types for TraceFilter.Types (combine with TraceFilter's
+// helpers or ParseTraceFilter).
+const (
+	TraceEnqueue    = obs.Enqueue
+	TraceDequeue    = obs.Dequeue
+	TraceTransmit   = obs.Transmit
+	TraceDrop       = obs.Drop
+	TraceDeliver    = obs.Deliver
+	TraceTimeout    = obs.Timeout
+	TraceCwndChange = obs.CwndChange
+)
+
+// NewJSONLSink returns a sink writing one JSON object per event to w,
+// prefixed by a version header line. Safe for use by concurrent runs.
+func NewJSONLSink(w io.Writer) TraceSink { return obs.NewJSONLSink(w) }
+
+// NewBinarySink returns a sink writing the compact versioned binary
+// trace format to w. One sink serves one run.
+func NewBinarySink(w io.Writer) TraceSink { return obs.NewBinarySink(w) }
+
+// NewMemorySink returns an in-memory sink, mainly for tests.
+func NewMemorySink() *obs.MemorySink { return obs.NewMemorySink() }
+
+// ParseTraceFilter parses the CLI filter syntax, e.g.
+// "conn=2,type=drop|timeout".
+func ParseTraceFilter(s string) (TraceFilter, error) { return obs.ParseFilter(s) }
+
+// EncodeJSONLTrace writes a complete single-run JSONL trace stream
+// (header plus events); the pure twin of NewJSONLSink.
+func EncodeJSONLTrace(w io.Writer, locs []string, events []TraceEvent) error {
+	return obs.EncodeJSONL(w, locs, events)
+}
+
+// DecodeJSONLTrace parses a JSONL trace stream back into its location
+// table and events, rejecting streams from a newer schema version.
+func DecodeJSONLTrace(r io.Reader) (locs []string, events []TraceEvent, err error) {
+	return obs.DecodeJSONL(r)
+}
+
+// EncodeBinaryTrace writes a complete single-run binary trace stream.
+func EncodeBinaryTrace(w io.Writer, locs []string, events []TraceEvent) error {
+	return obs.EncodeBinary(w, locs, events)
+}
+
+// DecodeBinaryTrace parses a binary trace stream, rejecting bad magic
+// and newer versions.
+func DecodeBinaryTrace(r io.Reader) (locs []string, events []TraceEvent, err error) {
+	return obs.DecodeBinary(r)
+}
+
 // Topology types, for scenarios beyond the default switch line. Set
 // Config.Topology to a *Graph; links inherit the Trunk*/Buffer defaults
 // unless overridden per link.
@@ -145,7 +224,24 @@ func Dumbbell(tau time.Duration, buffer int) Config {
 
 // Run executes a scenario to completion and returns its traces and
 // statistics. Runs are deterministic in Config (including Seed).
+//
+// Run is the MustRun-style spelling: an invalid Config panics. Use RunE
+// for an error return, or RunContext to also support cancellation.
 func Run(cfg Config) *Result { return core.Run(cfg) }
+
+// RunE is Run with an error return: an invalid Config (bad topology,
+// out-of-range connection endpoints, negative parameters) comes back as
+// an error instead of a panic. A valid Config produces the same Result
+// as Run, byte for byte.
+func RunE(cfg Config) (*Result, error) { return core.RunE(cfg) }
+
+// RunContext is RunE under a context: canceling ctx stops the
+// simulation within one event batch and returns ctx's error. The
+// partial run is discarded — cancellation never yields a Result — and
+// observability sinks attached via Config.Obs are closed cleanly.
+func RunContext(ctx context.Context, cfg Config) (*Result, error) {
+	return core.RunContext(ctx, cfg)
+}
 
 // RunMany executes the configurations on a worker pool of the given
 // size and returns the results in configuration order. workers follows
@@ -156,11 +252,29 @@ func RunMany(workers int, cfgs []Config) []*Result {
 	return runner.RunConfigs(workers, cfgs)
 }
 
+// RunManyE is RunMany with error aggregation and cancellation: the
+// returned slice always has len(cfgs) entries in configuration order,
+// failed or canceled runs are nil, and the error joins every per-config
+// failure (each tagged "config %d"). Canceling ctx stops in-flight runs
+// within one event batch and skips runs not yet started.
+func RunManyE(ctx context.Context, workers int, cfgs []Config) ([]*Result, error) {
+	return runner.RunConfigsE(ctx, workers, cfgs)
+}
+
 // ParallelDo runs fn(i) for every i in [0, n) on a worker pool of the
 // given size (0 = GOMAXPROCS, <= 1 = serial on the calling goroutine).
 // It is the generic fan-out primitive behind RunMany, for callers whose
 // jobs are not plain configs — e.g. rendering experiment reports.
 func ParallelDo(workers, n int, fn func(i int)) { runner.Each(workers, n, fn) }
+
+// ParallelDoLive is ParallelDo with a completion callback: done(k, n)
+// fires after each job, reporting k of n complete. done may run on any
+// worker goroutine, so it must be safe for concurrent use; the sweep
+// CLIs use it to print liveness to stderr without perturbing output
+// ordering.
+func ParallelDoLive(workers, n int, fn func(i int), done func(completed, total int)) {
+	runner.EachDone(workers, n, fn, done)
+}
 
 // Experiments lists every paper experiment in presentation order.
 func Experiments() []ExperimentDef { return experiment.All() }
@@ -179,6 +293,10 @@ func Experiment(name string, opts ExpOptions) (*Outcome, error) {
 }
 
 // MustExperiment is Experiment, panicking on unknown names.
+//
+// Deprecated: prefer Experiment, which reports an unknown name as an
+// error. MustExperiment is kept for existing callers and one-liner
+// examples; it will not be removed.
 func MustExperiment(name string, opts ExpOptions) *Outcome {
 	o, err := Experiment(name, opts)
 	if err != nil {
@@ -223,6 +341,15 @@ func PlotTSV(w io.Writer, from, to, step time.Duration, series ...*Series) error
 
 // ParseScenario reads a JSON scenario description (see
 // internal/scenario for the format) and returns a runnable Config.
+// Unknown fields are rejected, with one joined error naming every bad
+// field path; use ParseScenarioLenient to ignore them instead.
 func ParseScenario(r io.Reader) (Config, error) {
 	return scenario.Parse(r)
+}
+
+// ParseScenarioLenient is ParseScenario with unknown fields ignored
+// rather than rejected. The paths of the ignored fields are returned so
+// callers can warn (tahoe-sim -lenient prints them to stderr).
+func ParseScenarioLenient(r io.Reader) (Config, []string, error) {
+	return scenario.ParseLenient(r)
 }
