@@ -54,9 +54,20 @@ func run() int {
 		validate = flag.Bool("validate", false, "with -config: parse, compile, and print the resolved scenario without running it")
 		progress = flag.Duration("progress", 0, "print liveness to stderr every interval of simulated time (0 = off)")
 		lenient  = flag.Bool("lenient", false, "with -config: ignore unknown JSON fields instead of rejecting them (warns on stderr)")
+		schedFl  = flag.String("sched", "default", "event scheduler: wheel, heap, or default (A/B knob; never changes results)")
 		profFl   = prof.AddFlags(flag.String)
 	)
 	flag.Parse()
+
+	// Experiments build their configs internally, so -sched is applied
+	// as the process-wide default rather than per Config; it only ever
+	// changes wall-clock, never results.
+	sched, err := tahoedyn.ParseSched(*schedFl)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tahoe-sim:", err)
+		return 2
+	}
+	tahoedyn.SetDefaultSched(sched)
 
 	prog := progressObserver(*progress)
 

@@ -23,12 +23,15 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"runtime/pprof"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"tahoedyn"
@@ -51,12 +54,18 @@ func run() int {
 		seed        = flag.Int64("seed", 1, "scenario random seed")
 		parallel    = flag.Int("parallel", 0, "worker count for the grid (0 = GOMAXPROCS, 1 = serial)")
 		topoFlag    = flag.String("topology", "dumbbell", "swept network: dumbbell, chain:N, or parking-lot:H")
+		schedFlag   = flag.String("sched", "default", "event scheduler: wheel, heap, or default (A/B knob; never changes results)")
 		progress    = flag.Bool("progress", false, "print grid-point completion liveness to stderr")
 		profFl      = prof.AddFlags(flag.String)
 	)
 	flag.Parse()
 
 	if _, _, err := topoWorkload(*topoFlag); err != nil {
+		fmt.Fprintln(os.Stderr, "tahoe-sweep:", err)
+		return 2
+	}
+	sched, err := tahoedyn.ParseSched(*schedFlag)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "tahoe-sweep:", err)
 		return 2
 	}
@@ -92,7 +101,7 @@ func run() int {
 		Taus: taus, Buffers: buffers,
 		Duration: *duration, Warmup: *warmup,
 		Seed: *seed, Parallel: *parallel,
-		Topology: *topoFlag, Progress: *progress,
+		Topology: *topoFlag, Sched: sched, Progress: *progress,
 	})
 	w.Flush()
 	return 0
@@ -109,6 +118,9 @@ type sweepOptions struct {
 	// Topology selects the swept network: "" or "dumbbell" for the
 	// classic two-switch line, "chain:N", or "parking-lot:H".
 	Topology string
+	// Sched selects the event scheduler for every grid point. It is a
+	// wall-clock A/B knob only: results are byte-identical either way.
+	Sched tahoedyn.SchedKind
 	// Progress prints per-grid-point completion liveness to stderr.
 	// Stdout — the report itself — is unaffected.
 	Progress bool
@@ -170,6 +182,7 @@ func sweep(w io.Writer, opts sweepOptions) {
 		return
 	}
 	var cfgs []tahoedyn.Config
+	var labels []string
 	for _, tau := range opts.Taus {
 		for _, b := range opts.Buffers {
 			cfg := tahoedyn.Dumbbell(tau, b)
@@ -177,8 +190,10 @@ func sweep(w io.Writer, opts sweepOptions) {
 			cfg.Seed = opts.Seed
 			cfg.Warmup = opts.Warmup
 			cfg.Duration = opts.Duration
+			cfg.Sched = opts.Sched
 			cfg.Conns = append([]tahoedyn.ConnSpec(nil), conns...)
 			cfgs = append(cfgs, cfg)
+			labels = append(labels, fmt.Sprintf("tau=%v,buffer=%d", tau, b))
 		}
 	}
 	var done func(completed, total int)
@@ -190,10 +205,34 @@ func sweep(w io.Writer, opts sweepOptions) {
 			fmt.Fprintf(os.Stderr, "tahoe-sweep: %d/%d grid points done\n", completed, total)
 		}
 	}
+	// Each worker owns one Arena for the whole grid, so engine and
+	// packet-pool storage is allocated once per worker, not once per
+	// point. The arenas slice is sized by job count — an over-estimate
+	// of the clamped worker count, so every worker index fits.
+	//
+	// CPU profiles are process-wide (prof.Start runs in main before the
+	// pool spawns), and pprof labels applied here are inherited by the
+	// sampled stacks, so `go tool pprof -tags` attributes samples to
+	// sweep workers and grid points for the entire sweep.
 	results := make([]*tahoedyn.Result, len(cfgs))
-	tahoedyn.ParallelDoLive(opts.Parallel, len(cfgs), func(i int) {
-		results[i] = tahoedyn.Run(cfgs[i])
-	}, done)
+	arenas := make([]*tahoedyn.Arena, len(cfgs))
+	var completed atomic.Int64
+	tahoedyn.ParallelDoWorkers(opts.Parallel, len(cfgs), func(worker, i int) {
+		a := arenas[worker]
+		if a == nil {
+			a = tahoedyn.NewArena()
+			arenas[worker] = a
+		}
+		pprof.Do(context.Background(), pprof.Labels(
+			"sweep-worker", strconv.Itoa(worker),
+			"grid-point", labels[i],
+		), func(context.Context) {
+			results[i] = a.Run(cfgs[i])
+		})
+		if done != nil {
+			done(int(completed.Add(1)), len(cfgs))
+		}
+	})
 
 	fmt.Fprintf(w, "%-8s %-8s %-8s %-10s %-22s %s\n",
 		"tau", "buffer", "pipe P", "util", "window sync (corr)", "queue sync (corr)")

@@ -2,8 +2,15 @@ package main
 
 import (
 	"bytes"
+	"compress/gzip"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime/pprof"
 	"testing"
 	"time"
+
+	"tahoedyn"
 )
 
 // The determinism contract of the parallel sweep: for a fixed grid and
@@ -51,6 +58,93 @@ func TestSweepParkingLotByteIdentical(t *testing.T) {
 	}
 	if !bytes.Equal(serial.Bytes(), parallel.Bytes()) {
 		t.Fatal("parking-lot sweep differs between worker counts")
+	}
+}
+
+// -sched is a wall-clock knob only: the heap and wheel schedulers must
+// produce byte-identical reports, in serial and parallel (the parallel
+// legs also exercise per-worker arena reuse across the grid).
+func TestSweepSchedByteIdentical(t *testing.T) {
+	base := sweepOptions{
+		Taus:     []time.Duration{10 * time.Millisecond, 300 * time.Millisecond},
+		Buffers:  []int{10, 40},
+		Duration: 80 * time.Second,
+		Warmup:   20 * time.Second,
+		Seed:     1,
+	}
+	var reports []*bytes.Buffer
+	for _, sched := range []tahoedyn.SchedKind{tahoedyn.SchedHeap, tahoedyn.SchedWheel} {
+		for _, workers := range []int{1, 8} {
+			opts := base
+			opts.Sched = sched
+			opts.Parallel = workers
+			buf := &bytes.Buffer{}
+			sweep(buf, opts)
+			reports = append(reports, buf)
+		}
+	}
+	if reports[0].Len() == 0 {
+		t.Fatal("sweep produced no output")
+	}
+	for i, r := range reports[1:] {
+		if !bytes.Equal(reports[0].Bytes(), r.Bytes()) {
+			t.Fatalf("report %d differs from heap/serial:\n--- heap/serial ---\n%s\n--- variant ---\n%s",
+				i+1, reports[0].String(), r.String())
+		}
+	}
+}
+
+// The CPU profile must cover the sweep's worker goroutines: prof.Start
+// runs process-wide before the pool spawns, and each grid point runs
+// under pprof labels, so the profile's string table has to contain the
+// label keys. The label strings only appear when labeled samples were
+// collected — i.e. when workers were actually profiled.
+func TestSweepProfileCoversWorkers(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cpu.pprof")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		t.Fatal(err)
+	}
+	// Enough simulated work for the 100 Hz profiler to catch worker
+	// samples; both grid points run under the sweep's pprof labels.
+	sweep(io.Discard, sweepOptions{
+		Taus:     []time.Duration{10 * time.Millisecond},
+		Buffers:  []int{20, 40},
+		Duration: 400 * time.Second,
+		Warmup:   100 * time.Second,
+		Seed:     1,
+		Parallel: 2,
+	})
+	pprof.StopCPUProfile()
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	raw, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+	zr, err := gzip.NewReader(raw)
+	if err != nil {
+		t.Fatalf("profile is not gzip-compressed protobuf: %v", err)
+	}
+	pb, err := io.ReadAll(zr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pb) == 0 {
+		t.Fatal("empty CPU profile")
+	}
+	// Label keys land in the profile string table only when samples were
+	// taken while the labels were active on a worker goroutine.
+	for _, want := range []string{"sweep-worker", "grid-point"} {
+		if !bytes.Contains(pb, []byte(want)) {
+			t.Errorf("profile has no samples labeled %q: worker goroutines were not covered", want)
+		}
 	}
 }
 

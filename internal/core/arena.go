@@ -1,0 +1,137 @@
+package core
+
+import (
+	"context"
+	"sync"
+
+	"tahoedyn/internal/obs"
+	"tahoedyn/internal/packet"
+	"tahoedyn/internal/sim"
+)
+
+// Arena is a reusable allocation context for back-to-back simulation
+// runs. A fresh Build allocates an engine (wheel buckets, event free
+// list), a packet pool, and — when tracing is on — the trace ring; an
+// Arena keeps all of that warm between runs, so an N-point sweep pays
+// the allocation cost once per worker instead of once per point.
+//
+// Ownership rules (DESIGN.md §11): the arena owns only memory that does
+// NOT escape into a Result. Engine bucket/run/free storage, the packet
+// free list, and the trace ring are invisible to callers and safe to
+// recycle; Result-owned containers (plot series, drop and departure
+// logs, the metrics registry) are handed to the caller and are always
+// freshly allocated. Reuse is therefore behavior-neutral: an arena run
+// is byte-identical to a cold run (asserted by arena_test.go). The one
+// observable difference is diagnostic: pool/* metrics count per-run
+// pool misses, and a warm arena keeps them near zero.
+//
+// An Arena is single-goroutine property like the engine it recycles: it
+// may own at most one live Sim at a time, and the next Build must not
+// happen before the previous run finished (or was abandoned — Build
+// resets the engine first, so a canceled run's leftovers are recycled,
+// not leaked into the next run's schedule).
+type Arena struct {
+	eng    *sim.Engine
+	pool   *packet.Pool
+	tracer *obs.Tracer // previous run's tracer; its ring is reclaimed on the next Build
+}
+
+// NewArena returns an empty arena: its first Build allocates, later
+// Builds reuse.
+func NewArena() *Arena { return &Arena{} }
+
+// Build is Arena-backed core.Build: it assembles a runnable Sim drawing
+// warm storage from the arena, panicking on an invalid configuration.
+func (a *Arena) Build(cfg Config) *Sim {
+	s, err := a.BuildE(cfg)
+	if err != nil {
+		panic(err.Error())
+	}
+	return s
+}
+
+// BuildE is Build with error reporting.
+func (a *Arena) BuildE(cfg Config) (*Sim, error) {
+	return buildE(cfg, a)
+}
+
+// Run builds and finishes the scenario using the arena's warm storage.
+func (a *Arena) Run(cfg Config) *Result {
+	return a.Build(cfg).Finish()
+}
+
+// RunE is Run with error reporting.
+func (a *Arena) RunE(cfg Config) (*Result, error) {
+	s, err := a.BuildE(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return s.finish(nil)
+}
+
+// RunContext is RunE with cancellation; see core.RunContext.
+func (a *Arena) RunContext(ctx context.Context, cfg Config) (*Result, error) {
+	s, err := a.BuildE(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return s.FinishContext(ctx)
+}
+
+// engine returns an engine of the kind cfg selects: the kept one,
+// reset, when its kind matches; otherwise a fresh one that the arena
+// keeps for next time. A nil arena always allocates.
+func (a *Arena) engine(kind sim.SchedKind) *sim.Engine {
+	if a == nil {
+		return sim.NewSched(kind)
+	}
+	if a.eng != nil && a.eng.Kind() == sim.ResolveSched(kind) {
+		a.eng.Reset()
+		return a.eng
+	}
+	a.eng = sim.NewSched(kind)
+	return a.eng
+}
+
+// packetPool returns the kept packet pool with its per-run counters
+// reset, or a fresh one. A nil arena always allocates.
+func (a *Arena) packetPool() *packet.Pool {
+	if a == nil {
+		return packet.NewPool()
+	}
+	if a.pool == nil {
+		a.pool = packet.NewPool()
+	} else {
+		a.pool.ResetCounters()
+	}
+	return a.pool
+}
+
+// traceRing reclaims the previous run's trace ring, if any. The
+// previous run has finished by the Arena contract, so its tracer sees
+// no further events.
+func (a *Arena) traceRing() []obs.Event {
+	if a == nil || a.tracer == nil {
+		return nil
+	}
+	r := a.tracer.Ring()
+	a.tracer = nil
+	return r
+}
+
+// keepTracer remembers the new run's tracer so the ring can be
+// reclaimed on the next Build. No-op on a nil arena.
+func (a *Arena) keepTracer(t *obs.Tracer) {
+	if a != nil {
+		a.tracer = t
+	}
+}
+
+// arenaPool shares warm arenas across every core.Run/RunE/RunContext in
+// the process: sequential runs on one goroutine keep hitting the same
+// warm arena, and parallel runs each draw their own.
+var arenaPool = sync.Pool{New: func() any { return NewArena() }}
+
+func getArena() *Arena { return arenaPool.Get().(*Arena) }
+
+func putArena(a *Arena) { arenaPool.Put(a) }

@@ -14,6 +14,7 @@ import (
 
 	"tahoedyn/internal/link"
 	"tahoedyn/internal/obs"
+	"tahoedyn/internal/sim"
 	"tahoedyn/internal/topology"
 )
 
@@ -135,6 +136,13 @@ type Config struct {
 	// output both ways — so this exists only for those tests and for
 	// memory-debugging sessions where distinct packet addresses help.
 	NoPool bool
+
+	// Sched selects the event-scheduler implementation backing the run's
+	// engine: sim.SchedWheel (the default — hierarchical timing wheel),
+	// sim.SchedHeap (the 4-ary heap A/B reference), or sim.SchedDefault.
+	// The two schedulers fire events in exactly the same order, so this
+	// never changes results — only the wall-clock cost of a run.
+	Sched sim.SchedKind
 
 	// Seed drives all scenario randomness (random start times).
 	Seed int64

@@ -102,31 +102,40 @@ func (r *Result) UtilReverse() float64 { return r.TrunkUtil[0][1] }
 // an invalid configuration. It is the MustRun-style convenience for
 // trusted, programmatic configs; callers handling external input
 // should use RunE or RunContext.
+//
+// Run (and RunE/RunContext) draw a warm Arena from a process-wide pool,
+// so back-to-back runs reuse engine buckets, the event free list, and
+// the packet free list instead of reallocating them. This is invisible
+// to results — arena reuse is behavior-neutral by the same contract as
+// packet pooling — but it does mean the pool/* diagnostic metrics count
+// per-run pool misses, which a warm arena keeps near zero.
 func Run(cfg Config) *Result {
-	return Build(cfg).Finish()
+	a := getArena()
+	res := a.Run(cfg)
+	putArena(a)
+	return res
 }
 
 // RunE builds and executes the scenario, returning configuration and
 // topology-compilation problems as errors instead of panicking.
 func RunE(cfg Config) (*Result, error) {
-	s, err := BuildE(cfg)
-	if err != nil {
-		return nil, err
-	}
-	return s.finish(nil)
+	a := getArena()
+	res, err := a.RunE(cfg)
+	putArena(a)
+	return res, err
 }
 
 // RunContext is RunE with cancellation: when ctx is canceled the run
 // stops within one event batch (at most a few thousand events) and
 // returns ctx's error. The partially executed Sim is discarded
-// cleanly — per-run state (packet pool included) is never shared, so
-// cancellation cannot corrupt other runs.
+// cleanly — per-run state (packet pool included) is never shared
+// between live runs, and an arena rebuilding over a canceled run
+// resets the engine first — so cancellation cannot corrupt other runs.
 func RunContext(ctx context.Context, cfg Config) (*Result, error) {
-	s, err := BuildE(cfg)
-	if err != nil {
-		return nil, err
-	}
-	return s.FinishContext(ctx)
+	a := getArena()
+	res, err := a.RunContext(ctx, cfg)
+	putArena(a)
+	return res, err
 }
 
 // Sim is a built, runnable scenario: the network is wired, the
@@ -384,6 +393,12 @@ func Build(cfg Config) *Sim {
 // BuildE is Build with error reporting: configuration validation and
 // topology compilation problems come back as errors instead of panics.
 func BuildE(cfg Config) (*Sim, error) {
+	return buildE(cfg, nil)
+}
+
+// buildE assembles the Sim, drawing engine, packet pool, and trace ring
+// from ar when non-nil (Arena reuse) and allocating fresh ones when nil.
+func buildE(cfg Config, ar *Arena) (*Sim, error) {
 	if err := cfg.normalize(); err != nil {
 		return nil, err
 	}
@@ -403,7 +418,8 @@ func BuildE(cfg Config) (*Sim, error) {
 			if cfg.Obs.Trace.Sink == nil {
 				return nil, fmt.Errorf("core: Obs.Trace set without a Sink")
 			}
-			tracer = obs.NewTracer(*cfg.Obs.Trace)
+			tracer = obs.NewTracerReusing(*cfg.Obs.Trace, ar.traceRing())
+			ar.keepTracer(tracer)
 		}
 		if cfg.Obs.Metrics {
 			metrics = obs.NewMetrics()
@@ -412,7 +428,7 @@ func BuildE(cfg Config) (*Sim, error) {
 			progress = cfg.Obs.Progress
 		}
 	}
-	eng := sim.New()
+	eng := ar.engine(cfg.Sched)
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	ids := &tcp.IDGen{}
 	// One packet free list per run: at steady state the whole simulation
@@ -420,7 +436,7 @@ func BuildE(cfg Config) (*Sim, error) {
 	// discard behavior (the determinism tests compare the two).
 	var pool *packet.Pool
 	if !cfg.NoPool {
-		pool = packet.NewPool()
+		pool = ar.packetPool()
 	}
 
 	res := &Result{

@@ -212,14 +212,38 @@ type Tracer struct {
 
 // NewTracer returns a tracer writing to the options' sink.
 func NewTracer(o TraceOptions) *Tracer {
+	return NewTracerReusing(o, nil)
+}
+
+// NewTracerReusing is NewTracer with a caller-supplied ring buffer: when
+// cap(ring) covers the requested RingSize the buffer is adopted instead
+// of allocated. It is the arena-reuse hook (core.Arena) — the caller
+// must own the buffer exclusively, which in practice means it came from
+// Ring() of a tracer whose run has finished.
+func NewTracerReusing(o TraceOptions, ring []Event) *Tracer {
 	if o.Sink == nil {
 		panic("obs: TraceOptions.Sink is required")
 	}
-	ring := o.RingSize
-	if ring <= 0 {
-		ring = 4096
+	n := o.RingSize
+	if n <= 0 {
+		n = 4096
 	}
-	return &Tracer{filter: o.Filter, buf: make([]Event, ring), sink: o.Sink}
+	if cap(ring) >= n {
+		ring = ring[:n]
+	} else {
+		ring = make([]Event, n)
+	}
+	return &Tracer{filter: o.Filter, buf: ring, sink: o.Sink}
+}
+
+// Ring returns the tracer's backing ring buffer so an arena can hand it
+// to the next run's tracer. Call it only after the run has finished and
+// the tracer will see no further events.
+func (t *Tracer) Ring() []Event {
+	if t == nil {
+		return nil
+	}
+	return t.buf
 }
 
 // Loc interns a location name, returning its stable id. Interning

@@ -120,3 +120,16 @@ func (pl *Pool) Recycled() uint64 {
 	}
 	return pl.gets - pl.allocs
 }
+
+// ResetCounters zeroes the per-run statistics while keeping the free
+// list warm. Arena reuse (core.Arena) calls it between runs so Allocs
+// reports each run's pool misses rather than the arena lifetime's —
+// which also means a warm arena legitimately reports ~0 allocs where a
+// cold run reports hundreds; the pool/* metrics are diagnostics, not
+// physics, and are excluded from run-identity comparisons.
+func (pl *Pool) ResetCounters() {
+	if pl == nil {
+		return
+	}
+	pl.allocs, pl.gets, pl.puts = 0, 0, 0
+}

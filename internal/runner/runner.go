@@ -25,6 +25,23 @@ import (
 // GOMAXPROCS, the number of OS threads the runtime will actually run.
 func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
 
+// clampWorkers resolves a caller-supplied worker count against the job
+// count: 0 means DefaultWorkers, and there is never a point in more
+// workers than jobs. Both Each/EachWorker and the arena sizing in the
+// RunConfigs family use it, so worker indices and arena slots agree.
+func clampWorkers(workers, n int) int {
+	if workers == 0 {
+		workers = DefaultWorkers()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
 // Each runs fn(i) for every i in [0, n), using at most workers concurrent
 // goroutines. workers == 0 means DefaultWorkers; workers <= 1 (or n <= 1)
 // runs inline on the caller's goroutine with no synchronization at all,
@@ -33,15 +50,19 @@ func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
 // A panic in any fn is re-raised on the caller's goroutine after all
 // workers have drained.
 func Each(workers, n int, fn func(i int)) {
-	if workers == 0 {
-		workers = DefaultWorkers()
-	}
-	if workers > n {
-		workers = n
-	}
+	EachWorker(workers, n, func(_, i int) { fn(i) })
+}
+
+// EachWorker is Each with worker identity: fn(worker, i) runs job i on
+// worker `worker`, a stable index in [0, clamped worker count). A given
+// worker runs its jobs sequentially on one goroutine, which is what lets
+// callers keep per-worker state — arenas, scratch buffers — without any
+// locking. On the serial path every job runs as worker 0.
+func EachWorker(workers, n int, fn func(worker, i int)) {
+	workers = clampWorkers(workers, n)
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
-			fn(i)
+			fn(0, i)
 		}
 		return
 	}
@@ -52,7 +73,7 @@ func Each(workers, n int, fn func(i int)) {
 	)
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
@@ -65,10 +86,10 @@ func Each(workers, n int, fn func(i int)) {
 							panicked.CompareAndSwap(nil, fmt.Sprintf("runner: job %d panicked: %v", i, r))
 						}
 					}()
-					fn(i)
+					fn(worker, i)
 				}()
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	if p := panicked.Load(); p != nil {
@@ -107,7 +128,34 @@ func EachDone(workers, n int, fn func(i int), done func(completed, total int)) {
 // deterministic in its Config (including Seed), so the returned slice is
 // identical for any worker count.
 func RunConfigs(workers int, cfgs []core.Config) []*core.Result {
-	return Map(workers, len(cfgs), func(i int) *core.Result { return core.Run(cfgs[i]) })
+	return RunConfigsLive(workers, cfgs, nil)
+}
+
+// RunConfigsLive is RunConfigs with per-worker arena reuse and an
+// optional completion callback. Every worker owns one core.Arena for
+// the whole sweep, so an N-point sweep allocates engine and packet-pool
+// storage once per worker instead of once per point; arena reuse is
+// behavior-neutral, so results stay identical to cold runs for any
+// worker count. done(completed, total), when non-nil, fires after every
+// job under the EachDone contract (any worker goroutine, must be
+// concurrency-safe).
+func RunConfigsLive(workers int, cfgs []core.Config, done func(completed, total int)) []*core.Result {
+	n := len(cfgs)
+	results := make([]*core.Result, n)
+	arenas := make([]*core.Arena, clampWorkers(workers, n))
+	var completed atomic.Int64
+	EachWorker(workers, n, func(w, i int) {
+		a := arenas[w]
+		if a == nil {
+			a = core.NewArena()
+			arenas[w] = a
+		}
+		results[i] = a.Run(cfgs[i])
+		if done != nil {
+			done(int(completed.Add(1)), n)
+		}
+	})
+	return results
 }
 
 // RunConfigsE executes every configuration with core.RunContext on the
@@ -121,12 +169,18 @@ func RunConfigs(workers int, cfgs []core.Config) []*core.Result {
 func RunConfigsE(ctx context.Context, workers int, cfgs []core.Config) ([]*core.Result, error) {
 	results := make([]*core.Result, len(cfgs))
 	errs := make([]error, len(cfgs))
-	Each(workers, len(cfgs), func(i int) {
+	arenas := make([]*core.Arena, clampWorkers(workers, len(cfgs)))
+	EachWorker(workers, len(cfgs), func(w, i int) {
 		if err := ctx.Err(); err != nil {
 			errs[i] = fmt.Errorf("config %d: %w", i, err)
 			return
 		}
-		res, err := core.RunContext(ctx, cfgs[i])
+		a := arenas[w]
+		if a == nil {
+			a = core.NewArena()
+			arenas[w] = a
+		}
+		res, err := a.RunContext(ctx, cfgs[i])
 		if err != nil {
 			errs[i] = fmt.Errorf("config %d: %w", i, err)
 			return

@@ -1,22 +1,34 @@
 // Package sim provides a deterministic discrete-event simulation engine.
 //
-// The engine maintains a virtual clock and a priority queue of events.
-// Events scheduled for the same instant fire in the order they were
-// scheduled, which makes every run bit-reproducible: there is no
-// wall-clock time and no goroutine scheduling anywhere in the simulator.
+// The engine maintains a virtual clock and a queue of events. Events
+// scheduled for the same instant fire in the order they were scheduled,
+// which makes every run bit-reproducible: there is no wall-clock time and
+// no goroutine scheduling anywhere in the simulator.
 //
-// The event queue is an inlined 4-ary min-heap of *Event ordered by
-// (time, sequence). A 4-ary layout halves the tree depth of a binary
-// heap, trading a few extra comparisons per level for far fewer cache
-// misses on the sift paths — the engine hot loop is pop/push dominated.
-// Events are recycled through a per-engine free list, so steady-state
-// scheduling does not allocate, and Cancel removes the event from the
-// heap immediately by index: canceled retransmission timers (one per
-// ACK in TCP workloads) never linger in the queue.
+// Two interchangeable schedulers order the queue by (time, sequence):
+//
+//   - SchedWheel (the default): a hierarchical timing wheel (wheel.go)
+//     with O(1) amortized schedule/cancel/pop for the bounded-horizon
+//     events that dominate TCP workloads, plus an overflow list for
+//     far-future events.
+//   - SchedHeap: an inlined 4-ary min-heap with O(log n) sift on every
+//     schedule/pop and O(log n) cancel-by-index. Kept as the A/B
+//     reference; `-sched=heap` on the CLIs selects it.
+//
+// Both schedulers fire events in exactly the same order — the identity
+// is enforced by property tests (sched_test.go) and by byte-identity
+// tests over every shipped scenario. Events are recycled through a
+// per-engine free list, so steady-state scheduling does not allocate
+// under either scheduler, and canceled events never linger: the heap
+// removes by index, the wheel swap-removes from its unsorted buckets
+// (events already extracted into the sorted active run are cancel-marked
+// and recycled at the drain).
 package sim
 
 import (
 	"fmt"
+	"os"
+	"strings"
 	"time"
 
 	"tahoedyn/internal/packet"
@@ -25,6 +37,86 @@ import (
 // Time is a point in simulated time, measured as an offset from the start
 // of the simulation. The zero value is the simulation epoch.
 type Time = time.Duration
+
+// SchedKind selects the event-queue implementation backing an Engine.
+type SchedKind uint8
+
+const (
+	// SchedDefault resolves to the TAHOEDYN_SCHED environment variable
+	// when it names a scheduler, and to SchedWheel otherwise.
+	SchedDefault SchedKind = iota
+	// SchedWheel is the hierarchical timing wheel (O(1) amortized).
+	SchedWheel
+	// SchedHeap is the 4-ary min-heap (O(log n)), kept for A/B runs.
+	SchedHeap
+)
+
+// ParseSched maps a CLI/user string to a SchedKind. The empty string and
+// "default" mean SchedDefault.
+func ParseSched(s string) (SchedKind, error) {
+	switch strings.ToLower(s) {
+	case "", "default":
+		return SchedDefault, nil
+	case "wheel":
+		return SchedWheel, nil
+	case "heap":
+		return SchedHeap, nil
+	}
+	return SchedDefault, fmt.Errorf("sim: unknown scheduler %q (want heap, wheel, or default)", s)
+}
+
+func (k SchedKind) String() string {
+	switch k {
+	case SchedWheel:
+		return "wheel"
+	case SchedHeap:
+		return "heap"
+	}
+	return "default"
+}
+
+// defaultSched is resolved once at startup so every Engine in a process
+// agrees on what SchedDefault means; TAHOEDYN_SCHED=heap|wheel overrides
+// without touching call sites (used by the CI A/B legs).
+var defaultSched = func() SchedKind {
+	if k, err := ParseSched(os.Getenv("TAHOEDYN_SCHED")); err == nil && k != SchedDefault {
+		return k
+	}
+	return SchedWheel
+}()
+
+// SetDefaultSched overrides what SchedDefault resolves to for engines
+// created after the call, taking precedence over TAHOEDYN_SCHED.
+// Passing SchedDefault is a no-op. It exists for the CLI -sched flags,
+// which run before any engine is built; calling it concurrently with
+// engine construction is a race — set it once, up front.
+func SetDefaultSched(k SchedKind) {
+	if k != SchedDefault {
+		defaultSched = k
+	}
+}
+
+// ResolveSched maps SchedDefault to the scheduler New would actually
+// use (honoring TAHOEDYN_SCHED); concrete kinds pass through. Arena
+// reuse calls it to decide whether a kept engine matches a config.
+func ResolveSched(k SchedKind) SchedKind {
+	if k == SchedDefault {
+		return defaultSched
+	}
+	return k
+}
+
+// Event location states. An event is always in exactly one place: the
+// heap, a wheel bucket (level encoded relative to whereLevel0), the
+// wheel's sorted active run, the wheel's overflow list, or detached
+// (fired, canceled, never scheduled, or sitting on the free list).
+const (
+	whereDetached int8 = iota // zero value: Cancel on a zero Event no-ops
+	whereHeap
+	whereRun
+	whereOverflow
+	whereLevel0 // wheel level l is whereLevel0 + l
+)
 
 // Event is a scheduled callback. It is returned by the scheduling methods
 // so the caller can cancel it before it fires.
@@ -46,7 +138,9 @@ type Event struct {
 	sink     PacketSink
 	arg      *packet.Packet
 	eng      *Engine
-	index    int32 // position in the heap; -1 once fired or canceled
+	index    int32 // position within the heap, a wheel bucket, or overflow
+	where    int8
+	slot     uint8 // wheel slot within the level named by where
 	canceled bool
 }
 
@@ -61,19 +155,40 @@ type PacketSink interface {
 // At reports the time the event is scheduled to fire.
 func (e *Event) At() Time { return e.at }
 
-// Cancel prevents the event from firing and removes it from the event
-// queue immediately. Canceling an event that already fired or was already
-// canceled is a no-op; a nil receiver is also a no-op.
+// Cancel prevents the event from firing and detaches it from the event
+// queue. Canceling an event that already fired or was already canceled is
+// a no-op; a nil receiver is also a no-op.
+//
+// Heap events and wheel events still in an unsorted bucket or the
+// overflow list are removed and recycled immediately; a wheel event that
+// was already extracted into the sorted active run is cancel-marked and
+// recycled when the drain reaches it — either way it will not fire and
+// Pending drops right away.
 func (e *Event) Cancel() {
-	if e == nil || e.index < 0 {
+	if e == nil || e.where == whereDetached {
 		return
 	}
 	eng := e.eng
-	eng.removeAt(int(e.index))
+	eng.pending--
+	where := e.where
 	e.canceled = true
 	e.fn = nil
 	e.sink = nil
 	e.arg = nil
+	e.where = whereDetached
+	switch {
+	case where == whereRun:
+		// Lazy cancel: the event keeps its place in the sorted run (its
+		// timestamp stays valid for the neighbors' binary searches) and
+		// joins the free list when the drain skips over it.
+		return
+	case where == whereHeap:
+		eng.removeAt(int(e.index))
+	case where == whereOverflow:
+		eng.w.removeOverflow(e)
+	default:
+		eng.w.removeBucket(e, where)
+	}
 	eng.free = append(eng.free, e)
 }
 
@@ -82,19 +197,35 @@ func (e *Event) Cancel() {
 func (e *Event) Canceled() bool { return e.canceled }
 
 // Engine is a discrete-event scheduler. The zero value is not usable; use
-// New.
+// New or NewSched.
 type Engine struct {
 	now       Time
 	seq       uint64
+	pending   int
+	processed uint64
+	kind      SchedKind
 	heap      []*Event
 	free      []*Event
-	processed uint64
+	w         *wheel // nil when kind == SchedHeap
 }
 
-// New returns an engine with an empty event queue and the clock at zero.
+// New returns an engine with an empty event queue and the clock at zero,
+// using the default scheduler (see SchedDefault).
 func New() *Engine {
-	return &Engine{}
+	return NewSched(SchedDefault)
 }
+
+// NewSched returns an engine backed by the given scheduler kind.
+func NewSched(kind SchedKind) *Engine {
+	e := &Engine{kind: ResolveSched(kind)}
+	if e.kind == SchedWheel {
+		e.w = newWheel()
+	}
+	return e
+}
+
+// Kind reports which scheduler backs the engine (never SchedDefault).
+func (e *Engine) Kind() SchedKind { return e.kind }
 
 // Now returns the current simulated time.
 func (e *Engine) Now() Time { return e.now }
@@ -104,8 +235,43 @@ func (e *Engine) Now() Time { return e.now }
 func (e *Engine) Processed() uint64 { return e.processed }
 
 // Pending returns the number of events currently queued. Canceled events
-// are removed immediately, so they are never counted.
-func (e *Engine) Pending() int { return len(e.heap) }
+// stop counting the moment Cancel returns, whichever scheduler holds
+// them.
+func (e *Engine) Pending() int { return e.pending }
+
+// Reset returns the engine to its initial state — clock at zero, empty
+// queue, sequence and processed counters rewound — while keeping every
+// piece of allocated storage (heap array, wheel buckets, run buffer,
+// event free list) warm for the next run. A Reset engine behaves exactly
+// like a fresh New: it is the arena-reuse hook, not a mid-run operation.
+// Packet references held by still-queued events are dropped, not
+// released; an arena owner resets the packet pool alongside the engine.
+func (e *Engine) Reset() {
+	if e.w != nil {
+		e.w.drainInto(e)
+	} else {
+		for i, ev := range e.heap {
+			e.heap[i] = nil
+			e.recycle(ev)
+		}
+		e.heap = e.heap[:0]
+	}
+	e.now = 0
+	e.seq = 0
+	e.pending = 0
+	e.processed = 0
+}
+
+// recycle detaches ev and puts it on the free list, clearing callback
+// references so nothing is retained across reuse.
+func (e *Engine) recycle(ev *Event) {
+	ev.where = whereDetached
+	ev.canceled = false
+	ev.fn = nil
+	ev.sink = nil
+	ev.arg = nil
+	e.free = append(e.free, ev)
+}
 
 // Schedule queues fn to run after delay d. A negative delay panics: the
 // simulated world cannot schedule work in its own past.
@@ -158,6 +324,12 @@ func (e *Engine) at(t Time, fn func()) *Event {
 	ev.fn = fn
 	ev.canceled = false
 	e.seq++
+	e.pending++
+	if e.w != nil {
+		e.w.push(ev)
+		return ev
+	}
+	ev.where = whereHeap
 	i := len(e.heap)
 	e.heap = append(e.heap, ev)
 	ev.index = int32(i)
@@ -165,14 +337,35 @@ func (e *Engine) at(t Time, fn func()) *Event {
 	return ev
 }
 
-// Step executes the next event, if any, advancing the clock to its
-// timestamp. It returns false when the queue is empty.
-func (e *Engine) Step() bool {
-	if len(e.heap) == 0 {
-		return false
+// rearm moves a pending timer event to a new firing time, consuming a
+// fresh sequence number so the outcome is indistinguishable from Cancel
+// followed by ScheduleAt — same (time, seq) key, same free-list state —
+// but when the event sits in an unsorted wheel bucket and the new time
+// maps to the same bucket, it is updated in place with no queue surgery
+// at all. Retransmission timers rearm once per ACK, often onto the same
+// RTO grid point, so this is the hottest cancel+schedule pair in TCP
+// workloads.
+func (e *Engine) rearm(ev *Event, t Time, fn func()) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", t, e.now))
 	}
-	ev := e.heap[0]
-	e.removeAt(0)
+	if ev.where >= whereLevel0 {
+		if l, s, ok := e.w.locate(t); ok &&
+			int8(l)+whereLevel0 == ev.where && uint8(s) == ev.slot {
+			ev.at = t
+			ev.seq = e.seq
+			e.seq++
+			return ev
+		}
+	}
+	ev.Cancel()
+	return e.ScheduleAt(t, fn)
+}
+
+// exec pops bookkeeping for a dequeued event and fires it. The event must
+// already be detached from its queue structure.
+func (e *Engine) exec(ev *Event) {
+	e.pending--
 	e.now = ev.at
 	e.processed++
 	fn, sink, arg := ev.fn, ev.sink, ev.arg
@@ -185,6 +378,26 @@ func (e *Engine) Step() bool {
 	} else {
 		fn()
 	}
+}
+
+// Step executes the next event, if any, advancing the clock to its
+// timestamp. It returns false when the queue is empty.
+func (e *Engine) Step() bool {
+	if e.w != nil {
+		ev := e.wheelNext()
+		if ev == nil {
+			return false
+		}
+		e.wheelPop()
+		e.exec(ev)
+		return true
+	}
+	if len(e.heap) == 0 {
+		return false
+	}
+	ev := e.heap[0]
+	e.removeAt(0)
+	e.exec(ev)
 	return true
 }
 
@@ -197,8 +410,21 @@ func (e *Engine) Run() {
 // RunUntil executes events with timestamps <= t and then advances the
 // clock to exactly t. Events scheduled for later remain queued.
 func (e *Engine) RunUntil(t Time) {
-	for len(e.heap) > 0 && e.heap[0].at <= t {
-		e.Step()
+	if e.w != nil {
+		for {
+			ev := e.wheelNext()
+			if ev == nil || ev.at > t {
+				break
+			}
+			e.wheelPop()
+			e.exec(ev)
+		}
+	} else {
+		for len(e.heap) > 0 && e.heap[0].at <= t {
+			ev := e.heap[0]
+			e.removeAt(0)
+			e.exec(ev)
+		}
 	}
 	if t > e.now {
 		e.now = t
@@ -214,6 +440,23 @@ func (e *Engine) RunUntil(t Time) {
 // any events of their own, so the event sequence is identical to one
 // uninterrupted RunUntil(t).
 func (e *Engine) RunUntilN(t Time, max int) bool {
+	if e.w != nil {
+		for {
+			ev := e.wheelNext()
+			if ev == nil || ev.at > t {
+				if t > e.now {
+					e.now = t
+				}
+				return true
+			}
+			if max <= 0 {
+				return false
+			}
+			e.wheelPop()
+			e.exec(ev)
+			max--
+		}
+	}
 	for max > 0 && len(e.heap) > 0 && e.heap[0].at <= t {
 		e.Step()
 		max--
@@ -234,7 +477,7 @@ func less(a, b *Event) bool {
 }
 
 // removeAt detaches the event at heap position i, restoring the heap
-// property. The detached event's index is set to -1.
+// property.
 func (e *Engine) removeAt(i int) {
 	h := e.heap
 	n := len(h) - 1
@@ -253,6 +496,7 @@ func (e *Engine) removeAt(i int) {
 		e.heap = h[:n]
 	}
 	ev.index = -1
+	ev.where = whereDetached
 }
 
 // siftUp moves the event at position i toward the root until its parent

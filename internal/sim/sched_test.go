@@ -1,0 +1,141 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestSchedulersFireIdentically is the scheduler-identity property test:
+// random programs of schedule / same-instant ties / cancel / rearm /
+// partial-run operations, interpreted in lockstep on a heap engine and a
+// wheel engine, must fire exactly the same events in exactly the same
+// order, with clocks and pending counts agreeing at every step. Delays
+// are drawn to cover every wheel regime — sub-tick ties, all four
+// levels, and beyond-horizon (~625h) overflow events.
+func TestSchedulersFireIdentically(t *testing.T) {
+	trials := 30
+	if testing.Short() {
+		trials = 5
+	}
+	for trial := 0; trial < trials; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial) + 1))
+		he := NewSched(SchedHeap)
+		we := NewSched(SchedWheel)
+
+		var hLog, wLog []int
+		type handle struct {
+			he, we   *Event
+			hfn, wfn func()
+			state    int // 0 pending, 1 fired, 2 canceled
+		}
+		var handles []*handle
+		nextID := 0
+
+		delay := func() time.Duration {
+			switch rng.Intn(6) {
+			case 0:
+				return 0 // fires at the current instant
+			case 1:
+				// Sub-tick: collides within one wheel slot.
+				return time.Duration(rng.Intn(60)) * time.Microsecond
+			case 2:
+				// Level 0/1 territory, the TCP-workload sweet spot.
+				return time.Duration(rng.Intn(50)) * time.Millisecond
+			case 3:
+				return time.Duration(rng.Intn(300)) * time.Second // level 2
+			case 4:
+				return time.Duration(rng.Intn(20)) * time.Hour // level 3
+			default:
+				// Beyond the 2^32-tick (~625h) horizon: overflow list.
+				return 700*time.Hour + time.Duration(rng.Intn(500))*time.Hour
+			}
+		}
+		schedule := func(d time.Duration) {
+			id := nextID
+			nextID++
+			hd := &handle{}
+			hd.hfn = func() { hLog = append(hLog, id); hd.state = 1 }
+			hd.wfn = func() { wLog = append(wLog, id); hd.state = 1 }
+			hd.he = he.Schedule(d, hd.hfn)
+			hd.we = we.Schedule(d, hd.wfn)
+			handles = append(handles, hd)
+		}
+		// pick returns a random still-pending handle, or nil.
+		pick := func() *handle {
+			if len(handles) == 0 {
+				return nil
+			}
+			start := rng.Intn(len(handles))
+			for i := 0; i < len(handles); i++ {
+				if hd := handles[(start+i)%len(handles)]; hd.state == 0 {
+					return hd
+				}
+			}
+			return nil
+		}
+
+		for op := 0; op < 400; op++ {
+			switch rng.Intn(10) {
+			case 0, 1, 2, 3:
+				schedule(delay())
+			case 4:
+				// Same-instant tie batch: must fire in scheduling order.
+				d := delay()
+				for k := 0; k < 3; k++ {
+					schedule(d)
+				}
+			case 5:
+				if hd := pick(); hd != nil {
+					hd.he.Cancel()
+					hd.we.Cancel()
+					hd.state = 2
+				}
+			case 6:
+				// Rearm: in-place when the wheel bucket is unchanged,
+				// cancel+reschedule otherwise — identical either way.
+				if hd := pick(); hd != nil {
+					at := he.Now() + delay()
+					hd.he = he.rearm(hd.he, at, hd.hfn)
+					hd.we = we.rearm(hd.we, at, hd.wfn)
+				}
+			case 7, 8:
+				n := rng.Intn(8) + 1
+				for i := 0; i < n; i++ {
+					if !he.Step() {
+						break
+					}
+				}
+				for i := 0; i < n; i++ {
+					if !we.Step() {
+						break
+					}
+				}
+			case 9:
+				until := he.Now() + delay()
+				he.RunUntil(until)
+				we.RunUntil(until)
+			}
+			if he.Now() != we.Now() {
+				t.Fatalf("trial %d op %d: clocks diverged: heap %v, wheel %v", trial, op, he.Now(), we.Now())
+			}
+			if he.Pending() != we.Pending() {
+				t.Fatalf("trial %d op %d: pending diverged: heap %d, wheel %d", trial, op, he.Pending(), we.Pending())
+			}
+		}
+		he.Run()
+		we.Run()
+
+		if len(hLog) != len(wLog) {
+			t.Fatalf("trial %d: heap fired %d events, wheel fired %d", trial, len(hLog), len(wLog))
+		}
+		for i := range hLog {
+			if hLog[i] != wLog[i] {
+				t.Fatalf("trial %d: firing order diverged at %d: heap %d, wheel %d", trial, i, hLog[i], wLog[i])
+			}
+		}
+		if he.Pending() != 0 || we.Pending() != 0 {
+			t.Fatalf("trial %d: events left after drain: heap %d, wheel %d", trial, he.Pending(), we.Pending())
+		}
+	}
+}

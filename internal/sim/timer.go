@@ -1,6 +1,9 @@
 package sim
 
-import "time"
+import (
+	"fmt"
+	"time"
+)
 
 // Timer is a single-shot, rearm-able timer built on engine events. Unlike
 // a raw Event it can be stopped and restarted any number of times, which
@@ -25,15 +28,23 @@ func NewTimer(eng *Engine, fn func()) *Timer {
 }
 
 // Reset (re)arms the timer to fire after d, canceling any pending
-// expiration.
+// expiration. Rearming an armed timer goes through Engine.rearm, which
+// updates the pending event in place when the new deadline maps to the
+// same wheel bucket — the result is indistinguishable from cancel +
+// schedule (a fresh sequence number is consumed either way).
 func (t *Timer) Reset(d time.Duration) {
-	t.Stop()
-	t.ev = t.eng.Schedule(d, t.expireFn)
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	t.ResetAt(t.eng.Now() + d)
 }
 
 // ResetAt (re)arms the timer to fire at absolute time at.
 func (t *Timer) ResetAt(at Time) {
-	t.Stop()
+	if t.ev != nil {
+		t.ev = t.eng.rearm(t.ev, at, t.expireFn)
+		return
+	}
 	t.ev = t.eng.ScheduleAt(at, t.expireFn)
 }
 

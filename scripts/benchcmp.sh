@@ -13,9 +13,17 @@
 #         allocation-free, so any increase there is a real leak, not
 #         noise.
 #   soft  allocs/op regressions elsewhere beyond 25% (plus slack for
-#         one-shot noise) are warned about but do not fail; wall-clock
-#         metrics (ns/op, sim-events/s) are reported informationally
-#         only.
+#         one-shot noise) are warned about but do not fail; ns/op is
+#         reported informationally only.
+#
+# sim-events/s sits between the two: recordings are single-iteration
+# (-benchtime 1x, best of 3 samples) and the reference recordings come
+# from shared single-core VMs, where host steal moves individual
+# benchmarks by 2-3x between sessions. An algorithmic regression in the
+# scheduler (a heap gone quadratic, a wheel cursor crawling empty slots)
+# costs 3x or more, so the hard gate fires when a benchmark loses more
+# than two thirds of its recorded throughput; losing more than 30%
+# warns.
 #
 # Benchmarks present in only one recording are listed but never fail the
 # gate, so adding a benchmark does not require regenerating history.
@@ -59,8 +67,13 @@ function slurp(file,   line, idx, payload, text) {
 
 # parse() records every "value unit" pair of every benchmark row into
 # val[tag, name, unit] and seen[tag, name]. GOMAXPROCS suffixes (-8) are
-# stripped so recordings from different machines compare.
-function parse(tag, text,   lines, n, i, f, nf, name, j, pair, np, p) {
+# stripped so recordings from different machines compare. Recordings are
+# made with -count 3, so a benchmark appears several times per file:
+# wall-clock-sensitive units keep their best sample (max throughput, min
+# cost) — a loaded box cannot make a healthy scheduler look collapsed —
+# while deterministic paper metrics are identical across samples and
+# simply keep the last.
+function parse(tag, text,   lines, n, i, f, nf, name, j, pair, np, p, u, v) {
     n = split(text, lines, "\n")
     for (i = 1; i <= n; i++) {
         if (lines[i] !~ /^Benchmark/ || lines[i] !~ /ns\/op/) continue
@@ -76,8 +89,18 @@ function parse(tag, text,   lines, n, i, f, nf, name, j, pair, np, p) {
             # p[] may lead with an empty field from leading spaces.
             pair = (p[1] == "") ? 2 : 1
             if (pair + 1 > np) continue
-            val[tag, name, p[pair + 1]] = p[pair]
-            units[name, p[pair + 1]] = 1
+            v = p[pair]
+            u = p[pair + 1]
+            if (u == "sim-events/s") {
+                if (!((tag, name, u) in val) || v + 0 > val[tag, name, u] + 0)
+                    val[tag, name, u] = v
+            } else if (u == "ns/op" || u == "B/op" || u == "allocs/op") {
+                if (!((tag, name, u) in val) || v + 0 < val[tag, name, u] + 0)
+                    val[tag, name, u] = v
+            } else {
+                val[tag, name, u] = v
+            }
+            units[name, u] = 1
         }
     }
 }
@@ -123,14 +146,22 @@ BEGIN {
                 }
             } else if (unit == "sim-events/s" && ov + 0 > 0) {
                 delta = (nv - ov) / ov * 100
-                printf "info %s sim-events/s: %s -> %s (%+.1f%%)\n", name, ov, nv, delta
+                if (nv + 0 < (ov + 0) / 3) {
+                    printf "FAIL %s sim-events/s: %s -> %s (%+.1f%%, throughput collapsed)\n", name, ov, nv, delta
+                    hardfail = 1
+                } else if (nv + 0 < (ov + 0) * 0.7) {
+                    printf "warn %s sim-events/s: %s -> %s (%+.1f%%, regression)\n", name, ov, nv, delta
+                    softwarn = 1
+                } else {
+                    printf "info %s sim-events/s: %s -> %s (%+.1f%%)\n", name, ov, nv, delta
+                }
             }
         }
     }
     if (onlyold != "") printf "note: only in %s:\n%s", oldfile, onlyold
     if (onlynew != "") printf "note: only in %s:\n%s", newfile, onlynew
     if (hardfail) {
-        print "benchcmp: FAIL — hard gate (paper metrics / steady-state allocs) tripped"
+        print "benchcmp: FAIL — hard gate (paper metrics / steady-state allocs / sim-events/s) tripped"
         exit 1
     }
     if (softwarn) print "benchcmp: ok (with allocation warnings)"

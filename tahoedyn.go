@@ -35,6 +35,7 @@ import (
 	"tahoedyn/internal/plot"
 	"tahoedyn/internal/runner"
 	"tahoedyn/internal/scenario"
+	"tahoedyn/internal/sim"
 	"tahoedyn/internal/topology"
 	"tahoedyn/internal/trace"
 )
@@ -50,7 +51,36 @@ type (
 	Result = core.Result
 	// CollapseEvent is one congestion-window collapse.
 	CollapseEvent = core.CollapseEvent
+	// Arena is a reusable allocation context for back-to-back runs:
+	// engine buckets, the event free list, the packet free list, and
+	// the trace ring survive from one run to the next. Reuse is
+	// behavior-neutral; see NewArena.
+	Arena = core.Arena
+	// SchedKind selects the event-scheduler implementation backing a
+	// run's engine (Config.Sched): SchedWheel or SchedHeap.
+	SchedKind = sim.SchedKind
 )
+
+// Event-scheduler kinds for Config.Sched. Both schedulers fire events
+// in exactly the same (time, sequence) order — byte-identity across all
+// shipped scenarios is asserted in tests — so the choice never changes
+// results, only run speed. SchedDefault resolves to the wheel unless
+// the TAHOEDYN_SCHED environment variable says otherwise.
+const (
+	SchedDefault = sim.SchedDefault
+	SchedWheel   = sim.SchedWheel
+	SchedHeap    = sim.SchedHeap
+)
+
+// ParseSched maps a CLI string ("heap", "wheel", "default", "") to a
+// SchedKind for Config.Sched; both CLIs expose it as -sched.
+func ParseSched(s string) (SchedKind, error) { return sim.ParseSched(s) }
+
+// SetDefaultSched overrides what SchedDefault resolves to for engines
+// created after the call (the CLI -sched hook, useful where configs are
+// built internally, e.g. named experiments). Set it once, before any
+// runs start; passing SchedDefault is a no-op.
+func SetDefaultSched(k SchedKind) { sim.SetDefaultSched(k) }
 
 // Analysis types.
 type (
@@ -252,6 +282,20 @@ func RunMany(workers int, cfgs []Config) []*Result {
 	return runner.RunConfigs(workers, cfgs)
 }
 
+// RunManyLive is RunMany with per-worker arena reuse and an optional
+// completion callback: every worker keeps one Arena for the whole
+// sweep, so an N-point sweep pays engine and packet-pool allocation
+// once per worker instead of once per point. done(k, n), when non-nil,
+// fires after each job (on any worker goroutine — it must be safe for
+// concurrent use). Results are identical to RunMany, byte for byte.
+func RunManyLive(workers int, cfgs []Config, done func(completed, total int)) []*Result {
+	return runner.RunConfigsLive(workers, cfgs, done)
+}
+
+// NewArena returns an empty Arena: its first run allocates, later runs
+// reuse. An Arena is single-goroutine, like a run; use one per worker.
+func NewArena() *Arena { return core.NewArena() }
+
 // RunManyE is RunMany with error aggregation and cancellation: the
 // returned slice always has len(cfgs) entries in configuration order,
 // failed or canceled runs are nil, and the error joins every per-config
@@ -274,6 +318,15 @@ func ParallelDo(workers, n int, fn func(i int)) { runner.Each(workers, n, fn) }
 // ordering.
 func ParallelDoLive(workers, n int, fn func(i int), done func(completed, total int)) {
 	runner.EachDone(workers, n, fn, done)
+}
+
+// ParallelDoWorkers is ParallelDo with worker identity: fn(worker, i)
+// runs job i on worker `worker`, a stable index below the clamped
+// worker count (always < n). Each worker runs its jobs sequentially on
+// one goroutine, so callers can keep lock-free per-worker state — an
+// Arena per worker is the intended use.
+func ParallelDoWorkers(workers, n int, fn func(worker, i int)) {
+	runner.EachWorker(workers, n, fn)
 }
 
 // Experiments lists every paper experiment in presentation order.
