@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet check bench bench-baseline bench-record bench-compare trace-demo
+.PHONY: build test race vet check bench bench-shards bench-baseline bench-record bench-compare trace-demo
 
 build:
 	$(GO) build ./...
@@ -22,6 +22,13 @@ check: vet build test race
 
 bench:
 	$(GO) test -bench . -benchtime 1x -benchmem .
+
+# bench-shards runs just the sharded scaling curve (1/2/4/8 regions on
+# the 1024-switch chain). events/run must print identically on every
+# leg — that is the determinism contract; sim-events/s depends on the
+# machine (see README "Sharded runs").
+bench-shards:
+	$(GO) test -run xxx -bench BenchmarkShardScaling -benchtime 1x -benchmem .
 
 # trace-demo streams two seconds of packet lifecycle events from the
 # paper's fig4-5 configuration as JSONL — a quick look at what

@@ -458,3 +458,102 @@ func BenchmarkIncreaseRule(b *testing.B) {
 func BenchmarkModeBoundary(b *testing.B) {
 	runExperiment(b, "mode-boundary", nil)
 }
+
+// TestShardedSteadyStateAllocs pins the sharded runner's steady-state
+// allocation contract: once the region pools, edge buffers, inbox, and
+// pre-built round workers are warm, advancing the simulation allocates
+// nothing — not per packet, and not per synchronization round (this
+// stepped sim-second spans 100 rounds of the 10 ms lookahead).
+func TestShardedSteadyStateAllocs(t *testing.T) {
+	cfg := steadyStateConfig()
+	cfg.Shards = 2
+	a := core.NewArena()
+	warm := cfg
+	warm.Duration = 40 * time.Second
+	a.Run(warm)
+	s := a.Build(cfg)
+	s.RunUntil(30 * time.Second)
+	now := 30 * time.Second
+	allocs := testing.AllocsPerRun(50, func() {
+		now += time.Second
+		s.RunUntil(now)
+	})
+	if allocs > 1 {
+		t.Errorf("sharded steady-state simulation allocates %.2f/sim-second, want <= 1", allocs)
+	}
+}
+
+// shardScalingConfig is the sharding headline workload: a 1024-switch
+// chain (1023 trunks) carrying 10^4 neighbor-local connections — 2x the
+// ISSUE floor of 10^3 nodes, and local flows so only the partition's
+// cut trunks carry cross-region traffic. Trunks run at 4x the paper
+// rate to keep every link busy without making one simulated second
+// unaffordable at -benchtime 1x.
+func shardScalingConfig() core.Config {
+	g := ChainTopology(1024)
+	cfg := core.Config{
+		Topology:       &g,
+		TrunkBandwidth: 4 * core.DefaultTrunkBandwidth,
+		TrunkDelay:     10 * time.Millisecond,
+		Buffer:         core.DefaultBuffer,
+		Seed:           1,
+		Warmup:         2 * time.Second,
+		// 10 steppable sim-seconds past warmup. Duration feeds the
+		// trace-reserve estimate, and with 2046 trunk ports a long
+		// horizon preallocates gigabytes per Build — enough that four
+		// back-to-back sub-benchmark builds drown a single-core host
+		// in GC work. Keep it short; the bench rebuilds on overrun.
+		Duration: 12 * time.Second,
+	}
+	for k := 0; k < 5000; k++ {
+		t := k % 1023
+		cfg.Conns = append(cfg.Conns,
+			core.ConnSpec{SrcHost: t, DstHost: t + 1, Start: -1},
+			core.ConnSpec{SrcHost: t + 1, DstHost: t, Start: -1},
+		)
+	}
+	return cfg
+}
+
+// BenchmarkShardScaling is the sharded-run scaling curve: steady-state
+// event throughput of the large-chain workload at 1/2/4/8 shards, one
+// simulated second per op. events/run is deterministic and identical at
+// every shard count (the identity contract); sim-events/s is the
+// wall-clock headline. Its scaling has two sources: true parallelism
+// (one core per region, when the machine has them) and scheduler
+// locality — a region engine holds 1/k of the event population, so its
+// timing-wheel cursor and cache footprint shrink with k. The reference
+// recordings come from single-core hosts (see README "Sharded runs"),
+// where the curve shows only the locality term.
+func BenchmarkShardScaling(b *testing.B) {
+	for _, k := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", k), func(b *testing.B) {
+			cfg := shardScalingConfig()
+			cfg.Shards = k
+			s := core.Build(cfg)
+			s.RunUntil(cfg.Warmup)
+			var events uint64
+			base := s.Events()
+			runtime.GC() // collect build+warmup garbage off the clock
+			b.ResetTimer()
+			t := cfg.Warmup
+			for i := 0; i < b.N; i++ {
+				if t+time.Second > cfg.Duration {
+					b.StopTimer()
+					events += s.Events() - base
+					s = core.Build(cfg)
+					s.RunUntil(cfg.Warmup)
+					base = s.Events()
+					t = cfg.Warmup
+					b.StartTimer()
+				}
+				t += time.Second
+				s.RunUntil(t)
+			}
+			b.StopTimer()
+			events += s.Events() - base
+			b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "sim-events/s")
+			b.ReportMetric(float64(events)/float64(b.N), "events/run")
+		})
+	}
+}

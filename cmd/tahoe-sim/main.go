@@ -55,19 +55,27 @@ func run() int {
 		progress = flag.Duration("progress", 0, "print liveness to stderr every interval of simulated time (0 = off)")
 		lenient  = flag.Bool("lenient", false, "with -config: ignore unknown JSON fields instead of rejecting them (warns on stderr)")
 		schedFl  = flag.String("sched", "default", "event scheduler: wheel, heap, or default (A/B knob; never changes results)")
+		shardsFl = flag.Int("shards", 0, "regions per run for sharded execution (0 = serial; A/B knob; never changes results)")
 		profFl   = prof.AddFlags(flag.String)
 	)
 	flag.Parse()
 
-	// Experiments build their configs internally, so -sched is applied
-	// as the process-wide default rather than per Config; it only ever
-	// changes wall-clock, never results.
+	// Experiments build their configs internally, so -sched and -shards
+	// are applied as process-wide defaults rather than per Config; they
+	// only ever change wall-clock, never results.
 	sched, err := tahoedyn.ParseSched(*schedFl)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tahoe-sim:", err)
 		return 2
 	}
 	tahoedyn.SetDefaultSched(sched)
+	if *shardsFl < 0 {
+		fmt.Fprintln(os.Stderr, "tahoe-sim: -shards must be >= 0")
+		return 2
+	}
+	if *shardsFl > 0 {
+		tahoedyn.SetDefaultShards(*shardsFl)
+	}
 
 	prog := progressObserver(*progress)
 

@@ -55,12 +55,13 @@ func run() int {
 		parallel    = flag.Int("parallel", 0, "worker count for the grid (0 = GOMAXPROCS, 1 = serial)")
 		topoFlag    = flag.String("topology", "dumbbell", "swept network: dumbbell, chain:N, or parking-lot:H")
 		schedFlag   = flag.String("sched", "default", "event scheduler: wheel, heap, or default (A/B knob; never changes results)")
+		shardsFlag  = flag.Int("shards", 0, "regions per run for sharded execution (0 = serial; A/B knob; never changes results)")
 		progress    = flag.Bool("progress", false, "print grid-point completion liveness to stderr")
 		profFl      = prof.AddFlags(flag.String)
 	)
 	flag.Parse()
 
-	if _, _, err := topoWorkload(*topoFlag); err != nil {
+	if _, _, err := tahoedyn.ParseTopoSpec(*topoFlag); err != nil {
 		fmt.Fprintln(os.Stderr, "tahoe-sweep:", err)
 		return 2
 	}
@@ -68,6 +69,13 @@ func run() int {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tahoe-sweep:", err)
 		return 2
+	}
+	if *shardsFlag < 0 {
+		fmt.Fprintln(os.Stderr, "tahoe-sweep: -shards must be >= 0")
+		return 2
+	}
+	if *shardsFlag > 0 {
+		tahoedyn.SetDefaultShards(*shardsFlag)
 	}
 
 	buffers, err := parseInts(*buffersFlag)
@@ -126,57 +134,11 @@ type sweepOptions struct {
 	Progress bool
 }
 
-// topoWorkload resolves a -topology spec into an optional explicit graph
-// and the connection set run at every grid point. Connections 0 and 1
-// are always the end-to-end two-way pair the sync columns report on;
-// parking-lot adds one single-hop cross connection per trunk after them.
-func topoWorkload(spec string) (*tahoedyn.Graph, []tahoedyn.ConnSpec, error) {
-	pair := func(a, b int) []tahoedyn.ConnSpec {
-		return []tahoedyn.ConnSpec{
-			{SrcHost: a, DstHost: b, Start: -1},
-			{SrcHost: b, DstHost: a, Start: -1},
-		}
-	}
-	name, arg, hasArg := strings.Cut(spec, ":")
-	n := 0
-	if hasArg {
-		var err error
-		if n, err = strconv.Atoi(arg); err != nil {
-			return nil, nil, fmt.Errorf("bad -topology size %q", arg)
-		}
-	}
-	switch name {
-	case "", "dumbbell":
-		if hasArg {
-			return nil, nil, fmt.Errorf("-topology dumbbell takes no size")
-		}
-		return nil, pair(0, 1), nil
-	case "chain":
-		if n < 2 {
-			return nil, nil, fmt.Errorf("-topology chain:N needs N >= 2")
-		}
-		g := tahoedyn.ChainTopology(n)
-		return &g, pair(0, n-1), nil
-	case "parking-lot":
-		if n < 1 {
-			return nil, nil, fmt.Errorf("-topology parking-lot:H needs H >= 1")
-		}
-		g := tahoedyn.ParkingLotTopology(n)
-		conns := pair(0, n)
-		for h := 0; h < n; h++ {
-			conns = append(conns, tahoedyn.ConnSpec{SrcHost: h, DstHost: h + 1, Start: -1})
-		}
-		return &g, conns, nil
-	default:
-		return nil, nil, fmt.Errorf("unknown -topology %q (want dumbbell, chain:N, or parking-lot:H)", spec)
-	}
-}
-
 // sweep runs the (tau, buffer) grid on a worker pool and writes the
 // report. All output goes through w so tests can assert byte-identical
 // results across worker counts.
 func sweep(w io.Writer, opts sweepOptions) {
-	graph, conns, err := topoWorkload(opts.Topology)
+	graph, conns, err := tahoedyn.ParseTopoSpec(opts.Topology)
 	if err != nil {
 		fmt.Fprintln(w, "tahoe-sweep:", err)
 		return

@@ -148,32 +148,6 @@ func TestSweepProfileCoversWorkers(t *testing.T) {
 	}
 }
 
-func TestTopoWorkload(t *testing.T) {
-	g, conns, err := topoWorkload("")
-	if err != nil || g != nil || len(conns) != 2 {
-		t.Fatalf("default: %v, %d conns, %v", g, len(conns), err)
-	}
-	if _, conns, err = topoWorkload("dumbbell"); err != nil || len(conns) != 2 {
-		t.Fatalf("dumbbell: %d conns, %v", len(conns), err)
-	}
-	g, conns, err = topoWorkload("chain:4")
-	if err != nil || g == nil || g.Switches != 4 || len(conns) != 2 {
-		t.Fatalf("chain:4 = %+v, %d conns, %v", g, len(conns), err)
-	}
-	if conns[0].DstHost != 3 || conns[1].SrcHost != 3 {
-		t.Fatalf("chain pair = %+v", conns)
-	}
-	g, conns, err = topoWorkload("parking-lot:3")
-	if err != nil || g == nil || g.Switches != 4 || len(conns) != 5 {
-		t.Fatalf("parking-lot:3 = %+v, %d conns, %v", g, len(conns), err)
-	}
-	for _, bad := range []string{"torus", "chain:1", "chain:x", "parking-lot:0", "dumbbell:2"} {
-		if _, _, err := topoWorkload(bad); err == nil {
-			t.Errorf("%q: no error", bad)
-		}
-	}
-}
-
 func TestParseInts(t *testing.T) {
 	got, err := parseInts("10, 20,40")
 	if err != nil {

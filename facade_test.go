@@ -82,3 +82,30 @@ func TestFacadeMustExperimentPanicsOnUnknown(t *testing.T) {
 	}()
 	MustExperiment("no-such-experiment", ExpOptions{})
 }
+
+// ParseTopoSpec is the one-flag topology helper both CLIs build on.
+func TestParseTopoSpec(t *testing.T) {
+	g, conns, err := ParseTopoSpec("")
+	if err != nil || g != nil || len(conns) != 2 {
+		t.Fatalf("default: %v, %d conns, %v", g, len(conns), err)
+	}
+	if _, conns, err = ParseTopoSpec("dumbbell"); err != nil || len(conns) != 2 {
+		t.Fatalf("dumbbell: %d conns, %v", len(conns), err)
+	}
+	g, conns, err = ParseTopoSpec("chain:4")
+	if err != nil || g == nil || g.Switches != 4 || len(conns) != 2 {
+		t.Fatalf("chain:4 = %+v, %d conns, %v", g, len(conns), err)
+	}
+	if conns[0].DstHost != 3 || conns[1].SrcHost != 3 {
+		t.Fatalf("chain pair = %+v", conns)
+	}
+	g, conns, err = ParseTopoSpec("parking-lot:3")
+	if err != nil || g == nil || g.Switches != 4 || len(conns) != 5 {
+		t.Fatalf("parking-lot:3 = %+v, %d conns, %v", g, len(conns), err)
+	}
+	for _, bad := range []string{"torus", "chain:1", "chain:x", "parking-lot:0", "dumbbell:2"} {
+		if _, _, err := ParseTopoSpec(bad); err == nil {
+			t.Errorf("%q: no error", bad)
+		}
+	}
+}

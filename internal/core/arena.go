@@ -34,6 +34,14 @@ type Arena struct {
 	eng    *sim.Engine
 	pool   *packet.Pool
 	tracer *obs.Tracer // previous run's tracer; its ring is reclaimed on the next Build
+
+	// Extra per-region storage for sharded runs: region r > 0 draws from
+	// slot r-1 (region 0 shares the serial slots above, so alternating
+	// serial and sharded runs keeps them warm too). Slices grow to the
+	// largest shard count the arena has seen.
+	engs    []*sim.Engine
+	pools   []*packet.Pool
+	tracers []*obs.Tracer
 }
 
 // NewArena returns an empty arena: its first Build allocates, later
@@ -124,6 +132,88 @@ func (a *Arena) traceRing() []obs.Event {
 func (a *Arena) keepTracer(t *obs.Tracer) {
 	if a != nil {
 		a.tracer = t
+	}
+}
+
+// engines returns k engines of the kind cfg selects: engine(kind) for
+// region 0 and the arena's extra slots (reset when the kind matches,
+// replaced otherwise) for the rest. A nil arena allocates all of them.
+func (a *Arena) engines(kind sim.SchedKind, k int) []*sim.Engine {
+	out := make([]*sim.Engine, k)
+	out[0] = a.engine(kind)
+	if a == nil {
+		for i := 1; i < k; i++ {
+			out[i] = sim.NewSched(kind)
+		}
+		return out
+	}
+	for len(a.engs) < k-1 {
+		a.engs = append(a.engs, nil)
+	}
+	for i := 1; i < k; i++ {
+		e := a.engs[i-1]
+		if e != nil && e.Kind() == sim.ResolveSched(kind) {
+			e.Reset()
+		} else {
+			e = sim.NewSched(kind)
+			a.engs[i-1] = e
+		}
+		out[i] = e
+	}
+	return out
+}
+
+// packetPools is packetPool for k regions, counter-reset like the
+// serial slot. A nil arena allocates all of them.
+func (a *Arena) packetPools(k int) []*packet.Pool {
+	out := make([]*packet.Pool, k)
+	out[0] = a.packetPool()
+	if a == nil {
+		for i := 1; i < k; i++ {
+			out[i] = packet.NewPool()
+		}
+		return out
+	}
+	for len(a.pools) < k-1 {
+		a.pools = append(a.pools, nil)
+	}
+	for i := 1; i < k; i++ {
+		if a.pools[i-1] == nil {
+			a.pools[i-1] = packet.NewPool()
+		} else {
+			a.pools[i-1].ResetCounters()
+		}
+		out[i] = a.pools[i-1]
+	}
+	return out
+}
+
+// shardRing reclaims region r's trace ring from the previous sharded
+// run (region 0 reclaims the serial ring).
+func (a *Arena) shardRing(r int) []obs.Event {
+	if r == 0 {
+		return a.traceRing()
+	}
+	if a == nil || r-1 >= len(a.tracers) || a.tracers[r-1] == nil {
+		return nil
+	}
+	ring := a.tracers[r-1].Ring()
+	a.tracers[r-1] = nil
+	return ring
+}
+
+// keepTracers remembers a sharded run's region tracers so their rings
+// can be reclaimed on the next Build. No-op on a nil arena.
+func (a *Arena) keepTracers(ts []*obs.Tracer) {
+	if a == nil {
+		return
+	}
+	a.keepTracer(ts[0])
+	for len(a.tracers) < len(ts)-1 {
+		a.tracers = append(a.tracers, nil)
+	}
+	for i := 1; i < len(ts); i++ {
+		a.tracers[i-1] = ts[i]
 	}
 }
 

@@ -1,0 +1,60 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"tahoedyn/internal/obs"
+)
+
+// cancelMidRun builds cfg on the arena and cancels it partway through,
+// returning the abandoned Sim. The arena is then reused without
+// resuming — the next Build must reset the engine over the canceled
+// run's leftover events.
+func cancelMidRun(t *testing.T, a *Arena, cfg Config, at time.Duration) *Sim {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	cfg.Obs = &obs.Options{Progress: &obs.Progress{
+		Every: time.Second,
+		Fn: func(s obs.Snapshot) {
+			if s.Now >= at {
+				cancel()
+			}
+		},
+	}}
+	s, err := a.BuildE(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.FinishContext(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("FinishContext error = %v, want context.Canceled", err)
+	}
+	if s.Now() >= cfg.Duration {
+		t.Fatalf("cancel landed at %v, past the end", s.Now())
+	}
+	return s
+}
+
+// TestArenaReuseAfterCancel abandons a canceled run mid-batch and
+// builds fresh runs on the same arena: the recycled engine, pool, and
+// trace ring must not leak the canceled run's pending events or packets
+// into the next run, serial or sharded.
+func TestArenaReuseAfterCancel(t *testing.T) {
+	cfg := twoWay(10 * time.Millisecond)
+	cold := Run(cfg)
+
+	a := NewArena()
+	cancelMidRun(t, a, cfg, 30*time.Second)
+	assertRunsIdentical(t, cold, a.Run(cfg))
+
+	// Same arena, sharded run canceled mid-round, then a serial rebuild
+	// and a sharded rebuild.
+	shardCfg := cfg
+	shardCfg.Shards = 2
+	cancelMidRun(t, a, shardCfg, 30*time.Second)
+	assertRunsIdentical(t, cold, a.Run(cfg))
+	cancelMidRun(t, a, shardCfg, 30*time.Second)
+	assertRunsIdentical(t, cold, a.Run(shardCfg))
+}

@@ -10,6 +10,8 @@ package core
 
 import (
 	"fmt"
+	"os"
+	"strconv"
 	"time"
 
 	"tahoedyn/internal/link"
@@ -17,6 +19,30 @@ import (
 	"tahoedyn/internal/sim"
 	"tahoedyn/internal/topology"
 )
+
+// defaultShards is the shard count used when Config.Shards is zero. It
+// starts from the TAHOEDYN_SHARDS environment variable (like
+// TAHOEDYN_SCHED for the scheduler) and can be overridden by
+// SetDefaultShards; both exist so CLIs and CI can switch whole runs to
+// sharded execution without threading a parameter through every config.
+var defaultShards = func() int {
+	if v := os.Getenv("TAHOEDYN_SHARDS"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			return n
+		}
+	}
+	return 1
+}()
+
+// SetDefaultShards sets the shard count applied to configs that leave
+// Shards zero. Values below 1 reset to 1 (serial). Like the scheduler
+// default, set it at process start, not concurrently with runs.
+func SetDefaultShards(n int) {
+	if n < 1 {
+		n = 1
+	}
+	defaultShards = n
+}
 
 // Discard selects the switch overflow policy.
 type Discard = link.Discard
@@ -144,6 +170,21 @@ type Config struct {
 	// never changes results — only the wall-clock cost of a run.
 	Sched sim.SchedKind
 
+	// Shards is the number of topology regions the run is partitioned
+	// into, each simulated by its own engine on its own goroutine with
+	// conservative lookahead synchronization (internal/shard). Zero means
+	// the process default (SetDefaultShards / TAHOEDYN_SHARDS, normally
+	// 1); 1 is the serial engine. Sharded runs produce byte-identical
+	// Results — the shard identity tests assert it — so this, like Sched,
+	// only changes the wall-clock cost of a run. The count is clamped to
+	// the number of switches.
+	Shards int
+	// Regions, when non-empty, overrides the automatic partitioner with
+	// an explicit assignment: Regions[r] lists the switch indices of
+	// region r, and every switch must appear exactly once. Shards must be
+	// zero or equal to len(Regions).
+	Regions [][]int
+
 	// Seed drives all scenario randomness (random start times).
 	Seed int64
 	// StartSpread bounds random connection start times.
@@ -235,6 +276,24 @@ func (c *Config) normalize() error {
 	}
 	if c.AckSize < 0 {
 		return fmt.Errorf("core: negative AckSize")
+	}
+	if len(c.Regions) > 0 {
+		if c.Shards != 0 && c.Shards != len(c.Regions) {
+			return fmt.Errorf("core: Shards %d disagrees with %d explicit Regions", c.Shards, len(c.Regions))
+		}
+		c.Shards = len(c.Regions)
+	}
+	if c.Shards < 0 {
+		return fmt.Errorf("core: negative Shards %d", c.Shards)
+	}
+	if c.Shards == 0 {
+		c.Shards = defaultShards
+	}
+	// More regions than switches cannot all be non-empty; silently run
+	// with one region per switch (explicit Regions still validate
+	// strictly in the partitioner).
+	if len(c.Regions) == 0 && c.Shards > c.Switches {
+		c.Shards = c.Switches
 	}
 	if c.StartSpread == 0 {
 		c.StartSpread = time.Second

@@ -4,12 +4,14 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"sort"
 	"time"
 
 	"tahoedyn/internal/link"
 	"tahoedyn/internal/node"
 	"tahoedyn/internal/obs"
 	"tahoedyn/internal/packet"
+	"tahoedyn/internal/shard"
 	"tahoedyn/internal/sim"
 	"tahoedyn/internal/tcp"
 	"tahoedyn/internal/topology"
@@ -148,6 +150,15 @@ type Sim struct {
 	pool *packet.Pool
 	res  *Result
 
+	// Sharded-run state (cfg.Shards > 1): one engine/pool per region and
+	// the conservative-PDES coordinator. Serial runs keep runner nil and
+	// engs/pools hold the single eng/pool. eng and pool always alias
+	// region 0.
+	engs     []*sim.Engine
+	pools    []*packet.Pool
+	runner   *shard.Runner
+	dropLogs [][]dropRec
+
 	trunks    [][2]*link.Port
 	senders   []*tcp.Sender
 	receivers []*tcp.Receiver
@@ -158,6 +169,11 @@ type Sim struct {
 	tracer   *obs.Tracer
 	metrics  *obs.Metrics
 	progress *obs.Progress
+	// tracers/merger are the sharded tracing path: one tracer per region
+	// feeding a merged sink (obs.TraceMerger). Serial runs leave them
+	// nil; tracer then is the single tracer.
+	tracers []*obs.Tracer
+	merger  *obs.TraceMerger
 	// nextProgressT/nextProgressE are the next progress-sample
 	// thresholds on the time and event axes.
 	nextProgressT time.Duration
@@ -174,11 +190,23 @@ type Sim struct {
 	finished bool
 }
 
-// Now returns the current simulated time.
-func (s *Sim) Now() time.Duration { return s.eng.Now() }
+// Now returns the current simulated time: the engine clock, or — for a
+// sharded run — the last completed synchronization barrier.
+func (s *Sim) Now() time.Duration {
+	if s.runner != nil {
+		return s.runner.Now()
+	}
+	return s.eng.Now()
+}
 
-// Events returns the number of engine events processed so far.
-func (s *Sim) Events() uint64 { return s.eng.Processed() }
+// Events returns the number of engine events processed so far, summed
+// over all regions for a sharded run.
+func (s *Sim) Events() uint64 {
+	if s.runner != nil {
+		return s.runner.Events()
+	}
+	return s.eng.Processed()
+}
 
 // Pool returns the run's packet pool (nil when cfg.NoPool).
 func (s *Sim) Pool() *packet.Pool { return s.pool }
@@ -208,6 +236,9 @@ func (s *Sim) runUntil(ctx context.Context, t time.Duration) error {
 // with checks between them; the batching never schedules events, so
 // the event sequence (and hence the Result) is identical either way.
 func (s *Sim) span(ctx context.Context, t time.Duration) error {
+	if s.runner != nil {
+		return s.runner.Span(ctx, t, s.barrier)
+	}
 	if ctx == nil && s.progress == nil {
 		s.eng.RunUntil(t)
 		return nil
@@ -227,15 +258,31 @@ func (s *Sim) span(ctx context.Context, t time.Duration) error {
 	}
 }
 
+// barrier runs after every completed shard synchronization round: it
+// samples progress and merges the regions' trace streams, which are
+// complete (and final) up to the barrier time.
+func (s *Sim) barrier(now time.Duration, events uint64) {
+	s.observeProgressAt(now, events)
+	if s.merger != nil {
+		for _, tr := range s.tracers {
+			tr.Flush()
+		}
+		s.merger.Merge()
+	}
+}
+
 // observeProgress fires the progress callback if an axis threshold was
 // crossed since the last batch (or on every batch when no axis is
 // configured).
 func (s *Sim) observeProgress() {
+	s.observeProgressAt(s.eng.Now(), s.eng.Processed())
+}
+
+func (s *Sim) observeProgressAt(now time.Duration, events uint64) {
 	p := s.progress
 	if p == nil {
 		return
 	}
-	now, events := s.eng.Now(), s.eng.Processed()
 	fire := p.Every == 0 && p.EveryEvents == 0
 	if p.Every > 0 && now >= s.nextProgressT {
 		fire = true
@@ -315,12 +362,80 @@ func (s *Sim) finish(ctx context.Context) (*Result, error) {
 		res.Delivered[k] = s.receivers[k].RcvNxt()
 		res.Goodput[k] = res.Delivered[k] - s.deliveredWarm[k]
 	}
-	res.Events = s.eng.Processed()
+	res.Events = s.Events()
+	s.mergeDrops()
 	s.exportMetrics()
-	if s.tracer != nil {
+	if s.merger != nil {
+		// Region tracers first (each Close flushes its remaining ring into
+		// the merger's buffers), then the final merge, then the user sink.
+		for _, tr := range s.tracers {
+			tr.Close()
+		}
+		s.merger.Merge()
+		res.TraceErr = s.merger.Close()
+	} else if s.tracer != nil {
 		res.TraceErr = s.tracer.Close()
 	}
 	return res, nil
+}
+
+// dropRec is one region's drop record plus the scheduling lineage of
+// the event that executed the drop, the key that merges the per-region
+// logs back into the serial order.
+type dropRec struct {
+	trace.DropEvent
+	schedAt, schedAt2 sim.Time
+}
+
+// mergeDrops merges the per-region drop logs into res.Drops in a
+// canonical, partition-independent order: by time, then by the
+// executing event's scheduling lineage, then by the drop's own content.
+// Within one region the log is already time-ordered (events execute in
+// time order), but two regions can drop at the same instant with tied
+// lineage — perfectly mirrored two-way traffic does exactly that — and
+// no local information recovers the serial engine's same-instant
+// interleaving. So every run, the serial one included, sorts by the
+// same key: the multiset of records is identical for every shard count
+// (injected cross-region events carry the serial lineage by
+// construction), hence so is the sorted log.
+func (s *Sim) mergeDrops() {
+	n := 0
+	for _, l := range s.dropLogs {
+		n += len(l)
+	}
+	if n == 0 {
+		return
+	}
+	recs := make([]dropRec, 0, n)
+	for _, l := range s.dropLogs {
+		recs = append(recs, l...)
+	}
+	sort.SliceStable(recs, func(i, j int) bool {
+		a, b := &recs[i], &recs[j]
+		if a.T != b.T {
+			return a.T < b.T
+		}
+		if a.schedAt != b.schedAt {
+			return a.schedAt < b.schedAt
+		}
+		if a.schedAt2 != b.schedAt2 {
+			return a.schedAt2 < b.schedAt2
+		}
+		if a.Port != b.Port {
+			return a.Port < b.Port
+		}
+		if a.Conn != b.Conn {
+			return a.Conn < b.Conn
+		}
+		if a.Seq != b.Seq {
+			return a.Seq < b.Seq
+		}
+		return a.Kind < b.Kind
+	})
+	s.res.Drops = make([]trace.DropEvent, n)
+	for i := range recs {
+		s.res.Drops[i] = recs[i].DropEvent
+	}
 }
 
 // exportMetrics fills the finish-time counters, gauges, and the epoch
@@ -352,8 +467,13 @@ func (s *Sim) exportMetrics() {
 	m.NewCounter("tcp/delivered").Add(delivered)
 	m.NewCounter("link/drops").Add(drops)
 	if s.pool != nil {
-		m.NewCounter("pool/allocs").Add(float64(s.pool.Allocs()))
-		m.NewCounter("pool/recycled").Add(float64(s.pool.Recycled()))
+		var allocs, recycled float64
+		for _, p := range s.pools {
+			allocs += float64(p.Allocs())
+			recycled += float64(p.Recycled())
+		}
+		m.NewCounter("pool/allocs").Add(allocs)
+		m.NewCounter("pool/recycled").Add(recycled)
 	}
 	for i := range s.trunks {
 		for dir := range s.trunks[i] {
@@ -406,10 +526,38 @@ func buildE(cfg Config, ar *Arena) (*Sim, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Region partition. K > 1 splits the switch graph into regions, each
+	// simulated by its own engine (internal/shard); K == 1 is the serial
+	// path, bit-identical to the pre-shard simulator.
+	K := cfg.Shards
+	var part *topology.Partition
+	if K > 1 {
+		if len(cfg.Regions) > 0 {
+			part, err = topo.PartitionWith(cfg.Regions)
+		} else {
+			part, err = topo.Partition(K)
+		}
+		if err != nil {
+			return nil, err
+		}
+		if K = part.K; K == 1 {
+			part = nil
+		}
+	} else {
+		K = 1
+	}
+	regionOf := func(sw int) int {
+		if part == nil {
+			return 0
+		}
+		return part.Region[sw]
+	}
+
 	// Observability instruments. All stay nil when cfg.Obs is unset; nil
 	// instruments no-op at every call site.
 	var (
-		tracer   *obs.Tracer
+		tracers  = make([]*obs.Tracer, K)
+		merger   *obs.TraceMerger
 		metrics  *obs.Metrics
 		progress *obs.Progress
 	)
@@ -418,8 +566,21 @@ func buildE(cfg Config, ar *Arena) (*Sim, error) {
 			if cfg.Obs.Trace.Sink == nil {
 				return nil, fmt.Errorf("core: Obs.Trace set without a Sink")
 			}
-			tracer = obs.NewTracerReusing(*cfg.Obs.Trace, ar.traceRing())
-			ar.keepTracer(tracer)
+			if K > 1 {
+				// Every region traces into its own ring; the merger
+				// reassembles one time-ordered stream for the user's sink
+				// at each synchronization barrier.
+				merger = obs.NewTraceMerger(cfg.Obs.Trace.Sink, K)
+				for r := 0; r < K; r++ {
+					o := *cfg.Obs.Trace
+					o.Sink = merger.Buffer(r)
+					tracers[r] = obs.NewTracerReusing(o, ar.shardRing(r))
+				}
+				ar.keepTracers(tracers)
+			} else {
+				tracers[0] = obs.NewTracerReusing(*cfg.Obs.Trace, ar.traceRing())
+				ar.keepTracer(tracers[0])
+			}
 		}
 		if cfg.Obs.Metrics {
 			metrics = obs.NewMetrics()
@@ -428,16 +589,30 @@ func buildE(cfg Config, ar *Arena) (*Sim, error) {
 			progress = cfg.Obs.Progress
 		}
 	}
-	eng := ar.engine(cfg.Sched)
+	tracer := tracers[0]
+	engs := ar.engines(cfg.Sched, K)
+	eng := engs[0]
+	// Sharded engines hand out strided seqs so the coordinator can
+	// interpolate cross-region arrivals between them; serial engines keep
+	// the historical counter. Always set — an arena-reused engine retains
+	// the previous run's stride.
+	stride := uint64(1)
+	if K > 1 {
+		stride = shard.Stride
+	}
+	for _, e := range engs {
+		e.SetSeqStride(stride)
+	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
-	ids := &tcp.IDGen{}
-	// One packet free list per run: at steady state the whole simulation
+	// One packet free list per run and per region — packet pointers never
+	// cross region goroutines — so at steady state the whole simulation
 	// recycles rather than allocates. NoPool keeps the old allocate-and-
 	// discard behavior (the determinism tests compare the two).
-	var pool *packet.Pool
+	pools := make([]*packet.Pool, K)
 	if !cfg.NoPool {
-		pool = ar.packetPool()
+		pools = ar.packetPools(K)
 	}
+	pool := pools[0]
 
 	res := &Result{
 		Cfg:         cfg,
@@ -446,8 +621,30 @@ func buildE(cfg Config, ar *Arena) (*Sim, error) {
 		MeasureTo:   cfg.Duration,
 	}
 
+	// instrumentDrops wires a port's drop hook into the drop log: per
+	// region, tagged with the executing event's scheduling lineage, and
+	// canonically ordered at finish (Sim.mergeDrops). Serial runs use the
+	// identical path with a single region, so every shard count produces
+	// the same byte-identical res.Drops.
+	dropLogs := make([][]dropRec, K)
+	instrumentDrops := func(eng *sim.Engine, region int, pt *link.Port) {
+		name := pt.Name()
+		pt.OnDrop = func(p *packet.Packet) {
+			sa, sa2 := eng.ExecLineage()
+			dropLogs[region] = append(dropLogs[region], dropRec{
+				DropEvent: trace.DropEvent{
+					T: eng.Now(), Conn: p.Conn, Seq: p.Seq, Kind: p.Kind, Port: name,
+				},
+				schedAt:  sa,
+				schedAt2: sa2,
+			})
+		}
+	}
+
 	// Build the switches and the hosts at their attachment points. Host
-	// h gets ID h+1, the identifier packets carry in Src/Dst.
+	// h gets ID h+1, the identifier packets carry in Src/Dst. A host
+	// lives on its switch's region engine, so host-switch links never
+	// cross a region boundary.
 	nSw := topo.Switches
 	nh := topo.NumHosts()
 	switches := make([]*node.Switch, nSw)
@@ -456,7 +653,7 @@ func buildE(cfg Config, ar *Arena) (*Sim, error) {
 	}
 	hosts := make([]*node.Host, nh)
 	for h := 0; h < nh; h++ {
-		hosts[h] = node.NewHost(eng, h+1, cfg.HostProcessing)
+		hosts[h] = node.NewHost(engs[regionOf(topo.HostSwitch(h))], h+1, cfg.HostProcessing)
 	}
 
 	// Host <-> switch access links. The host's own interface buffer is
@@ -476,6 +673,8 @@ func buildE(cfg Config, ar *Arena) (*Sim, error) {
 
 	for h := 0; h < nh; h++ {
 		sw := topo.HostSwitch(h)
+		rg := regionOf(sw)
+		eng, pool, tracer := engs[rg], pools[rg], tracers[rg]
 		up := link.NewPort(eng, link.Config{
 			Name:      fmt.Sprintf("h%d->sw%d", h+1, sw),
 			Bandwidth: cfg.AccessBandwidth,
@@ -497,7 +696,7 @@ func buildE(cfg Config, ar *Arena) (*Sim, error) {
 			Obs:        tracer,
 		}, hosts[h])
 		switches[sw].AddRoute(h+1, down)
-		instrumentDrops(eng, down, res)
+		instrumentDrops(eng, rg, down)
 		if tracer != nil {
 			hosts[h].SetObs(tracer, fmt.Sprintf("host%d", h+1))
 		}
@@ -512,8 +711,25 @@ func buildE(cfg Config, ar *Arena) (*Sim, error) {
 	res.TrunkQueue = make([][2]*trace.Series, nl)
 	res.TrunkDeps = make([][2][]trace.Departure, nl)
 	res.TrunkUtil = make([][2]float64, nl)
+	var (
+		edges    []*shard.Edge
+		edgeFrom []int
+	)
 	for li, l := range topo.Links {
-		fwd := link.NewPort(eng, link.Config{
+		// The forward port lives at switch A, the reverse at switch B; a
+		// link whose endpoints fall in different regions is a cut link,
+		// and its ports hand finished transmissions to a shard edge
+		// (Config.Cross) instead of scheduling the propagation locally.
+		rgs := [2]int{regionOf(l.A), regionOf(l.B)}
+		var cross [2]sim.PacketSink
+		if rgs[0] != rgs[1] {
+			fe := &shard.Edge{Delay: l.Delay, To: rgs[1], Dst: switches[l.B]}
+			re := &shard.Edge{Delay: l.Delay, To: rgs[0], Dst: switches[l.A]}
+			edges = append(edges, fe, re)
+			edgeFrom = append(edgeFrom, rgs[0], rgs[1])
+			cross[0], cross[1] = fe, re
+		}
+		fwd := link.NewPort(engs[rgs[0]], link.Config{
 			Name:       fmt.Sprintf("sw%d->sw%d", l.A, l.B),
 			Bandwidth:  l.Bandwidth,
 			Delay:      l.Delay,
@@ -521,10 +737,11 @@ func buildE(cfg Config, ar *Arena) (*Sim, error) {
 			Discard:    cfg.Discard,
 			Rand:       portRand(),
 			Discipline: cfg.Discipline,
-			Pool:       pool,
-			Obs:        tracer,
+			Pool:       pools[rgs[0]],
+			Obs:        tracers[rgs[0]],
+			Cross:      cross[0],
 		}, switches[l.B])
-		rev := link.NewPort(eng, link.Config{
+		rev := link.NewPort(engs[rgs[1]], link.Config{
 			Name:       fmt.Sprintf("sw%d->sw%d", l.B, l.A),
 			Bandwidth:  l.Bandwidth,
 			Delay:      l.Delay,
@@ -532,12 +749,14 @@ func buildE(cfg Config, ar *Arena) (*Sim, error) {
 			Discard:    cfg.Discard,
 			Rand:       portRand(),
 			Discipline: cfg.Discipline,
-			Pool:       pool,
-			Obs:        tracer,
+			Pool:       pools[rgs[1]],
+			Obs:        tracers[rgs[1]],
+			Cross:      cross[1],
 		}, switches[l.A])
 		trunks[li] = [2]*link.Port{fwd, rev}
 		for dir, pt := range trunks[li] {
 			li, dir, pt := li, dir, pt
+			eng := engs[rgs[dir]]
 			// One queue-length point per accepted arrival and per
 			// departure; the trunk carries roughly one direction's data
 			// plus the other's ACKs.
@@ -555,7 +774,7 @@ func buildE(cfg Config, ar *Arena) (*Sim, error) {
 					T: eng.Now(), Conn: p.Conn, Kind: p.Kind, Seq: p.Seq,
 				})
 			}
-			instrumentDrops(eng, pt, res)
+			instrumentDrops(eng, rgs[dir], pt)
 		}
 	}
 
@@ -589,11 +808,21 @@ func buildE(cfg Config, ar *Arena) (*Sim, error) {
 		k, spec := k, spec
 		connID := k + 1
 		src, dst := hosts[spec.SrcHost], hosts[spec.DstHost]
+		// The sender runs on its host's region engine, the receiver on
+		// its own — a connection whose endpoints fall in different
+		// regions converses purely through cut-link packets.
+		sr := regionOf(topo.HostSwitch(spec.SrcHost))
+		dr := regionOf(topo.HostSwitch(spec.DstHost))
+		eng, pool, tracer := engs[sr], pools[sr], tracers[sr]
 		var srcNet tcp.Network = src
 		if spec.ExtraDelay > 0 {
 			srcNet = &delayedNet{eng: eng, dst: src, d: spec.ExtraDelay}
 		}
-		s := tcp.NewSender(eng, srcNet, ids, tcp.SenderConfig{
+		// Per-endpoint packet-ID generators (sender k mints 2k+1,
+		// 2k+1+2nc, …; receiver k mints 2k+2, …): the IDs an endpoint
+		// assigns cannot depend on how the topology is partitioned, which
+		// a counter shared in global schedule order would.
+		s := tcp.NewSender(eng, srcNet, tcp.NewIDGen(uint64(2*k+1), uint64(2*nc)), tcp.SenderConfig{
 			Conn:             connID,
 			SrcHost:          src.ID(),
 			DstHost:          dst.ID(),
@@ -605,13 +834,13 @@ func buildE(cfg Config, ar *Arena) (*Sim, error) {
 			Pace:             spec.Pace,
 			Pool:             pool,
 		})
-		r := tcp.NewReceiver(eng, dst, ids, tcp.ReceiverConfig{
+		r := tcp.NewReceiver(engs[dr], dst, tcp.NewIDGen(uint64(2*k+2), uint64(2*nc)), tcp.ReceiverConfig{
 			Conn:       connID,
 			SrcHost:    dst.ID(),
 			DstHost:    src.ID(),
 			AckSize:    cfg.AckSize,
 			DelayedAck: spec.DelayedAck,
-			Pool:       pool,
+			Pool:       pools[dr],
 		})
 		src.Attach(connID, s)
 		dst.Attach(connID, r)
@@ -655,15 +884,30 @@ func buildE(cfg Config, ar *Arena) (*Sim, error) {
 		eng.ScheduleAt(start, s.Start)
 	}
 
+	var runner *shard.Runner
+	if K > 1 {
+		regions := make([]*shard.Region, K)
+		for r := 0; r < K; r++ {
+			regions[r] = &shard.Region{Eng: engs[r], Pool: pools[r]}
+		}
+		runner = shard.NewRunner(regions, edges, edgeFrom, part.MinCutDelay)
+	}
+
 	sm := &Sim{
 		cfg:       cfg,
 		eng:       eng,
 		pool:      pool,
+		engs:      engs,
+		pools:     pools,
+		runner:    runner,
+		dropLogs:  dropLogs,
 		res:       res,
 		trunks:    trunks,
 		senders:   senders,
 		receivers: receivers,
 		tracer:    tracer,
+		tracers:   tracers,
+		merger:    merger,
 		metrics:   metrics,
 		progress:  progress,
 		epochHist: metrics.NewHistogram("epoch-seconds", epochBounds),
@@ -738,14 +982,4 @@ func (dn *delayedNet) Send(p *packet.Packet) bool {
 // it like any other arrival.
 func (dn *delayedNet) Deliver(p *packet.Packet) {
 	dn.dst.Send(p)
-}
-
-// instrumentDrops wires a port's drop hook into the result's drop log.
-func instrumentDrops(eng *sim.Engine, pt *link.Port, res *Result) {
-	name := pt.Name()
-	pt.OnDrop = func(p *packet.Packet) {
-		res.Drops = append(res.Drops, trace.DropEvent{
-			T: eng.Now(), Conn: p.Conn, Seq: p.Seq, Kind: p.Kind, Port: name,
-		})
-	}
 }

@@ -86,6 +86,13 @@ type Config struct {
 	// dequeue, transmit, drop) at this port, tagged with its Name. A nil
 	// tracer costs one pointer check per event site.
 	Obs *obs.Tracer
+	// Cross, when non-nil, replaces the propagation event: a packet whose
+	// last bit has left the port is handed to Cross.Deliver immediately
+	// (at its departure time) instead of being scheduled dst-ward Delay
+	// later. Sharded runs set it on ports whose line crosses a region
+	// boundary; the shard layer owns the delay and re-schedules the
+	// arrival on the destination region's engine (internal/shard).
+	Cross sim.PacketSink
 }
 
 // Port is an output port: a FIFO drop-tail buffer draining into a simplex
@@ -316,7 +323,11 @@ func (pt *Port) finishTx() {
 	if pt.OnQueueLen != nil {
 		pt.OnQueueLen(pt.QueueLen())
 	}
-	pt.eng.SchedulePacket(pt.cfg.Delay, pt.dst, p)
+	if pt.cfg.Cross != nil {
+		pt.cfg.Cross.Deliver(p)
+	} else {
+		pt.eng.SchedulePacket(pt.cfg.Delay, pt.dst, p)
+	}
 	if pt.QueueLen() > 0 {
 		pt.startTx()
 	}

@@ -130,8 +130,11 @@ func (h *Host) Attach(conn int, ep Handler) {
 	if h.endpoint(conn) != nil {
 		panic(fmt.Sprintf("host %d: endpoint for conn %d already attached", h.id, conn))
 	}
-	for conn >= len(h.endpoints) {
-		h.endpoints = append(h.endpoints, nil)
+	if conn >= len(h.endpoints) {
+		// Conn IDs are global, so a host that terminates connection k
+		// indexes straight to k even when it handles few connections:
+		// grow to the target in one step rather than element-wise.
+		h.endpoints = append(h.endpoints, make([]Handler, conn+1-len(h.endpoints))...)
 	}
 	h.endpoints[conn] = ep
 }

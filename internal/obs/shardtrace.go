@@ -1,0 +1,165 @@
+package obs
+
+// Sharded-run trace support: each region's Tracer writes into a private
+// in-memory buffer, and at every synchronization barrier the merger
+// k-way-merges the buffered events by timestamp into the user's single
+// Sink. Within one timestamp, lower region indices emit first; within
+// one region, the tracer's order (the region's event order) is
+// preserved. The merged stream is deterministic for a given shard
+// count, but it is NOT the serial tracer's exact interleaving —
+// same-instant events from different regions may order differently
+// than a serial run's single event queue would have emitted them.
+//
+// Batches stay valid under the Sink contract because every Events call
+// the merger makes passes the owning region's own location table —
+// batches are self-describing, so no location remapping is needed.
+
+// shardBuffer is the Sink one region's Tracer flushes into. It is
+// confined to the coordinator: tracers only flush between rounds (the
+// trace ring fills during a round, but flushBatch runs on the
+// coordinator at barriers and at Finish).
+type shardBuffer struct {
+	m    *TraceMerger
+	locs []string
+	evs  []Event
+}
+
+func (b *shardBuffer) Begin() error { return nil }
+
+func (b *shardBuffer) Events(locs []string, events []Event) error {
+	// After a sink failure the merger's error is sticky; reporting it
+	// here makes the region tracers quiesce exactly like a serial tracer
+	// whose sink failed.
+	if b.m.err != nil {
+		return b.m.err
+	}
+	b.locs = locs
+	b.evs = append(b.evs, events...)
+	return nil
+}
+
+func (b *shardBuffer) Close() error { return b.m.err }
+
+// TraceMerger owns the user sink on behalf of K region tracers. Core
+// drives it: Merge at every barrier (after flushing the tracers), Close
+// at Finish.
+type TraceMerger struct {
+	sink  Sink
+	bufs  []*shardBuffer
+	began bool
+	err   error
+}
+
+// NewTraceMerger wraps sink for k regions.
+func NewTraceMerger(sink Sink, k int) *TraceMerger {
+	m := &TraceMerger{sink: sink, bufs: make([]*shardBuffer, k)}
+	for i := range m.bufs {
+		m.bufs[i] = &shardBuffer{m: m}
+	}
+	return m
+}
+
+// Buffer returns region r's Sink; wire it as that region tracer's
+// TraceOptions.Sink.
+func (m *TraceMerger) Buffer(r int) Sink { return m.bufs[r] }
+
+// Err returns the first error the user sink reported.
+func (m *TraceMerger) Err() error { return m.err }
+
+// Merge drains every region buffer into the user sink in merged
+// (timestamp, region) order, emitting maximal single-region runs so
+// each Events batch carries a consistent location table. The caller has
+// flushed every region tracer first, so the buffers hold each region's
+// complete stream up to the barrier.
+func (m *TraceMerger) Merge() error {
+	n := 0
+	for _, b := range m.bufs {
+		n += len(b.evs)
+	}
+	if n == 0 {
+		return m.err
+	}
+	if m.err != nil {
+		// Sink already failed: drop the buffered events (a serial
+		// tracer's flush does the same once its sink errors).
+		m.clear()
+		return m.err
+	}
+	if !m.began {
+		m.began = true
+		if err := m.sink.Begin(); err != nil {
+			m.err = err
+			m.clear()
+			return err
+		}
+	}
+	idx := make([]int, len(m.bufs))
+	for {
+		// Pick the region whose head event has the smallest timestamp,
+		// lowest region index first among ties.
+		r := -1
+		for i, b := range m.bufs {
+			if idx[i] >= len(b.evs) {
+				continue
+			}
+			if r < 0 || b.evs[idx[i]].T < m.bufs[r].evs[idx[r]].T {
+				r = i
+			}
+		}
+		if r < 0 {
+			break
+		}
+		// Extend the run while region r's next event still precedes (or,
+		// for lower-indexed r, ties) every other region's head.
+		b := m.bufs[r]
+		j := idx[r]
+	extend:
+		for j < len(b.evs) {
+			t := b.evs[j].T
+			for i, ob := range m.bufs {
+				if i == r || idx[i] >= len(ob.evs) {
+					continue
+				}
+				ht := ob.evs[idx[i]].T
+				if ht < t || (ht == t && i < r) {
+					break extend
+				}
+			}
+			j++
+		}
+		if err := m.sink.Events(b.locs, b.evs[idx[r]:j]); err != nil {
+			m.err = err
+			m.clear()
+			return err
+		}
+		idx[r] = j
+	}
+	m.clear()
+	return nil
+}
+
+// clear empties every buffer, keeping capacity.
+func (m *TraceMerger) clear() {
+	for _, b := range m.bufs {
+		for i := range b.evs {
+			b.evs[i] = Event{}
+		}
+		b.evs = b.evs[:0]
+	}
+}
+
+// Close begins the sink if nothing was ever emitted (matching the
+// serial tracer, whose Close always begins its sink) and closes it,
+// returning the first error the sink reported at any point.
+func (m *TraceMerger) Close() error {
+	if !m.began {
+		m.began = true
+		if err := m.sink.Begin(); err != nil && m.err == nil {
+			m.err = err
+		}
+	}
+	if err := m.sink.Close(); err != nil && m.err == nil {
+		m.err = err
+	}
+	return m.err
+}

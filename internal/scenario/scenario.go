@@ -59,6 +59,17 @@ type File struct {
 
 	Conns []Conn `json:"conns"`
 
+	// Shards partitions the run into this many regions executed in
+	// parallel (0 = the process default, normally serial). Like the
+	// scheduler choice it is a wall-clock knob only: results are
+	// byte-identical at any shard count.
+	Shards int `json:"shards,omitempty"`
+	// Regions explicitly assigns switches to regions (regions[r] lists
+	// the switches of region r, covering every switch exactly once),
+	// overriding the automatic partitioner; its length fixes the shard
+	// count.
+	Regions [][]int `json:"regions,omitempty"`
+
 	Seed        int64  `json:"seed,omitempty"`
 	StartSpread string `json:"start_spread,omitempty"`
 	Warmup      string `json:"warmup,omitempty"`
@@ -287,6 +298,8 @@ func (f *File) Config() (core.Config, error) {
 		Buffer:          f.Buffer,
 		AccessBandwidth: f.AccessBandwidth,
 		DataSize:        f.DataSize,
+		Shards:          f.Shards,
+		Regions:         f.Regions,
 		Seed:            f.Seed,
 	}
 	switch {
@@ -384,8 +397,20 @@ func (f *File) Config() (core.Config, error) {
 // uncompilable topology (disconnected graph, bad link endpoints, bad
 // route overrides) or a connection naming a host that doesn't exist.
 func validate(cfg *core.Config) error {
-	if _, err := cfg.CompileTopology(); err != nil {
+	compiled, err := cfg.CompileTopology()
+	if err != nil {
 		return fmt.Errorf("scenario: %w", err)
+	}
+	if len(cfg.Regions) > 0 {
+		if cfg.Shards != 0 && cfg.Shards != len(cfg.Regions) {
+			return fmt.Errorf("scenario: shards (%d) disagrees with the region count (%d)", cfg.Shards, len(cfg.Regions))
+		}
+		if _, err := compiled.PartitionWith(cfg.Regions); err != nil {
+			return fmt.Errorf("scenario: %w", err)
+		}
+	}
+	if cfg.Shards < 0 {
+		return fmt.Errorf("scenario: negative shards")
 	}
 	hosts := cfg.HostCount()
 	for i, c := range cfg.Conns {

@@ -379,3 +379,87 @@ func TestDecodeLenient(t *testing.T) {
 		t.Fatal("strict Parse accepted unknown fields")
 	}
 }
+
+func TestParseShards(t *testing.T) {
+	cfg, err := Parse(strings.NewReader(`{
+		"trunk_delay": "10ms", "buffer": 20, "shards": 2,
+		"conns": [{"src": 0, "dst": 1}, {"src": 1, "dst": 0}]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Shards != 2 {
+		t.Fatalf("Shards = %d", cfg.Shards)
+	}
+
+	cfg, err = Parse(strings.NewReader(`{
+		"trunk_delay": "10ms", "buffer": 20,
+		"topology": {"generator": "chain", "size": 4},
+		"regions": [[0, 1], [2, 3]],
+		"conns": [{"src": 0, "dst": 3}, {"src": 3, "dst": 0}]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfg.Regions) != 2 {
+		t.Fatalf("Regions = %v", cfg.Regions)
+	}
+	// A sharded scenario file runs and matches its serial self.
+	serial := cfg
+	serial.Regions = nil
+	if got, want := core.Run(cfg).Events, core.Run(serial).Events; got != want {
+		t.Fatalf("sharded scenario ran %d events, serial %d", got, want)
+	}
+}
+
+func TestParseShardsErrors(t *testing.T) {
+	for name, body := range map[string]string{
+		"negative-shards": `{"trunk_delay": "10ms", "buffer": 20, "shards": -1,
+			"conns": [{"src": 0, "dst": 1}]}`,
+		"shards-regions-conflict": `{"trunk_delay": "10ms", "buffer": 20, "shards": 3,
+			"regions": [[0], [1]],
+			"conns": [{"src": 0, "dst": 1}]}`,
+		"regions-uncovered": `{"trunk_delay": "10ms", "buffer": 20,
+			"topology": {"generator": "chain", "size": 4},
+			"regions": [[0, 1], [2]],
+			"conns": [{"src": 0, "dst": 3}]}`,
+	} {
+		if _, err := Parse(strings.NewReader(body)); err == nil {
+			t.Errorf("%s: parsed without error", name)
+		}
+	}
+}
+
+func TestEncodeShardsRoundTrip(t *testing.T) {
+	in := `{
+  "trunk_delay": "10ms",
+  "buffer": 20,
+  "conns": [
+    {
+      "src": 0,
+      "dst": 1
+    }
+  ],
+  "shards": 2,
+  "regions": [
+    [
+      0
+    ],
+    [
+      1
+    ]
+  ]
+}
+`
+	f, err := Decode(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := f.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != in {
+		t.Fatalf("round trip changed bytes:\n%s", buf.String())
+	}
+}

@@ -1,0 +1,219 @@
+package shard
+
+import (
+	"context"
+	"reflect"
+	"testing"
+	"time"
+
+	"tahoedyn/internal/packet"
+	"tahoedyn/internal/sim"
+)
+
+// arrival is one recorded cross-region delivery.
+type arrival struct {
+	At  sim.Time
+	Seq int
+}
+
+// recorder is a destination sink: it logs each arrival and, when wired
+// with a reply edge, bounces the packet back (like a cut port with zero
+// transmission time) until the limit.
+type recorder struct {
+	eng   *sim.Engine
+	pool  *packet.Pool
+	log   []arrival
+	reply *Edge
+	limit sim.Time
+}
+
+func (r *recorder) Deliver(p *packet.Packet) {
+	r.log = append(r.log, arrival{At: r.eng.Now(), Seq: p.Seq})
+	if r.reply != nil && r.eng.Now() < r.limit {
+		q := r.pool.Get()
+		*q = *p
+		q.Seq++
+		r.reply.Deliver(q)
+	}
+	r.pool.Put(p)
+}
+
+// pingPong builds a two-region harness joined by one duplex cut link of
+// the given delay, seeds one packet from region 0 at 5 ms, and returns
+// the runner and both recorders. Each arrival bounces straight back
+// until the limit, so the packet crosses the cut once per delay.
+func pingPong(delay time.Duration, limit sim.Time) (*Runner, *recorder, *recorder) {
+	regions := []*Region{
+		{Eng: sim.New(), Pool: packet.NewPool()},
+		{Eng: sim.New(), Pool: packet.NewPool()},
+	}
+	for _, reg := range regions {
+		reg.Eng.SetSeqStride(Stride)
+	}
+	e01 := &Edge{Delay: delay, To: 1}
+	e10 := &Edge{Delay: delay, To: 0}
+	rec0 := &recorder{eng: regions[0].Eng, pool: regions[0].Pool, reply: e01, limit: limit}
+	rec1 := &recorder{eng: regions[1].Eng, pool: regions[1].Pool, reply: e10, limit: limit}
+	e01.Dst = rec1
+	e10.Dst = rec0
+	r := NewRunner(regions, []*Edge{e01, e10}, []int{0, 1}, delay)
+
+	p := regions[0].Pool.Get()
+	p.Seq = 0
+	regions[0].Eng.SchedulePacket(5*time.Millisecond, e01, p)
+	return r, rec0, rec1
+}
+
+// TestPingPongAcrossRegions drives a packet back and forth across a cut
+// link: every arrival must land exactly one propagation delay after its
+// send, rounds must be bounded by the lookahead, and Events must count
+// both regions.
+func TestPingPongAcrossRegions(t *testing.T) {
+	const d = 10 * time.Millisecond
+	r, rec0, rec1 := pingPong(d, 90*time.Millisecond)
+	barriers := 0
+	if err := r.Span(nil, 100*time.Millisecond, func(now time.Duration, events uint64) {
+		barriers++
+		if now > 100*time.Millisecond {
+			t.Fatalf("barrier past the span end: %v", now)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if r.Now() != 100*time.Millisecond {
+		t.Fatalf("Now = %v", r.Now())
+	}
+	if barriers != 10 {
+		t.Fatalf("barriers = %d, want 10 rounds of lookahead %v", barriers, d)
+	}
+	// Seeded at 5 ms, the packet reaches region 1 at 15, 35, 55, 75, 95
+	// ms and region 0 at 25, 45, 65, 85 ms, incrementing Seq per bounce.
+	want1 := []arrival{{15 * time.Millisecond, 0}, {35 * time.Millisecond, 2},
+		{55 * time.Millisecond, 4}, {75 * time.Millisecond, 6}, {95 * time.Millisecond, 8}}
+	want0 := []arrival{{25 * time.Millisecond, 1}, {45 * time.Millisecond, 3},
+		{65 * time.Millisecond, 5}, {85 * time.Millisecond, 7}}
+	if !reflect.DeepEqual(rec1.log, want1) {
+		t.Fatalf("region 1 arrivals = %v, want %v", rec1.log, want1)
+	}
+	if !reflect.DeepEqual(rec0.log, want0) {
+		t.Fatalf("region 0 arrivals = %v, want %v", rec0.log, want0)
+	}
+	// 1 seed transmission + 9 deliveries.
+	if got := r.Events(); got != 10 {
+		t.Fatalf("Events = %d, want 10", got)
+	}
+}
+
+// TestPingPongDeterministic runs the same harness twice and compares
+// the arrival logs byte for byte.
+func TestPingPongDeterministic(t *testing.T) {
+	run := func() ([]arrival, []arrival) {
+		r, rec0, rec1 := pingPong(10*time.Millisecond, 90*time.Millisecond)
+		if err := r.Span(nil, 100*time.Millisecond, nil); err != nil {
+			t.Fatal(err)
+		}
+		return rec0.log, rec1.log
+	}
+	a0, a1 := run()
+	b0, b1 := run()
+	if !reflect.DeepEqual(a0, b0) || !reflect.DeepEqual(a1, b1) {
+		t.Fatalf("reruns diverge:\n%v %v\n%v %v", a0, a1, b0, b1)
+	}
+}
+
+// TestAbsorbOrdering pins the barrier's partition-independent tiebreak:
+// same-instant arrivals from two source regions are ordered by source
+// region index, and two captures from one region keep capture order.
+func TestAbsorbOrdering(t *testing.T) {
+	regions := []*Region{
+		{Eng: sim.New(), Pool: packet.NewPool()},
+		{Eng: sim.New(), Pool: packet.NewPool()},
+		{Eng: sim.New(), Pool: packet.NewPool()},
+	}
+	for _, reg := range regions {
+		reg.Eng.SetSeqStride(Stride)
+	}
+	const d = 10 * time.Millisecond
+	e02 := &Edge{Delay: d, To: 2}
+	e12 := &Edge{Delay: d, To: 2}
+	rec := &recorder{eng: regions[2].Eng, pool: regions[2].Pool}
+	e02.Dst = rec
+	e12.Dst = rec
+	r := NewRunner(regions, []*Edge{e02, e12}, []int{0, 1}, d)
+
+	// Region 1 schedules before region 0 in wall-clock program order,
+	// and region 0 sends two packets back to back — the arrival order
+	// must still be region 0's pair (capture order) then region 1's.
+	send := func(reg *Region, e *Edge, seq int) {
+		p := reg.Pool.Get()
+		p.Seq = seq
+		reg.Eng.SchedulePacket(5*time.Millisecond, e, p)
+	}
+	send(regions[1], e12, 300)
+	send(regions[0], e02, 100)
+	send(regions[0], e02, 200)
+
+	if err := r.Span(nil, 20*time.Millisecond, nil); err != nil {
+		t.Fatal(err)
+	}
+	want := []arrival{{15 * time.Millisecond, 100}, {15 * time.Millisecond, 200}, {15 * time.Millisecond, 300}}
+	if !reflect.DeepEqual(rec.log, want) {
+		t.Fatalf("arrivals = %v, want %v", rec.log, want)
+	}
+}
+
+// TestZeroLookaheadSingleRound: with no cut links the lookahead is 0
+// (unbounded) and the whole span is one round.
+func TestZeroLookaheadSingleRound(t *testing.T) {
+	regions := []*Region{
+		{Eng: sim.New(), Pool: packet.NewPool()},
+		{Eng: sim.New(), Pool: packet.NewPool()},
+	}
+	for _, reg := range regions {
+		reg.Eng.SetSeqStride(Stride)
+	}
+	ticks := 0
+	var tick func()
+	tick = func() {
+		ticks++
+		regions[0].Eng.Schedule(10*time.Millisecond, tick)
+	}
+	regions[0].Eng.Schedule(10*time.Millisecond, tick)
+	r := NewRunner(regions, nil, nil, 0)
+	barriers := 0
+	if err := r.Span(nil, time.Second, func(time.Duration, uint64) { barriers++ }); err != nil {
+		t.Fatal(err)
+	}
+	if barriers != 1 {
+		t.Fatalf("barriers = %d, want 1 unbounded round", barriers)
+	}
+	if ticks != 100 {
+		t.Fatalf("ticks = %d", ticks)
+	}
+}
+
+// TestSpanCancelResume: a canceled context stops Span mid-round with
+// all state intact, and a later Span finishes the run with the same
+// arrivals as an uninterrupted one.
+func TestSpanCancelResume(t *testing.T) {
+	plainR, plain0, plain1 := pingPong(10*time.Millisecond, 90*time.Millisecond)
+	if err := plainR.Span(nil, 100*time.Millisecond, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	r, rec0, rec1 := pingPong(10*time.Millisecond, 90*time.Millisecond)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := r.Span(ctx, 100*time.Millisecond, nil); err != context.Canceled {
+		t.Fatalf("Span on canceled ctx = %v, want context.Canceled", err)
+	}
+	if r.Now() >= 100*time.Millisecond {
+		t.Fatalf("canceled run reached the end: %v", r.Now())
+	}
+	if err := r.Span(nil, 100*time.Millisecond, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rec0.log, plain0.log) || !reflect.DeepEqual(rec1.log, plain1.log) {
+		t.Fatalf("resumed run diverges:\n%v %v\n%v %v", rec0.log, rec1.log, plain0.log, plain1.log)
+	}
+}

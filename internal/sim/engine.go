@@ -130,7 +130,14 @@ const (
 type Event struct {
 	at  Time
 	seq uint64
-	fn  func()
+	// schedAt/schedAt2 are the event's scheduling lineage: the clock when
+	// it was scheduled, and the clock when its scheduling parent was
+	// scheduled. They never influence firing order; sharded runs use them
+	// as a scheduler-independent tiebreak when merging per-region logs
+	// (see internal/shard and ExecLineage).
+	schedAt  Time
+	schedAt2 Time
+	fn       func()
 	// sink/arg are the typed-dispatch alternative to fn: when sink is
 	// non-nil the event fires as sink.Deliver(arg) instead of fn(). The
 	// sink is a long-lived object bound once at wiring time, so the
@@ -199,14 +206,24 @@ func (e *Event) Canceled() bool { return e.canceled }
 // Engine is a discrete-event scheduler. The zero value is not usable; use
 // New or NewSched.
 type Engine struct {
-	now       Time
-	seq       uint64
-	pending   int
+	now     Time
+	seq     uint64
+	pending int
+	// seqOff/seqInc implement the sharded seq stride (SetSeqStride): a
+	// locally scheduled event gets seq = seq+seqOff and the counter steps
+	// by seqInc. Serial engines run with off 0, inc 1, which is exactly
+	// the historical behavior.
+	seqOff    uint64
+	seqInc    uint64
 	processed uint64
 	kind      SchedKind
 	heap      []*Event
 	free      []*Event
 	w         *wheel // nil when kind == SchedHeap
+	// curSchedAt/curSchedAt2 mirror the firing event's schedAt/schedAt2
+	// during exec, so children inherit their lineage (see Event).
+	curSchedAt  Time
+	curSchedAt2 Time
 }
 
 // New returns an engine with an empty event queue and the clock at zero,
@@ -217,7 +234,7 @@ func New() *Engine {
 
 // NewSched returns an engine backed by the given scheduler kind.
 func NewSched(kind SchedKind) *Engine {
-	e := &Engine{kind: ResolveSched(kind)}
+	e := &Engine{kind: ResolveSched(kind), seqInc: 1}
 	if e.kind == SchedWheel {
 		e.w = newWheel()
 	}
@@ -260,6 +277,8 @@ func (e *Engine) Reset() {
 	e.seq = 0
 	e.pending = 0
 	e.processed = 0
+	e.curSchedAt = 0
+	e.curSchedAt2 = 0
 }
 
 // recycle detaches ev and puts it on the free list, clearing callback
@@ -320,10 +339,12 @@ func (e *Engine) at(t Time, fn func()) *Event {
 		ev = &Event{eng: e}
 	}
 	ev.at = t
-	ev.seq = e.seq
+	ev.seq = e.seq + e.seqOff
 	ev.fn = fn
 	ev.canceled = false
-	e.seq++
+	ev.schedAt = e.now
+	ev.schedAt2 = e.curSchedAt
+	e.seq += e.seqInc
 	e.pending++
 	if e.w != nil {
 		e.w.push(ev)
@@ -353,8 +374,10 @@ func (e *Engine) rearm(ev *Event, t Time, fn func()) *Event {
 		if l, s, ok := e.w.locate(t); ok &&
 			int8(l)+whereLevel0 == ev.where && uint8(s) == ev.slot {
 			ev.at = t
-			ev.seq = e.seq
-			e.seq++
+			ev.seq = e.seq + e.seqOff
+			ev.schedAt = e.now
+			ev.schedAt2 = e.curSchedAt
+			e.seq += e.seqInc
 			return ev
 		}
 	}
@@ -368,6 +391,8 @@ func (e *Engine) exec(ev *Event) {
 	e.pending--
 	e.now = ev.at
 	e.processed++
+	e.curSchedAt = ev.schedAt
+	e.curSchedAt2 = ev.schedAt2
 	fn, sink, arg := ev.fn, ev.sink, ev.arg
 	ev.fn = nil
 	ev.sink = nil

@@ -1,0 +1,180 @@
+package sim
+
+// Shard-support API: the hooks internal/shard uses to run one engine per
+// topology region and splice cross-region packets back into each
+// region's event order so that a sharded run fires exactly the event
+// sequence the serial engine would (see DESIGN.md §12).
+//
+// The scheme rests on three pieces:
+//
+//   - A seq *stride* (SetSeqStride): region engines hand out sequence
+//     numbers raw*K + (K-1) for a stride K, leaving K-1 unused seqs
+//     below every locally scheduled event. Serial engines keep stride 1
+//     and are bit-identical to the historical counter.
+//   - A *clock log* (RunUntilLoggedN): per synchronization round, the
+//     raw counter value at the first executed event of each distinct
+//     timestamp. The log lets the coordinator reconstruct where in the
+//     receiver's seq order a cross-region packet would have been
+//     scheduled: after everything executed at or before its send time,
+//     before everything scheduled later.
+//   - *Injection* (InjectPacketAt): scheduling with an explicit
+//     interpolated seq c*K + m (m < K-1) that slots the arrival into
+//     the gap, plus explicit schedAt/schedAt2 lineage copied from the
+//     sending region so merged logs keep a scheduler-independent order.
+
+import (
+	"fmt"
+	"sort"
+
+	"tahoedyn/internal/packet"
+)
+
+// SetSeqStride makes the engine hand out sequence numbers
+// raw*stride + (stride-1), stepping the raw counter by one per schedule.
+// Stride 1 restores the exact serial numbering. It must only be called
+// on an idle engine (freshly built or Reset): changing the stride with
+// events queued would reorder them.
+func (e *Engine) SetSeqStride(stride uint64) {
+	if stride == 0 {
+		panic("sim: zero seq stride")
+	}
+	if e.pending != 0 {
+		panic("sim: SetSeqStride on an engine with pending events")
+	}
+	e.seqOff = stride - 1
+	e.seqInc = stride
+}
+
+// SeqCounter returns the engine's schedule counter: it starts at 0 and
+// advances by the stride per locally scheduled event, so at any point
+// every already-scheduled event has seq < counter and every future
+// local event has seq >= counter + stride - 1. The shard layer
+// interpolates cross-region arrivals into the half-open gap
+// [counter, counter+stride-1).
+func (e *Engine) SeqCounter() uint64 { return e.seq }
+
+// ExecLineage returns the scheduling lineage of the event currently (or
+// most recently) executing: the clock when it was scheduled and the
+// clock when its scheduling parent was scheduled. The shard layer
+// captures it when a packet crosses a region boundary, so the merged
+// drop/trace order can break exec-time ties the same way regardless of
+// partitioning.
+func (e *Engine) ExecLineage() (schedAt, schedAt2 Time) {
+	return e.curSchedAt, e.curSchedAt2
+}
+
+// ClockLog records, for one synchronization round, the seq counter
+// at the first executed event of each distinct timestamp — i.e. the
+// counter *before* any event at that time scheduled children. Times
+// are strictly increasing.
+type ClockLog struct {
+	Times []Time
+	Seqs  []uint64
+}
+
+// Reset empties the log, keeping capacity.
+func (l *ClockLog) Reset() {
+	l.Times = l.Times[:0]
+	l.Seqs = l.Seqs[:0]
+}
+
+// note appends (at, seq) when at opens a new timestamp.
+func (l *ClockLog) note(at Time, seq uint64) {
+	if n := len(l.Times); n == 0 || l.Times[n-1] != at {
+		l.Times = append(l.Times, at)
+		l.Seqs = append(l.Seqs, seq)
+	}
+}
+
+// SeqAfter returns the counter value after every event executed at
+// a time <= t this round: the logged counter of the first timestamp
+// strictly greater than t, or end (the counter at the end of the round)
+// when no later timestamp was executed.
+func (l *ClockLog) SeqAfter(t Time, end uint64) uint64 {
+	i := sort.Search(len(l.Times), func(i int) bool { return l.Times[i] > t })
+	if i == len(l.Times) {
+		return end
+	}
+	return l.Seqs[i]
+}
+
+// RunUntilLoggedN is RunUntilN with clock logging: before each executed
+// event whose timestamp differs from the previous one, it appends
+// (timestamp, counter) to log. The event sequence is identical to
+// RunUntil(t); the budget and return value behave exactly like
+// RunUntilN. A resumed round passes the same log to keep appending.
+func (e *Engine) RunUntilLoggedN(t Time, max int, log *ClockLog) bool {
+	if e.w != nil {
+		for {
+			ev := e.wheelNext()
+			if ev == nil || ev.at > t {
+				if t > e.now {
+					e.now = t
+				}
+				return true
+			}
+			if max <= 0 {
+				return false
+			}
+			log.note(ev.at, e.seq)
+			e.wheelPop()
+			e.exec(ev)
+			max--
+		}
+	}
+	for {
+		if len(e.heap) == 0 || e.heap[0].at > t {
+			if t > e.now {
+				e.now = t
+			}
+			return true
+		}
+		if max <= 0 {
+			return false
+		}
+		ev := e.heap[0]
+		log.note(ev.at, e.seq)
+		e.removeAt(0)
+		e.exec(ev)
+		max--
+	}
+}
+
+// InjectPacketAt schedules sink.Deliver(p) at absolute time at with an
+// explicit, caller-interpolated seq and explicit scheduling lineage,
+// without touching the engine's own counter. The shard coordinator uses
+// it between rounds to splice cross-region arrivals into the receiving
+// region's event order; at must lie strictly in the engine's future
+// (conservative lookahead guarantees this for every handed-off packet).
+func (e *Engine) InjectPacketAt(at Time, seq uint64, schedAt, schedAt2 Time, sink PacketSink, p *packet.Packet) *Event {
+	if at <= e.now {
+		panic(fmt.Sprintf("sim: inject at %v not after now %v", at, e.now))
+	}
+	var ev *Event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+	} else {
+		ev = &Event{eng: e}
+	}
+	ev.at = at
+	ev.seq = seq
+	ev.fn = nil
+	ev.sink = sink
+	ev.arg = p
+	ev.canceled = false
+	ev.schedAt = schedAt
+	ev.schedAt2 = schedAt2
+	e.pending++
+	if e.w != nil {
+		e.w.push(ev)
+		return ev
+	}
+	ev.where = whereHeap
+	i := len(e.heap)
+	e.heap = append(e.heap, ev)
+	ev.index = int32(i)
+	e.siftUp(i)
+	return ev
+}

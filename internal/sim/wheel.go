@@ -29,10 +29,12 @@ import (
 // (time, seq) — every seq is unique, so the sort is a total order and
 // bucket insertion order is irrelevant. Events that land at or behind
 // the cursor (same-instant schedules, or schedules behind a cursor that
-// peeked ahead) are binary-search inserted into the sorted active run;
-// a new event's seq exceeds every queued event's, so its position is
-// simply after all equal timestamps. The result is exactly the (time,
-// seq) firing order the heap produces.
+// peeked ahead) are binary-search inserted into the sorted active run
+// by the full (time, seq) key; locally scheduled events carry the
+// largest seq so far and land after all equal timestamps, while
+// injected cross-region events (Engine.InjectPacketAt) carry
+// interpolated seqs and may land earlier among equals. The result is
+// exactly the (time, seq) firing order the heap produces.
 //
 // Cancel policy: events in unsorted buckets or overflow are
 // swap-removed and recycled immediately (O(1)); events already in the
@@ -162,15 +164,18 @@ func (w *wheel) replace(ev *Event) {
 	w.place(ev, l, int(tk>>(uint(l)*slotBits))&slotMask)
 }
 
-// insertRun binary-search inserts ev into the sorted active run. A new
-// event's seq exceeds every queued seq, so its slot is after all equal
-// timestamps: search on time alone.
+// insertRun binary-search inserts ev into the sorted active run by the
+// full (time, seq) key. An engine-scheduled event's seq exceeds every
+// queued seq, so it lands after all equal timestamps exactly as the old
+// time-only search placed it; injected events (Engine.InjectPacketAt)
+// carry interpolated seqs that may order before queued same-instant
+// events, which the full key honors.
 func (w *wheel) insertRun(ev *Event) {
 	ev.where = whereRun
 	lo, hi := w.runHead, len(w.run)
 	for lo < hi {
 		mid := int(uint(lo+hi) >> 1)
-		if w.run[mid].at <= ev.at {
+		if less(w.run[mid], ev) {
 			lo = mid + 1
 		} else {
 			hi = mid

@@ -1,0 +1,121 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// horizonDur is the wheel horizon in simulated time: 2^32 ticks of
+// 2^19 ns each, ~625 hours.
+const horizonDur = time.Duration(horizon) << tickShift
+
+// TestWheelOverflowRefile exercises the unsorted overflow list
+// directly: events beyond the horizon are held unsorted, swap-removed
+// on cancel, and re-filed into the wheels when their top-level rotation
+// opens — and must still fire in exact (time, seq) order. The same
+// program runs on a heap engine as the oracle.
+func TestWheelOverflowRefile(t *testing.T) {
+	he := NewSched(SchedHeap)
+	we := NewSched(SchedWheel)
+	var hLog, wLog []int
+
+	type ev struct {
+		d  time.Duration
+		id int
+	}
+	// Deliberately scheduled out of time order so the overflow list's
+	// storage order disagrees with the firing order, with a same-instant
+	// tie (ids 3 then 4 at the same deadline must fire in scheduling
+	// order) and one near event that stays inside the wheels.
+	prog := []ev{
+		{horizonDur + 200*time.Hour, 0},
+		{horizonDur + 50*time.Hour, 1},
+		{20 * time.Millisecond, 2},
+		{horizonDur + 100*time.Hour, 3},
+		{horizonDur + 100*time.Hour, 4},
+		{horizonDur + 150*time.Hour, 5}, // canceled below
+		{horizonDur + 25*time.Hour, 6},
+		// In-horizon sentinel: keeps the wheels non-empty so the mid-run
+		// check below observes the overflow list at rest (an empty wheel
+		// pulls overflow in eagerly to find its next event).
+		{10 * time.Second, 7},
+	}
+	var hCancel, wCancel *Event
+	for _, e := range prog {
+		id := e.id
+		hev := he.Schedule(e.d, func() { hLog = append(hLog, id) })
+		wev := we.Schedule(e.d, func() { wLog = append(wLog, id) })
+		if id == 5 {
+			hCancel, wCancel = hev, wev
+		}
+	}
+	if got := len(we.w.overflow); got != 6 {
+		t.Fatalf("overflow holds %d events, want the 6 far ones", got)
+	}
+
+	// Cancel id 5: swap-removed from the middle of the overflow list.
+	hCancel.Cancel()
+	wCancel.Cancel()
+	if got := len(we.w.overflow); got != 5 {
+		t.Fatalf("overflow holds %d events after cancel, want 5", got)
+	}
+	if he.Pending() != we.Pending() {
+		t.Fatalf("pending diverged: heap %d, wheel %d", he.Pending(), we.Pending())
+	}
+
+	// Run past the near event but stay inside the first rotation: the
+	// overflow list must be untouched.
+	he.RunUntil(time.Second)
+	we.RunUntil(time.Second)
+	if got := len(we.w.overflow); got != 5 {
+		t.Fatalf("overflow drained early: %d events left", got)
+	}
+
+	// Drain everything. The wheel crosses a top-level rotation with only
+	// overflow events left, pulls them back in, and re-files; the firing
+	// order must match the heap's (time, seq) order exactly.
+	he.Run()
+	we.Run()
+	want := []int{2, 7, 6, 1, 3, 4, 0}
+	if len(wLog) != len(want) {
+		t.Fatalf("wheel fired %d events, want %d", len(wLog), len(want))
+	}
+	for i := range want {
+		if hLog[i] != want[i] || wLog[i] != want[i] {
+			t.Fatalf("firing order at %d: heap %d, wheel %d, want %d", i, hLog[i], wLog[i], want[i])
+		}
+	}
+	if len(we.w.overflow) != 0 || we.Pending() != 0 {
+		t.Fatalf("overflow=%d pending=%d after drain", len(we.w.overflow), we.Pending())
+	}
+	if he.Now() != we.Now() {
+		t.Fatalf("clocks diverged: heap %v, wheel %v", he.Now(), we.Now())
+	}
+}
+
+// TestWheelOverflowSuccessiveWindows schedules overflow events several
+// rotations apart: each top-level wrap re-opens a new overflow window
+// and must pull in only the events that now fit the horizon.
+func TestWheelOverflowSuccessiveWindows(t *testing.T) {
+	we := NewSched(SchedWheel)
+	var log []int
+	for i, d := range []time.Duration{
+		horizonDur + time.Hour,   // window 1
+		3*horizonDur + time.Hour, // window 3
+		2 * horizonDur,           // window 2 (exact rotation boundary)
+		5 * horizonDur / 2,       // window 2
+	} {
+		id := i
+		we.Schedule(d, func() { log = append(log, id) })
+	}
+	we.Run()
+	want := []int{0, 2, 3, 1}
+	if len(log) != len(want) {
+		t.Fatalf("fired %d events, want %d", len(log), len(want))
+	}
+	for i := range want {
+		if log[i] != want[i] {
+			t.Fatalf("order at %d: got %d, want %d", i, log[i], want[i])
+		}
+	}
+}

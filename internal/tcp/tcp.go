@@ -32,13 +32,30 @@ type Network interface {
 	Send(p *packet.Packet) bool
 }
 
-// IDGen hands out unique packet IDs within one simulation. Each scenario
-// owns one so that runs remain reproducible.
-type IDGen struct{ next uint64 }
+// IDGen hands out unique packet IDs within one simulation. The zero
+// value counts 1, 2, 3, …; NewIDGen builds a strided generator so
+// several endpoints can draw from disjoint ID sequences — sharded runs
+// give every endpoint its own generator (stride = number of endpoints)
+// so the IDs an endpoint mints do not depend on how the topology is
+// partitioned.
+type IDGen struct {
+	next   uint64
+	stride uint64
+}
+
+// NewIDGen returns a generator whose Next yields first, first+stride,
+// first+2*stride, …. stride must be positive.
+func NewIDGen(first, stride uint64) *IDGen {
+	return &IDGen{next: first - stride, stride: stride}
+}
 
 // Next returns a fresh packet ID.
 func (g *IDGen) Next() uint64 {
-	g.next++
+	s := g.stride
+	if s == 0 {
+		s = 1
+	}
+	g.next += s
 	return g.next
 }
 

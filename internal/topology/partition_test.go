@@ -1,0 +1,174 @@
+package topology
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+// compileChain compiles Chain(n) with the paper-standard defaults.
+func compileChain(t *testing.T, n int) *Compiled {
+	t.Helper()
+	c, err := Chain(n).Compile(def())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestPartitionChainContiguous(t *testing.T) {
+	c := compileChain(t, 8)
+	for k := 1; k <= 8; k++ {
+		p, err := c.Partition(k)
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if p.K != k {
+			t.Fatalf("k=%d: K = %d", k, p.K)
+		}
+		// Chains partition into contiguous blocks: region indices are
+		// nondecreasing along the line and every region is hit.
+		size := make([]int, k)
+		for s, r := range p.Region {
+			if r < 0 || r >= k {
+				t.Fatalf("k=%d: switch %d in region %d", k, s, r)
+			}
+			if s > 0 && r < p.Region[s-1] {
+				t.Fatalf("k=%d: regions not contiguous along the chain: %v", k, p.Region)
+			}
+			size[r]++
+		}
+		// Near-equal balance: sizes within one of each other.
+		lo, hi := 8, 0
+		for r, n := range size {
+			if n == 0 {
+				t.Fatalf("k=%d: region %d empty", k, r)
+			}
+			if n < lo {
+				lo = n
+			}
+			if n > hi {
+				hi = n
+			}
+		}
+		if hi-lo > 1 {
+			t.Fatalf("k=%d: unbalanced sizes %v", k, size)
+		}
+		// A K-way cut of a chain severs exactly K-1 links.
+		if len(p.CutLinks) != k-1 {
+			t.Fatalf("k=%d: cut links %v, want %d of them", k, p.CutLinks, k-1)
+		}
+		if k > 1 && p.MinCutDelay != 10*time.Millisecond {
+			t.Fatalf("k=%d: MinCutDelay = %v", k, p.MinCutDelay)
+		}
+	}
+}
+
+func TestPartitionClampsK(t *testing.T) {
+	c := compileChain(t, 3)
+	p, err := c.Partition(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.K != 3 {
+		t.Fatalf("K = %d, want clamp to 3", p.K)
+	}
+	p, err = c.Partition(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.K != 1 || len(p.CutLinks) != 0 || p.MinCutDelay != 0 {
+		t.Fatalf("k=0 partition = %+v, want single region with no cuts", p)
+	}
+}
+
+func TestPartitionDeterministic(t *testing.T) {
+	c := compileChain(t, 7)
+	a, err := c.Partition(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := c.Partition(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("partition not deterministic:\n%+v\n%+v", a, b)
+	}
+}
+
+// TestPartitionMinCutDelay puts distinct delays on a chain's links and
+// checks the lookahead bound is the smallest delay among the cut links
+// only — not the global minimum.
+func TestPartitionMinCutDelay(t *testing.T) {
+	g := Chain(4)
+	g.Links[0].Delay = 1 * time.Millisecond
+	g.Links[1].Delay = 40 * time.Millisecond
+	g.Links[2].Delay = 20 * time.Millisecond
+	c, err := g.Compile(def())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Regions {0,1} and {2,3}: only link 1 is cut.
+	p, err := c.PartitionWith([][]int{{0, 1}, {2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(p.CutLinks, []int{1}) || p.MinCutDelay != 40*time.Millisecond {
+		t.Fatalf("cut=%v min=%v, want [1] 40ms", p.CutLinks, p.MinCutDelay)
+	}
+	// Three regions cut links 1 and 2: the bound drops to 20 ms.
+	p, err = c.PartitionWith([][]int{{0, 1}, {2}, {3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(p.CutLinks, []int{1, 2}) || p.MinCutDelay != 20*time.Millisecond {
+		t.Fatalf("cut=%v min=%v, want [1 2] 20ms", p.CutLinks, p.MinCutDelay)
+	}
+}
+
+func TestPartitionWithValidation(t *testing.T) {
+	c := compileChain(t, 4)
+	for name, regions := range map[string][][]int{
+		"empty-list":   {},
+		"empty-region": {{0, 1, 2, 3}, {}},
+		"duplicate":    {{0, 1}, {1, 2, 3}},
+		"out-of-range": {{0, 1}, {2, 4}},
+		"negative":     {{0, 1}, {2, -1}},
+		"uncovered":    {{0, 1}, {2}},
+	} {
+		if _, err := c.PartitionWith(regions); err == nil {
+			t.Errorf("%s: PartitionWith(%v) accepted", name, regions)
+		}
+	}
+	// Region order is the caller's: a permuted but legal cover works and
+	// keeps the stated region indices.
+	p, err := c.PartitionWith([][]int{{2, 3}, {0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []int{1, 1, 0, 0}; !reflect.DeepEqual(p.Region, want) {
+		t.Fatalf("Region = %v, want %v", p.Region, want)
+	}
+}
+
+// TestPartitionZeroDelayCut pins the lookahead guard: cutting a
+// zero-delay link must fail, while keeping it internal must not.
+func TestPartitionZeroDelayCut(t *testing.T) {
+	// A zero default delay compiles every link with no propagation delay.
+	c, err := Chain(3).Compile(Defaults{Bandwidth: 50_000, Buffer: 20, DataSize: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.PartitionWith([][]int{{0}, {1, 2}}); err == nil {
+		t.Fatal("PartitionWith accepted a zero-delay cut")
+	}
+	if _, err := c.Partition(2); err == nil {
+		t.Fatal("Partition accepted a zero-delay cut")
+	}
+	// With every switch in one region the zero-delay links are internal
+	// and partitioning succeeds.
+	if _, err := c.PartitionWith([][]int{{0, 1, 2}}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -26,6 +26,8 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"strconv"
+	"strings"
 	"time"
 
 	"tahoedyn/internal/analysis"
@@ -75,6 +77,12 @@ const (
 // ParseSched maps a CLI string ("heap", "wheel", "default", "") to a
 // SchedKind for Config.Sched; both CLIs expose it as -sched.
 func ParseSched(s string) (SchedKind, error) { return sim.ParseSched(s) }
+
+// SetDefaultShards overrides the shard count a Config with Shards == 0
+// runs at (normally 1, or the TAHOEDYN_SHARDS environment variable);
+// both CLIs expose it as -shards. Like the scheduler choice, sharding
+// is a wall-clock knob only: results are byte-identical at any count.
+func SetDefaultShards(n int) { core.SetDefaultShards(n) }
 
 // SetDefaultSched overrides what SchedDefault resolves to for engines
 // created after the call (the CLI -sched hook, useful where configs are
@@ -235,6 +243,56 @@ func ChainTopology(n int) Graph { return topology.Chain(n) }
 // multi-bottleneck fairness topology when loaded with one long
 // connection (host 0 to host hops) against one cross connection per hop.
 func ParkingLotTopology(hops int) Graph { return topology.ParkingLot(hops) }
+
+// ParseTopoSpec resolves a one-flag topology spec — "dumbbell",
+// "chain:N", or "parking-lot:H" — into an optional explicit graph and
+// its canonical workload. Connections 0 and 1 are always the end-to-end
+// two-way pair (the pair the synchronization analyses report on);
+// parking-lot adds one single-hop cross connection per trunk after
+// them. A nil graph means the default dumbbell. Both CLIs expose the
+// syntax as -topology; it is also the one-flag way to build the large
+// chains the sharded-run benchmarks use.
+func ParseTopoSpec(spec string) (*Graph, []ConnSpec, error) {
+	pair := func(a, b int) []ConnSpec {
+		return []ConnSpec{
+			{SrcHost: a, DstHost: b, Start: -1},
+			{SrcHost: b, DstHost: a, Start: -1},
+		}
+	}
+	name, arg, hasArg := strings.Cut(spec, ":")
+	n := 0
+	if hasArg {
+		var err error
+		if n, err = strconv.Atoi(arg); err != nil {
+			return nil, nil, fmt.Errorf("bad topology size %q", arg)
+		}
+	}
+	switch name {
+	case "", "dumbbell":
+		if hasArg {
+			return nil, nil, fmt.Errorf("topology dumbbell takes no size")
+		}
+		return nil, pair(0, 1), nil
+	case "chain":
+		if n < 2 {
+			return nil, nil, fmt.Errorf("topology chain:N needs N >= 2")
+		}
+		g := ChainTopology(n)
+		return &g, pair(0, n-1), nil
+	case "parking-lot":
+		if n < 1 {
+			return nil, nil, fmt.Errorf("topology parking-lot:H needs H >= 1")
+		}
+		g := ParkingLotTopology(n)
+		conns := pair(0, n)
+		for h := 0; h < n; h++ {
+			conns = append(conns, ConnSpec{SrcHost: h, DstHost: h + 1, Start: -1})
+		}
+		return &g, conns, nil
+	default:
+		return nil, nil, fmt.Errorf("unknown topology %q (want dumbbell, chain:N, or parking-lot:H)", spec)
+	}
+}
 
 // CompileTopology validates and compiles cfg's effective topology
 // (explicit or default line), returning per-link resolved parameters and
