@@ -1,0 +1,257 @@
+package tahoedyn
+
+// Scale benchmarks: the internet-scale topology core. Where
+// bench_test.go tracks the paper's figures and the engine hot path,
+// this file tracks the axes the CSR topology work opened up — how fast
+// routes compile on thousand-switch graphs, how much memory a switch
+// costs at 10⁵ nodes, and what event throughput looks like with 10⁵
+// concurrent flows. The recorded numbers live in docs/BENCH_pr7.json;
+// scripts/benchcmp.sh diffs them like every other benchmark (events/run
+// stays a hard identity gate, sim-events/s soft-gates on collapse, and
+// /shards= sub-benchmarks get the host-dependent exemption).
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"tahoedyn/internal/core"
+	"tahoedyn/internal/topology"
+)
+
+// liveHeap forces a collection and returns the live heap, so the delta
+// across two calls with an object kept reachable measures what that
+// object retains (resident bytes, not allocation churn).
+func liveHeap() int64 {
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return int64(ms.HeapAlloc)
+}
+
+// BenchmarkTopologyBuild times route compilation on the graphs that
+// used to be out of reach: the dense per-switch next-hop arrays were
+// O(S×H) memory and the per-source Dijkstra O(S²) time, which put a
+// 4096-switch chain at ~17 minutes by extrapolation from the PR6
+// recording (16 s at 1024 full-host switches, ×4² for the quadratic
+// term). The CSR + interval-run compiler does the same graph in under a
+// second. bytes/switch is the resident cost of the compiled tables,
+// measured once off the clock with the Compiled kept alive across a GC.
+func BenchmarkTopologyBuild(b *testing.B) {
+	cases := []struct {
+		name  string
+		graph func() topology.Graph
+	}{
+		{"chain=1024", func() topology.Graph { return topology.Chain(1024) }},
+		{"chain=4096", func() topology.Graph { return topology.Chain(4096) }},
+		{"ba=4096", func() topology.Graph { return topology.BarabasiAlbert(4096, 2, 7) }},
+	}
+	for _, tc := range cases {
+		b.Run(tc.name, func(b *testing.B) {
+			g := tc.graph()
+			def := topology.Defaults{
+				Bandwidth: core.DefaultTrunkBandwidth,
+				Delay:     10 * time.Millisecond,
+				Buffer:    20,
+				DataSize:  core.DefaultDataSize,
+			}
+
+			base := liveHeap()
+			c, err := g.Compile(def)
+			if err != nil {
+				b.Fatal(err)
+			}
+			resident := liveHeap() - base
+			runtime.KeepAlive(c)
+			if resident < 0 {
+				resident = 0
+			}
+
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := g.Compile(def); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(resident)/float64(g.Switches), "bytes/switch")
+		})
+	}
+}
+
+// BenchmarkWaveSpeed runs the wave-speed experiment (the congestion-
+// wave study extended with a velocity fit across eight bottlenecks) at
+// the standard half scale, reporting the usual experiment metrics.
+func BenchmarkWaveSpeed(b *testing.B) {
+	runExperiment(b, "wave-speed", nil)
+}
+
+// internetScaleConfig is a 10⁵-switch chain with 128 host clusters
+// spread evenly along it and 64 long-haul flows between neighboring
+// clusters (~780 hops each). Trunk measurement is gated off — at this
+// scale per-trunk queue series would dominate memory without telling us
+// anything the access ports don't — so the run exercises pure
+// forwarding physics across the full diameter.
+func internetScaleConfig() core.Config {
+	const nSw = 100_000
+	const nHosts = 128
+	g := topology.Chain(nSw)
+	g.Hosts = make([]topology.HostSpec, nHosts)
+	stride := nSw / nHosts
+	for i := range g.Hosts {
+		g.Hosts[i] = topology.HostSpec{Switch: i * stride}
+	}
+	cfg := core.Config{
+		Topology:      &g,
+		TrunkDelay:    time.Millisecond,
+		Buffer:        20,
+		Seed:          7,
+		Warmup:        2 * time.Second,
+		Duration:      30 * time.Second,
+		MeasureTrunks: []int{},
+		MeasureConns:  []int{},
+	}
+	for k := 0; k+1 < nHosts; k += 2 {
+		cfg.Conns = append(cfg.Conns, core.ConnSpec{SrcHost: k, DstHost: k + 1, Start: -1})
+	}
+	return cfg
+}
+
+// BenchmarkInternetScale builds and runs the 10⁵-switch network to
+// completion. bytes/switch is the resident cost of the whole built
+// simulation (compiled routes, switch tables, ports) per switch,
+// measured once off the clock. The shards legs force the network
+// through the region runner; events/run must come out identical (the
+// sharding identity contract), while their sim-events/s is a
+// host-dependent scaling number like BenchmarkShardScaling's.
+func BenchmarkInternetScale(b *testing.B) {
+	for _, k := range []int{1, 4} {
+		b.Run(fmt.Sprintf("shards=%d", k), func(b *testing.B) {
+			cfg := internetScaleConfig()
+			cfg.Shards = k
+
+			base := liveHeap()
+			s := core.Build(cfg)
+			resident := liveHeap() - base
+			runtime.KeepAlive(s)
+			if resident < 0 {
+				resident = 0
+			}
+			s.Finish() // off the clock: the resident probe's run completes
+
+			b.ReportAllocs()
+			runtime.GC()
+			b.ResetTimer()
+			var events uint64
+			for i := 0; i < b.N; i++ {
+				events = core.Run(cfg).Events
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(events)*float64(b.N)/b.Elapsed().Seconds(), "sim-events/s")
+			b.ReportMetric(float64(events), "events/run")
+			b.ReportMetric(float64(resident)/float64(cfg.Topology.Switches), "bytes/switch")
+		})
+	}
+}
+
+// flowScaleConfig packs nConns one-hop flows onto a 64-switch chain:
+// the flow-count axis with the topology held small. Per-connection
+// measurement is gated off, so what remains per flow is exactly the
+// protocol state (tcp.Sender/Receiver) plus its slot in the result
+// containers — the footprint the compact-state work minimizes.
+func flowScaleConfig(nConns int) core.Config {
+	g := topology.Chain(64)
+	cfg := core.Config{
+		Topology:      &g,
+		TrunkDelay:    time.Millisecond,
+		Buffer:        20,
+		Seed:          7,
+		Warmup:        2 * time.Second,
+		Duration:      8 * time.Second,
+		MeasureTrunks: []int{},
+		MeasureConns:  []int{},
+	}
+	for k := 0; k < nConns; k++ {
+		t := k % 63
+		cfg.Conns = append(cfg.Conns, core.ConnSpec{SrcHost: t, DstHost: t + 1, Start: -1})
+	}
+	return cfg
+}
+
+// BenchmarkFlowScale runs 10⁴ and 10⁵ concurrent connections to
+// completion, serially and through the region runner (the /shards=4 leg
+// partitions the 64-switch chain; events/run must be identical — the
+// sharding identity contract). bytes/conn is the resident cost of the
+// built simulation per connection (protocol state dominates; the
+// 64-switch fabric is noise at these counts), measured once off the
+// clock.
+func BenchmarkFlowScale(b *testing.B) {
+	for _, leg := range []struct{ conns, shards int }{
+		{10_000, 1},
+		{100_000, 1},
+		{100_000, 4},
+	} {
+		n := leg.conns
+		b.Run(fmt.Sprintf("conns=%d/shards=%d", n, leg.shards), func(b *testing.B) {
+			cfg := flowScaleConfig(n)
+			cfg.Shards = leg.shards
+
+			base := liveHeap()
+			s := core.Build(cfg)
+			resident := liveHeap() - base
+			runtime.KeepAlive(s)
+			if resident < 0 {
+				resident = 0
+			}
+			s.Finish()
+
+			b.ReportAllocs()
+			runtime.GC()
+			b.ResetTimer()
+			var events uint64
+			for i := 0; i < b.N; i++ {
+				events = core.Run(cfg).Events
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(events)*float64(b.N)/b.Elapsed().Seconds(), "sim-events/s")
+			b.ReportMetric(float64(events), "events/run")
+			b.ReportMetric(float64(resident)/float64(n), "bytes/conn")
+		})
+	}
+}
+
+// TestLargeChainSmoke is the CI large-topology leg: parse chain:2048
+// through the public facade, build it, and run the end-to-end flow pair
+// to completion — race detector off, wall-clock bounded by the CI step
+// timeout. Gated behind TAHOEDYN_LARGE_SMOKE so the tier-1 suite stays
+// fast on developer machines.
+func TestLargeChainSmoke(t *testing.T) {
+	if os.Getenv("TAHOEDYN_LARGE_SMOKE") == "" {
+		t.Skip("set TAHOEDYN_LARGE_SMOKE=1 to run the large-topology smoke leg")
+	}
+	g, conns, err := ParseTopoSpec("chain:2048")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		Topology:   g,
+		TrunkDelay: time.Millisecond,
+		Buffer:     20,
+		Conns:      conns,
+		Seed:       7,
+		Warmup:     2 * time.Second,
+		Duration:   12 * time.Second,
+	}
+	res := Run(cfg)
+	if res.Events == 0 {
+		t.Fatal("large chain ran no events")
+	}
+	for k := range conns {
+		if res.SenderStats[k].DataSent == 0 {
+			t.Fatalf("conn %d sent nothing across the 2048-switch chain", k)
+		}
+	}
+}

@@ -435,8 +435,8 @@ func TestFacadeRunAndAnalyze(t *testing.T) {
 
 func TestFacadeExperimentRegistry(t *testing.T) {
 	defs := Experiments()
-	if len(defs) != 21 {
-		t.Fatalf("registry has %d experiments, want 21", len(defs))
+	if len(defs) != 22 {
+		t.Fatalf("registry has %d experiments, want 22", len(defs))
 	}
 	if _, err := Experiment("nope", ExpOptions{}); err == nil {
 		t.Fatal("unknown experiment did not error")

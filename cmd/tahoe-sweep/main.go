@@ -11,8 +11,10 @@
 //
 // The -topology flag generalizes the swept network beyond the dumbbell:
 // "chain:N" runs the two-way pair end to end over a line of N switches,
-// and "parking-lot:H" adds one single-hop cross connection per trunk, so
-// the grid maps the mode boundary under multi-bottleneck conditions.
+// "parking-lot:H" adds one single-hop cross connection per trunk, so
+// the grid maps the mode boundary under multi-bottleneck conditions,
+// and "ba:N:M:SEED" / "waxman:N:SEED" sweep the seeded random graphs
+// (scale-free and geometric) with the two-way pair across the diameter.
 //
 // Usage:
 //
@@ -53,7 +55,7 @@ func run() int {
 		warmup      = flag.Duration("warmup", 200*time.Second, "discarded warm-up period")
 		seed        = flag.Int64("seed", 1, "scenario random seed")
 		parallel    = flag.Int("parallel", 0, "worker count for the grid (0 = GOMAXPROCS, 1 = serial)")
-		topoFlag    = flag.String("topology", "dumbbell", "swept network: dumbbell, chain:N, or parking-lot:H")
+		topoFlag    = flag.String("topology", "dumbbell", "swept network: dumbbell, chain:N, parking-lot:H, ba:N:M:SEED, or waxman:N:SEED")
 		schedFlag   = flag.String("sched", "default", "event scheduler: wheel, heap, or default (A/B knob; never changes results)")
 		shardsFlag  = flag.Int("shards", 0, "regions per run for sharded execution (0 = serial; A/B knob; never changes results)")
 		progress    = flag.Bool("progress", false, "print grid-point completion liveness to stderr")
@@ -124,7 +126,8 @@ type sweepOptions struct {
 	Seed     int64
 	Parallel int
 	// Topology selects the swept network: "" or "dumbbell" for the
-	// classic two-switch line, "chain:N", or "parking-lot:H".
+	// classic two-switch line, "chain:N", "parking-lot:H", "ba:N:M:SEED",
+	// or "waxman:N:SEED".
 	Topology string
 	// Sched selects the event scheduler for every grid point. It is a
 	// wall-clock A/B knob only: results are byte-identical either way.

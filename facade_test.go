@@ -103,9 +103,34 @@ func TestParseTopoSpec(t *testing.T) {
 	if err != nil || g == nil || g.Switches != 4 || len(conns) != 5 {
 		t.Fatalf("parking-lot:3 = %+v, %d conns, %v", g, len(conns), err)
 	}
-	for _, bad := range []string{"torus", "chain:1", "chain:x", "parking-lot:0", "dumbbell:2"} {
+	g, conns, err = ParseTopoSpec("ba:64:2:7")
+	if err != nil || g == nil || g.Switches != 64 || len(conns) != 2 {
+		t.Fatalf("ba:64:2:7 = %+v, %d conns, %v", g, len(conns), err)
+	}
+	if conns[0].DstHost != 63 || conns[1].SrcHost != 63 {
+		t.Fatalf("ba pair = %+v", conns)
+	}
+	g, conns, err = ParseTopoSpec("waxman:32:5")
+	if err != nil || g == nil || g.Switches != 32 || len(conns) != 2 {
+		t.Fatalf("waxman:32:5 = %+v, %d conns, %v", g, len(conns), err)
+	}
+	for _, bad := range []string{
+		"torus", "chain:1", "chain:x", "parking-lot:0", "dumbbell:2",
+		"ba", "ba:64", "ba:64:2", "ba:64:2:1:9", "ba:1:1:1", "ba:64:0:1", "ba:64:64:1",
+		"waxman", "waxman:1:1", "waxman:64:1:2",
+	} {
 		if _, _, err := ParseTopoSpec(bad); err == nil {
 			t.Errorf("%q: no error", bad)
 		}
+	}
+	// Parse errors are self-correcting: a bad token is named and the
+	// accepted forms are listed.
+	_, _, err = ParseTopoSpec("ba:64:x:1")
+	if err == nil || !strings.Contains(err.Error(), `"x"`) || !strings.Contains(err.Error(), "ba:<n>:<m>:<seed>") {
+		t.Errorf("ba:64:x:1 error = %v, want offending token and accepted form", err)
+	}
+	_, _, err = ParseTopoSpec("torus")
+	if err == nil || !strings.Contains(err.Error(), "waxman:<n>:<seed>") {
+		t.Errorf("torus error = %v, want accepted forms listed", err)
 	}
 }

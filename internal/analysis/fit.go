@@ -1,0 +1,52 @@
+package analysis
+
+// LinearFit returns the least-squares line y = slope·x + intercept over
+// the paired samples, plus the coefficient of determination r². It is
+// the fitting primitive behind the wave-speed study: arrival time vs
+// hop depth, whose slope is the congestion wave's pace in seconds per
+// hop. Fewer than two points (or zero x-variance) yield a degenerate
+// fit: slope 0, intercept = mean y, and r² = 1 exactly when the flat
+// line already explains the data (all ys equal).
+func LinearFit(xs, ys []float64) (slope, intercept, r2 float64) {
+	n := float64(len(xs))
+	if len(xs) != len(ys) {
+		panic("analysis: LinearFit length mismatch")
+	}
+	if len(xs) == 0 {
+		return 0, 0, 1
+	}
+	var sx, sy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+	}
+	mx, my := sx/n, sy/n
+	var sxx, sxy, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		if syy == 0 {
+			return 0, my, 1
+		}
+		return 0, my, 0
+	}
+	slope = sxy / sxx
+	intercept = my - slope*mx
+	if syy == 0 {
+		return slope, intercept, 1
+	}
+	// r² = 1 − SSres/SStot; for a simple least-squares line SSres =
+	// SStot − slope·Sxy, so this never goes negative up to rounding.
+	r2 = slope * sxy / syy
+	if r2 < 0 {
+		r2 = 0
+	}
+	if r2 > 1 {
+		r2 = 1
+	}
+	return slope, intercept, r2
+}

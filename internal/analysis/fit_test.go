@@ -1,0 +1,52 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+)
+
+func TestLinearFitExact(t *testing.T) {
+	xs := []float64{0, 1, 2, 3, 4}
+	ys := []float64{1, 3, 5, 7, 9} // y = 2x + 1
+	slope, intercept, r2 := LinearFit(xs, ys)
+	if math.Abs(slope-2) > 1e-12 || math.Abs(intercept-1) > 1e-12 {
+		t.Fatalf("fit = %.6f·x + %.6f, want 2x+1", slope, intercept)
+	}
+	if r2 != 1 {
+		t.Fatalf("r² = %v on exact line", r2)
+	}
+}
+
+func TestLinearFitNoisy(t *testing.T) {
+	xs := []float64{0, 1, 2, 3, 4, 5}
+	ys := []float64{0.1, 0.9, 2.2, 2.8, 4.1, 4.9} // ≈ y = x
+	slope, _, r2 := LinearFit(xs, ys)
+	if slope < 0.9 || slope > 1.1 {
+		t.Fatalf("slope = %v, want ≈1", slope)
+	}
+	if r2 < 0.98 {
+		t.Fatalf("r² = %v, want near 1 for mild noise", r2)
+	}
+}
+
+func TestLinearFitUncorrelated(t *testing.T) {
+	xs := []float64{0, 1, 2, 3}
+	ys := []float64{1, -1, 1, -1}
+	_, _, r2 := LinearFit(xs, ys)
+	if r2 > 0.5 {
+		t.Fatalf("r² = %v on alternating data", r2)
+	}
+}
+
+func TestLinearFitDegenerate(t *testing.T) {
+	// All x equal: flat fallback, r² reflects whether ys are constant.
+	if s, i, r2 := LinearFit([]float64{2, 2}, []float64{5, 5}); s != 0 || i != 5 || r2 != 1 {
+		t.Fatalf("constant fit = (%v,%v,%v)", s, i, r2)
+	}
+	if _, _, r2 := LinearFit([]float64{2, 2}, []float64{1, 9}); r2 != 0 {
+		t.Fatalf("zero-x-variance r² = %v, want 0", r2)
+	}
+	if s, i, r2 := LinearFit(nil, nil); s != 0 || i != 0 || r2 != 1 {
+		t.Fatalf("empty fit = (%v,%v,%v)", s, i, r2)
+	}
+}

@@ -4,9 +4,12 @@ import (
 	"context"
 	"sync"
 
+	"tahoedyn/internal/link"
+	"tahoedyn/internal/node"
 	"tahoedyn/internal/obs"
 	"tahoedyn/internal/packet"
 	"tahoedyn/internal/sim"
+	"tahoedyn/internal/tcp"
 )
 
 // Arena is a reusable allocation context for back-to-back simulation
@@ -42,6 +45,39 @@ type Arena struct {
 	engs    []*sim.Engine
 	pools   []*packet.Pool
 	tracers []*obs.Tracer
+
+	// Wiring slabs: the per-run element slices buildE needs (switches,
+	// hosts, trunk port pairs, senders, receivers). They are held by the
+	// live Sim but never escape into a Result, so under the one-live-Sim
+	// contract the next Build may reclaim their backing arrays. At 10⁵
+	// switches the switch slice alone is ~1 MB per run; a sweep reuses it.
+	swSlab    []*node.Switch
+	hostSlab  []*node.Host
+	trunkSlab [][2]*link.Port
+	sendSlab  []*tcp.Sender
+	recvSlab  []*tcp.Receiver
+}
+
+// slab returns a zeroed length-n slice backed by *buf, growing the
+// backing array only when n exceeds its capacity.
+func slab[T any](buf *[]T, n int) []T {
+	if cap(*buf) < n {
+		*buf = make([]T, n)
+	}
+	s := (*buf)[:n]
+	clear(s)
+	return s
+}
+
+// wiring hands buildE its element slices, reusing the arena's slabs.
+// A nil arena allocates fresh ones.
+func (a *Arena) wiring(nSw, nh, nl, nc int) ([]*node.Switch, []*node.Host, [][2]*link.Port, []*tcp.Sender, []*tcp.Receiver) {
+	if a == nil {
+		return make([]*node.Switch, nSw), make([]*node.Host, nh),
+			make([][2]*link.Port, nl), make([]*tcp.Sender, nc), make([]*tcp.Receiver, nc)
+	}
+	return slab(&a.swSlab, nSw), slab(&a.hostSlab, nh),
+		slab(&a.trunkSlab, nl), slab(&a.sendSlab, nc), slab(&a.recvSlab, nc)
 }
 
 // NewArena returns an empty arena: its first Build allocates, later

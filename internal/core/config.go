@@ -185,6 +185,25 @@ type Config struct {
 	// zero or equal to len(Regions).
 	Regions [][]int
 
+	// MeasureTrunks limits per-trunk measurement — queue-length series,
+	// departure logs, drop records, and queue histograms — to the listed
+	// topology link indices. nil measures every trunk (the historical
+	// behavior); an empty non-nil slice measures none. Unmeasured trunks
+	// still forward, drop, and report utilization (Result.TrunkUtil is
+	// always complete); only their logs are skipped, which is what makes
+	// 10⁵-link networks affordable: a measured trunk preallocates trace
+	// series sized for the whole run, an unmeasured one costs two ports.
+	// Result entries for unmeasured trunks are nil/empty.
+	MeasureTrunks []int
+	// MeasureConns limits per-connection measurement — cwnd/RTT series,
+	// ACK-arrival logs, collapse logs, per-conn histograms — to the
+	// listed connection indices. nil measures every connection.
+	// Unmeasured connections still run normally and report final
+	// SenderStats/ReceiverStats/Delivered/Goodput; their Result series
+	// entries are nil/empty. This is what lets 10⁵ concurrent flows fit:
+	// per-flow measurement state dwarfs the flow itself.
+	MeasureConns []int
+
 	// Seed drives all scenario randomness (random start times).
 	Seed int64
 	// StartSpread bounds random connection start times.
@@ -306,6 +325,11 @@ func (c *Config) normalize() error {
 	}
 	if len(c.Conns) == 0 {
 		return fmt.Errorf("core: no connections configured")
+	}
+	for _, k := range c.MeasureConns {
+		if k < 0 || k >= len(c.Conns) {
+			return fmt.Errorf("core: MeasureConns names connection %d, out of range [0,%d)", k, len(c.Conns))
+		}
 	}
 	hosts := c.HostCount()
 	for i := range c.Conns {

@@ -37,7 +37,9 @@ type Result struct {
 	// TrunkQueue[i][dir] is the queue-length series of the port feeding
 	// trunk i in the given direction. For the dumbbell, TrunkQueue[0][0]
 	// is the paper's "queue at switch 1" and TrunkQueue[0][1] the "queue
-	// at switch 2".
+	// at switch 2". Entries are nil for trunks excluded by
+	// Config.MeasureTrunks (likewise TrunkDeps; and Cwnd/AckArrivals/
+	// RTT/Collapses for connections excluded by Config.MeasureConns).
 	TrunkQueue [][2]*trace.Series
 	// TrunkUtil[i][dir] is the trunk utilization over the measurement
 	// window.
@@ -87,7 +89,8 @@ type Result struct {
 	TraceErr error
 }
 
-// Q1 returns the dumbbell's switch-1 bottleneck queue series.
+// Q1 returns the dumbbell's switch-1 bottleneck queue series (nil if
+// trunk 0 was excluded by Config.MeasureTrunks).
 func (r *Result) Q1() *trace.Series { return r.TrunkQueue[0][0] }
 
 // Q2 returns the dumbbell's switch-2 bottleneck queue series.
@@ -479,11 +482,16 @@ func (s *Sim) exportMetrics() {
 		for dir := range s.trunks[i] {
 			pt := s.trunks[i][dir]
 			m.NewGauge("util/" + pt.Name()).Set(res.TrunkUtil[i][dir])
-			m.NewGauge("queue-mean/" + pt.Name()).Set(
-				res.TrunkQueue[i][dir].TimeAverage(res.MeasureFrom, res.MeasureTo))
+			if q := res.TrunkQueue[i][dir]; q != nil { // nil when the trunk is unmeasured
+				m.NewGauge("queue-mean/" + pt.Name()).Set(
+					q.TimeAverage(res.MeasureFrom, res.MeasureTo))
+			}
 		}
 	}
 	for k := range res.Cwnd {
+		if res.Cwnd[k] == nil { // unmeasured connection
+			continue
+		}
 		if last, ok := res.Cwnd[k].Last(); ok {
 			m.NewGauge(fmt.Sprintf("cwnd-final/conn%d", k+1)).Set(last.V)
 		}
@@ -525,6 +533,29 @@ func buildE(cfg Config, ar *Arena) (*Sim, error) {
 	topo, err := cfg.CompileTopology()
 	if err != nil {
 		return nil, err
+	}
+	// Measurement gating: nil means measure everything (the historical
+	// default); a non-nil MeasureTrunks/MeasureConns restricts per-trunk
+	// and per-connection instrumentation to the listed indices. Gating
+	// only decides whether observation state is allocated and hooks
+	// installed — it never touches forwarding, queueing, or the TCP state
+	// machines — so a gated run's Delivered/SenderStats/TrunkUtil match
+	// an ungated one exactly (asserted by measure_gate_test.go).
+	var trunkMeasured, connMeasured []bool
+	if cfg.MeasureTrunks != nil {
+		trunkMeasured = make([]bool, len(topo.Links))
+		for _, li := range cfg.MeasureTrunks {
+			if li < 0 || li >= len(topo.Links) {
+				return nil, fmt.Errorf("core: MeasureTrunks names link %d, out of range [0,%d)", li, len(topo.Links))
+			}
+			trunkMeasured[li] = true
+		}
+	}
+	if cfg.MeasureConns != nil {
+		connMeasured = make([]bool, len(cfg.Conns))
+		for _, k := range cfg.MeasureConns {
+			connMeasured[k] = true // indices validated by normalize
+		}
 	}
 	// Region partition. K > 1 splits the switch graph into regions, each
 	// simulated by its own engine (internal/shard); K == 1 is the serial
@@ -647,11 +678,12 @@ func buildE(cfg Config, ar *Arena) (*Sim, error) {
 	// cross a region boundary.
 	nSw := topo.Switches
 	nh := topo.NumHosts()
-	switches := make([]*node.Switch, nSw)
+	nl := len(topo.Links)
+	nc := len(cfg.Conns)
+	switches, hosts, trunks, senders, receivers := ar.wiring(nSw, nh, nl, nc)
 	for i := 0; i < nSw; i++ {
 		switches[i] = node.NewSwitch(i)
 	}
-	hosts := make([]*node.Host, nh)
 	for h := 0; h < nh; h++ {
 		hosts[h] = node.NewHost(engs[regionOf(topo.HostSwitch(h))], h+1, cfg.HostProcessing)
 	}
@@ -706,8 +738,6 @@ func buildE(cfg Config, ar *Arena) (*Sim, error) {
 	// containers are presized from the run length so the measurement
 	// path appends without reallocating mid-run.
 	estPkts := estTrunkPackets(cfg)
-	nl := len(topo.Links)
-	trunks := make([][2]*link.Port, nl)
 	res.TrunkQueue = make([][2]*trace.Series, nl)
 	res.TrunkDeps = make([][2][]trace.Departure, nl)
 	res.TrunkUtil = make([][2]float64, nl)
@@ -754,6 +784,13 @@ func buildE(cfg Config, ar *Arena) (*Sim, error) {
 			Cross:      cross[1],
 		}, switches[l.A])
 		trunks[li] = [2]*link.Port{fwd, rev}
+		if trunkMeasured != nil && !trunkMeasured[li] {
+			// Unmeasured trunk: forwarding, dropping, and utilization
+			// only — no queue series, departure log, queue histogram, or
+			// drop records. A measured trunk preallocates run-length trace
+			// containers; an unmeasured one costs just its two ports.
+			continue
+		}
 		for dir, pt := range trunks[li] {
 			li, dir, pt := li, dir, pt
 			eng := engs[rgs[dir]]
@@ -781,25 +818,25 @@ func buildE(cfg Config, ar *Arena) (*Sim, error) {
 	// Forwarding tables from the compiled shortest-path routes: at each
 	// switch, traffic for a non-local host leaves on the computed
 	// next-hop link direction (local hosts' access routes were added
-	// above).
+	// above). Installation walks the compiled forwarding intervals — one
+	// AddRouteRange per run instead of one AddRoute per (switch, host) —
+	// so wiring cost tracks the compressed route size, not
+	// switches × hosts.
 	for s := 0; s < nSw; s++ {
-		for h := 0; h < nh; h++ {
-			hop, isLocal := topo.NextHop(s, h)
+		sw := switches[s]
+		topo.ForEachHostRun(s, func(h0, h1 int, hop topology.Hop, isLocal bool) {
 			if isLocal {
-				continue
+				return
 			}
-			switches[s].AddRoute(h+1, trunks[hop.Link][hop.Dir])
-		}
+			sw.AddRouteRange(h0+1, h1+1, trunks[hop.Link][hop.Dir])
+		})
 	}
 
 	// Connections.
-	nc := len(cfg.Conns)
 	res.Cwnd = make([]*trace.Series, nc)
 	res.AckArrivals = make([][]time.Duration, nc)
 	res.RTT = make([]*trace.Series, nc)
 	res.Collapses = make([][]CollapseEvent, nc)
-	senders := make([]*tcp.Sender, nc)
-	receivers := make([]*tcp.Receiver, nc)
 	perConn := 0
 	if nc > 0 {
 		perConn = clampReserve(estPkts / nc)
@@ -848,33 +885,35 @@ func buildE(cfg Config, ar *Arena) (*Sim, error) {
 		s.Obs = tracer
 		s.ObsLoc = tracer.Loc(fmt.Sprintf("conn%d", connID))
 
-		// The window moves (and an ACK arrives) at most once per
-		// delivered packet, so the per-connection share of the trunk
-		// packet budget bounds both.
-		cw := trace.NewSeriesCap(fmt.Sprintf("cwnd-%d", connID), perConn)
-		cw.Append(0, 1)
-		res.Cwnd[k] = cw
-		s.OnCwnd = func(v float64) { cw.Append(eng.Now(), v) }
-		res.AckArrivals[k] = make([]time.Duration, 0, perConn)
-		ackGapHist := metrics.NewHistogram(fmt.Sprintf("ack-gap-seconds/conn%d", connID), ackGapBounds)
-		lastAck := time.Duration(-1)
-		s.OnAckArrival = func(*packet.Packet) {
-			now := eng.Now()
-			res.AckArrivals[k] = append(res.AckArrivals[k], now)
-			if lastAck >= 0 {
-				ackGapHist.Observe((now - lastAck).Seconds())
+		if connMeasured == nil || connMeasured[k] {
+			// The window moves (and an ACK arrives) at most once per
+			// delivered packet, so the per-connection share of the trunk
+			// packet budget bounds both.
+			cw := trace.NewSeriesCap(fmt.Sprintf("cwnd-%d", connID), perConn)
+			cw.Append(0, 1)
+			res.Cwnd[k] = cw
+			s.OnCwnd = func(v float64) { cw.Append(eng.Now(), v) }
+			res.AckArrivals[k] = make([]time.Duration, 0, perConn)
+			ackGapHist := metrics.NewHistogram(fmt.Sprintf("ack-gap-seconds/conn%d", connID), ackGapBounds)
+			lastAck := time.Duration(-1)
+			s.OnAckArrival = func(*packet.Packet) {
+				now := eng.Now()
+				res.AckArrivals[k] = append(res.AckArrivals[k], now)
+				if lastAck >= 0 {
+					ackGapHist.Observe((now - lastAck).Seconds())
+				}
+				lastAck = now
 			}
-			lastAck = now
-		}
-		rttSeries := trace.NewSeries(fmt.Sprintf("rtt-%d", connID))
-		res.RTT[k] = rttSeries
-		rttHist := metrics.NewHistogram(fmt.Sprintf("rtt-seconds/conn%d", connID), rttBounds)
-		s.OnRTTSample = func(m time.Duration) {
-			rttSeries.Append(eng.Now(), m.Seconds())
-			rttHist.Observe(m.Seconds())
-		}
-		s.OnCollapse = func(cause string) {
-			res.Collapses[k] = append(res.Collapses[k], CollapseEvent{eng.Now(), cause})
+			rttSeries := trace.NewSeries(fmt.Sprintf("rtt-%d", connID))
+			res.RTT[k] = rttSeries
+			rttHist := metrics.NewHistogram(fmt.Sprintf("rtt-seconds/conn%d", connID), rttBounds)
+			s.OnRTTSample = func(m time.Duration) {
+				rttSeries.Append(eng.Now(), m.Seconds())
+				rttHist.Observe(m.Seconds())
+			}
+			s.OnCollapse = func(cause string) {
+				res.Collapses[k] = append(res.Collapses[k], CollapseEvent{eng.Now(), cause})
+			}
 		}
 
 		start := spec.Start

@@ -90,6 +90,33 @@ func TestShardedMatchesSerialRandomized(t *testing.T) {
 	}
 }
 
+// TestShardedScaleFreeIdentity pins shard ≡ serial beyond lines: a
+// seeded Barabási–Albert scale-free graph — hubs, leaves, uneven
+// degree, partitioned by the BFS+refinement heuristic rather than
+// contiguous chain blocks — must produce byte-identical results at
+// every shard count.
+func TestShardedScaleFreeIdentity(t *testing.T) {
+	g := topology.BarabasiAlbert(24, 2, 9)
+	cfg := Config{
+		Topology:   &g,
+		TrunkDelay: 10 * time.Millisecond,
+		Buffer:     20,
+		Seed:       7,
+		Warmup:     5 * time.Second,
+		Duration:   30 * time.Second,
+		Conns: []ConnSpec{
+			{SrcHost: 0, DstHost: 23, Start: -1},
+			{SrcHost: 23, DstHost: 0, Start: -1},
+			{SrcHost: 5, DstHost: 17, Start: -1},
+			{SrcHost: 12, DstHost: 3, Start: -1},
+		},
+	}
+	serial := runSharded(cfg, 1)
+	for _, k := range []int{2, 4} {
+		assertRunsIdentical(t, serial, runSharded(cfg, k))
+	}
+}
+
 // TestShardedNoPoolIdentity crosses sharding with the NoPool debug
 // mode: ownership transfer must behave with nil region pools too.
 func TestShardedNoPoolIdentity(t *testing.T) {

@@ -166,6 +166,16 @@ func TestCongestionWaveProbe(t *testing.T) {
 	}
 }
 
+func TestWaveSpeedStudy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale experiment")
+	}
+	o := runAndCheck(t, "wave-speed")
+	if len(o.Series) < 8 {
+		t.Fatalf("wave-speed exposes %d hop series, want 8", len(o.Series))
+	}
+}
+
 // Every experiment must at least run and produce metrics at tiny scale —
 // the smoke path exercised even with -short skipped full runs.
 func TestAllExperimentsSmoke(t *testing.T) {

@@ -25,15 +25,32 @@ type Handler interface {
 	Handle(p *packet.Packet)
 }
 
+// denseRouteLimit is the highest destination host ID kept in a switch's
+// dense forwarding slice. Small networks — the paper's dumbbell, every
+// shipped scenario — stay on the direct-index table, so the per-packet
+// lookup there is still just a bounds check. Beyond it the switch
+// migrates to sorted interval runs (binary-search lookup), which is
+// what keeps 10⁵-host networks from paying hosts×switches pointers of
+// table memory. A variable so tests can force either representation.
+var denseRouteLimit = 64
+
 // Switch forwards packets toward their destination host. Forwarding is
 // instantaneous; all queueing happens in the output ports. The
-// forwarding table is a dense slice indexed by destination host ID —
-// host IDs are small consecutive integers, so the per-packet lookup is
-// a bounds check, not a map probe — and is populated from the compiled
-// topology's next-hop computation (or directly via AddRoute).
+// forwarding table starts as a dense slice indexed by destination host
+// ID and converts to sorted host-ID interval runs the first time a
+// route at or beyond denseRouteLimit is installed; AddRouteRange paints
+// whole intervals at once, which is how internal/core installs the
+// compiled topology's interval-compressed next-hop state.
 type Switch struct {
 	id    int
-	table []*link.Port
+	table []*link.Port // dense mode; nil once runs is active
+	runs  []portRun    // run mode: sorted, disjoint, non-adjacent-equal
+}
+
+// portRun forwards destination host IDs in [start, end) out one port.
+type portRun struct {
+	start, end int32
+	port       *link.Port
 }
 
 // NewSwitch returns a switch with an empty forwarding table.
@@ -50,29 +67,153 @@ func (s *Switch) AddRoute(dst int, out *link.Port) {
 	if dst < 0 {
 		panic(fmt.Sprintf("switch %d: negative route destination %d", s.id, dst))
 	}
-	for dst >= len(s.table) {
-		s.table = append(s.table, nil)
+	s.AddRouteRange(dst, dst+1, out)
+}
+
+// AddRouteRange directs packets destined for any host in [lo, hi) out
+// the given port, replacing previous routes in the interval. It is the
+// bulk route-installation interface: one call per forwarding interval
+// of the compiled topology, instead of one per host.
+func (s *Switch) AddRouteRange(lo, hi int, out *link.Port) {
+	if lo < 0 || hi < lo {
+		panic(fmt.Sprintf("switch %d: bad route range [%d,%d)", s.id, lo, hi))
 	}
-	s.table[dst] = out
+	if lo == hi {
+		return
+	}
+	if s.runs == nil && hi <= denseRouteLimit {
+		for hi > len(s.table) {
+			s.table = append(s.table, nil)
+		}
+		for d := lo; d < hi; d++ {
+			s.table[d] = out
+		}
+		return
+	}
+	if s.runs == nil {
+		s.migrateToRuns()
+	}
+	s.paint(int32(lo), int32(hi), out)
+}
+
+// migrateToRuns converts the dense table to interval runs.
+func (s *Switch) migrateToRuns() {
+	s.runs = make([]portRun, 0, 4)
+	for d := 0; d < len(s.table); d++ {
+		pt := s.table[d]
+		if pt == nil {
+			continue
+		}
+		if n := len(s.runs); n > 0 && s.runs[n-1].end == int32(d) && s.runs[n-1].port == pt {
+			s.runs[n-1].end++
+		} else {
+			s.runs = append(s.runs, portRun{int32(d), int32(d) + 1, pt})
+		}
+	}
+	s.table = nil
+}
+
+// paint replaces the routes for [lo, hi) with out, keeping the run list
+// sorted, disjoint, and merged with equal-port neighbors. Route
+// installation is build-time work; the per-packet path is lookup.
+func (s *Switch) paint(lo, hi int32, out *link.Port) {
+	// Find the insertion window [i, j): runs strictly before lo stay,
+	// runs strictly after hi stay, everything overlapping is replaced
+	// (with clipped remainders of the boundary runs re-added).
+	i := 0
+	for i < len(s.runs) && s.runs[i].end <= lo {
+		i++
+	}
+	j := i
+	var pre, post portRun
+	hasPre, hasPost := false, false
+	for j < len(s.runs) && s.runs[j].start < hi {
+		r := s.runs[j]
+		if r.start < lo {
+			pre, hasPre = portRun{r.start, lo, r.port}, true
+		}
+		if r.end > hi {
+			post, hasPost = portRun{hi, r.end, r.port}, true
+		}
+		j++
+	}
+	repl := make([]portRun, 0, 3)
+	if hasPre {
+		if pre.port == out {
+			lo = pre.start
+		} else {
+			repl = append(repl, pre)
+		}
+	}
+	if hasPost && post.port == out {
+		hi = post.end
+		hasPost = false
+	}
+	// Merge with untouched equal-port neighbors.
+	if i > 0 && len(repl) == 0 && s.runs[i-1].port == out && s.runs[i-1].end == lo {
+		i--
+		lo = s.runs[i].start
+	}
+	repl = append(repl, portRun{lo, hi, out})
+	if hasPost {
+		repl = append(repl, post)
+	} else if j < len(s.runs) && s.runs[j].port == out && s.runs[j].start == hi {
+		repl[len(repl)-1].end = s.runs[j].end
+		j++
+	}
+	s.runs = append(s.runs[:i], append(repl, s.runs[j:]...)...)
+}
+
+// lookup returns the output port for dst, or nil.
+func (s *Switch) lookup(dst int) *link.Port {
+	if s.runs == nil {
+		if dst < 0 || dst >= len(s.table) {
+			return nil
+		}
+		return s.table[dst]
+	}
+	d := int32(dst)
+	lo, hi := 0, len(s.runs)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if s.runs[mid].end <= d {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(s.runs) && s.runs[lo].start <= d {
+		return s.runs[lo].port
+	}
+	return nil
 }
 
 // Route returns the output port for host dst, or nil if none is set.
 // It exists for forwarding-table inspection (tests, tahoe-sim
 // -validate); the hot path is Deliver.
 func (s *Switch) Route(dst int) *link.Port {
-	if dst < 0 || dst >= len(s.table) {
+	if dst < 0 {
 		return nil
 	}
-	return s.table[dst]
+	return s.lookup(dst)
 }
 
 // Deliver implements link.Receiver: look up the output port for the
 // packet's destination and enqueue it there.
 func (s *Switch) Deliver(p *packet.Packet) {
-	if p.Dst < 0 || p.Dst >= len(s.table) || s.table[p.Dst] == nil {
+	if s.runs == nil {
+		// Dense fast path: identical to the historical per-packet cost.
+		if p.Dst < 0 || p.Dst >= len(s.table) || s.table[p.Dst] == nil {
+			panic(fmt.Sprintf("switch %d: no route to host %d for %v", s.id, p.Dst, p))
+		}
+		s.table[p.Dst].Send(p)
+		return
+	}
+	out := s.lookup(p.Dst)
+	if out == nil {
 		panic(fmt.Sprintf("switch %d: no route to host %d for %v", s.id, p.Dst, p))
 	}
-	s.table[p.Dst].Send(p)
+	out.Send(p)
 }
 
 // Host terminates TCP connections. Incoming packets are charged the

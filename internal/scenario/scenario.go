@@ -80,12 +80,21 @@ type File struct {
 // named generator or an explicit switch/link list, optionally with
 // explicit host placement and route overrides.
 type Topology struct {
-	// Generator names a built-in graph: "dumbbell", "chain", or
-	// "parking-lot". Mutually exclusive with Switches/Links.
+	// Generator names a built-in graph: "dumbbell", "chain",
+	// "parking-lot", "ba" (Barabási–Albert scale-free), or "waxman"
+	// (random geometric). Mutually exclusive with Switches/Links.
 	Generator string `json:"generator,omitempty"`
-	// Size parameterizes the generator: switches for "chain", bottleneck
-	// hops for "parking-lot". Ignored for "dumbbell".
+	// Size parameterizes the generator: switches for "chain", "ba", and
+	// "waxman", bottleneck hops for "parking-lot". Rejected for
+	// "dumbbell".
 	Size int `json:"size,omitempty"`
+	// M is the "ba" generator's attachment count (links added per
+	// joining switch); Seed drives the "ba" and "waxman" generators'
+	// randomness. Each is rejected on generators that do not use it, so
+	// a misplaced field fails loudly instead of silently changing the
+	// graph.
+	M    int   `json:"m,omitempty"`
+	Seed int64 `json:"seed,omitempty"`
 	// Switches/Links describe an explicit graph.
 	Switches int        `json:"switches,omitempty"`
 	Links    []TopoLink `json:"links,omitempty"`
@@ -447,6 +456,9 @@ func (t *Topology) graph() (topology.Graph, error) {
 			})
 		}
 	case "dumbbell":
+		if t.Size != 0 {
+			return g, fmt.Errorf("scenario: dumbbell topology takes no size")
+		}
 		g = topology.Dumbbell()
 	case "chain":
 		if t.Size < 2 {
@@ -458,8 +470,27 @@ func (t *Topology) graph() (topology.Graph, error) {
 			return g, fmt.Errorf("scenario: parking-lot topology needs size >= 1")
 		}
 		g = topology.ParkingLot(t.Size)
+	case "ba":
+		if t.Size < 2 {
+			return g, fmt.Errorf("scenario: ba topology needs size >= 2")
+		}
+		if t.M < 1 || t.M >= t.Size {
+			return g, fmt.Errorf("scenario: ba topology needs 1 <= m < size, got m=%d", t.M)
+		}
+		g = topology.BarabasiAlbert(t.Size, t.M, t.Seed)
+	case "waxman":
+		if t.Size < 2 {
+			return g, fmt.Errorf("scenario: waxman topology needs size >= 2")
+		}
+		g = topology.Waxman(t.Size, t.Seed)
 	default:
-		return g, fmt.Errorf("scenario: unknown topology generator %q", t.Generator)
+		return g, fmt.Errorf("scenario: unknown topology generator %q (want dumbbell, chain, parking-lot, ba, or waxman)", t.Generator)
+	}
+	if t.M != 0 && t.Generator != "ba" {
+		return g, fmt.Errorf("scenario: topology m is only valid for the ba generator (got generator %q)", t.Generator)
+	}
+	if t.Seed != 0 && t.Generator != "ba" && t.Generator != "waxman" {
+		return g, fmt.Errorf("scenario: topology seed is only valid for the ba and waxman generators (got generator %q)", t.Generator)
 	}
 	if t.Generator != "" && explicit {
 		return g, fmt.Errorf("scenario: topology generator %q excludes explicit switches/links", t.Generator)

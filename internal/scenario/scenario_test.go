@@ -110,6 +110,41 @@ func TestParseTopologyGenerator(t *testing.T) {
 	}
 }
 
+func TestParseTopologyRandomGenerators(t *testing.T) {
+	j := `{"trunk_delay":"10ms","buffer":20,
+	       "topology":{"generator":"ba","size":32,"m":2,"seed":7},
+	       "conns":[{"src":0,"dst":31}]}`
+	cfg, err := Parse(strings.NewReader(j))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Topology == nil || cfg.Topology.Switches != 32 {
+		t.Fatalf("ba topology = %+v", cfg.Topology)
+	}
+	// Same seed → same graph: the scenario is as reproducible as an
+	// explicit link list.
+	cfg2, err := Parse(strings.NewReader(j))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfg.Topology.Links) != len(cfg2.Topology.Links) {
+		t.Fatalf("ba reparse changed the graph")
+	}
+	j = `{"trunk_delay":"10ms","buffer":20,
+	       "topology":{"generator":"waxman","size":40,"seed":3},
+	       "conns":[{"src":0,"dst":39}]}`
+	cfg, err = Parse(strings.NewReader(j))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Topology == nil || cfg.Topology.Switches != 40 {
+		t.Fatalf("waxman topology = %+v", cfg.Topology)
+	}
+	if _, err := cfg.CompileTopology(); err != nil {
+		t.Fatalf("waxman compile: %v", err)
+	}
+}
+
 func TestParseTopologyExplicit(t *testing.T) {
 	j := `{"trunk_delay":"10ms","buffer":20,
 	       "topology":{
@@ -150,6 +185,13 @@ func TestParseTopologyErrors(t *testing.T) {
 		"disconnected":        `{"trunk_delay":"1s","buffer":20,"topology":{"switches":3,"links":[{"a":0,"b":1}]},"conns":[{"src":0,"dst":1}]}`,
 		"self loop":           `{"trunk_delay":"1s","buffer":20,"topology":{"switches":2,"links":[{"a":0,"b":0},{"a":0,"b":1}]},"conns":[{"src":0,"dst":1}]}`,
 		"bad route override":  `{"trunk_delay":"1s","buffer":20,"topology":{"generator":"chain","size":3,"routes":[{"at":0,"dst":2,"via":2}]},"conns":[{"src":0,"dst":1}]}`,
+		"ba too small":        `{"trunk_delay":"1s","buffer":20,"topology":{"generator":"ba","size":1,"m":1},"conns":[{"src":0,"dst":1}]}`,
+		"ba missing m":        `{"trunk_delay":"1s","buffer":20,"topology":{"generator":"ba","size":8},"conns":[{"src":0,"dst":1}]}`,
+		"ba m too large":      `{"trunk_delay":"1s","buffer":20,"topology":{"generator":"ba","size":8,"m":8},"conns":[{"src":0,"dst":1}]}`,
+		"waxman too small":    `{"trunk_delay":"1s","buffer":20,"topology":{"generator":"waxman","size":1},"conns":[{"src":0,"dst":1}]}`,
+		"m on chain":          `{"trunk_delay":"1s","buffer":20,"topology":{"generator":"chain","size":4,"m":2},"conns":[{"src":0,"dst":1}]}`,
+		"seed on parking-lot": `{"trunk_delay":"1s","buffer":20,"topology":{"generator":"parking-lot","size":3,"seed":4},"conns":[{"src":0,"dst":1}]}`,
+		"dumbbell with size":  `{"trunk_delay":"1s","buffer":20,"topology":{"generator":"dumbbell","size":2},"conns":[{"src":0,"dst":1}]}`,
 		"host out of range":   `{"trunk_delay":"1s","buffer":20,"conns":[{"src":0,"dst":5}]}`,
 		"src equals dst":      `{"trunk_delay":"1s","buffer":20,"conns":[{"src":1,"dst":1}]}`,
 		"negative ack size":   `{"trunk_delay":"1s","buffer":20,"ack_size":-1,"conns":[{"src":0,"dst":1}]}`,

@@ -2,6 +2,7 @@ package tcp
 
 import (
 	"fmt"
+	"sort"
 
 	"tahoedyn/internal/packet"
 	"tahoedyn/internal/sim"
@@ -45,8 +46,14 @@ type Receiver struct {
 	ids *IDGen
 	cfg ReceiverConfig
 
-	rcvNxt   int
-	oob      map[int]bool
+	rcvNxt int
+	// oob holds the sequence numbers buffered out of order above rcvNxt,
+	// sorted ascending. It stays nil until the first hole, so a
+	// connection that never reorders allocates no reassembly state —
+	// at 10⁵ concurrent connections that is the difference between a
+	// map per flow and nothing. The set is bounded by the window, so a
+	// sorted slice also beats a map on bytes per buffered segment.
+	oob      []int
 	pending  int // data packets not yet acknowledged (delayed-ACK state)
 	delTimer *sim.Timer
 
@@ -61,7 +68,7 @@ func NewReceiver(eng *sim.Engine, net Network, ids *IDGen, cfg ReceiverConfig) *
 	if cfg.AckSize < 0 {
 		panic(fmt.Sprintf("tcp: receiver conn %d has negative AckSize", cfg.Conn))
 	}
-	r := &Receiver{eng: eng, net: net, ids: ids, cfg: cfg, oob: make(map[int]bool)}
+	r := &Receiver{eng: eng, net: net, ids: ids, cfg: cfg}
 	r.delTimer = sim.NewTimer(eng, r.flushDelayedAck)
 	return r
 }
@@ -87,7 +94,7 @@ func (r *Receiver) handleData(p *packet.Packet) {
 		panic(fmt.Sprintf("tcp: receiver conn %d got %v", r.cfg.Conn, p))
 	}
 	switch {
-	case p.Seq < r.rcvNxt || r.oob[p.Seq]:
+	case p.Seq < r.rcvNxt || r.oobHas(p.Seq):
 		// Duplicate: acknowledge immediately so the sender sees it.
 		r.stats.DupData++
 		r.sendAck()
@@ -95,10 +102,15 @@ func (r *Receiver) handleData(p *packet.Packet) {
 		r.stats.DataReceived++
 		r.rcvNxt++
 		drained := false
-		for r.oob[r.rcvNxt] {
-			delete(r.oob, r.rcvNxt)
+		n := 0
+		for n < len(r.oob) && r.oob[n] == r.rcvNxt {
+			n++
 			r.rcvNxt++
 			drained = true
+		}
+		if n > 0 {
+			// Copy-down keeps the backing array for the next burst.
+			r.oob = append(r.oob[:0], r.oob[n:]...)
 		}
 		if !r.cfg.DelayedAck || drained {
 			// Filling a hole acknowledges immediately (the kernel sets
@@ -117,11 +129,26 @@ func (r *Receiver) handleData(p *packet.Packet) {
 		}
 	default: // p.Seq > r.rcvNxt: out of order
 		r.stats.DataReceived++
-		r.oob[p.Seq] = true
+		r.oobAdd(p.Seq)
 		// Out-of-order arrival forces an immediate (duplicate) ACK —
 		// this is what feeds the sender's fast retransmit.
 		r.sendAck()
 	}
+}
+
+// oobHas reports whether seq is buffered out of order.
+func (r *Receiver) oobHas(seq int) bool {
+	i := sort.SearchInts(r.oob, seq)
+	return i < len(r.oob) && r.oob[i] == seq
+}
+
+// oobAdd inserts seq into the sorted out-of-order set; the caller has
+// already ruled out duplicates.
+func (r *Receiver) oobAdd(seq int) {
+	i := sort.SearchInts(r.oob, seq)
+	r.oob = append(r.oob, 0)
+	copy(r.oob[i+1:], r.oob[i:])
+	r.oob[i] = seq
 }
 
 // flushDelayedAck is the 200 ms fast-timer flush.

@@ -78,10 +78,9 @@ type Sender struct {
 	nxt     int // next sequence number to send
 	maxSent int // highest sequence number ever sent + 1
 
-	cwnd       float64
-	ssthresh   float64
-	dupacks    int
-	inRecovery bool // Reno fast recovery in progress
+	cwnd     float64
+	ssthresh float64
+	dupacks  int
 
 	rtt      rttEstimator
 	rtx      *sim.Timer
@@ -91,9 +90,14 @@ type Sender struct {
 	paceEvent *sim.Event
 	paceFn    func() // pacing resume, bound once so pacing never allocates
 	lastTxAt  time.Duration
-	everSent  bool
-	started   bool
-	stats     SenderStats
+
+	// Flag bytes grouped so they pack into one word instead of padding
+	// out three; with 10⁵ concurrent senders the layout is measurable.
+	inRecovery bool // Reno fast recovery in progress
+	everSent   bool
+	started    bool
+
+	stats SenderStats
 
 	// OnCwnd, if set, is called with the new congestion window after
 	// every change.

@@ -1,0 +1,195 @@
+package topology
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+func genDefaults() Defaults {
+	return Defaults{Bandwidth: 50_000, Delay: 50 * time.Millisecond, Buffer: 20, DataSize: 500}
+}
+
+func TestBarabasiAlbertDeterministic(t *testing.T) {
+	a := BarabasiAlbert(300, 2, 11)
+	b := BarabasiAlbert(300, 2, 11)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same (n,m,seed) produced different graphs")
+	}
+	c := BarabasiAlbert(300, 2, 12)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical graphs")
+	}
+}
+
+func TestBarabasiAlbertShape(t *testing.T) {
+	n, m := 500, 3
+	g := BarabasiAlbert(n, m, 5)
+	if g.Switches != n {
+		t.Fatalf("switches = %d", g.Switches)
+	}
+	// m seed links plus m per joining switch.
+	if want := m + (n-m-1)*m; len(g.Links) != want {
+		t.Fatalf("links = %d, want %d", len(g.Links), want)
+	}
+	deg := make([]int, n)
+	for _, l := range g.Links {
+		if l.A == l.B {
+			t.Fatalf("self-loop on %d", l.A)
+		}
+		deg[l.A]++
+		deg[l.B]++
+	}
+	// Scale-free signature: some hub has far more than the mean degree.
+	mean := 2 * len(g.Links) / n
+	max := 0
+	for _, d := range deg {
+		if d > max {
+			max = d
+		}
+	}
+	if max < 4*mean {
+		t.Fatalf("max degree %d < 4×mean %d: not scale-free-ish", max, mean)
+	}
+	// Connected: compiling computes full routes or errors.
+	if _, err := g.Compile(genDefaults()); err != nil {
+		t.Fatalf("BA graph disconnected: %v", err)
+	}
+}
+
+func TestBarabasiAlbertClamps(t *testing.T) {
+	g := BarabasiAlbert(1, 5, 0) // n<2 and m>=n both clamp
+	if g.Switches != 2 || len(g.Links) != 1 {
+		t.Fatalf("clamped graph: %+v", g)
+	}
+	if _, err := g.Compile(genDefaults()); err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+}
+
+func TestWaxmanDeterministic(t *testing.T) {
+	a := Waxman(400, 21)
+	b := Waxman(400, 21)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same (n,seed) produced different graphs")
+	}
+	c := Waxman(400, 22)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical graphs")
+	}
+}
+
+func TestWaxmanShape(t *testing.T) {
+	n := 600
+	g := Waxman(n, 9)
+	if g.Switches != n {
+		t.Fatalf("switches = %d", g.Switches)
+	}
+	if len(g.Links) < n-1 {
+		t.Fatalf("links = %d < n-1: backbone missing", len(g.Links))
+	}
+	// The geometric cutoff keeps the graph sparse: average degree must
+	// stay small (the generator targets ~4) rather than growing with n.
+	if avg := 2 * float64(len(g.Links)) / float64(n); avg > 10 {
+		t.Fatalf("average degree %.1f: cutoff not limiting edges", avg)
+	}
+	seen := make(map[[2]int]bool)
+	for _, l := range g.Links {
+		if l.A == l.B {
+			t.Fatalf("self-loop on %d", l.A)
+		}
+		k := [2]int{l.A, l.B}
+		if l.A > l.B {
+			k = [2]int{l.B, l.A}
+		}
+		if seen[k] {
+			t.Fatalf("duplicate link %v", k)
+		}
+		seen[k] = true
+	}
+	if _, err := g.Compile(genDefaults()); err != nil {
+		t.Fatalf("Waxman graph disconnected: %v", err)
+	}
+}
+
+func TestWaxmanConnectedAcrossSeeds(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		if _, err := Waxman(150, seed).Compile(genDefaults()); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+// TestGeneratorPartition covers Partition on random graphs: regions
+// cover every switch, sizes stay within one of each other, CutLinks are
+// exactly the region-crossing links in ascending order, and MinCutDelay
+// is their minimum delay.
+func TestGeneratorPartition(t *testing.T) {
+	graphs := map[string]Graph{
+		"ba":     BarabasiAlbert(256, 2, 3),
+		"waxman": Waxman(256, 3),
+	}
+	for name, g := range graphs {
+		t.Run(name, func(t *testing.T) {
+			c, err := g.Compile(genDefaults())
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			for _, k := range []int{2, 3, 8} {
+				p, err := c.Partition(k)
+				if err != nil {
+					t.Fatalf("k=%d: %v", k, err)
+				}
+				if p.K != k {
+					t.Fatalf("k=%d: got K=%d", k, p.K)
+				}
+				size := make([]int, k)
+				for s, r := range p.Region {
+					if r < 0 || r >= k {
+						t.Fatalf("switch %d region %d out of range", s, r)
+					}
+					size[r]++
+				}
+				lo, hi := c.Switches, 0
+				total := 0
+				for _, n := range size {
+					if n == 0 {
+						t.Fatalf("k=%d: empty region", k)
+					}
+					if n < lo {
+						lo = n
+					}
+					if n > hi {
+						hi = n
+					}
+					total += n
+				}
+				if total != c.Switches {
+					t.Fatalf("k=%d: regions cover %d of %d switches", k, total, c.Switches)
+				}
+				if hi-lo > 1 {
+					t.Fatalf("k=%d: region sizes %v spread more than 1", k, size)
+				}
+				// CutLinks = exactly the crossing links, ascending; MinCutDelay
+				// = their minimum.
+				var wantCut []int
+				minDelay := time.Duration(0)
+				for li, l := range c.Links {
+					if p.Region[l.A] == p.Region[l.B] {
+						continue
+					}
+					wantCut = append(wantCut, li)
+					if minDelay == 0 || l.Delay < minDelay {
+						minDelay = l.Delay
+					}
+				}
+				if !reflect.DeepEqual(p.CutLinks, wantCut) {
+					t.Fatalf("k=%d: CutLinks = %v, want %v", k, p.CutLinks, wantCut)
+				}
+				if p.MinCutDelay != minDelay {
+					t.Fatalf("k=%d: MinCutDelay = %v, want %v", k, p.MinCutDelay, minDelay)
+				}
+			}
+		})
+	}
+}

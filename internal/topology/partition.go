@@ -53,7 +53,7 @@ func (c *Compiled) Partition(k int) (*Partition, error) {
 
 	// BFS layout. Components are visited lowest-index first; within a
 	// component the frontier is a FIFO queue and neighbors are pushed in
-	// ascending link-index order.
+	// ascending link-index order (the CSR half-edge order).
 	order := make([]int, 0, c.Switches)
 	seen := make([]bool, c.Switches)
 	queue := make([]int, 0, c.Switches)
@@ -67,17 +67,8 @@ func (c *Compiled) Partition(k int) (*Partition, error) {
 			u := queue[0]
 			queue = queue[1:]
 			order = append(order, u)
-			for _, l := range c.Links {
-				var v int
-				switch u {
-				case l.A:
-					v = l.B
-				case l.B:
-					v = l.A
-				default:
-					continue
-				}
-				if !seen[v] {
+			for i := c.adjOff[u]; i < c.adjOff[u+1]; i++ {
+				if v := int(c.adjSw[i]); !seen[v] {
 					seen[v] = true
 					queue = append(queue, v)
 				}
@@ -120,17 +111,8 @@ func (c *Compiled) Partition(k int) (*Partition, error) {
 			// Count s's links into each region; the cut delta for moving
 			// s from `from` to `to` is deg[from] - deg[to].
 			bestTo, bestDelta := -1, 0
-			for _, l := range c.Links {
-				var v int
-				switch s {
-				case l.A:
-					v = l.B
-				case l.B:
-					v = l.A
-				default:
-					continue
-				}
-				to := region[v]
+			for i := c.adjOff[s]; i < c.adjOff[s+1]; i++ {
+				to := region[c.adjSw[i]]
 				if to == from || size[to] >= hi {
 					continue
 				}
@@ -158,17 +140,8 @@ func (c *Compiled) Partition(k int) (*Partition, error) {
 func (c *Compiled) cutDelta(region []int, s, to int) int {
 	from := region[s]
 	delta := 0
-	for _, l := range c.Links {
-		var v int
-		switch s {
-		case l.A:
-			v = l.B
-		case l.B:
-			v = l.A
-		default:
-			continue
-		}
-		switch region[v] {
+	for i := c.adjOff[s]; i < c.adjOff[s+1]; i++ {
+		switch region[c.adjSw[i]] {
 		case from:
 			delta++ // was internal, becomes cut
 		case to:

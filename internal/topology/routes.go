@@ -1,0 +1,382 @@
+package topology
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// denseNextLimit is the forwarding-table cell count (Switches × Hosts)
+// at or below which Compile keeps the historical dense next-hop array.
+// Small graphs — the paper's dumbbell, every shipped scenario — stay on
+// the direct-index representation; larger ones switch to interval runs.
+// A variable so the equivalence tests can force either representation.
+var denseNextLimit = 1 << 14
+
+// colBatchCells bounds the transient memory of one route-compilation
+// batch: the distinct-destination Dijkstra columns held live at once
+// never exceed about this many int32 cells (32 MiB at the default). A
+// variable so tests can force multi-batch compiles on small graphs.
+var colBatchCells = 1 << 23
+
+// routeBuilder accumulates per-switch forwarding runs across host
+// batches. It exists only between computeRoutes and freeze; dense-mode
+// compiles never create one.
+type routeBuilder struct {
+	// runs[s] is switch s's interval list so far: entry {end, hop}
+	// covers hosts [previous end, end).
+	runs [][]runEntry
+}
+
+type runEntry struct {
+	end int32
+	hop int32
+}
+
+// paint overrides host h's hop at switch s, splitting the covering run.
+func (rb *routeBuilder) paint(s, h int, hop int32) {
+	rs := rb.runs[s]
+	start := int32(0)
+	for i := range rs {
+		if rs[i].end <= int32(h) {
+			start = rs[i].end
+			continue
+		}
+		// rs[i] covers h: split into [start,h) old, [h,h+1) new, [h+1,end) old.
+		if rs[i].hop == hop {
+			return
+		}
+		repl := make([]runEntry, 0, 3)
+		if int32(h) > start {
+			repl = append(repl, runEntry{int32(h), rs[i].hop})
+		}
+		repl = append(repl, runEntry{int32(h) + 1, hop})
+		if rs[i].end > int32(h)+1 {
+			repl = append(repl, runEntry{rs[i].end, rs[i].hop})
+		}
+		rb.runs[s] = append(rs[:i], append(repl, rs[i+1:]...)...)
+		return
+	}
+}
+
+// freeze flattens the accumulated runs into the Compiled's CSR-style
+// run arrays and releases the accumulator.
+func (rb *routeBuilder) freeze(c *Compiled) {
+	c.runOff = make([]int32, c.Switches+1)
+	total := 0
+	for s, rs := range rb.runs {
+		total += len(rs)
+		c.runOff[s+1] = int32(total)
+	}
+	c.runEnd = make([]int32, total)
+	c.runHop = make([]int32, total)
+	for s, rs := range rb.runs {
+		off := c.runOff[s]
+		for i, r := range rs {
+			c.runEnd[off+int32(i)] = r.end
+			c.runHop[off+int32(i)] = r.hop
+		}
+	}
+	rb.runs = nil
+}
+
+// computeRoutes fills the forwarding state with Dijkstra shortest paths
+// toward every host's switch. Work is batched over contiguous host
+// ranges: each batch computes one packed next-hop column per distinct
+// destination switch on a worker pool, then merges the columns — in
+// host order, over disjoint switch ranges — into the dense table or the
+// run accumulator. Neither step's output depends on worker scheduling,
+// so the routes are identical for every worker count.
+//
+// The returned builder is non-nil exactly in run mode; the caller
+// applies overrides and then freezes it.
+func (c *Compiled) computeRoutes() (*routeBuilder, error) {
+	nh := len(c.Hosts)
+	nsw := c.Switches
+	workers := c.workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	dense := nsw*nh <= denseNextLimit
+	var rb *routeBuilder
+	if dense {
+		c.next = make([]Hop, nsw*nh)
+	} else {
+		rb = &routeBuilder{runs: make([][]runEntry, nsw)}
+	}
+
+	// Batch size: how many distinct destination columns fit the
+	// transient budget (always at least one). A batch can never hold
+	// more columns than there are switches or hosts, so cap the budget
+	// there too — on small graphs the uncapped quotient is in the
+	// millions, and using it as a map size hint below would allocate
+	// a hundred MB of empty buckets per compile.
+	maxCols := colBatchCells / nsw
+	if maxCols < 1 {
+		maxCols = 1
+	}
+	if maxCols > nsw {
+		maxCols = nsw
+	}
+	if maxCols > nh {
+		maxCols = nh
+	}
+
+	var (
+		cols    [][]int32 // column arena, reused across batches
+		colBad  []int32   // lowest unreachable switch per column, -1 if none
+		scratch = sync.Pool{New: func() any { return newSSSP(nsw) }}
+	)
+
+	for lo := 0; lo < nh; {
+		// Grow the batch [lo,hi) while its distinct destination switches
+		// fit the column budget. Consecutive hosts on one switch share a
+		// column, so a batch always advances by at least one host.
+		colOf := make(map[int]int, maxCols)
+		var dests []int32
+		hi := lo
+		for hi < nh {
+			d := c.Hosts[hi].Switch
+			if _, ok := colOf[d]; !ok {
+				if len(dests) == maxCols {
+					break
+				}
+				colOf[d] = len(dests)
+				dests = append(dests, int32(d))
+			}
+			hi++
+		}
+
+		for len(cols) < len(dests) {
+			cols = append(cols, make([]int32, nsw))
+			colBad = append(colBad, -1)
+		}
+
+		// Parallel Dijkstra: one packed hop column per destination.
+		forEachParallel(workers, len(dests), func(i int) {
+			sc := scratch.Get().(*sssp)
+			colBad[i] = c.fillColumn(sc, int(dests[i]), cols[i])
+			scratch.Put(sc)
+		})
+		for h := lo; h < hi; h++ {
+			if bad := colBad[colOf[c.Hosts[h].Switch]]; bad >= 0 {
+				return nil, fmt.Errorf("topology: switch %d cannot reach host %d (switch %d): graph is disconnected",
+					bad, h, c.Hosts[h].Switch)
+			}
+		}
+
+		// Merge the batch into the forwarding state, in host order.
+		if dense {
+			for h := lo; h < hi; h++ {
+				col := cols[colOf[c.Hosts[h].Switch]]
+				for s := 0; s < nsw; s++ {
+					if p := col[s]; p < 0 {
+						c.next[s*nh+h] = local
+					} else {
+						c.next[s*nh+h] = unpackHop(p)
+					}
+				}
+			}
+		} else {
+			// Disjoint switch ranges extend their runs independently; the
+			// result per switch depends only on the columns and the host
+			// order, both fixed before the fan-out.
+			chunk := (nsw + workers*4 - 1) / (workers * 4)
+			if chunk < 1 {
+				chunk = 1
+			}
+			nChunks := (nsw + chunk - 1) / chunk
+			forEachParallel(workers, nChunks, func(ci int) {
+				sLo, sHi := ci*chunk, (ci+1)*chunk
+				if sHi > nsw {
+					sHi = nsw
+				}
+				for s := sLo; s < sHi; s++ {
+					rs := rb.runs[s]
+					for h := lo; h < hi; h++ {
+						p := cols[colOf[c.Hosts[h].Switch]][s]
+						if n := len(rs); n > 0 && rs[n-1].hop == p && rs[n-1].end == int32(h) {
+							rs[n-1].end = int32(h) + 1
+						} else {
+							rs = append(rs, runEntry{int32(h) + 1, p})
+						}
+					}
+					rb.runs[s] = rs
+				}
+			})
+		}
+		lo = hi
+	}
+	return rb, nil
+}
+
+// fillColumn computes dest d's packed next-hop column: col[s] is the
+// hop switch s uses toward d (hopLocal at d itself). It returns the
+// lowest switch index that cannot reach d, or -1 when all can. Among
+// equal-cost hops the lowest link index wins — the CSR half-edges are
+// sorted by link index and only a strictly cheaper cost displaces the
+// incumbent.
+func (c *Compiled) fillColumn(sc *sssp, d int, col []int32) (bad int32) {
+	dist := sc.run(c, d)
+	bad = -1
+	for s := 0; s < c.Switches; s++ {
+		if s == d {
+			col[s] = hopLocal
+			continue
+		}
+		best, bestCost := hopUnreachable, maxDist
+		for i := c.adjOff[s]; i < c.adjOff[s+1]; i++ {
+			dn := dist[c.adjSw[i]]
+			if dn == maxDist {
+				continue
+			}
+			if cost := c.wt[c.adjHop[i]>>1] + dn; cost < bestCost {
+				best, bestCost = c.adjHop[i], cost
+			}
+		}
+		col[s] = best
+		if best == hopUnreachable && bad < 0 {
+			bad = int32(s)
+		}
+	}
+	return bad
+}
+
+const maxDist = time.Duration(1<<63 - 1)
+
+// sssp is one worker's single-source shortest-path scratch: a distance
+// vector and a lazy-deletion binary heap. Distances out of Dijkstra
+// with positive weights and strictly-improving relaxation are unique,
+// so the heap's tie order — unlike the old O(n²) lowest-index sweep —
+// cannot influence the result.
+type sssp struct {
+	dist  []time.Duration
+	heap  []heapNode
+	epoch []int32 // touched[s] == gen marks dist[s] as valid this run
+	gen   int32
+}
+
+type heapNode struct {
+	d  time.Duration
+	sw int32
+}
+
+func newSSSP(n int) *sssp {
+	return &sssp{
+		dist:  make([]time.Duration, n),
+		epoch: make([]int32, n),
+	}
+}
+
+// run returns every switch's shortest distance to dst under the link
+// weight metric; unreachable switches hold maxDist.
+func (sc *sssp) run(c *Compiled, dst int) []time.Duration {
+	sc.gen++
+	if sc.gen == 0 { // wrapped: reset epochs
+		for i := range sc.epoch {
+			sc.epoch[i] = 0
+		}
+		sc.gen = 1
+	}
+	dist, epoch, gen := sc.dist, sc.epoch, sc.gen
+	at := func(s int32) time.Duration {
+		if epoch[s] != gen {
+			return maxDist
+		}
+		return dist[s]
+	}
+	set := func(s int32, d time.Duration) {
+		dist[s] = d
+		epoch[s] = gen
+	}
+	h := sc.heap[:0]
+	set(int32(dst), 0)
+	h = append(h, heapNode{0, int32(dst)})
+	for len(h) > 0 {
+		top := h[0]
+		n := len(h) - 1
+		h[0] = h[n]
+		h = h[:n]
+		// sift down
+		i := 0
+		for {
+			l := 2*i + 1
+			if l >= n {
+				break
+			}
+			if r := l + 1; r < n && h[r].d < h[l].d {
+				l = r
+			}
+			if h[l].d >= h[i].d {
+				break
+			}
+			h[i], h[l] = h[l], h[i]
+			i = l
+		}
+		if top.d > at(top.sw) { // stale entry (lazy deletion)
+			continue
+		}
+		for i := c.adjOff[top.sw]; i < c.adjOff[top.sw+1]; i++ {
+			v := c.adjSw[i]
+			if d := top.d + c.wt[c.adjHop[i]>>1]; d < at(v) {
+				set(v, d)
+				h = append(h, heapNode{d, v})
+				// sift up
+				j := len(h) - 1
+				for j > 0 {
+					p := (j - 1) / 2
+					if h[p].d <= h[j].d {
+						break
+					}
+					h[p], h[j] = h[j], h[p]
+					j = p
+				}
+			}
+		}
+	}
+	sc.heap = h[:0]
+	// Materialize maxDist for untouched switches so callers can read the
+	// vector directly.
+	for s := range dist {
+		if epoch[s] != gen {
+			dist[s] = maxDist
+			epoch[s] = gen
+		}
+	}
+	return dist
+}
+
+// forEachParallel runs fn(i) for every i in [0,n) across at most
+// `workers` goroutines pulling from a shared counter. fn must be safe
+// for concurrent calls with distinct i. workers <= 1 (or n <= 1) runs
+// inline.
+func forEachParallel(workers, n int, fn func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -4,14 +4,24 @@
 // the paper's dumbbell — which becomes the two-switch special case of
 // the Chain generator — to multi-bottleneck configurations such as the
 // parking lot, the workload of the congestion-wave and drop-tail
-// synchronization studies that follow the paper.
+// synchronization studies that follow the paper, and (via the seeded
+// BarabasiAlbert and Waxman generators) to Internet-scale random
+// graphs.
 //
 // A Graph is purely declarative. Compile resolves per-link parameter
 // defaults and computes per-switch forwarding tables with Dijkstra
 // shortest paths; internal/core consumes the compiled form to wire
 // hosts, switches, and ports. Everything is deterministic: link weights
 // are integer durations and every tie is broken by the lowest switch or
-// link index, so the same Graph always compiles to the same routes.
+// link index, so the same Graph always compiles to the same routes —
+// regardless of how many workers the route compiler fans out over.
+//
+// The compiled form is built for scale (DESIGN.md §13): adjacency is
+// CSR (compressed sparse row), forwarding state is stored as sorted
+// host-interval runs per switch (falling back to a dense array only
+// below a small size threshold), and the per-destination Dijkstra
+// columns are computed on a worker pool whose merge order is fixed by
+// host index, never by scheduling.
 package topology
 
 import (
@@ -64,14 +74,16 @@ type RouteSpec struct {
 
 // Graph is a declarative network description. The zero value is not
 // usable; fill the fields or use a generator (Dumbbell, Chain,
-// ParkingLot).
+// ParkingLot, BarabasiAlbert, Waxman).
 type Graph struct {
 	// Switches is the number of switches, indexed 0..Switches-1.
 	Switches int
 	// Links are the duplex switch-switch lines.
 	Links []LinkSpec
 	// Hosts lists the hosts; empty means one host per switch, host i at
-	// switch i (the line topologies' convention).
+	// switch i (the line topologies' convention). Large graphs should
+	// place hosts sparsely — only at traffic endpoints — since routes
+	// are computed toward every host's switch.
 	Hosts []HostSpec
 	// Routes optionally override computed shortest-path routes.
 	Routes []RouteSpec
@@ -113,6 +125,11 @@ type Defaults struct {
 	Buffer int
 	// DataSize is the data packet size in bytes for the routing metric.
 	DataSize int
+	// Workers bounds the route-compilation worker pool: 0 uses
+	// GOMAXPROCS, 1 compiles serially. The compiled routes are
+	// identical for every value — the worker count only changes how
+	// long Compile takes.
+	Workers int
 }
 
 // Link is a compiled LinkSpec: every parameter resolved. Buffer <= 0
@@ -134,8 +151,31 @@ type Hop struct {
 // attached to the switch itself.
 var local = Hop{Link: -1}
 
+// Packed hop encoding used by the CSR half-edges, the route compiler's
+// columns, and the interval-run forwarding tables: link<<1 | dir, with
+// negative sentinels for "destination is local" and "destination is
+// unreachable".
+const (
+	hopLocal       = int32(-1)
+	hopUnreachable = int32(-2)
+)
+
+func packHop(link, dir int) int32 { return int32(link)<<1 | int32(dir) }
+
+func unpackHop(p int32) Hop { return Hop{Link: int(p >> 1), Dir: int(p & 1)} }
+
 // Compiled is a Graph with resolved link parameters and per-switch
 // forwarding tables. Build it with Graph.Compile.
+//
+// Internally the graph is CSR: the half-edges of switch s occupy
+// adjSw/adjHop[adjOff[s]:adjOff[s+1]], sorted by ascending link index
+// (the tie-break order every deterministic scan relies on). Forwarding
+// state is either one dense Hop per (switch, host) cell — kept when
+// Switches×Hosts is at most denseNextLimit, the exact historical
+// representation — or per-switch sorted host-interval runs: run r of
+// switch s covers hosts [runEnd[r-1], runEnd[r]) and forwards them all
+// via runHop[r]. The two representations answer NextHop identically
+// (pinned by the equivalence tests); only their memory differs.
 type Compiled struct {
 	// Switches is the switch count.
 	Switches int
@@ -145,12 +185,30 @@ type Compiled struct {
 	// per switch when the Graph listed none).
 	Hosts []HostSpec
 
+	// CSR adjacency: half-edge i of switch s (adjOff[s] <= i <
+	// adjOff[s+1]) leads to switch adjSw[i] via packed hop adjHop[i].
+	adjOff []int32
+	adjSw  []int32
+	adjHop []int32
+
+	// wt[li] is link li's routing metric (Weight) precomputed once.
+	wt []time.Duration
+
 	// next[s*len(Hosts)+h] is the forwarding decision at switch s for
-	// host h; the local sentinel means h is attached to s.
+	// host h (dense mode; nil in run mode).
 	next []Hop
+	// runOff/runEnd/runHop are the interval-run tables (run mode; empty
+	// in dense mode). Switch s's runs are runOff[s]..runOff[s+1]; each
+	// run's hop is packed, hopLocal marking the switch's own hosts.
+	runOff []int32
+	runEnd []int32
+	runHop []int32
+
 	// dataSize is the Defaults.DataSize the graph was compiled with,
 	// retained for the Weight metric.
 	dataSize int
+	// workers is the compile worker bound (Defaults.Workers).
+	workers int
 }
 
 // NumHosts returns the number of hosts.
@@ -163,8 +221,74 @@ func (c *Compiled) HostSwitch(h int) int { return c.Hosts[h].Switch }
 // host h. local reports whether the host is attached to sw itself (in
 // which case the Hop is meaningless).
 func (c *Compiled) NextHop(sw, h int) (hop Hop, isLocal bool) {
-	hop = c.next[sw*len(c.Hosts)+h]
-	return hop, hop.Link < 0
+	if c.next != nil {
+		hop = c.next[sw*len(c.Hosts)+h]
+		return hop, hop.Link < 0
+	}
+	_ = c.Hosts[h] // bounds check: run lookup must not wander into the next switch
+	lo, hi := c.runOff[sw], c.runOff[sw+1]
+	// First run whose end exceeds h; runs cover every host, so it exists.
+	for lo < hi {
+		mid := (lo + hi) >> 1
+		if c.runEnd[mid] > int32(h) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	p := c.runHop[lo]
+	if p < 0 {
+		return local, true
+	}
+	return unpackHop(p), false
+}
+
+// ForEachHostRun calls fn for every maximal interval [h0,h1) of host
+// indices that switch sw forwards the same way: via hop, or locally
+// (isLocal true, hop meaningless). Intervals arrive in ascending host
+// order and together cover every host exactly once. It is the bulk
+// route-installation interface — internal/core paints one switch-table
+// range per run instead of asking NextHop once per host.
+func (c *Compiled) ForEachHostRun(sw int, fn func(h0, h1 int, hop Hop, isLocal bool)) {
+	nh := len(c.Hosts)
+	if c.next != nil {
+		row := c.next[sw*nh : (sw+1)*nh]
+		for h0 := 0; h0 < nh; {
+			h1 := h0 + 1
+			for h1 < nh && row[h1] == row[h0] {
+				h1++
+			}
+			fn(h0, h1, row[h0], row[h0].Link < 0)
+			h0 = h1
+		}
+		return
+	}
+	start := int32(0)
+	for r := c.runOff[sw]; r < c.runOff[sw+1]; r++ {
+		p := c.runHop[r]
+		if p < 0 {
+			fn(int(start), int(c.runEnd[r]), local, true)
+		} else {
+			fn(int(start), int(c.runEnd[r]), unpackHop(p), false)
+		}
+		start = c.runEnd[r]
+	}
+}
+
+// RouteRuns returns the total number of forwarding intervals across all
+// switches — the size of the compressed routing state (equal to
+// Switches×Hosts in dense mode only in the worst case of no adjacent
+// hosts sharing a next hop). It exists for capacity diagnostics
+// (tahoe-sim -validate, benchmarks).
+func (c *Compiled) RouteRuns() int {
+	if c.next == nil {
+		return len(c.runHop)
+	}
+	runs := 0
+	for s := 0; s < c.Switches; s++ {
+		c.ForEachHostRun(s, func(h0, h1 int, hop Hop, isLocal bool) { runs++ })
+	}
+	return runs
 }
 
 // PathHops returns the number of switch-switch links a packet from host
@@ -193,17 +317,14 @@ func (c *Compiled) PathHops(src, dst int) int {
 
 // Weight returns link li's routing metric: propagation delay plus the
 // transmission delay of one data packet.
-func (c *Compiled) Weight(li int) time.Duration {
-	l := c.Links[li]
-	bits := int64(c.dataSize) * 8
-	return l.Delay + time.Duration(bits*int64(time.Second)/l.Bandwidth)
-}
+func (c *Compiled) Weight(li int) time.Duration { return c.wt[li] }
 
 // Compile validates the graph, resolves per-link defaults, and computes
 // shortest-path forwarding tables. The metric is propagation plus
 // data-packet transmission delay per link; ties are broken
-// deterministically by lowest switch index during the Dijkstra sweep
-// and lowest link index when choosing among equal-cost next hops.
+// deterministically by the lowest link index when choosing among
+// equal-cost next hops (Dijkstra's final distances are themselves
+// visit-order independent, so no sweep-order tie-break is needed).
 func (g Graph) Compile(def Defaults) (*Compiled, error) {
 	if g.Switches < 1 {
 		return nil, fmt.Errorf("topology: need at least 1 switch, have %d", g.Switches)
@@ -211,9 +332,10 @@ func (g Graph) Compile(def Defaults) (*Compiled, error) {
 	if def.DataSize <= 0 {
 		def.DataSize = 500
 	}
-	c := &Compiled{Switches: g.Switches, dataSize: def.DataSize}
+	c := &Compiled{Switches: g.Switches, dataSize: def.DataSize, workers: def.Workers}
 
 	// Resolve links.
+	c.Links = make([]Link, 0, len(g.Links))
 	for i, ls := range g.Links {
 		if ls.A < 0 || ls.A >= g.Switches || ls.B < 0 || ls.B >= g.Switches {
 			return nil, fmt.Errorf("topology: link %d endpoints (%d,%d) out of range", i, ls.A, ls.B)
@@ -254,113 +376,58 @@ func (g Graph) Compile(def Defaults) (*Compiled, error) {
 		}
 	}
 
-	if err := c.computeRoutes(); err != nil {
+	c.buildCSR()
+	c.wt = make([]time.Duration, len(c.Links))
+	for li, l := range c.Links {
+		bits := int64(c.dataSize) * 8
+		c.wt[li] = l.Delay + time.Duration(bits*int64(time.Second)/l.Bandwidth)
+	}
+
+	rb, err := c.computeRoutes()
+	if err != nil {
 		return nil, err
 	}
-	if err := c.applyOverrides(g.Routes); err != nil {
+	if err := c.applyOverrides(g.Routes, rb); err != nil {
 		return nil, err
+	}
+	if rb != nil {
+		rb.freeze(c)
 	}
 	return c, nil
 }
 
-// computeRoutes fills the forwarding tables with Dijkstra shortest
-// paths toward every host's switch.
-func (c *Compiled) computeRoutes() error {
-	nh := len(c.Hosts)
-	c.next = make([]Hop, c.Switches*nh)
-	// Distance vectors toward each destination switch are shared by all
-	// hosts on that switch.
-	distTo := make(map[int][]time.Duration)
-	for h, hs := range c.Hosts {
-		dist, ok := distTo[hs.Switch]
-		if !ok {
-			dist = c.dijkstra(hs.Switch)
-			distTo[hs.Switch] = dist
-		}
-		for s := 0; s < c.Switches; s++ {
-			if s == hs.Switch {
-				c.next[s*nh+h] = local
-				continue
-			}
-			hop, found := c.bestHop(s, dist)
-			if !found {
-				return fmt.Errorf("topology: switch %d cannot reach host %d (switch %d): graph is disconnected", s, h, hs.Switch)
-			}
-			c.next[s*nh+h] = hop
-		}
+// buildCSR fills the half-edge arrays. Links are visited in index
+// order, so each switch's half-edges come out sorted by ascending link
+// index — the order every deterministic tie-break scan depends on.
+func (c *Compiled) buildCSR() {
+	c.adjOff = make([]int32, c.Switches+1)
+	for _, l := range c.Links {
+		c.adjOff[l.A+1]++
+		c.adjOff[l.B+1]++
 	}
-	return nil
-}
-
-// dijkstra returns every switch's shortest distance to dst under the
-// link Weight metric. Unreachable switches keep the maxDist sentinel.
-// The O(n²) selection loop is deliberate: switch counts are small, and
-// picking the lowest-index minimum each round makes the sweep order —
-// and therefore the routes — deterministic.
-func (c *Compiled) dijkstra(dst int) []time.Duration {
-	const maxDist = time.Duration(1<<63 - 1)
-	dist := make([]time.Duration, c.Switches)
-	for i := range dist {
-		dist[i] = maxDist
+	for i := 0; i < c.Switches; i++ {
+		c.adjOff[i+1] += c.adjOff[i]
 	}
-	dist[dst] = 0
-	done := make([]bool, c.Switches)
-	for {
-		u, best := -1, maxDist
-		for s := 0; s < c.Switches; s++ {
-			if !done[s] && dist[s] < best {
-				u, best = s, dist[s]
-			}
-		}
-		if u < 0 {
-			return dist
-		}
-		done[u] = true
-		for li, l := range c.Links {
-			var v int
-			switch u {
-			case l.A:
-				v = l.B
-			case l.B:
-				v = l.A
-			default:
-				continue
-			}
-			if d := best + c.Weight(li); d < dist[v] {
-				dist[v] = d
-			}
-		}
-	}
-}
-
-// bestHop picks the outgoing hop at switch s that minimizes link weight
-// plus the neighbor's distance; among equal-cost hops the lowest link
-// index wins.
-func (c *Compiled) bestHop(s int, dist []time.Duration) (Hop, bool) {
-	const maxDist = time.Duration(1<<63 - 1)
-	best, bestCost := Hop{}, maxDist
+	c.adjSw = make([]int32, 2*len(c.Links))
+	c.adjHop = make([]int32, 2*len(c.Links))
+	cur := make([]int32, c.Switches)
+	copy(cur, c.adjOff[:c.Switches])
 	for li, l := range c.Links {
-		var neighbor, dir int
-		switch s {
-		case l.A:
-			neighbor, dir = l.B, 0
-		case l.B:
-			neighbor, dir = l.A, 1
-		default:
-			continue
-		}
-		if dist[neighbor] == maxDist {
-			continue
-		}
-		if cost := c.Weight(li) + dist[neighbor]; cost < bestCost {
-			best, bestCost = Hop{Link: li, Dir: dir}, cost
-		}
+		i := cur[l.A]
+		cur[l.A]++
+		c.adjSw[i] = int32(l.B)
+		c.adjHop[i] = packHop(li, 0)
+		i = cur[l.B]
+		cur[l.B]++
+		c.adjSw[i] = int32(l.A)
+		c.adjHop[i] = packHop(li, 1)
 	}
-	return best, bestCost != maxDist
 }
 
-// applyOverrides rewrites forwarding entries per the RouteSpecs.
-func (c *Compiled) applyOverrides(routes []RouteSpec) error {
+// applyOverrides rewrites forwarding entries per the RouteSpecs: into
+// the dense table directly, or — in run mode — into the route builder's
+// accumulator before it freezes.
+func (c *Compiled) applyOverrides(routes []RouteSpec, rb *routeBuilder) error {
 	nh := len(c.Hosts)
 	for _, r := range routes {
 		if r.At < 0 || r.At >= c.Switches {
@@ -376,7 +443,11 @@ func (c *Compiled) applyOverrides(routes []RouteSpec) error {
 		if !found {
 			return fmt.Errorf("topology: route override via %d: not a neighbor of switch %d", r.Via, r.At)
 		}
-		c.next[r.At*nh+r.Dst] = hop
+		if rb != nil {
+			rb.paint(r.At, r.Dst, packHop(hop.Link, hop.Dir))
+		} else {
+			c.next[r.At*nh+r.Dst] = hop
+		}
 	}
 	return nil
 }
@@ -384,12 +455,9 @@ func (c *Compiled) applyOverrides(routes []RouteSpec) error {
 // hopToward returns the lowest-index link direction from switch s to
 // neighbor via.
 func (c *Compiled) hopToward(s, via int) (Hop, bool) {
-	for li, l := range c.Links {
-		if l.A == s && l.B == via {
-			return Hop{Link: li, Dir: 0}, true
-		}
-		if l.B == s && l.A == via {
-			return Hop{Link: li, Dir: 1}, true
+	for i := c.adjOff[s]; i < c.adjOff[s+1]; i++ {
+		if int(c.adjSw[i]) == via {
+			return unpackHop(c.adjHop[i]), true
 		}
 	}
 	return Hop{}, false

@@ -13,8 +13,11 @@
 #         allocation-free, so any increase there is a real leak, not
 #         noise.
 #   soft  allocs/op regressions elsewhere beyond 25% (plus slack for
-#         one-shot noise) are warned about but do not fail; ns/op is
-#         reported informationally only.
+#         one-shot noise) are warned about but do not fail, and B/op
+#         growth beyond 25% (plus a page of slack) likewise warns —
+#         allocated-bytes creep is how a "compressed" data structure
+#         quietly decompresses itself; ns/op is reported
+#         informationally only.
 #
 # sim-events/s sits between the two: recordings are single-iteration
 # (-benchtime 1x, best of 3 samples) and the reference recordings come
@@ -25,8 +28,9 @@
 # than two thirds of its recorded throughput; losing more than 30%
 # warns.
 #
-# Shard-scaling entries (BenchmarkShardScaling/shards=N) are exempt from
-# the sim-events/s hard gate: the speedup of a parallel run depends on
+# Shard-scaling entries (any /shards=N sub-benchmark, e.g.
+# BenchmarkShardScaling or the scale benchmarks' sharded legs) are
+# exempt from the sim-events/s hard gate: the speedup of a parallel run depends on
 # the recording host's core count (the reference recordings come from
 # single-core VMs, where extra shards only add synchronization cost), so
 # their throughput deltas are reported softly. Their events/run stays
@@ -176,9 +180,14 @@ BEGIN {
                     printf "warn %s allocs/op: %s -> %s (regression)\n", name, ov, nv
                     softwarn = 1
                 }
+            } else if (unit == "B/op") {
+                if (nv + 0 > (ov + 0) * 1.25 + 4096) {
+                    printf "warn %s B/op: %s -> %s (allocated-bytes growth)\n", name, ov, nv
+                    softwarn = 1
+                }
             } else if (unit == "sim-events/s" && ov + 0 > 0) {
                 delta = (nv - ov) / ov * 100
-                if (name ~ /ShardScaling/) {
+                if (name ~ /ShardScaling|\/shards=/) {
                     # Scaling entries depend on the recording machine
                     # core count: soft-diff only.
                     if (nv + 0 < (ov + 0) * 0.7) {

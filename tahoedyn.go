@@ -244,14 +244,33 @@ func ChainTopology(n int) Graph { return topology.Chain(n) }
 // connection (host 0 to host hops) against one cross connection per hop.
 func ParkingLotTopology(hops int) Graph { return topology.ParkingLot(hops) }
 
+// BarabasiAlbertTopology returns a seeded scale-free graph: n switches,
+// each joining switch attaching m links by preferential attachment.
+// Same (n, m, seed) → same graph, on every platform.
+func BarabasiAlbertTopology(n, m int, seed int64) Graph {
+	return topology.BarabasiAlbert(n, m, seed)
+}
+
+// WaxmanTopology returns a seeded Waxman random geometric graph of n
+// switches with a guaranteed connected backbone. Same (n, seed) → same
+// graph, on every platform.
+func WaxmanTopology(n int, seed int64) Graph { return topology.Waxman(n, seed) }
+
+// topoSpecForms lists the accepted -topology spellings; every parse
+// error repeats it so a typo is self-correcting at the CLI.
+const topoSpecForms = "dumbbell, chain:<n>, parking-lot:<h>, ba:<n>:<m>:<seed>, or waxman:<n>:<seed>"
+
 // ParseTopoSpec resolves a one-flag topology spec — "dumbbell",
-// "chain:N", or "parking-lot:H" — into an optional explicit graph and
-// its canonical workload. Connections 0 and 1 are always the end-to-end
-// two-way pair (the pair the synchronization analyses report on);
-// parking-lot adds one single-hop cross connection per trunk after
-// them. A nil graph means the default dumbbell. Both CLIs expose the
-// syntax as -topology; it is also the one-flag way to build the large
-// chains the sharded-run benchmarks use.
+// "chain:N", "parking-lot:H", "ba:N:M:SEED", or "waxman:N:SEED" — into
+// an optional explicit graph and its canonical workload. Connections 0
+// and 1 are always the end-to-end two-way pair (the pair the
+// synchronization analyses report on): hosts 0 and n-1 for the
+// generators with a natural line order, and for the random graphs the
+// host on switch 0 against the host on the last switch. Parking-lot
+// adds one single-hop cross connection per trunk after them. A nil
+// graph means the default dumbbell. Both CLIs expose the syntax as
+// -topology; it is also the one-flag way to build the large chains and
+// random graphs the sharded-run and scale benchmarks use.
 func ParseTopoSpec(spec string) (*Graph, []ConnSpec, error) {
 	pair := func(a, b int) []ConnSpec {
 		return []ConnSpec{
@@ -260,28 +279,51 @@ func ParseTopoSpec(spec string) (*Graph, []ConnSpec, error) {
 		}
 	}
 	name, arg, hasArg := strings.Cut(spec, ":")
-	n := 0
-	if hasArg {
-		var err error
-		if n, err = strconv.Atoi(arg); err != nil {
-			return nil, nil, fmt.Errorf("bad topology size %q", arg)
+	// args parses the generator's colon-separated integer arguments,
+	// naming the offending token and the accepted form on failure.
+	args := func(form string, want int) ([]int64, error) {
+		if !hasArg {
+			return nil, fmt.Errorf("topology %q: %s needs arguments (want %s)", spec, name, form)
 		}
+		fields := strings.Split(arg, ":")
+		if len(fields) != want {
+			return nil, fmt.Errorf("topology %q: %s takes %d argument(s) (want %s)", spec, name, want, form)
+		}
+		out := make([]int64, want)
+		for i, f := range fields {
+			v, err := strconv.ParseInt(f, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("topology %q: bad token %q (want %s)", spec, f, form)
+			}
+			out[i] = v
+		}
+		return out, nil
 	}
 	switch name {
 	case "", "dumbbell":
 		if hasArg {
-			return nil, nil, fmt.Errorf("topology dumbbell takes no size")
+			return nil, nil, fmt.Errorf("topology %q: dumbbell takes no arguments", spec)
 		}
 		return nil, pair(0, 1), nil
 	case "chain":
+		v, err := args("chain:<n> with n >= 2", 1)
+		if err != nil {
+			return nil, nil, err
+		}
+		n := int(v[0])
 		if n < 2 {
-			return nil, nil, fmt.Errorf("topology chain:N needs N >= 2")
+			return nil, nil, fmt.Errorf("topology %q: chain needs n >= 2", spec)
 		}
 		g := ChainTopology(n)
 		return &g, pair(0, n-1), nil
 	case "parking-lot":
+		v, err := args("parking-lot:<h> with h >= 1", 1)
+		if err != nil {
+			return nil, nil, err
+		}
+		n := int(v[0])
 		if n < 1 {
-			return nil, nil, fmt.Errorf("topology parking-lot:H needs H >= 1")
+			return nil, nil, fmt.Errorf("topology %q: parking-lot needs h >= 1", spec)
 		}
 		g := ParkingLotTopology(n)
 		conns := pair(0, n)
@@ -289,8 +331,33 @@ func ParseTopoSpec(spec string) (*Graph, []ConnSpec, error) {
 			conns = append(conns, ConnSpec{SrcHost: h, DstHost: h + 1, Start: -1})
 		}
 		return &g, conns, nil
+	case "ba":
+		v, err := args("ba:<n>:<m>:<seed> with n >= 2 and 1 <= m < n", 3)
+		if err != nil {
+			return nil, nil, err
+		}
+		n, m := int(v[0]), int(v[1])
+		if n < 2 {
+			return nil, nil, fmt.Errorf("topology %q: ba needs n >= 2", spec)
+		}
+		if m < 1 || m >= n {
+			return nil, nil, fmt.Errorf("topology %q: ba needs 1 <= m < n, got m=%d", spec, m)
+		}
+		g := BarabasiAlbertTopology(n, m, v[2])
+		return &g, pair(0, n-1), nil
+	case "waxman":
+		v, err := args("waxman:<n>:<seed> with n >= 2", 2)
+		if err != nil {
+			return nil, nil, err
+		}
+		n := int(v[0])
+		if n < 2 {
+			return nil, nil, fmt.Errorf("topology %q: waxman needs n >= 2", spec)
+		}
+		g := WaxmanTopology(n, v[1])
+		return &g, pair(0, n-1), nil
 	default:
-		return nil, nil, fmt.Errorf("unknown topology %q (want dumbbell, chain:N, or parking-lot:H)", spec)
+		return nil, nil, fmt.Errorf("unknown topology %q (want %s)", spec, topoSpecForms)
 	}
 }
 
