@@ -1,0 +1,166 @@
+package tahoedyn
+
+// Trace-store benchmarks: ingest throughput (events/s through the
+// columnar chunk encoder), full-scan throughput (events/s decoded), and
+// the chunk-skip ratio of a narrow time-windowed query. These are the
+// PR-8 rows of the benchmark trajectory (docs/BENCH_pr8.json).
+
+import (
+	"bytes"
+	"io"
+	"testing"
+	"time"
+
+	"tahoedyn/internal/obs"
+	"tahoedyn/internal/packet"
+	"tahoedyn/internal/tstore"
+)
+
+// benchTraceBatch builds one deterministic batch of store events shaped
+// like real port traffic (mixed types, a handful of locations and
+// connections, mostly-ascending timestamps).
+func benchTraceBatch(n int, start time.Duration) ([]string, []obs.Event) {
+	locs := []string{"sw0->sw1:data", "sw1->sw0:ack", "sw1->sw2:data", "h0:tcp"}
+	events := make([]obs.Event, n)
+	t := start
+	for i := range events {
+		t += time.Duration(50+i%17) * time.Microsecond
+		typ := obs.Enqueue
+		switch i % 5 {
+		case 1:
+			typ = obs.Dequeue
+		case 2:
+			typ = obs.Transmit
+		case 3:
+			typ = obs.Deliver
+		case 4:
+			if i%35 == 4 {
+				typ = obs.Drop
+			}
+		}
+		events[i] = obs.Event{
+			T:    t,
+			Type: typ,
+			Loc:  obs.Loc(i % len(locs)),
+			Conn: int32(1 + i%3),
+			Kind: packet.Data,
+			ID:   uint64(i),
+			Seq:  int32(i / 3),
+			Size: 576,
+			Val:  float64(i % 24),
+		}
+	}
+	return locs, events
+}
+
+// BenchmarkTraceStoreIngest measures the columnar chunk encoder: events
+// per second from an obs batch stream into an io.Writer.
+func BenchmarkTraceStoreIngest(b *testing.B) {
+	const batch = 1 << 16
+	const batches = 16 // ~1M events per iteration
+	locs, events := benchTraceBatch(batch, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var total uint64
+	for i := 0; i < b.N; i++ {
+		w := tstore.NewWriter(io.Discard, tstore.WriterOptions{})
+		if err := w.Begin(); err != nil {
+			b.Fatal(err)
+		}
+		for j := 0; j < batches; j++ {
+			if err := w.Events(locs, events); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := w.Close(); err != nil {
+			b.Fatal(err)
+		}
+		total = w.TotalEvents()
+	}
+	b.StopTimer()
+	evs := float64(total) * float64(b.N)
+	b.ReportMetric(evs/b.Elapsed().Seconds(), "events/s")
+}
+
+// buildBenchStore materializes an in-memory store for the scan benches.
+func buildBenchStore(b *testing.B, nEvents int) *tstore.Store {
+	b.Helper()
+	var buf bytes.Buffer
+	w := tstore.NewWriter(&buf, tstore.WriterOptions{})
+	if err := w.Begin(); err != nil {
+		b.Fatal(err)
+	}
+	const batch = 1 << 16
+	for off := 0; off < nEvents; off += batch {
+		n := batch
+		if nEvents-off < n {
+			n = nEvents - off
+		}
+		locs, events := benchTraceBatch(n, time.Duration(off)*58*time.Microsecond)
+		if err := w.Events(locs, events); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		b.Fatal(err)
+	}
+	s, err := tstore.NewStore(bytes.NewReader(buf.Bytes()), int64(buf.Len()))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(buf.Len())/float64(nEvents), "B/event")
+	return s
+}
+
+// BenchmarkTraceStoreScan measures full-store decode throughput.
+func BenchmarkTraceStoreScan(b *testing.B) {
+	const nEvents = 1 << 20
+	s := buildBenchStore(b, nEvents)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var n uint64
+	for i := 0; i < b.N; i++ {
+		n = 0
+		err := s.Scan(tstore.Query{}, func(ev *obs.Event) error {
+			n++
+			return nil
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if n != nEvents {
+		b.Fatalf("scanned %d events, want %d", n, nEvents)
+	}
+	b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "events/s")
+}
+
+// BenchmarkTraceStoreWindowQuery measures a narrow time-windowed count:
+// the footer index should skip nearly every chunk.
+func BenchmarkTraceStoreWindowQuery(b *testing.B) {
+	const nEvents = 1 << 20
+	s := buildBenchStore(b, nEvents)
+	span := s.Chunks()[len(s.Chunks())-1].MaxT
+	q := tstore.Query{From: span * 49 / 100, To: span * 50 / 100}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var scanned, skipped uint64
+	for i := 0; i < b.N; i++ {
+		scanned, skipped = 0, 0
+		sk, err := s.ScanStats(q, func(ev *obs.Event) error {
+			scanned++
+			return nil
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		skipped = uint64(sk)
+	}
+	b.StopTimer()
+	if scanned == 0 || skipped == 0 {
+		b.Fatalf("window query scanned %d events, skipped %d chunks", scanned, skipped)
+	}
+	b.ReportMetric(float64(skipped)/float64(len(s.Chunks())), "chunk-skip-ratio")
+	b.ReportMetric(float64(scanned)*float64(b.N)/b.Elapsed().Seconds(), "events/s")
+}

@@ -1,0 +1,262 @@
+// Command tahoe-query runs streaming queries over stored simulation
+// traces: the chunked columnar store files written by
+// `tahoe-sim -trace-store` (or any TraceStoreWriter), plus — for
+// convenience — flat binary (TOBS) and JSONL traces. Store files are
+// scanned one chunk at a time with index-driven chunk skipping, so a
+// hundred-gigabyte trace queries in bounded memory; flat traces are
+// loaded whole.
+//
+// One operation per invocation, over one trace file:
+//
+//	tahoe-query run.tobc                         # summary (default: -info)
+//	tahoe-query -count -filter type=drop run.tobc
+//	tahoe-query -events -limit 20 -from 30s -to 31s run.tobc
+//	tahoe-query -window 1s -by-loc -filter type=transmit run.tobc
+//	tahoe-query -quantiles 0.5,0.9,0.99 -filter type=drop run.tobc
+//	tahoe-query -check run.tobc                  # offline invariant pass
+//
+// The -from/-to/-filter/-loc selectors compose with every operation.
+// -count prints a bare number (script-friendly); -check exits 1 when
+// an invariant is violated, naming the offending event.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"tahoedyn"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		info      = flag.Bool("info", false, "print a store summary: events, chunks, time span, locations (the default operation)")
+		count     = flag.Bool("count", false, "print the number of matching events (index-accelerated on store files)")
+		events    = flag.Bool("events", false, "print matching events, one per line")
+		limit     = flag.Int("limit", 0, "with -events: stop after this many events (0 = all)")
+		window    = flag.Duration("window", 0, "aggregate matching events into windows of this width (per-window count, bytes, throughput, val stats)")
+		byLoc     = flag.Bool("by-loc", false, "with -window: one series per location instead of one overall")
+		quantiles = flag.String("quantiles", "", "comma-separated probabilities, e.g. 0.5,0.9,0.99: print quantiles of the events' val field")
+		check     = flag.Bool("check", false, "run the offline invariant pass (conservation, causality, monotonic time, cwnd bounds)")
+		noConsv   = flag.Bool("no-conservation", false, "with -check: skip conservation/causality (required for filtered or windowed captures)")
+		from      = flag.Duration("from", 0, "select events at or after this simulated time")
+		to        = flag.Duration("to", 0, "select events before this simulated time (0 = end)")
+		filter    = flag.String("filter", "", `event filter, e.g. "conn=2,type=drop|timeout"`)
+		loc       = flag.String("loc", "", `select a single location by name, e.g. "sw0->sw1:data"`)
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "tahoe-query: need exactly one trace file (see -h)")
+		return 2
+	}
+	path := flag.Arg(0)
+
+	flt, err := tahoedyn.ParseTraceFilter(*filter)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tahoe-query:", err)
+		return 2
+	}
+	q := tahoedyn.TraceQuery{From: *from, To: *to, Filter: flt, Loc: *loc}
+
+	sc, store, closeFn, err := openTrace(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tahoe-query:", err)
+		return 1
+	}
+	defer closeFn()
+
+	nOps := 0
+	for _, on := range []bool{*info, *count, *events, *window != 0, *quantiles != "", *check} {
+		if on {
+			nOps++
+		}
+	}
+	if nOps > 1 {
+		fmt.Fprintln(os.Stderr, "tahoe-query: pick one operation (-info, -count, -events, -window, -quantiles, or -check)")
+		return 2
+	}
+
+	switch {
+	case *count:
+		n, err := tahoedyn.CountTraceEvents(sc, q)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tahoe-query:", err)
+			return 1
+		}
+		fmt.Println(n)
+	case *events:
+		if err := printEvents(sc, q, *limit); err != nil {
+			fmt.Fprintln(os.Stderr, "tahoe-query:", err)
+			return 1
+		}
+	case *window != 0:
+		if err := printWindows(sc, q, *window, *byLoc); err != nil {
+			fmt.Fprintln(os.Stderr, "tahoe-query:", err)
+			return 1
+		}
+	case *quantiles != "":
+		if err := printQuantiles(sc, q, *quantiles); err != nil {
+			fmt.Fprintln(os.Stderr, "tahoe-query:", err)
+			return 1
+		}
+	case *check:
+		o := tahoedyn.InvariantOptions{NoConservation: *noConsv}
+		n, vio, err := tahoedyn.CheckTraceInvariants(sc, o)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tahoe-query:", err)
+			return 1
+		}
+		if vio != nil {
+			fmt.Fprintln(os.Stderr, "tahoe-query:", vio)
+			return 1
+		}
+		fmt.Printf("invariants: clean (%d events checked)\n", n)
+	default:
+		printInfo(sc, store, path)
+	}
+	return 0
+}
+
+// openTrace opens a trace file as a Scanner, autodetecting the format:
+// a chunked store ("TOBC", queried out-of-core), a flat binary trace
+// ("TOBS", loaded whole), or JSONL (loaded whole).
+func openTrace(path string) (tahoedyn.TraceScanner, *tahoedyn.TraceStore, func(), error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	var magic [4]byte
+	if _, err := io.ReadFull(f, magic[:]); err != nil {
+		f.Close()
+		return nil, nil, nil, fmt.Errorf("%s: %w", path, err)
+	}
+	switch string(magic[:]) {
+	case "TOBC":
+		f.Close()
+		s, err := tahoedyn.OpenTraceStore(path)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		return s, s, func() { s.Close() }, nil
+	case "TOBS":
+		defer f.Close()
+		if _, err := f.Seek(0, io.SeekStart); err != nil {
+			return nil, nil, nil, err
+		}
+		locs, evs, err := tahoedyn.DecodeBinaryTrace(f)
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("%s: %w", path, err)
+		}
+		return &tahoedyn.TraceSlice{LocTable: locs, Events: evs}, nil, func() {}, nil
+	default:
+		defer f.Close()
+		if _, err := f.Seek(0, io.SeekStart); err != nil {
+			return nil, nil, nil, err
+		}
+		locs, evs, err := tahoedyn.DecodeJSONLTrace(f)
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("%s: not a TOBC store, TOBS trace, or JSONL trace: %w", path, err)
+		}
+		return &tahoedyn.TraceSlice{LocTable: locs, Events: evs}, nil, func() {}, nil
+	}
+}
+
+func printInfo(sc tahoedyn.TraceScanner, store *tahoedyn.TraceStore, path string) {
+	if store != nil {
+		chunks := store.Chunks()
+		fmt.Printf("%s: chunked trace store, %d events in %d chunks\n",
+			path, store.TotalEvents(), len(chunks))
+		if len(chunks) > 0 {
+			var bytes int64
+			for i := range chunks {
+				bytes += chunks[i].Size
+			}
+			fmt.Printf("  span %v .. %v\n", chunks[0].MinT, chunks[len(chunks)-1].MaxT)
+			fmt.Printf("  %d payload bytes (%.1f B/event)\n",
+				bytes, float64(bytes)/float64(store.TotalEvents()))
+		}
+		fmt.Printf("  %d locations\n", len(store.Locs()))
+		return
+	}
+	src := sc.(*tahoedyn.TraceSlice)
+	fmt.Printf("%s: flat trace, %d events, %d locations\n", path, len(src.Events), len(src.LocTable))
+	if n := len(src.Events); n > 0 {
+		fmt.Printf("  span %v .. %v\n", src.Events[0].T, src.Events[n-1].T)
+	}
+}
+
+func printEvents(sc tahoedyn.TraceScanner, q tahoedyn.TraceQuery, limit int) error {
+	locs := sc.Locs()
+	n := 0
+	return sc.Scan(q, func(ev *tahoedyn.TraceEvent) error {
+		locName := fmt.Sprintf("loc%d", ev.Loc)
+		if int(ev.Loc) < len(locs) {
+			locName = locs[ev.Loc]
+		}
+		fmt.Printf("%-16v %-8v %-16s conn=%-3d kind=%v seq=%-7d size=%-5d id=%-8d val=%g\n",
+			ev.T, ev.Type, locName, ev.Conn, ev.Kind, ev.Seq, ev.Size, ev.ID, ev.Val)
+		n++
+		if limit > 0 && n >= limit {
+			return tahoedyn.ErrStopScan
+		}
+		return nil
+	})
+}
+
+func printWindows(sc tahoedyn.TraceScanner, q tahoedyn.TraceQuery, width time.Duration, byLoc bool) error {
+	groups, err := tahoedyn.WindowedTrace(sc, q, tahoedyn.WindowOptions{Width: width, ByLoc: byLoc})
+	if err != nil {
+		return err
+	}
+	names := make([]string, 0, len(groups))
+	for name := range groups {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Printf("%-16s %-14s %-9s %-11s %-12s %-9s %-7s %-7s\n",
+		"loc", "window", "count", "bytes", "bits/s", "val-mean", "min", "max")
+	for _, name := range names {
+		label := name
+		if label == "" {
+			label = "(all)"
+		}
+		for _, w := range groups[name] {
+			if w.Count == 0 {
+				continue
+			}
+			bps := float64(w.Bytes*8) / width.Seconds()
+			fmt.Printf("%-16s %-14v %-9d %-11d %-12.0f %-9.2f %-7g %-7g\n",
+				label, w.Start, w.Count, w.Bytes, bps, w.Mean(), w.Min, w.Max)
+		}
+	}
+	return nil
+}
+
+func printQuantiles(sc tahoedyn.TraceScanner, q tahoedyn.TraceQuery, spec string) error {
+	var probs []float64
+	for _, part := range strings.Split(spec, ",") {
+		p, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return fmt.Errorf("bad probability %q", part)
+		}
+		probs = append(probs, p)
+	}
+	vals, n, err := tahoedyn.TraceQuantiles(sc, q, probs)
+	if err != nil {
+		return err
+	}
+	for i, p := range probs {
+		fmt.Printf("p%g = %g\n", p*100, vals[i])
+	}
+	fmt.Printf("samples = %d\n", n)
+	return nil
+}

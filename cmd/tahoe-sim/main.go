@@ -56,6 +56,8 @@ func run() int {
 		lenient  = flag.Bool("lenient", false, "with -config: ignore unknown JSON fields instead of rejecting them (warns on stderr)")
 		schedFl  = flag.String("sched", "default", "event scheduler: wheel, heap, or default (A/B knob; never changes results)")
 		shardsFl = flag.Int("shards", 0, "regions per run for sharded execution (0 = serial; A/B knob; never changes results)")
+		storeFl  = flag.String("trace-store", "", "with -config: stream the run's event trace to this chunked store file (query it with tahoe-query)")
+		invarFl  = flag.Bool("invariants", false, "verify streaming invariants (packet conservation, time monotonicity, cwnd bounds) online during every run")
 		profFl   = prof.AddFlags(flag.String)
 	)
 	flag.Parse()
@@ -110,7 +112,7 @@ func run() int {
 			}
 			return 0
 		}
-		if err := runScenarioFile(*config, *width, *height, *doPlot, *lenient, prog); err != nil {
+		if err := runScenarioFile(*config, *width, *height, *doPlot, *lenient, prog, *storeFl, *invarFl); err != nil {
 			fmt.Fprintln(os.Stderr, "tahoe-sim:", err)
 			return 1
 		}
@@ -118,6 +120,10 @@ func run() int {
 	}
 	if *lenient {
 		fmt.Fprintln(os.Stderr, "tahoe-sim: -lenient requires -config <file>")
+		return 2
+	}
+	if *storeFl != "" {
+		fmt.Fprintln(os.Stderr, "tahoe-sim: -trace-store requires -config <file>")
 		return 2
 	}
 
@@ -140,7 +146,7 @@ func run() int {
 		return 2
 	}
 
-	jobs := buildJobs(names, seeds, *scale, *parallel, prog)
+	jobs := buildJobs(names, seeds, *scale, *parallel, prog, *invarFl)
 	rendered, outs, err := renderJobs(jobs, renderOptions{
 		Parallel: *parallel, Plot: *doPlot, Width: *width, Height: *height,
 		SeedHeaders: len(seeds) > 1,
@@ -194,14 +200,17 @@ func (j job) tsvName() string {
 // one experiment's seeds print together. parallel is forwarded into each
 // experiment's options so experiments with internal sweeps (mode-boundary,
 // oneway-buffers) fan their own runs too.
-func buildJobs(names []string, seeds []int64, scale float64, parallel int, prog *tahoedyn.Progress) []job {
+func buildJobs(names []string, seeds []int64, scale float64, parallel int, prog *tahoedyn.Progress, invariants bool) []job {
 	multi := len(seeds) > 1
 	var jobs []job
 	for _, n := range names {
 		for _, s := range seeds {
 			jobs = append(jobs, job{
-				name:      n,
-				opts:      tahoedyn.ExpOptions{Seed: s, Scale: scale, Parallel: expWorkers(parallel), Observer: prog},
+				name: n,
+				opts: tahoedyn.ExpOptions{
+					Seed: s, Scale: scale, Parallel: expWorkers(parallel),
+					Observer: prog, Invariants: invariants,
+				},
 				multiSeed: multi,
 			})
 		}
@@ -325,19 +334,52 @@ func loadScenario(path string, lenient bool) (tahoedyn.Config, error) {
 
 // runScenarioFile executes an arbitrary JSON scenario and prints a
 // generic dynamics report: utilizations, synchronization, drops, and the
-// bottleneck queue plot.
-func runScenarioFile(path string, width, height int, doPlot, lenient bool, prog *tahoedyn.Progress) error {
+// bottleneck queue plot. With storePath, the run's full event trace
+// streams to a chunked store file; with invariants, the streaming
+// checker runs online and a violation fails the command naming the
+// offending event.
+func runScenarioFile(path string, width, height int, doPlot, lenient bool, prog *tahoedyn.Progress, storePath string, invariants bool) error {
 	cfg, err := loadScenario(path, lenient)
 	if err != nil {
 		return err
 	}
-	if prog != nil {
-		cfg.Obs = &tahoedyn.ObsOptions{Progress: prog}
+	obsOpts := tahoedyn.ObsOptions{Progress: prog}
+	var storeW *tahoedyn.TraceStoreWriter
+	var storeF *os.File
+	if storePath != "" {
+		storeF, err = os.Create(storePath)
+		if err != nil {
+			return err
+		}
+		defer storeF.Close()
+		storeW = tahoedyn.NewTraceStoreSink(storeF, tahoedyn.TraceStoreOptions{})
+		obsOpts.Trace = &tahoedyn.TraceOptions{Sink: storeW}
+	}
+	if prog != nil || storeW != nil {
+		cfg.Obs = &obsOpts
+	}
+	if invariants {
+		cfg.Invariants = &tahoedyn.InvariantOptions{}
 	}
 	res := tahoedyn.Run(cfg)
 	cfg = res.Cfg // normalized copy, with defaults filled in
 	fmt.Printf("scenario %s: %d switches, τ=%v, buffer %d, %d connections\n",
 		path, cfg.Switches, cfg.TrunkDelay, cfg.Buffer, len(cfg.Conns))
+	if res.Invariant != nil {
+		return res.Invariant
+	}
+	if invariants {
+		fmt.Println("  invariants: clean")
+	}
+	if storeW != nil {
+		if res.TraceErr != nil {
+			return fmt.Errorf("trace store: %w", res.TraceErr)
+		}
+		if err := storeF.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("  trace store: %d events -> %s\n", storeW.TotalEvents(), storePath)
+	}
 	for i := range res.TrunkUtil {
 		fmt.Printf("  trunk %d utilization: %.1f%% / %.1f%%\n",
 			i, res.TrunkUtil[i][0]*100, res.TrunkUtil[i][1]*100)

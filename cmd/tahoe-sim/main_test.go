@@ -27,7 +27,7 @@ func TestParseSeeds(t *testing.T) {
 // Multi-seed output must be byte-identical whether the jobs ran serially
 // or across 8 workers.
 func TestRenderJobsByteIdenticalAcrossWorkerCounts(t *testing.T) {
-	jobs := buildJobs([]string{"oneway-smallpipe"}, []int64{1, 2, 3}, 0.1, 1, nil)
+	jobs := buildJobs([]string{"oneway-smallpipe"}, []int64{1, 2, 3}, 0.1, 1, nil, false)
 	render := func(workers int) []byte {
 		rendered, outs, err := renderJobs(jobs, renderOptions{
 			Parallel: workers, Plot: true, Width: 60, Height: 8, SeedHeaders: true,
@@ -57,7 +57,7 @@ func TestRenderJobsByteIdenticalAcrossWorkerCounts(t *testing.T) {
 }
 
 func TestRenderJobsRejectsUnknownExperiment(t *testing.T) {
-	jobs := buildJobs([]string{"no-such-experiment"}, []int64{1}, 0.1, 1, nil)
+	jobs := buildJobs([]string{"no-such-experiment"}, []int64{1}, 0.1, 1, nil, false)
 	if _, _, err := renderJobs(jobs, renderOptions{Parallel: 1}); err == nil {
 		t.Fatal("unknown experiment did not error")
 	}
@@ -140,15 +140,15 @@ func TestRunScenarioFile(t *testing.T) {
 	if err := os.WriteFile(path, []byte(js), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := runScenarioFile(path, 60, 8, false, false, nil); err != nil {
+	if err := runScenarioFile(path, 60, 8, false, false, nil, "", false); err != nil {
 		t.Fatal(err)
 	}
-	if err := runScenarioFile(filepath.Join(dir, "missing.json"), 60, 8, false, false, nil); err == nil {
+	if err := runScenarioFile(filepath.Join(dir, "missing.json"), 60, 8, false, false, nil, "", false); err == nil {
 		t.Fatal("no error for missing file")
 	}
 	bad := filepath.Join(dir, "bad.json")
 	os.WriteFile(bad, []byte(`{}`), 0o644)
-	if err := runScenarioFile(bad, 60, 8, false, false, nil); err == nil {
+	if err := runScenarioFile(bad, 60, 8, false, false, nil, "", false); err == nil {
 		t.Fatal("no error for invalid scenario")
 	}
 }

@@ -65,6 +65,7 @@ func main() {
 		seed   = flag.Int64("seed", 1, "scenario random seed")
 		follow = flag.Bool("follow", false, "stream lifecycle events in the window as JSONL instead of the departure table")
 		filter = flag.String("filter", "", `with -follow: event filter, e.g. "conn=2,type=drop|timeout"`)
+		store  = flag.String("store", "", "with -follow: write the window's events to this chunked store file (query with tahoe-query) instead of JSONL on stdout")
 	)
 	flag.Parse()
 
@@ -87,8 +88,20 @@ func main() {
 			os.Exit(2)
 		}
 		w := bufio.NewWriter(os.Stdout)
+		var sink tahoedyn.TraceSink = tahoedyn.NewJSONLSink(w)
+		var storeW *tahoedyn.TraceStoreWriter
+		var storeF *os.File
+		if *store != "" {
+			storeF, err = os.Create(*store)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "tahoe-trace:", err)
+				os.Exit(1)
+			}
+			storeW = tahoedyn.NewTraceStoreSink(storeF, tahoedyn.TraceStoreOptions{})
+			sink = storeW
+		}
 		cfg.Obs = &tahoedyn.ObsOptions{Trace: &tahoedyn.TraceOptions{
-			Sink:   &windowSink{sink: tahoedyn.NewJSONLSink(w), from: *at, to: *at + *span},
+			Sink:   &windowSink{sink: sink, from: *at, to: *at + *span},
 			Filter: flt,
 			// A small ring keeps the stream live: each 256-event batch is
 			// written (and flushed) as soon as the simulation produces it.
@@ -99,6 +112,14 @@ func main() {
 			fmt.Fprintln(os.Stderr, "tahoe-trace:", res.TraceErr)
 			os.Exit(1)
 		}
+		if storeW != nil {
+			if err := storeF.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "tahoe-trace:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %d events to %s\n", storeW.TotalEvents(), *store)
+			return
+		}
 		if err := w.Flush(); err != nil {
 			fmt.Fprintln(os.Stderr, "tahoe-trace:", err)
 			os.Exit(1)
@@ -107,6 +128,10 @@ func main() {
 	}
 	if *filter != "" {
 		fmt.Fprintln(os.Stderr, "tahoe-trace: -filter requires -follow")
+		os.Exit(2)
+	}
+	if *store != "" {
+		fmt.Fprintln(os.Stderr, "tahoe-trace: -store requires -follow")
 		os.Exit(2)
 	}
 	res := tahoedyn.Run(cfg)

@@ -18,6 +18,7 @@ import (
 	"tahoedyn/internal/obs"
 	"tahoedyn/internal/sim"
 	"tahoedyn/internal/topology"
+	"tahoedyn/internal/tstore"
 )
 
 // defaultShards is the shard count used when Config.Shards is zero. It
@@ -218,6 +219,21 @@ type Config struct {
 	// disables all of it at zero cost, and enabling it never changes the
 	// run's Result (see internal/obs).
 	Obs *obs.Options
+
+	// Invariants, when non-nil, runs the streaming invariant engine
+	// (internal/tstore) online over the run's event stream: per-port
+	// packet conservation and causality, event-time monotonicity, cwnd
+	// bounds, and timeout monotonicity. The checker wraps the trace sink
+	// (or becomes the sink when Obs.Trace is unset), so it composes with
+	// tracing to disk and with sharded runs, whose merged stream it sees.
+	// A checker only observes — the run's physics and Result metrics are
+	// untouched — and the first violation stops checking, surfacing as
+	// Result.Invariant (and Result.TraceErr). When MaxCwnd is nil and
+	// cwnd bounds are enabled, each connection's bound defaults to
+	// max(MaxWnd, FixedWnd). Conservation needs the full event stream,
+	// so combining it with Obs.Trace.Filter is a build error unless
+	// NoConservation is set.
+	Invariants *tstore.CheckOptions
 }
 
 // DumbbellConfig returns the paper's Figure-1 configuration: two

@@ -16,6 +16,7 @@ import (
 	"tahoedyn/internal/tcp"
 	"tahoedyn/internal/topology"
 	"tahoedyn/internal/trace"
+	"tahoedyn/internal/tstore"
 )
 
 // CollapseEvent records one congestion-window collapse of a sender.
@@ -87,6 +88,12 @@ type Result struct {
 	// was enabled. A sink failure never interrupts the simulation; it
 	// surfaces here.
 	TraceErr error
+	// Invariant is the first invariant violation the online checker
+	// found, when Config.Invariants was set; nil means the checked
+	// stream was clean. The same violation also surfaces through
+	// TraceErr (the checker reports it as the sink error), but here it
+	// keeps its type: rule, event index, location, offending event.
+	Invariant *tstore.Violation
 }
 
 // Q1 returns the dumbbell's switch-1 bottleneck queue series (nil if
@@ -177,6 +184,9 @@ type Sim struct {
 	// nil; tracer then is the single tracer.
 	tracers []*obs.Tracer
 	merger  *obs.TraceMerger
+	// checker is the online invariant engine interposed before the trace
+	// sink when cfg.Invariants is set.
+	checker *tstore.Checker
 	// nextProgressT/nextProgressE are the next progress-sample
 	// thresholds on the time and event axes.
 	nextProgressT time.Duration
@@ -378,6 +388,9 @@ func (s *Sim) finish(ctx context.Context) (*Result, error) {
 		res.TraceErr = s.merger.Close()
 	} else if s.tracer != nil {
 		res.TraceErr = s.tracer.Close()
+	}
+	if s.checker != nil {
+		res.Invariant = s.checker.Violation()
 	}
 	return res, nil
 }
@@ -582,6 +595,44 @@ func buildE(cfg Config, ar *Arena) (*Sim, error) {
 			return 0
 		}
 		return part.Region[sw]
+	}
+
+	// Streaming invariants: interpose an online checker between the
+	// tracer(s) and the user's sink — or make the checker the sink when
+	// no tracing was requested. The checker sees the merged, time-ordered
+	// stream (after the TraceMerger for sharded runs), observes only, and
+	// reports the first violation through Result.Invariant/TraceErr.
+	var checker *tstore.Checker
+	if cfg.Invariants != nil {
+		o := *cfg.Invariants
+		obsOpts := obs.Options{}
+		if cfg.Obs != nil {
+			obsOpts = *cfg.Obs
+		}
+		var to obs.TraceOptions
+		if obsOpts.Trace != nil {
+			if obsOpts.Trace.Sink == nil {
+				return nil, fmt.Errorf("core: Obs.Trace set without a Sink")
+			}
+			to = *obsOpts.Trace
+		}
+		if to.Filter != (obs.Filter{}) && !o.NoConservation {
+			return nil, fmt.Errorf("core: Invariants cannot check conservation over a filtered trace; drop Obs.Trace.Filter or set Invariants.NoConservation")
+		}
+		if o.MaxCwnd == nil && !o.NoCwndBounds {
+			o.MaxCwnd = make(map[int]float64, len(cfg.Conns))
+			for k := range cfg.Conns {
+				w := cfg.Conns[k].MaxWnd
+				if f := cfg.Conns[k].FixedWnd; f > w {
+					w = f
+				}
+				o.MaxCwnd[k+1] = float64(w)
+			}
+		}
+		checker = tstore.NewChecker(to.Sink, o)
+		to.Sink = checker
+		obsOpts.Trace = &to
+		cfg.Obs = &obsOpts
 	}
 
 	// Observability instruments. All stay nil when cfg.Obs is unset; nil
@@ -947,6 +998,7 @@ func buildE(cfg Config, ar *Arena) (*Sim, error) {
 		tracer:    tracer,
 		tracers:   tracers,
 		merger:    merger,
+		checker:   checker,
 		metrics:   metrics,
 		progress:  progress,
 		epochHist: metrics.NewHistogram("epoch-seconds", epochBounds),

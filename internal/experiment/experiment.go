@@ -42,6 +42,14 @@ type Options struct {
 	// or without it. The callback must be safe for concurrent use when
 	// Parallel enables more than one worker.
 	Observer *obs.Progress
+	// Invariants runs the streaming invariant engine (internal/tstore)
+	// online over every simulation the experiment performs: packet
+	// conservation at each port, event-time monotonicity, cwnd bounds,
+	// timeout monotonicity. Checking is passive — results stay
+	// byte-identical — but a violation panics: an experiment whose
+	// trace breaks conservation is reporting garbage, and the panic
+	// names the offending event.
+	Invariants bool
 }
 
 // workers translates Options.Parallel into a runner worker count.

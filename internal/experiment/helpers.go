@@ -8,6 +8,7 @@ import (
 	"tahoedyn/internal/obs"
 	"tahoedyn/internal/packet"
 	"tahoedyn/internal/trace"
+	"tahoedyn/internal/tstore"
 )
 
 // twoWayConfig is the canonical 1+1 two-way dumbbell of §4.
@@ -128,13 +129,21 @@ func plotWindow(res *core.Result, span time.Duration) (time.Duration, time.Durat
 func coreRunForProbe(cfg core.Config) *core.Result { return core.Run(cfg) }
 
 // runCore executes one simulation on behalf of an experiment, threading
-// the experiment-level observability knobs (Options.Observer) into the
-// run. Every experiment's simulation goes through here, so enabling
-// -progress on the CLI covers all of them. Observation is passive: the
-// Result is byte-identical with or without an Observer.
+// the experiment-level observability knobs (Options.Observer,
+// Options.Invariants) into the run. Every experiment's simulation goes
+// through here, so enabling -progress or -invariants on the CLI covers
+// all of them. Observation is passive: the Result is byte-identical
+// with or without an Observer or checker.
 func runCore(o Options, cfg core.Config) *core.Result {
 	if o.Observer != nil {
 		cfg.Obs = &obs.Options{Progress: o.Observer}
 	}
-	return core.Run(cfg)
+	if o.Invariants {
+		cfg.Invariants = &tstore.CheckOptions{}
+	}
+	res := core.Run(cfg)
+	if res.Invariant != nil {
+		panic(res.Invariant.Error())
+	}
+	return res
 }

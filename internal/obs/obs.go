@@ -62,6 +62,11 @@ const (
 	numTypes
 )
 
+// NumTypes is the number of event types — the exclusive upper bound of
+// the Type space, exported for format validators (a decoded type byte
+// must be < NumTypes).
+const NumTypes = int(numTypes)
+
 // typeNames are the wire spellings of the event taxonomy, in Type order.
 var typeNames = [numTypes]string{
 	"enqueue", "dequeue", "transmit", "drop", "deliver", "timeout", "cwnd",

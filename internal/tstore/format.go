@@ -1,0 +1,472 @@
+// Package tstore is the out-of-core trace store: a columnar, chunked
+// on-disk container for obs event streams, an index that lets queries
+// skip chunks wholesale, a small streaming query layer (filter,
+// project, windowed aggregate, percentile), and a streaming invariant
+// engine (per-hop packet conservation, event-time monotonicity, cwnd
+// bounds) that runs online during a simulation or offline over a
+// stored trace.
+//
+// It exists because a billion-event run cannot hold its trace in RAM:
+// the Writer plugs in as an obs.Sink, so events spill to disk while
+// the simulation executes with memory bounded by one chunk, and the
+// reader side never materializes more than one chunk either. The
+// format ("TOBC") is the chunked, columnar sibling of the flat "TOBS"
+// record stream in internal/obs: same event model, same versioning
+// discipline, but laid out for selective scans instead of sequential
+// replay.
+//
+// See DESIGN.md §14 for the chunk layout, the footer index, and the
+// invariant semantics.
+package tstore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"time"
+
+	"tahoedyn/internal/obs"
+	"tahoedyn/internal/packet"
+)
+
+// The container format. A store file is
+//
+//	header | chunk* | footer | trailer
+//
+// header (12 bytes): "TOBC" magic, uint16 version, uint16 reserved
+// (zero), uint32 target events per chunk.
+//
+// chunk: uint32 payload length, then the columnar payload (see
+// encodeChunk).
+//
+// footer: the location table, the chunk index, and the total event
+// count, all varint-encoded (see writeFooter).
+//
+// trailer (12 bytes): uint32 CRC-32 (IEEE) of the footer bytes, uint32
+// footer length, "TOBF" magic. The reader finds the footer by seeking
+// to the end, so a store streams to any io.Writer — no mid-file
+// seeking — and a truncated or corrupted file is rejected up front.
+const (
+	storeMagic   = "TOBC"
+	footerMagic  = "TOBF"
+	storeVersion = 1
+
+	headerSize  = 12
+	trailerSize = 12
+
+	// DefaultChunkEvents is the chunk granularity when
+	// WriterOptions.ChunkEvents is zero: the unit of both the writer's
+	// memory bound and the reader's skip resolution.
+	DefaultChunkEvents = 1 << 16
+
+	// maxChunkPayload bounds a declared chunk payload so a corrupted
+	// length field cannot demand an absurd allocation.
+	maxChunkPayload = 1 << 28
+)
+
+// ChunkInfo is one footer-index entry: where a chunk lives and the
+// ranges a query consults to skip it without reading it.
+type ChunkInfo struct {
+	// Offset is the file position of the chunk's length word; Size is
+	// the payload length in bytes.
+	Offset int64
+	Size   int64
+	// Count is the number of events in the chunk.
+	Count int
+	// MinT and MaxT bound the chunk's event times (inclusive).
+	MinT, MaxT time.Duration
+	// TypeMask has bit 1<<t set for every event Type t present.
+	TypeMask uint32
+	// ConnLo and ConnHi bound the connection ids present.
+	ConnLo, ConnHi int32
+	// LocLo and LocHi bound the store-level location ids present.
+	LocLo, LocHi uint16
+}
+
+// overlaps reports whether a chunk can contain events matched by q
+// (with the query's Loc already resolved to a store id, or -1 for
+// "any"). False means the whole chunk is skipped unread.
+func (c *ChunkInfo) overlaps(q Query, locID int) bool {
+	if q.To > 0 && c.MinT >= q.To {
+		return false
+	}
+	if c.MaxT < q.From {
+		return false
+	}
+	if q.Filter.Types != 0 && q.Filter.Types&c.TypeMask == 0 {
+		return false
+	}
+	if q.Filter.Conn != 0 {
+		if conn := int32(q.Filter.Conn); conn < c.ConnLo || conn > c.ConnHi {
+			return false
+		}
+	}
+	if locID >= 0 {
+		if l := uint16(locID); l < c.LocLo || l > c.LocHi {
+			return false
+		}
+	}
+	return true
+}
+
+// covered reports whether every event in the chunk is matched by q:
+// the Count fast path for index-only answers.
+func (c *ChunkInfo) covered(q Query, locID int) bool {
+	if q.From > c.MinT || (q.To > 0 && c.MaxT >= q.To) {
+		return false
+	}
+	if q.Filter.Types != 0 && c.TypeMask&^q.Filter.Types != 0 {
+		return false
+	}
+	if q.Filter.Conn != 0 && (c.ConnLo != c.ConnHi || c.ConnLo != int32(q.Filter.Conn)) {
+		return false
+	}
+	if locID >= 0 && (c.LocLo != c.LocHi || c.LocLo != uint16(locID)) {
+		return false
+	}
+	return true
+}
+
+// zigzag folds a signed value into an unsigned one with small absolute
+// values staying small — the standard varint-friendly encoding.
+func zigzag(v int64) uint64 { return uint64(v<<1) ^ uint64(v>>63) }
+
+// unzigzag is the inverse of zigzag.
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// decoder walks a byte slice with error-latching reads: every helper
+// reports malformed input (truncation, overlong varints) through err
+// instead of panicking, so the fuzz targets can hammer arbitrary bytes.
+type decoder struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (d *decoder) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf(format, args...)
+	}
+}
+
+func (d *decoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.b[d.off:])
+	if n <= 0 {
+		d.fail("tstore: truncated or overlong varint at offset %d", d.off)
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+func (d *decoder) varint() int64 { return unzigzag(d.uvarint()) }
+
+func (d *decoder) bytes(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if n < 0 || d.off+n > len(d.b) {
+		d.fail("tstore: truncated field at offset %d (want %d bytes, have %d)", d.off, n, len(d.b)-d.off)
+		return nil
+	}
+	s := d.b[d.off : d.off+n]
+	d.off += n
+	return s
+}
+
+func (d *decoder) u32() uint32 {
+	b := d.bytes(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+// count reads an element count and sanity-bounds it against the bytes
+// that remain, so corrupted counts cannot demand absurd allocations:
+// every counted element costs at least one encoded byte.
+func (d *decoder) count(what string) int {
+	v := d.uvarint()
+	if d.err != nil {
+		return 0
+	}
+	if v > uint64(len(d.b)-d.off) {
+		d.fail("tstore: %s count %d exceeds remaining payload (%d bytes)", what, v, len(d.b)-d.off)
+		return 0
+	}
+	return int(v)
+}
+
+// valTag* select the value-column encoding: a chunk whose every Val is
+// an exact small integer (queue lengths, window sizes, timeout counts —
+// the common case) stores zigzag varints; anything else stores raw
+// float64 bits.
+const (
+	valTagInt byte = 0
+	valTagRaw byte = 1
+)
+
+// encodeChunk appends the columnar payload for events to buf and
+// returns it along with the chunk's index entry. Events carry
+// store-level location ids (the writer re-interns before staging).
+func encodeChunk(buf []byte, events []obs.Event) ([]byte, ChunkInfo) {
+	info := ChunkInfo{
+		Count:  len(events),
+		MinT:   events[0].T,
+		MaxT:   events[0].T,
+		ConnLo: events[0].Conn,
+		ConnHi: events[0].Conn,
+		LocLo:  uint16(events[0].Loc),
+		LocHi:  uint16(events[0].Loc),
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(events)))
+
+	// Time column: zigzag deltas from the previous event (the first from
+	// zero). Tracer streams are time-ordered, so deltas are small and
+	// non-negative; zigzag keeps out-of-order offline ingests legal.
+	prev := time.Duration(0)
+	for i := range events {
+		ev := &events[i]
+		buf = binary.AppendUvarint(buf, zigzag(int64(ev.T-prev)))
+		prev = ev.T
+		if ev.T < info.MinT {
+			info.MinT = ev.T
+		}
+		if ev.T > info.MaxT {
+			info.MaxT = ev.T
+		}
+		info.TypeMask |= 1 << ev.Type
+		if ev.Conn < info.ConnLo {
+			info.ConnLo = ev.Conn
+		}
+		if ev.Conn > info.ConnHi {
+			info.ConnHi = ev.Conn
+		}
+		if l := uint16(ev.Loc); l < info.LocLo {
+			info.LocLo = l
+		} else if l > info.LocHi {
+			info.LocHi = l
+		}
+	}
+	// Type and kind columns: one byte each (seven types, two kinds).
+	for i := range events {
+		buf = append(buf, byte(events[i].Type))
+	}
+	for i := range events {
+		buf = append(buf, byte(events[i].Kind))
+	}
+	// Location and connection columns: per-chunk dictionary (the sorted
+	// distinct values) followed by one dictionary code per event. A run
+	// touches few distinct locations and connections per chunk, so codes
+	// are almost always one byte.
+	buf = appendDictU64(buf, events, func(ev *obs.Event) uint64 { return uint64(ev.Loc) })
+	buf = appendDictU64(buf, events, func(ev *obs.Event) uint64 { return zigzag(int64(ev.Conn)) })
+	// Seq, size, id columns.
+	for i := range events {
+		buf = binary.AppendUvarint(buf, zigzag(int64(events[i].Seq)))
+	}
+	for i := range events {
+		buf = binary.AppendUvarint(buf, zigzag(int64(events[i].Size)))
+	}
+	for i := range events {
+		buf = binary.AppendUvarint(buf, events[i].ID)
+	}
+	// Value column: varint when every value is an exact integer.
+	allInt := true
+	for i := range events {
+		v := events[i].Val
+		if v != math.Trunc(v) || math.Abs(v) > 1<<52 || math.Signbit(v) && v == 0 {
+			allInt = false
+			break
+		}
+	}
+	if allInt {
+		buf = append(buf, valTagInt)
+		for i := range events {
+			buf = binary.AppendUvarint(buf, zigzag(int64(events[i].Val)))
+		}
+	} else {
+		buf = append(buf, valTagRaw)
+		for i := range events {
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(events[i].Val))
+		}
+	}
+	return buf, info
+}
+
+// appendDictU64 writes one dictionary-encoded column: the sorted
+// distinct mapped values, then one code per event.
+func appendDictU64(buf []byte, events []obs.Event, key func(*obs.Event) uint64) []byte {
+	// Distinct values, insertion-sorted: dictionaries are tiny (types of
+	// locations and connections active within one chunk), so a linear
+	// scan beats a map allocation.
+	var dict []uint64
+	for i := range events {
+		v := key(&events[i])
+		pos := len(dict)
+		for pos > 0 && dict[pos-1] >= v {
+			if dict[pos-1] == v {
+				pos = -1
+				break
+			}
+			pos--
+		}
+		if pos >= 0 {
+			dict = append(dict, 0)
+			copy(dict[pos+1:], dict[pos:])
+			dict[pos] = v
+		}
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(dict)))
+	for _, v := range dict {
+		buf = binary.AppendUvarint(buf, v)
+	}
+	for i := range events {
+		v := key(&events[i])
+		lo, hi := 0, len(dict)
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if dict[mid] < v {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		buf = binary.AppendUvarint(buf, uint64(lo))
+	}
+	return buf
+}
+
+// decodeChunk parses one chunk payload into dst (reused across chunks;
+// grown as needed) and returns the events. Every field is validated:
+// malformed payloads error, never panic, and never allocate beyond the
+// declared payload's plausible event count.
+func decodeChunk(payload []byte, dst []obs.Event, nLocs int) ([]obs.Event, error) {
+	d := &decoder{b: payload}
+	n := d.count("event")
+	if d.err != nil {
+		return nil, d.err
+	}
+	if n == 0 {
+		return nil, fmt.Errorf("tstore: empty chunk")
+	}
+	if cap(dst) < n {
+		dst = make([]obs.Event, n)
+	}
+	dst = dst[:n]
+	prev := int64(0)
+	for i := range dst {
+		prev += d.varint()
+		dst[i].T = time.Duration(prev)
+	}
+	for i := range dst {
+		b := d.bytes(1)
+		if d.err != nil {
+			return nil, d.err
+		}
+		if b[0] >= byte(obs.NumTypes) {
+			return nil, fmt.Errorf("tstore: unknown event type %d in chunk", b[0])
+		}
+		dst[i].Type = obs.Type(b[0])
+	}
+	for i := range dst {
+		b := d.bytes(1)
+		if d.err != nil {
+			return nil, d.err
+		}
+		dst[i].Kind = packet.Kind(b[0])
+	}
+	// Location dictionary + codes.
+	locDict, err := readDict(d, "location")
+	if err != nil {
+		return nil, err
+	}
+	for i := range dst {
+		c := d.uvarint()
+		if d.err != nil {
+			return nil, d.err
+		}
+		if c >= uint64(len(locDict)) {
+			return nil, fmt.Errorf("tstore: location code %d out of range [0,%d)", c, len(locDict))
+		}
+		id := locDict[c]
+		if id > math.MaxUint16 || (nLocs >= 0 && id >= uint64(nLocs)) {
+			return nil, fmt.Errorf("tstore: location id %d out of range [0,%d)", id, nLocs)
+		}
+		dst[i].Loc = obs.Loc(id)
+	}
+	// Connection dictionary + codes.
+	connDict, err := readDict(d, "connection")
+	if err != nil {
+		return nil, err
+	}
+	for i := range dst {
+		c := d.uvarint()
+		if d.err != nil {
+			return nil, d.err
+		}
+		if c >= uint64(len(connDict)) {
+			return nil, fmt.Errorf("tstore: connection code %d out of range [0,%d)", c, len(connDict))
+		}
+		dst[i].Conn = int32(unzigzag(connDict[c]))
+	}
+	for i := range dst {
+		dst[i].Seq = int32(d.varint())
+	}
+	for i := range dst {
+		dst[i].Size = int32(d.varint())
+	}
+	for i := range dst {
+		dst[i].ID = d.uvarint()
+	}
+	tag := d.bytes(1)
+	if d.err != nil {
+		return nil, d.err
+	}
+	switch tag[0] {
+	case valTagInt:
+		for i := range dst {
+			dst[i].Val = float64(d.varint())
+		}
+	case valTagRaw:
+		for i := range dst {
+			b := d.bytes(8)
+			if d.err != nil {
+				return nil, d.err
+			}
+			dst[i].Val = math.Float64frombits(binary.LittleEndian.Uint64(b))
+		}
+	default:
+		return nil, fmt.Errorf("tstore: unknown value-column tag %d", tag[0])
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	if d.off != len(payload) {
+		return nil, fmt.Errorf("tstore: %d trailing bytes after chunk payload", len(payload)-d.off)
+	}
+	return dst, nil
+}
+
+// readDict reads one dictionary prefix: a count, then the values.
+func readDict(d *decoder, what string) ([]uint64, error) {
+	n := d.count(what + " dictionary")
+	if d.err != nil {
+		return nil, d.err
+	}
+	if n == 0 {
+		return nil, fmt.Errorf("tstore: empty %s dictionary", what)
+	}
+	dict := make([]uint64, n)
+	for i := range dict {
+		dict[i] = d.uvarint()
+	}
+	return dict, d.err
+}
+
+// crcFooter is the checksum the trailer carries over the footer bytes.
+func crcFooter(b []byte) uint32 { return crc32.ChecksumIEEE(b) }

@@ -1,0 +1,59 @@
+package tstore
+
+import (
+	"bytes"
+	"testing"
+
+	"tahoedyn/internal/obs"
+)
+
+// FuzzNewStore throws arbitrary bytes at the chunked-store reader.
+// Whatever the input — truncated files, flipped header fields, corrupt
+// footers, hostile varints in the chunk index — NewStore must either
+// return an error or yield a store whose full Scan completes without
+// panicking. Allocation is bounded by the validated counts, so hostile
+// lengths must not OOM either.
+func FuzzNewStore(f *testing.F) {
+	// Seed with a small real store so the fuzzer starts from a valid
+	// file and mutates inward past the CRC and bounds checks.
+	locs, events := synthTrace(2000, 3, 2, 1)
+	var buf bytes.Buffer
+	w := NewWriter(&buf, WriterOptions{ChunkEvents: 256})
+	if err := w.Begin(); err != nil {
+		f.Fatal(err)
+	}
+	if err := w.Events(locs, events); err != nil {
+		f.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		f.Fatal(err)
+	}
+	b := buf.Bytes()
+	f.Add(b)
+	for _, cut := range []int{0, 4, 11, 12, 40, len(b) / 2, len(b) - 13, len(b) - 1} {
+		f.Add(b[:cut])
+	}
+	// Empty store (header only, footer for zero chunks).
+	var empty bytes.Buffer
+	we := NewWriter(&empty, WriterOptions{})
+	we.Begin()
+	we.Close()
+	f.Add(empty.Bytes())
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := NewStore(bytes.NewReader(data), int64(len(data)))
+		if err != nil {
+			return
+		}
+		// Opened: scanning every chunk must not panic; errors are fine
+		// (chunk payloads are not covered by the footer CRC).
+		n := uint64(0)
+		s.Scan(Query{}, func(ev *obs.Event) error {
+			n++
+			return nil
+		})
+		if n > s.TotalEvents() {
+			t.Fatalf("scan yielded %d events, store claims %d", n, s.TotalEvents())
+		}
+	})
+}

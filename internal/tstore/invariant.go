@@ -1,0 +1,355 @@
+package tstore
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"tahoedyn/internal/obs"
+)
+
+// Violation describes the first invariant breach found in a trace,
+// pinpointing the offending event. It implements error.
+type Violation struct {
+	// Rule names the invariant: "monotonic-time", "conservation",
+	// "causality", "cwnd-bounds", "timeout-monotonic".
+	Rule string
+	// Index is the 0-based position of the event in the checked stream.
+	Index uint64
+	// Loc is the resolved location name of the event, when known.
+	Loc string
+	// Event is the offending event itself.
+	Event obs.Event
+	// Detail explains what was expected and what was seen.
+	Detail string
+}
+
+func (v *Violation) Error() string {
+	loc := v.Loc
+	if loc == "" {
+		loc = fmt.Sprintf("loc%d", v.Event.Loc)
+	}
+	return fmt.Sprintf("tstore: invariant %q violated by event %d (t=%v type=%v loc=%s conn=%d id=%d val=%g): %s",
+		v.Rule, v.Index, v.Event.T, v.Event.Type, loc, v.Event.Conn, v.Event.ID, v.Event.Val, v.Detail)
+}
+
+// CheckOptions selects which invariants run and supplies their bounds.
+// The zero value checks everything checkable without configuration
+// (conservation, causality, monotonic time, timeout monotonicity, and
+// the cwnd lower bound).
+type CheckOptions struct {
+	// MaxCwnd bounds each connection's congestion window (packets),
+	// keyed by 1-based connection id. Connections without an entry are
+	// only checked against the lower bound of one packet.
+	MaxCwnd map[int]float64
+	// NoConservation disables the per-port packet-conservation and
+	// causality rules. Required for partial traces — a filtered or
+	// windowed capture starts mid-run with queues already occupied, so
+	// conservation cannot hold.
+	NoConservation bool
+	// NoMonotonicTime disables the global event-time ordering rule.
+	NoMonotonicTime bool
+	// NoCwndBounds disables the congestion-window bounds rule.
+	NoCwndBounds bool
+}
+
+// portQueue models one port's buffer from its event stream: the set of
+// enqueued packet ids plus the implied queue length. The id set is
+// what disambiguates a Random-Drop/FQ eviction (victim is in the
+// buffer) from an arrival drop (victim never entered), and catches
+// causality breaks (transmitting a packet that was never enqueued).
+type portQueue struct {
+	ids  map[uint64]struct{}
+	qlen int
+}
+
+// checkState is the streaming invariant engine shared by the online
+// sink (Checker) and the offline pass (Check). Memory is O(packets
+// currently queued + connections), independent of trace length.
+//
+// Ports are keyed by interned location NAME, not by the raw Loc id:
+// every batch carries its emitting run's own location table, and in a
+// sharded run each region's tracer numbers its locations independently
+// — the same id means different ports in different regions' batches.
+type checkState struct {
+	o           CheckOptions
+	ports       map[int]*portQueue
+	lastT       time.Duration
+	lastTimeout map[int32]float64
+	idx         uint64
+
+	// Location interning, mirroring the store writer's: remap caches the
+	// current batch table → stable id mapping.
+	locIndex map[string]int
+	remap    []int
+	remapFor []string
+}
+
+func newCheckState(o CheckOptions) *checkState {
+	return &checkState{
+		o:           o,
+		ports:       map[int]*portQueue{},
+		lastTimeout: map[int32]float64{},
+		locIndex:    map[string]int{},
+	}
+}
+
+// setLocs refreshes the batch-table remap. The fast path — same backing
+// array and length as the previous batch — is two compares.
+func (cs *checkState) setLocs(locs []string) {
+	if len(locs) == len(cs.remapFor) {
+		same := len(locs) == 0 || &locs[0] == &cs.remapFor[0]
+		if !same {
+			same = true
+			for i := range locs {
+				if locs[i] != cs.remapFor[i] {
+					same = false
+					break
+				}
+			}
+		}
+		if same {
+			return
+		}
+	}
+	if cap(cs.remap) < len(locs) {
+		cs.remap = make([]int, len(locs))
+	}
+	cs.remap = cs.remap[:len(locs)]
+	for i, name := range locs {
+		id, ok := cs.locIndex[name]
+		if !ok {
+			id = len(cs.locIndex)
+			cs.locIndex[name] = id
+		}
+		cs.remap[i] = id
+	}
+	cs.remapFor = locs
+}
+
+// portKey returns the stable port identity for an event of the current
+// batch. Events with out-of-table ids (never produced by a tracer) fold
+// into negative sentinel buckets, disjoint from the interned range.
+func (cs *checkState) portKey(ev *obs.Event) int {
+	if int(ev.Loc) < len(cs.remap) {
+		return cs.remap[ev.Loc]
+	}
+	return -(1 + int(ev.Loc))
+}
+
+// violate builds a Violation for the current event.
+func (cs *checkState) violate(ev *obs.Event, locs []string, rule, format string, args ...any) *Violation {
+	loc := ""
+	if int(ev.Loc) < len(locs) {
+		loc = locs[ev.Loc]
+	}
+	return &Violation{
+		Rule:   rule,
+		Index:  cs.idx,
+		Loc:    loc,
+		Event:  *ev,
+		Detail: fmt.Sprintf(format, args...),
+	}
+}
+
+// check runs one event through every enabled rule; non-nil means the
+// trace is invalid and checking stops. locs is the emitting table for
+// name resolution in the report.
+func (cs *checkState) check(ev *obs.Event, locs []string) *Violation {
+	if !cs.o.NoMonotonicTime {
+		if ev.T < cs.lastT {
+			return cs.violate(ev, locs, "monotonic-time",
+				"event time %v precedes previous event time %v", ev.T, cs.lastT)
+		}
+		cs.lastT = ev.T
+	}
+
+	switch ev.Type {
+	case obs.Enqueue, obs.Dequeue, obs.Transmit, obs.Drop:
+		if !cs.o.NoConservation {
+			if v := cs.checkPort(ev, locs); v != nil {
+				return v
+			}
+		}
+	case obs.Timeout:
+		prev, seen := cs.lastTimeout[ev.Conn]
+		if seen && ev.Val <= prev {
+			return cs.violate(ev, locs, "timeout-monotonic",
+				"cumulative timeout count %g not above previous %g for conn %d", ev.Val, prev, ev.Conn)
+		}
+		cs.lastTimeout[ev.Conn] = ev.Val
+	case obs.CwndChange:
+		if !cs.o.NoCwndBounds {
+			if ev.Val < 1 {
+				return cs.violate(ev, locs, "cwnd-bounds",
+					"congestion window %g below one packet", ev.Val)
+			}
+			if max, ok := cs.o.MaxCwnd[int(ev.Conn)]; ok && ev.Val > max {
+				return cs.violate(ev, locs, "cwnd-bounds",
+					"congestion window %g above conn %d's bound %g", ev.Val, ev.Conn, max)
+			}
+		}
+	}
+	cs.idx++
+	return nil
+}
+
+// checkPort applies conservation and causality at one port. Event Val
+// semantics (pinned by internal/link/port.go): Enqueue reports the
+// queue length after the arrival, Dequeue leaves it unchanged (the
+// in-service packet still counts), Transmit reports it after the
+// departure, Drop after the victim's removal — which for an arrival
+// drop removes nothing.
+func (cs *checkState) checkPort(ev *obs.Event, locs []string) *Violation {
+	key := cs.portKey(ev)
+	p := cs.ports[key]
+	if p == nil {
+		p = &portQueue{ids: map[uint64]struct{}{}}
+		cs.ports[key] = p
+	}
+	_, queued := p.ids[ev.ID]
+	switch ev.Type {
+	case obs.Enqueue:
+		if queued {
+			return cs.violate(ev, locs, "conservation",
+				"packet %d enqueued twice without leaving the buffer", ev.ID)
+		}
+		p.ids[ev.ID] = struct{}{}
+		p.qlen++
+		if int(ev.Val) != p.qlen {
+			return cs.violate(ev, locs, "conservation",
+				"queue length %g after enqueue, conservation implies %d", ev.Val, p.qlen)
+		}
+	case obs.Dequeue:
+		if !queued {
+			return cs.violate(ev, locs, "causality",
+				"packet %d dequeued but never enqueued here", ev.ID)
+		}
+		if int(ev.Val) != p.qlen {
+			return cs.violate(ev, locs, "conservation",
+				"queue length %g at dequeue, conservation implies %d", ev.Val, p.qlen)
+		}
+	case obs.Transmit:
+		if !queued {
+			return cs.violate(ev, locs, "causality",
+				"packet %d transmitted but never enqueued here", ev.ID)
+		}
+		delete(p.ids, ev.ID)
+		p.qlen--
+		if int(ev.Val) != p.qlen {
+			return cs.violate(ev, locs, "conservation",
+				"queue length %g after transmit, conservation implies %d", ev.Val, p.qlen)
+		}
+	case obs.Drop:
+		if queued {
+			// Eviction (Random Drop, FQ longest-flow): victim leaves the
+			// buffer.
+			delete(p.ids, ev.ID)
+			p.qlen--
+		}
+		// Arrival drop: the victim never entered, queue unchanged.
+		if int(ev.Val) != p.qlen {
+			return cs.violate(ev, locs, "conservation",
+				"queue length %g after drop, conservation implies %d", ev.Val, p.qlen)
+		}
+	}
+	return nil
+}
+
+// Checker is an obs.Sink that verifies invariants online, during the
+// run, forwarding every batch to an optional inner sink (so checking
+// composes with tracing to disk). On the first violation the checker
+// reports it as the sink error — the tracer goes quiet and the run
+// completes, with the Violation surfacing through Result.TraceErr and
+// Result.Invariant. The physics of the run are untouched: a checker
+// only observes.
+type Checker struct {
+	mu    sync.Mutex
+	inner obs.Sink
+	cs    *checkState
+	vio   *Violation
+}
+
+// NewChecker returns an online invariant checker forwarding to inner
+// (which may be nil to only check).
+func NewChecker(inner obs.Sink, o CheckOptions) *Checker {
+	return &Checker{inner: inner, cs: newCheckState(o)}
+}
+
+// Begin forwards to the inner sink.
+func (c *Checker) Begin() error {
+	if c.inner != nil {
+		return c.inner.Begin()
+	}
+	return nil
+}
+
+// Events forwards the batch, then checks it. The batch is forwarded
+// first so that when a violation aborts tracing, the offending event
+// is still present in the stored trace for inspection.
+func (c *Checker) Events(locs []string, events []obs.Event) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var innerErr error
+	if c.inner != nil {
+		innerErr = c.inner.Events(locs, events)
+	}
+	if c.vio == nil {
+		c.cs.setLocs(locs)
+		for i := range events {
+			if v := c.cs.check(&events[i], locs); v != nil {
+				c.vio = v
+				return v
+			}
+		}
+	}
+	return innerErr
+}
+
+// Close forwards to the inner sink.
+func (c *Checker) Close() error {
+	if c.inner != nil {
+		return c.inner.Close()
+	}
+	return nil
+}
+
+// Violation returns the first breach found, or nil for a clean trace
+// so far.
+func (c *Checker) Violation() *Violation {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.vio
+}
+
+// EventsChecked returns how many events passed the checker cleanly.
+func (c *Checker) EventsChecked() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.cs.idx
+}
+
+// Check runs the invariant engine offline over a stored or in-memory
+// trace, streaming one chunk at a time. It returns the number of
+// events that passed and the first Violation, or a scan error.
+func Check(sc Scanner, o CheckOptions) (uint64, *Violation, error) {
+	cs := newCheckState(o)
+	locs := sc.Locs()
+	cs.setLocs(locs)
+	var vio *Violation
+	// From is unbounded below: a corrupted negative timestamp must reach
+	// the checker, not be filtered out by the default [0, ∞) window.
+	q := Query{From: time.Duration(math.MinInt64)}
+	err := sc.Scan(q, func(ev *obs.Event) error {
+		if v := cs.check(ev, locs); v != nil {
+			vio = v
+			return ErrStop
+		}
+		return nil
+	})
+	if err != nil {
+		return cs.idx, nil, err
+	}
+	return cs.idx, vio, nil
+}

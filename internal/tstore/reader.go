@@ -1,0 +1,253 @@
+package tstore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"time"
+
+	"tahoedyn/internal/obs"
+)
+
+// Store is an opened chunked trace store: the footer index and location
+// table live in memory, chunk payloads are read on demand. Scans
+// materialize at most one chunk at a time, so working memory is
+// independent of the trace size. A Store is safe for concurrent Scans
+// (each scan carries its own buffers) over an io.ReaderAt.
+type Store struct {
+	r     io.ReaderAt
+	c     io.Closer
+	locs  []string
+	index []ChunkInfo
+	total uint64
+	// chunkN is the writer's target events per chunk (header field).
+	chunkN int
+	// sorted reports whether chunk time ranges are non-overlapping and
+	// ascending — true for any store a tracer wrote — enabling early
+	// scan termination at q.To.
+	sorted bool
+}
+
+// Open opens a store file. The returned Store keeps the file open;
+// Close releases it.
+func Open(path string) (*Store, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	s, err := NewStore(f, fi.Size())
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	s.c = f
+	return s, nil
+}
+
+// NewStore opens a store over any random-access byte source of the
+// given size (a file, an mmap, a test buffer).
+func NewStore(r io.ReaderAt, size int64) (*Store, error) {
+	if size < headerSize+trailerSize {
+		return nil, fmt.Errorf("tstore: file too short (%d bytes) to be a store", size)
+	}
+	var hdr [headerSize]byte
+	if _, err := r.ReadAt(hdr[:], 0); err != nil {
+		return nil, fmt.Errorf("tstore: reading header: %w", err)
+	}
+	if string(hdr[:4]) != storeMagic {
+		return nil, fmt.Errorf("tstore: bad magic %q (want %q)", hdr[:4], storeMagic)
+	}
+	if v := binary.LittleEndian.Uint16(hdr[4:6]); v > storeVersion {
+		return nil, fmt.Errorf("tstore: store version %d is newer than supported version %d", v, storeVersion)
+	}
+	chunkN := int(binary.LittleEndian.Uint32(hdr[8:12]))
+	if chunkN <= 0 || chunkN > maxChunkPayload {
+		return nil, fmt.Errorf("tstore: implausible chunk size %d in header", chunkN)
+	}
+
+	var tr [trailerSize]byte
+	if _, err := r.ReadAt(tr[:], size-trailerSize); err != nil {
+		return nil, fmt.Errorf("tstore: reading trailer: %w", err)
+	}
+	if string(tr[8:12]) != footerMagic {
+		return nil, fmt.Errorf("tstore: bad trailer magic %q — store truncated or not finalized (was Close called?)", tr[8:12])
+	}
+	footLen := int64(binary.LittleEndian.Uint32(tr[4:8]))
+	footOff := size - trailerSize - footLen
+	if footLen < 0 || footOff < headerSize {
+		return nil, fmt.Errorf("tstore: implausible footer length %d", footLen)
+	}
+	foot := make([]byte, footLen)
+	if _, err := r.ReadAt(foot, footOff); err != nil {
+		return nil, fmt.Errorf("tstore: reading footer: %w", err)
+	}
+	if crc := crcFooter(foot); crc != binary.LittleEndian.Uint32(tr[0:4]) {
+		return nil, fmt.Errorf("tstore: footer checksum mismatch (file corrupted)")
+	}
+
+	s := &Store{r: r, chunkN: chunkN, sorted: true}
+	d := &decoder{b: foot}
+	nLocs := d.count("location")
+	for i := 0; i < nLocs && d.err == nil; i++ {
+		n := d.count("location name byte")
+		s.locs = append(s.locs, string(d.bytes(n)))
+	}
+	nChunks := d.count("chunk")
+	if d.err == nil {
+		s.index = make([]ChunkInfo, 0, nChunks)
+	}
+	prevEnd := time.Duration(math.MinInt64)
+	for i := 0; i < nChunks && d.err == nil; i++ {
+		c := ChunkInfo{
+			Offset:   int64(d.uvarint()),
+			Size:     int64(d.uvarint()),
+			Count:    int(d.uvarint()),
+			MinT:     time.Duration(d.varint()),
+			MaxT:     time.Duration(d.varint()),
+			TypeMask: uint32(d.uvarint()),
+			ConnLo:   int32(d.varint()),
+			ConnHi:   int32(d.varint()),
+			LocLo:    uint16(d.uvarint()),
+			LocHi:    uint16(d.uvarint()),
+		}
+		if d.err != nil {
+			break
+		}
+		if c.Size <= 0 || c.Size > maxChunkPayload || c.Offset < headerSize || c.Offset+4+c.Size > footOff {
+			d.fail("tstore: chunk %d extent [%d, +%d) outside the data section", i, c.Offset, c.Size)
+			break
+		}
+		if c.Count <= 0 || c.Count > maxChunkPayload {
+			d.fail("tstore: chunk %d implausible event count %d", i, c.Count)
+			break
+		}
+		if c.MinT < prevEnd {
+			s.sorted = false
+		}
+		prevEnd = c.MaxT
+		s.index = append(s.index, c)
+	}
+	s.total = d.uvarint()
+	if d.err != nil {
+		return nil, d.err
+	}
+	var n uint64
+	for i := range s.index {
+		n += uint64(s.index[i].Count)
+	}
+	if n != s.total {
+		return nil, fmt.Errorf("tstore: footer total %d disagrees with index sum %d", s.total, n)
+	}
+	return s, nil
+}
+
+// Close releases the underlying file, when the store owns one.
+func (s *Store) Close() error {
+	if s.c != nil {
+		return s.c.Close()
+	}
+	return nil
+}
+
+// Locs returns the store's location table; event Loc fields index it.
+func (s *Store) Locs() []string { return s.locs }
+
+// Chunks returns the footer index (read-only).
+func (s *Store) Chunks() []ChunkInfo { return s.index }
+
+// TotalEvents returns the number of events in the store.
+func (s *Store) TotalEvents() uint64 { return s.total }
+
+// LocID resolves a location name to its store id, or -1.
+func (s *Store) LocID(name string) int {
+	for i, n := range s.locs {
+		if n == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Scan streams every event matching q through fn, in file order,
+// skipping chunks the index rules out. fn receives a pointer into a
+// scratch buffer that is reused — copy the event to retain it. A
+// non-nil error from fn aborts the scan and is returned; ErrStop
+// aborts and returns nil.
+func (s *Store) Scan(q Query, fn func(*obs.Event) error) error {
+	_, err := s.scan(q, fn)
+	return err
+}
+
+// ScanStats is Scan, also reporting how many chunks the index skipped
+// — the chunk-skip ratio is skipped/len(Chunks()).
+func (s *Store) ScanStats(q Query, fn func(*obs.Event) error) (skipped int, err error) {
+	return s.scan(q, fn)
+}
+
+func (s *Store) scan(q Query, fn func(*obs.Event) error) (skipped int, err error) {
+	locID, ok := q.locID(s.locs)
+	if !ok {
+		return len(s.index), nil
+	}
+	var (
+		payload []byte
+		events  []obs.Event
+	)
+	for i := range s.index {
+		c := &s.index[i]
+		if !c.overlaps(q, locID) {
+			skipped++
+			if s.sorted && q.To > 0 && c.MinT >= q.To {
+				skipped += len(s.index) - i - 1
+				return skipped, nil
+			}
+			continue
+		}
+		payload, events, err = s.readChunk(c, payload, events)
+		if err != nil {
+			return skipped, err
+		}
+		for j := range events {
+			ev := &events[j]
+			if !q.match(ev, locID) {
+				continue
+			}
+			if err := fn(ev); err != nil {
+				if err == ErrStop {
+					return skipped, nil
+				}
+				return skipped, err
+			}
+		}
+	}
+	return skipped, nil
+}
+
+// readChunk reads and decodes one chunk, reusing the caller's buffers.
+func (s *Store) readChunk(c *ChunkInfo, payload []byte, events []obs.Event) ([]byte, []obs.Event, error) {
+	if cap(payload) < int(c.Size)+4 {
+		payload = make([]byte, c.Size+4)
+	}
+	payload = payload[:c.Size+4]
+	if _, err := s.r.ReadAt(payload, c.Offset); err != nil {
+		return payload, events, fmt.Errorf("tstore: reading chunk at %d: %w", c.Offset, err)
+	}
+	if got := int64(binary.LittleEndian.Uint32(payload[:4])); got != c.Size {
+		return payload, events, fmt.Errorf("tstore: chunk at %d declares %d payload bytes, index says %d", c.Offset, got, c.Size)
+	}
+	evs, err := decodeChunk(payload[4:], events, len(s.locs))
+	if err != nil {
+		return payload, events, err
+	}
+	if len(evs) != c.Count {
+		return payload, evs, fmt.Errorf("tstore: chunk at %d holds %d events, index says %d", c.Offset, len(evs), c.Count)
+	}
+	return payload, evs, nil
+}

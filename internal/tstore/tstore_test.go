@@ -1,0 +1,574 @@
+package tstore
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"time"
+
+	"tahoedyn/internal/obs"
+)
+
+// synthTrace builds a deterministic, invariant-clean event stream
+// modeling nPorts ports fed round-robin by nConns connections: every
+// packet is enqueued, (maybe) sits, then transmits, with occasional
+// arrival drops and cwnd/timeout value events sprinkled in.
+func synthTrace(n, nPorts, nConns int, seed int64) ([]string, []obs.Event) {
+	locs := make([]string, nPorts)
+	for i := range locs {
+		locs[i] = "port" + string(rune('A'+i))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	type pq struct {
+		ids  []uint64
+		qlen int
+	}
+	ports := make([]pq, nPorts)
+	events := make([]obs.Event, 0, n)
+	t := time.Duration(0)
+	var nextID uint64 = 1
+	for len(events) < n {
+		t += time.Duration(rng.Intn(1000)) * time.Microsecond
+		loc := rng.Intn(nPorts)
+		conn := int32(1 + rng.Intn(nConns))
+		p := &ports[loc]
+		switch k := rng.Intn(10); {
+		case k < 4: // arrival
+			if p.qlen >= 8 { // full: arrival drop, queue unchanged
+				events = append(events, obs.Event{T: t, Type: obs.Drop, Loc: obs.Loc(loc),
+					Conn: conn, ID: nextID, Seq: int32(nextID), Size: 1000, Val: float64(p.qlen)})
+			} else {
+				p.ids = append(p.ids, nextID)
+				p.qlen++
+				events = append(events, obs.Event{T: t, Type: obs.Enqueue, Loc: obs.Loc(loc),
+					Conn: conn, ID: nextID, Seq: int32(nextID), Size: 1000, Val: float64(p.qlen)})
+			}
+			nextID++
+		case k < 8: // departure
+			if p.qlen == 0 {
+				continue
+			}
+			id := p.ids[0]
+			events = append(events, obs.Event{T: t, Type: obs.Dequeue, Loc: obs.Loc(loc),
+				Conn: conn, ID: id, Seq: int32(id), Size: 1000, Val: float64(p.qlen)})
+			p.ids = p.ids[1:]
+			p.qlen--
+			events = append(events, obs.Event{T: t, Type: obs.Transmit, Loc: obs.Loc(loc),
+				Conn: conn, ID: id, Seq: int32(id), Size: 1000, Val: float64(p.qlen)})
+		case k < 9:
+			events = append(events, obs.Event{T: t, Type: obs.CwndChange, Conn: conn,
+				Val: float64(1 + rng.Intn(32))})
+		default:
+			events = append(events, obs.Event{T: t, Type: obs.Deliver, Loc: obs.Loc(loc),
+				Conn: conn, ID: uint64(rng.Intn(100)), Size: 1000, Val: 0.5 * float64(rng.Intn(7))})
+		}
+	}
+	return locs, events[:n]
+}
+
+// buildStore writes events through a Writer into memory and opens the
+// result as a Store.
+func buildStore(t *testing.T, locs []string, events []obs.Event, chunkN int) (*Store, []byte) {
+	t.Helper()
+	var buf bytes.Buffer
+	w := NewWriter(&buf, WriterOptions{ChunkEvents: chunkN})
+	if err := w.Begin(); err != nil {
+		t.Fatalf("Begin: %v", err)
+	}
+	// Split into batches to exercise the batch path.
+	for off := 0; off < len(events); off += 1000 {
+		end := off + 1000
+		if end > len(events) {
+			end = len(events)
+		}
+		if err := w.Events(locs, events[off:end]); err != nil {
+			t.Fatalf("Events: %v", err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	b := buf.Bytes()
+	s, err := NewStore(bytes.NewReader(b), int64(len(b)))
+	if err != nil {
+		t.Fatalf("NewStore: %v", err)
+	}
+	return s, b
+}
+
+func TestRoundTrip(t *testing.T) {
+	locs, events := synthTrace(10000, 4, 8, 1)
+	s, raw := buildStore(t, locs, events, 512)
+	if got := s.TotalEvents(); got != uint64(len(events)) {
+		t.Fatalf("TotalEvents = %d, want %d", got, len(events))
+	}
+	if len(s.Chunks()) < len(events)/512 {
+		t.Fatalf("too few chunks: %d", len(s.Chunks()))
+	}
+	var got []obs.Event
+	if err := s.Scan(Query{}, func(ev *obs.Event) error {
+		got = append(got, *ev)
+		return nil
+	}); err != nil {
+		t.Fatalf("Scan: %v", err)
+	}
+	if len(got) != len(events) {
+		t.Fatalf("scanned %d events, want %d", len(got), len(events))
+	}
+	storeLocs := s.Locs()
+	for i := range got {
+		want := events[i]
+		g := got[i]
+		// The store re-interns locations; compare by name.
+		if storeLocs[g.Loc] != locs[want.Loc] {
+			t.Fatalf("event %d: loc %q, want %q", i, storeLocs[g.Loc], locs[want.Loc])
+		}
+		g.Loc, want.Loc = 0, 0
+		if g != want {
+			t.Fatalf("event %d: got %+v, want %+v", i, g, want)
+		}
+	}
+	// Compression sanity: the store should be well below 40 B/event raw.
+	if raw := float64(len(raw)) / float64(len(events)); raw > 25 {
+		t.Errorf("store spends %.1f bytes/event; expected columnar encoding below 25", raw)
+	}
+}
+
+func TestEmptyStore(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, WriterOptions{})
+	if err := w.Close(); err != nil { // Close without Begin
+		t.Fatalf("Close: %v", err)
+	}
+	s, err := NewStore(bytes.NewReader(buf.Bytes()), int64(buf.Len()))
+	if err != nil {
+		t.Fatalf("NewStore: %v", err)
+	}
+	if s.TotalEvents() != 0 || len(s.Chunks()) != 0 {
+		t.Fatalf("empty store has %d events, %d chunks", s.TotalEvents(), len(s.Chunks()))
+	}
+	n := 0
+	if err := s.Scan(Query{}, func(*obs.Event) error { n++; return nil }); err != nil || n != 0 {
+		t.Fatalf("scan of empty store: n=%d err=%v", n, err)
+	}
+}
+
+// bruteMatch filters events the slow way for cross-checking.
+func bruteMatch(locs []string, events []obs.Event, q Query) []obs.Event {
+	locID := -1
+	if q.Loc != "" {
+		locID = -2
+		for i, n := range locs {
+			if n == q.Loc {
+				locID = i
+			}
+		}
+	}
+	var out []obs.Event
+	for _, ev := range events {
+		if locID == -2 {
+			break
+		}
+		if ev.T < q.From || (q.To > 0 && ev.T >= q.To) {
+			continue
+		}
+		if locID >= 0 && int(ev.Loc) != locID {
+			continue
+		}
+		if !q.Filter.Match(ev.Type, int(ev.Conn)) {
+			continue
+		}
+		out = append(out, ev)
+	}
+	return out
+}
+
+func TestQueriesMatchBruteForce(t *testing.T) {
+	locs, events := synthTrace(20000, 4, 8, 2)
+	s, _ := buildStore(t, locs, events, 256)
+	maxT := events[len(events)-1].T
+	queries := []Query{
+		{},
+		{From: maxT / 4, To: maxT / 2},
+		{Filter: obs.Filter{Types: 1 << obs.Drop}},
+		{Filter: obs.Filter{Conn: 3}},
+		{Loc: "portB"},
+		{Loc: "missing-port"},
+		{From: maxT / 3, To: 2 * maxT / 3, Filter: obs.Filter{Types: 1 << obs.Transmit, Conn: 2}, Loc: "portA"},
+		{To: maxT / 8, Filter: obs.Filter{Types: 1<<obs.Enqueue | 1<<obs.Drop}},
+	}
+	for qi, q := range queries {
+		want := bruteMatch(locs, events, q)
+		var got []obs.Event
+		skipped, err := s.ScanStats(q, func(ev *obs.Event) error {
+			got = append(got, *ev)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("query %d: %v", qi, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("query %d: %d events, want %d", qi, len(got), len(want))
+		}
+		for i := range got {
+			g, w := got[i], want[i]
+			g.Loc, w.Loc = 0, 0 // loc ids re-interned; names checked in TestRoundTrip
+			if g != w {
+				t.Fatalf("query %d event %d: got %+v want %+v", qi, i, g, w)
+			}
+		}
+		n, err := s.Count(q)
+		if err != nil || n != uint64(len(want)) {
+			t.Fatalf("query %d: Count = %d (err %v), want %d", qi, n, err, len(want))
+		}
+		// Time-bounded queries must actually skip chunks (conn/loc
+		// ranges legitimately span every chunk of this mixed trace).
+		if (q.From > 0 || q.To > 0) && skipped == 0 && len(s.Chunks()) > 4 {
+			t.Errorf("query %d: time-bounded query skipped no chunks", qi)
+		}
+	}
+}
+
+func TestScanEarlyStop(t *testing.T) {
+	locs, events := synthTrace(5000, 2, 4, 3)
+	s, _ := buildStore(t, locs, events, 128)
+	n := 0
+	if err := s.Scan(Query{}, func(*obs.Event) error {
+		n++
+		if n == 100 {
+			return ErrStop
+		}
+		return nil
+	}); err != nil {
+		t.Fatalf("Scan: %v", err)
+	}
+	if n != 100 {
+		t.Fatalf("ErrStop after %d events, want 100", n)
+	}
+}
+
+func TestWindowed(t *testing.T) {
+	locs, events := synthTrace(20000, 3, 4, 4)
+	src := &SliceSource{LocTable: locs, Events: events}
+	s, _ := buildStore(t, locs, events, 512)
+
+	q := Query{Filter: obs.Filter{Types: 1 << obs.Transmit}}
+	width := 10 * time.Millisecond
+	fromSlice, err := Windowed(src, q, WindowOptions{Width: width, ByLoc: true})
+	if err != nil {
+		t.Fatalf("Windowed(slice): %v", err)
+	}
+	fromStore, err := Windowed(s, q, WindowOptions{Width: width, ByLoc: true})
+	if err != nil {
+		t.Fatalf("Windowed(store): %v", err)
+	}
+	if len(fromStore) != len(fromSlice) {
+		t.Fatalf("store has %d groups, slice %d", len(fromStore), len(fromSlice))
+	}
+	var totBytes int64
+	for name, ws := range fromStore {
+		if len(ws) != len(fromSlice[name]) {
+			t.Fatalf("group %q: %d windows vs %d", name, len(ws), len(fromSlice[name]))
+		}
+		for i := range ws {
+			if ws[i] != fromSlice[name][i] {
+				t.Fatalf("group %q window %d: %+v vs %+v", name, i, ws[i], fromSlice[name][i])
+			}
+			if want := time.Duration(i) * width; ws[i].Start != want {
+				t.Fatalf("group %q window %d starts at %v, want %v", name, i, ws[i].Start, want)
+			}
+			totBytes += ws[i].Bytes
+		}
+	}
+	want := bruteMatch(locs, events, q)
+	if totBytes != int64(len(want))*1000 {
+		t.Fatalf("windowed bytes %d, want %d", totBytes, len(want)*1000)
+	}
+}
+
+func TestQuantilesExact(t *testing.T) {
+	// 1000 Deliver events with Val = 0, 0.5, ..., known distribution.
+	locs, events := synthTrace(30000, 2, 4, 5)
+	src := &SliceSource{LocTable: locs, Events: events}
+	q := Query{Filter: obs.Filter{Types: 1 << obs.Enqueue}}
+	vals := []float64{}
+	for _, ev := range bruteMatch(locs, events, q) {
+		vals = append(vals, ev.Val)
+	}
+	got, n, err := Quantiles(src, q, []float64{0.5, 0.9})
+	if err != nil {
+		t.Fatalf("Quantiles: %v", err)
+	}
+	if n != uint64(len(vals)) {
+		t.Fatalf("n = %d, want %d", n, len(vals))
+	}
+	// Exact path: cross-check against a sort.
+	sorted := append([]float64(nil), vals...)
+	for i := range sorted {
+		for j := i + 1; j < len(sorted); j++ {
+			if sorted[j] < sorted[i] {
+				sorted[i], sorted[j] = sorted[j], sorted[i]
+			}
+		}
+	}
+	for i, p := range []float64{0.5, 0.9} {
+		r := int(p*float64(len(sorted))+0.9999999) - 1
+		if got[i] != sorted[r] {
+			t.Fatalf("p=%g: got %g, want %g", p, got[i], sorted[r])
+		}
+	}
+}
+
+func TestQuantilesStreaming(t *testing.T) {
+	// Uniform values 1..100, enough samples to trip the P² switch: the
+	// estimates must land near the true quantiles.
+	n := maxExactSamples * 3
+	events := make([]obs.Event, n)
+	rng := rand.New(rand.NewSource(7))
+	for i := range events {
+		events[i] = obs.Event{T: time.Duration(i), Type: obs.Deliver, Val: float64(1 + rng.Intn(100))}
+	}
+	src := &SliceSource{LocTable: []string{"x"}, Events: events}
+	got, cnt, err := Quantiles(src, Query{}, []float64{0.5, 0.99})
+	if err != nil {
+		t.Fatalf("Quantiles: %v", err)
+	}
+	if cnt != uint64(n) {
+		t.Fatalf("count = %d, want %d", cnt, n)
+	}
+	if got[0] < 45 || got[0] > 55 {
+		t.Errorf("p50 = %g, want ≈50", got[0])
+	}
+	if got[1] < 95 || got[1] > 100 {
+		t.Errorf("p99 = %g, want ≈99", got[1])
+	}
+}
+
+func TestInvariantCleanTrace(t *testing.T) {
+	locs, events := synthTrace(20000, 4, 8, 6)
+	src := &SliceSource{LocTable: locs, Events: events}
+	n, vio, err := Check(src, CheckOptions{})
+	if err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+	if vio != nil {
+		t.Fatalf("clean trace flagged: %v", vio)
+	}
+	if n != uint64(len(events)) {
+		t.Fatalf("checked %d events, want %d", n, len(events))
+	}
+}
+
+func TestInvariantViolations(t *testing.T) {
+	locs, events := synthTrace(5000, 2, 4, 8)
+	// Find an Enqueue event to corrupt.
+	enq := -1
+	for i, ev := range events {
+		if ev.Type == obs.Enqueue && i > 100 {
+			enq = i
+			break
+		}
+	}
+	if enq < 0 {
+		t.Fatal("no enqueue event in synthetic trace")
+	}
+	cases := []struct {
+		name   string
+		rule   string
+		mutate func([]obs.Event) int // returns index of offending event
+		opts   CheckOptions
+	}{
+		{
+			name: "conservation-bad-qlen",
+			rule: "conservation",
+			mutate: func(evs []obs.Event) int {
+				evs[enq].Val += 3
+				return enq
+			},
+		},
+		{
+			name: "causality-phantom-transmit",
+			rule: "causality",
+			mutate: func(evs []obs.Event) int {
+				evs[enq].Type = obs.Transmit
+				evs[enq].ID = 1 << 60 // never enqueued
+				return enq
+			},
+		},
+		{
+			name: "monotonic-time",
+			rule: "monotonic-time",
+			mutate: func(evs []obs.Event) int {
+				evs[enq].T = evs[enq-1].T - time.Second
+				return enq
+			},
+			opts: CheckOptions{NoConservation: true},
+		},
+		{
+			name: "cwnd-below-one",
+			rule: "cwnd-bounds",
+			mutate: func(evs []obs.Event) int {
+				evs[enq] = obs.Event{T: evs[enq].T, Type: obs.CwndChange, Conn: 1, Val: 0}
+				return enq
+			},
+			opts: CheckOptions{NoConservation: true},
+		},
+		{
+			name: "cwnd-above-max",
+			rule: "cwnd-bounds",
+			mutate: func(evs []obs.Event) int {
+				evs[enq] = obs.Event{T: evs[enq].T, Type: obs.CwndChange, Conn: 1, Val: 1e6}
+				return enq
+			},
+			opts: CheckOptions{NoConservation: true, MaxCwnd: map[int]float64{1: 64}},
+		},
+		{
+			name: "timeout-not-increasing",
+			rule: "timeout-monotonic",
+			mutate: func(evs []obs.Event) int {
+				evs[enq-1] = obs.Event{T: evs[enq-1].T, Type: obs.Timeout, Conn: 2, Val: 5}
+				evs[enq] = obs.Event{T: evs[enq].T, Type: obs.Timeout, Conn: 2, Val: 5}
+				return enq
+			},
+			opts: CheckOptions{NoConservation: true},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			evs := append([]obs.Event(nil), events...)
+			wantIdx := tc.mutate(evs)
+			src := &SliceSource{LocTable: locs, Events: evs}
+			_, vio, err := Check(src, tc.opts)
+			if err != nil {
+				t.Fatalf("Check: %v", err)
+			}
+			if vio == nil {
+				t.Fatal("corruption not detected")
+			}
+			if vio.Rule != tc.rule {
+				t.Fatalf("flagged rule %q, want %q (%v)", vio.Rule, tc.rule, vio)
+			}
+			if vio.Index != uint64(wantIdx) {
+				t.Fatalf("flagged event %d, want %d (%v)", vio.Index, wantIdx, vio)
+			}
+			if vio.Error() == "" {
+				t.Fatal("empty violation message")
+			}
+		})
+	}
+}
+
+func TestOnlineCheckerForwardsAndFlags(t *testing.T) {
+	locs, events := synthTrace(3000, 2, 4, 9)
+	events[1500].Val += 7 // corrupt one queue length
+	mem := obs.NewMemorySink()
+	c := NewChecker(mem, CheckOptions{})
+	if err := c.Begin(); err != nil {
+		t.Fatalf("Begin: %v", err)
+	}
+	err := c.Events(locs, events)
+	if err == nil {
+		t.Fatal("checker did not report the violation")
+	}
+	vio, ok := err.(*Violation)
+	if !ok {
+		t.Fatalf("error is %T, want *Violation", err)
+	}
+	if c.Violation() != vio {
+		t.Fatal("Violation() disagrees with returned error")
+	}
+	if err := c.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	// The batch was forwarded before checking: the inner sink has it all.
+	if got := mem.Len(); got != len(events) {
+		t.Fatalf("inner sink holds %d events, want %d", got, len(events))
+	}
+}
+
+func TestStoreRejectsCorruption(t *testing.T) {
+	locs, events := synthTrace(4000, 2, 4, 10)
+	_, raw := buildStore(t, locs, events, 256)
+
+	t.Run("truncated", func(t *testing.T) {
+		for _, cut := range []int{0, 1, headerSize - 1, headerSize, len(raw) / 2, len(raw) - 1} {
+			if _, err := NewStore(bytes.NewReader(raw[:cut]), int64(cut)); err == nil {
+				t.Errorf("store truncated to %d bytes accepted", cut)
+			}
+		}
+	})
+	t.Run("bad-magic", func(t *testing.T) {
+		b := append([]byte(nil), raw...)
+		b[0] = 'X'
+		if _, err := NewStore(bytes.NewReader(b), int64(len(b))); err == nil {
+			t.Error("bad header magic accepted")
+		}
+	})
+	t.Run("footer-bitflip", func(t *testing.T) {
+		// Flip a byte inside the footer: the CRC must catch it.
+		b := append([]byte(nil), raw...)
+		b[len(b)-trailerSize-3] ^= 0xff
+		if _, err := NewStore(bytes.NewReader(b), int64(len(b))); err == nil {
+			t.Error("footer corruption accepted")
+		}
+	})
+	t.Run("chunk-bitflip", func(t *testing.T) {
+		// Flip bytes inside chunk payloads: opening may succeed (the
+		// footer is intact) but scanning must error, never panic.
+		for off := headerSize + 4; off < len(raw)/2; off += 97 {
+			b := append([]byte(nil), raw...)
+			b[off] ^= 0xa5
+			s, err := NewStore(bytes.NewReader(b), int64(len(b)))
+			if err != nil {
+				continue
+			}
+			scanErr := s.Scan(Query{}, func(*obs.Event) error { return nil })
+			_ = scanErr // a bitflip inside value payload bytes can decode; no-crash is the contract
+		}
+	})
+}
+
+func TestWriterLocReinterning(t *testing.T) {
+	// Two "runs" with different location tables must merge into one
+	// consistent store table.
+	var buf bytes.Buffer
+	w := NewWriter(&buf, WriterOptions{ChunkEvents: 4})
+	if err := w.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Events([]string{"a", "b"}, []obs.Event{
+		{T: 1, Type: obs.Deliver, Loc: 0},
+		{T: 2, Type: obs.Deliver, Loc: 1},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Events([]string{"b", "c"}, []obs.Event{
+		{T: 3, Type: obs.Deliver, Loc: 0},
+		{T: 4, Type: obs.Deliver, Loc: 1},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewStore(bytes.NewReader(buf.Bytes()), int64(buf.Len()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	if err := s.Scan(Query{}, func(ev *obs.Event) error {
+		names = append(names, s.Locs()[ev.Loc])
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"a", "b", "b", "c"}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("event %d at %q, want %q (all: %v)", i, names[i], want[i], names)
+		}
+	}
+	if n, err := Count(s, Query{Loc: "b"}); err != nil || n != 2 {
+		t.Fatalf("Count(loc=b) = %d, %v; want 2", n, err)
+	}
+}

@@ -40,6 +40,7 @@ import (
 	"tahoedyn/internal/sim"
 	"tahoedyn/internal/topology"
 	"tahoedyn/internal/trace"
+	"tahoedyn/internal/tstore"
 )
 
 // Scenario construction and execution.
@@ -212,6 +213,88 @@ func EncodeBinaryTrace(w io.Writer, locs []string, events []TraceEvent) error {
 // and newer versions.
 func DecodeBinaryTrace(r io.Reader) (locs []string, events []TraceEvent, err error) {
 	return obs.DecodeBinary(r)
+}
+
+// Out-of-core trace store and invariant engine (internal/tstore): a
+// columnar, chunked on-disk format with an index that lets queries skip
+// chunks, plus streaming invariant checks that run online during a run
+// (Config.Invariants) or offline over any stored trace.
+type (
+	// TraceStore is an opened chunked trace store; scans stream one
+	// chunk at a time, so memory stays bounded for any trace size.
+	TraceStore = tstore.Store
+	// TraceStoreWriter streams events into the store format. It is a
+	// TraceSink, so a run traces straight to disk.
+	TraceStoreWriter = tstore.Writer
+	// TraceStoreOptions tunes the writer (events per chunk).
+	TraceStoreOptions = tstore.WriterOptions
+	// TraceQuery selects events: time window, conn/type filter, location.
+	TraceQuery = tstore.Query
+	// TraceScanner is a streaming event source queries run over: a
+	// *TraceStore, or a TraceSlice for in-memory traces.
+	TraceScanner = tstore.Scanner
+	// TraceSlice adapts an in-memory trace to the TraceScanner interface.
+	TraceSlice = tstore.SliceSource
+	// TraceChunkInfo is one store-index entry (extent, time/conn/loc
+	// ranges, type mask).
+	TraceChunkInfo = tstore.ChunkInfo
+	// WindowStat aggregates one time window of a windowed query.
+	WindowStat = tstore.WindowStat
+	// WindowOptions shapes a windowed aggregation (width, per-location).
+	WindowOptions = tstore.WindowOptions
+	// InvariantOptions selects which invariants run and their bounds.
+	InvariantOptions = tstore.CheckOptions
+	// InvariantViolation pinpoints the first invariant breach: rule,
+	// event index, location, and the offending event. It implements
+	// error and surfaces as Result.Invariant.
+	InvariantViolation = tstore.Violation
+	// InvariantChecker is the online engine: a TraceSink that verifies
+	// while forwarding to an optional inner sink.
+	InvariantChecker = tstore.Checker
+)
+
+// ErrStopScan, returned from a TraceScanner.Scan callback, ends the
+// scan early without error.
+var ErrStopScan = tstore.ErrStop
+
+// NewTraceStoreSink returns a sink streaming events to w in the chunked
+// columnar store format. Close finalizes the store's index; the caller
+// still owns (and closes) w.
+func NewTraceStoreSink(w io.Writer, o TraceStoreOptions) *TraceStoreWriter {
+	return tstore.NewWriter(w, o)
+}
+
+// OpenTraceStore opens a stored trace for querying.
+func OpenTraceStore(path string) (*TraceStore, error) { return tstore.Open(path) }
+
+// NewInvariantChecker returns an online invariant checker forwarding to
+// inner (nil to only check). Config.Invariants wires one automatically.
+func NewInvariantChecker(inner TraceSink, o InvariantOptions) *InvariantChecker {
+	return tstore.NewChecker(inner, o)
+}
+
+// CheckTraceInvariants runs the invariant engine offline over a stored
+// or in-memory trace, returning the events checked and the first
+// violation (nil for a clean trace).
+func CheckTraceInvariants(sc TraceScanner, o InvariantOptions) (uint64, *InvariantViolation, error) {
+	return tstore.Check(sc, o)
+}
+
+// CountTraceEvents counts the events matching q, answering from the
+// store index where possible.
+func CountTraceEvents(sc TraceScanner, q TraceQuery) (uint64, error) { return tstore.Count(sc, q) }
+
+// WindowedTrace aggregates the events matching q into fixed-width time
+// windows, optionally grouped per location — per-link throughput and
+// queue statistics over time.
+func WindowedTrace(sc TraceScanner, q TraceQuery, o WindowOptions) (map[string][]WindowStat, error) {
+	return tstore.Windowed(sc, q, o)
+}
+
+// TraceQuantiles estimates quantiles of the Val field over the events
+// matching q (exact up to 65536 samples, streaming P² beyond).
+func TraceQuantiles(sc TraceScanner, q TraceQuery, probs []float64) ([]float64, uint64, error) {
+	return tstore.Quantiles(sc, q, probs)
 }
 
 // Topology types, for scenarios beyond the default switch line. Set
