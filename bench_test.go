@@ -9,6 +9,7 @@ package tahoedyn
 import (
 	"fmt"
 	"runtime"
+	"strings"
 	"testing"
 	"time"
 
@@ -435,8 +436,8 @@ func TestFacadeRunAndAnalyze(t *testing.T) {
 
 func TestFacadeExperimentRegistry(t *testing.T) {
 	defs := Experiments()
-	if len(defs) != 22 {
-		t.Fatalf("registry has %d experiments, want 22", len(defs))
+	if len(defs) != 24 {
+		t.Fatalf("registry has %d experiments, want 24", len(defs))
 	}
 	if _, err := Experiment("nope", ExpOptions{}); err == nil {
 		t.Fatal("unknown experiment did not error")
@@ -457,6 +458,46 @@ func BenchmarkIncreaseRule(b *testing.B) {
 
 func BenchmarkModeBoundary(b *testing.B) {
 	runExperiment(b, "mode-boundary", nil)
+}
+
+// BenchmarkRedTwoWay is the red-sync experiment: two-way traffic
+// through RED gateways vs drop-tail, the cost of the probabilistic
+// discipline on the hot path included.
+func BenchmarkRedTwoWay(b *testing.B) {
+	runExperiment(b, "red-sync", nil)
+}
+
+func BenchmarkCrossTraffic(b *testing.B) {
+	runExperiment(b, "cross-traffic", nil)
+}
+
+// BenchmarkTraceDrivenLink runs the two-way scenario over a trunk that
+// replays a cellular-like rate schedule, measuring the per-departure
+// cost of the time-varying serialization rate.
+func BenchmarkTraceDrivenLink(b *testing.B) {
+	rt, err := ParseRateTrace(strings.NewReader(
+		"500ms 50000\n250ms 18000\n750ms 32000\n500ms 64000\n"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := core.DumbbellConfig(10*time.Millisecond, 20)
+	cfg.Conns = []core.ConnSpec{
+		{SrcHost: 0, DstHost: 1, Start: -1},
+		{SrcHost: 1, DstHost: 0, Start: -1},
+	}
+	cfg.Behavior = &BehaviorSpec{Trace: rt}
+	cfg.Warmup = 10 * time.Second
+	cfg.Duration = 300 * time.Second
+	b.ReportAllocs()
+	b.ResetTimer()
+	var events uint64
+	for i := 0; i < b.N; i++ {
+		res := core.Run(cfg)
+		events = res.Events
+	}
+	simSecs := cfg.Duration.Seconds() * float64(b.N)
+	b.ReportMetric(simSecs/b.Elapsed().Seconds(), "sim-s/wall-s")
+	b.ReportMetric(float64(events), "events/run")
 }
 
 // TestShardedSteadyStateAllocs pins the sharded runner's steady-state

@@ -58,6 +58,8 @@ func run() int {
 		shardsFl = flag.Int("shards", 0, "regions per run for sharded execution (0 = serial; A/B knob; never changes results)")
 		storeFl  = flag.String("trace-store", "", "with -config: stream the run's event trace to this chunked store file (query it with tahoe-query)")
 		invarFl  = flag.Bool("invariants", false, "verify streaming invariants (packet conservation, time monotonicity, cwnd bounds) online during every run")
+		queueFl  = flag.String("queue", "", "with -config: override the queue discipline, e.g. drop-tail, fair-queue, red, red:min=5,max=15,p=0.02,wq=0.002")
+		behavFl  = flag.String("behavior", "", "with -config: override the trunk link behavior, e.g. loss=0.01,jitter=2ms or ge=0.01/0.3/0.5 or trace=rates.rt")
 		profFl   = prof.AddFlags(flag.String)
 	)
 	flag.Parse()
@@ -84,6 +86,28 @@ func run() int {
 	if *validate && *config == "" {
 		fmt.Fprintln(os.Stderr, "tahoe-sim: -validate requires -config <file>")
 		return 2
+	}
+	var queueSpec *tahoedyn.QueueSpec
+	if *queueFl != "" {
+		if *config == "" {
+			fmt.Fprintln(os.Stderr, "tahoe-sim: -queue requires -config <file>")
+			return 2
+		}
+		if queueSpec, err = tahoedyn.ParseQueueSpec(*queueFl); err != nil {
+			fmt.Fprintln(os.Stderr, "tahoe-sim:", err)
+			return 2
+		}
+	}
+	var behavSpec *tahoedyn.BehaviorSpec
+	if *behavFl != "" {
+		if *config == "" {
+			fmt.Fprintln(os.Stderr, "tahoe-sim: -behavior requires -config <file>")
+			return 2
+		}
+		if behavSpec, err = tahoedyn.ParseBehaviorSpec(*behavFl); err != nil {
+			fmt.Fprintln(os.Stderr, "tahoe-sim:", err)
+			return 2
+		}
 	}
 
 	stopProf, err := prof.Start(profFl.Config())
@@ -112,7 +136,7 @@ func run() int {
 			}
 			return 0
 		}
-		if err := runScenarioFile(*config, *width, *height, *doPlot, *lenient, prog, *storeFl, *invarFl); err != nil {
+		if err := runScenarioFile(*config, *width, *height, *doPlot, *lenient, prog, *storeFl, *invarFl, queueSpec, behavSpec); err != nil {
 			fmt.Fprintln(os.Stderr, "tahoe-sim:", err)
 			return 1
 		}
@@ -338,10 +362,19 @@ func loadScenario(path string, lenient bool) (tahoedyn.Config, error) {
 // streams to a chunked store file; with invariants, the streaming
 // checker runs online and a violation fails the command naming the
 // offending event.
-func runScenarioFile(path string, width, height int, doPlot, lenient bool, prog *tahoedyn.Progress, storePath string, invariants bool) error {
+func runScenarioFile(path string, width, height int, doPlot, lenient bool, prog *tahoedyn.Progress, storePath string, invariants bool, queue *tahoedyn.QueueSpec, behavior *tahoedyn.BehaviorSpec) error {
 	cfg, err := loadScenario(path, lenient)
 	if err != nil {
 		return err
+	}
+	if queue != nil {
+		// The flag replaces whatever the file chose, including the
+		// deprecated discard/discipline sugar.
+		cfg.Queue = queue
+		cfg.Discard, cfg.Discipline = tahoedyn.DropTailDiscard, tahoedyn.FIFODiscipline
+	}
+	if behavior != nil {
+		cfg.Behavior = behavior
 	}
 	obsOpts := tahoedyn.ObsOptions{Progress: prog}
 	var storeW *tahoedyn.TraceStoreWriter
@@ -421,6 +454,17 @@ func validateScenarioFile(w io.Writer, path string, lenient bool) error {
 	fmt.Fprintf(w, "  switches: %d  hosts: %d  links: %d  connections: %d\n",
 		topo.Switches, topo.NumHosts(), len(topo.Links), len(cfg.Conns))
 	fmt.Fprintf(w, "  seed %d, warmup %v, duration %v\n", cfg.Seed, cfg.Warmup, cfg.Duration)
+	if cfg.Queue != nil {
+		fmt.Fprintf(w, "  queue: %+v\n", *cfg.Queue)
+	}
+	if !cfg.Behavior.IsZero() {
+		fmt.Fprintf(w, "  behavior: %+v\n", *cfg.Behavior)
+	}
+	for i, s := range cfg.Conns {
+		if s.Source != nil && s.Source.Kind != "" && s.Source.Kind != tahoedyn.SourceTCP {
+			fmt.Fprintf(w, "  conn %d source: %+v\n", i+1, *s.Source)
+		}
+	}
 	for i, l := range topo.Links {
 		buffer := fmt.Sprintf("%d pkts", l.Buffer)
 		if l.Buffer <= 0 {

@@ -59,6 +59,8 @@ func run() int {
 		schedFlag   = flag.String("sched", "default", "event scheduler: wheel, heap, or default (A/B knob; never changes results)")
 		shardsFlag  = flag.Int("shards", 0, "regions per run for sharded execution (0 = serial; A/B knob; never changes results)")
 		progress    = flag.Bool("progress", false, "print grid-point completion liveness to stderr")
+		queueFlag   = flag.String("queue", "", "queue discipline for every grid point, e.g. fair-queue or red:min=5,max=15")
+		behavFlag   = flag.String("behavior", "", "trunk link behavior for every grid point, e.g. loss=0.01,jitter=2ms")
 		profFl      = prof.AddFlags(flag.String)
 	)
 	flag.Parse()
@@ -94,6 +96,20 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "tahoe-sweep: -warmup %v must be shorter than -duration %v\n", *warmup, *duration)
 		return 2
 	}
+	var queueSpec *tahoedyn.QueueSpec
+	if *queueFlag != "" {
+		if queueSpec, err = tahoedyn.ParseQueueSpec(*queueFlag); err != nil {
+			fmt.Fprintln(os.Stderr, "tahoe-sweep:", err)
+			return 2
+		}
+	}
+	var behavSpec *tahoedyn.BehaviorSpec
+	if *behavFlag != "" {
+		if behavSpec, err = tahoedyn.ParseBehaviorSpec(*behavFlag); err != nil {
+			fmt.Fprintln(os.Stderr, "tahoe-sweep:", err)
+			return 2
+		}
+	}
 
 	stopProf, err := prof.Start(profFl.Config())
 	if err != nil {
@@ -112,6 +128,7 @@ func run() int {
 		Duration: *duration, Warmup: *warmup,
 		Seed: *seed, Parallel: *parallel,
 		Topology: *topoFlag, Sched: sched, Progress: *progress,
+		Queue: queueSpec, Behavior: behavSpec,
 	})
 	w.Flush()
 	return 0
@@ -135,6 +152,10 @@ type sweepOptions struct {
 	// Progress prints per-grid-point completion liveness to stderr.
 	// Stdout — the report itself — is unaffected.
 	Progress bool
+	// Queue/Behavior, when non-nil, apply to every grid point: the
+	// -queue and -behavior flags.
+	Queue    *tahoedyn.QueueSpec
+	Behavior *tahoedyn.BehaviorSpec
 }
 
 // sweep runs the (tau, buffer) grid on a worker pool and writes the
@@ -156,6 +177,8 @@ func sweep(w io.Writer, opts sweepOptions) {
 			cfg.Warmup = opts.Warmup
 			cfg.Duration = opts.Duration
 			cfg.Sched = opts.Sched
+			cfg.Queue = opts.Queue
+			cfg.Behavior = opts.Behavior
 			cfg.Conns = append([]tahoedyn.ConnSpec(nil), conns...)
 			cfgs = append(cfgs, cfg)
 			labels = append(labels, fmt.Sprintf("tau=%v,buffer=%d", tau, b))

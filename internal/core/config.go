@@ -45,28 +45,33 @@ func SetDefaultShards(n int) {
 	defaultShards = n
 }
 
-// Discard selects the switch overflow policy.
-type Discard = link.Discard
+// Discard selects the switch overflow policy of the legacy enum
+// surface. New configurations should prefer Config.Queue, which
+// subsumes both Discard and Discipline; the enums remain because the
+// byte-identity contract pins their construction path (including its
+// shared-RNG draw order) exactly.
+type Discard uint8
 
 // Discard policies for Config.Discard.
 const (
 	// DropTail discards arrivals at a full buffer (the paper's switches).
-	DropTail = link.DropTail
+	DropTail Discard = iota
 	// RandomDrop evicts a uniformly chosen buffered packet instead — the
 	// gateway discipline of the studies the paper cites in §1.
-	RandomDrop = link.RandomDrop
+	RandomDrop
 )
 
-// Discipline selects the switch service order.
-type Discipline = link.Discipline
+// Discipline selects the switch service order of the legacy enum
+// surface; prefer Config.Queue.
+type Discipline uint8
 
 // Service disciplines for Config.Discipline.
 const (
 	// FIFO is first-in-first-out service (the paper's switches).
-	FIFO = link.FIFO
+	FIFO Discipline = iota
 	// FairQueue is per-connection self-clocked fair queueing — the
 	// discipline of the Fair Queueing studies the paper cites in §1.
-	FairQueue = link.FairQueue
+	FairQueue
 )
 
 // Paper parameter defaults (§2.2).
@@ -89,6 +94,74 @@ const (
 	// DefaultBuffer is the switch buffer used in most configurations.
 	DefaultBuffer = 20
 )
+
+// Source kinds for SourceSpec.Kind.
+const (
+	// SourceTCP is the default TCP Tahoe endpoint pair (equivalent to a
+	// nil SourceSpec).
+	SourceTCP = "tcp"
+	// SourceCBR is a constant-bit-rate unresponsive source (UDP-like
+	// cross-traffic) feeding a counting sink.
+	SourceCBR = "cbr"
+	// SourceOnOff is an exponential on/off source (telnet-like
+	// intermittent traffic) feeding a counting sink.
+	SourceOnOff = "onoff"
+)
+
+// SourceSpec replaces a connection's TCP endpoints with a non-TCP
+// traffic generator (internal/node sources). The connection then has
+// no congestion control: Result.Delivered/Goodput come from the sink's
+// packet count, and the TCP-only series (Cwnd, RTT, AckArrivals,
+// Collapses) and stats stay empty.
+type SourceSpec struct {
+	// Kind selects the generator: SourceCBR or SourceOnOff (SourceTCP
+	// and "" mean an ordinary TCP connection).
+	Kind string
+	// Rate is the offered bit rate while the source is active (> 0).
+	Rate int64
+	// Size is the packet size in bytes; 0 means Config.DataSize.
+	Size int
+	// OnMean/OffMean are the exponential period means of SourceOnOff.
+	OnMean, OffMean time.Duration
+}
+
+// generates reports whether the spec replaces the TCP endpoints.
+func (s *SourceSpec) generates() bool {
+	return s != nil && s.Kind != "" && s.Kind != SourceTCP
+}
+
+// Validate reports the first problem with the spec. Callers wrap the
+// error with the connection's identity.
+func (s *SourceSpec) Validate() error {
+	if s == nil {
+		return nil
+	}
+	switch s.Kind {
+	case "", SourceTCP:
+		if *s != (SourceSpec{Kind: s.Kind}) {
+			return fmt.Errorf("a tcp source takes no generator parameters")
+		}
+		return nil
+	case SourceCBR:
+		if s.OnMean != 0 || s.OffMean != 0 {
+			return fmt.Errorf("cbr source takes no on/off period means")
+		}
+	case SourceOnOff:
+		if s.OnMean <= 0 || s.OffMean <= 0 {
+			return fmt.Errorf("onoff source needs positive on_mean and off_mean")
+		}
+	default:
+		return fmt.Errorf("unknown source kind %q (want %s, %s, or %s)",
+			s.Kind, SourceTCP, SourceCBR, SourceOnOff)
+	}
+	if s.Rate <= 0 {
+		return fmt.Errorf("%s source needs a positive rate, got %d", s.Kind, s.Rate)
+	}
+	if s.Size < 0 {
+		return fmt.Errorf("negative source packet size %d", s.Size)
+	}
+	return nil
+}
 
 // ConnSpec describes one TCP connection in a scenario.
 type ConnSpec struct {
@@ -116,6 +189,10 @@ type ConnSpec struct {
 	// Start is the connection start time. Negative means "pick a random
 	// start in [0, StartSpread) from the scenario RNG".
 	Start time.Duration
+	// Source, when set to a generating kind, replaces the TCP endpoints
+	// with a non-TCP traffic source and a counting sink. The TCP-only
+	// fields above are ignored for such connections.
+	Source *SourceSpec
 }
 
 // Config describes a complete scenario. The zero value is not runnable;
@@ -145,9 +222,27 @@ type Config struct {
 	// HostProcessing is the per-packet host processing time.
 	HostProcessing time.Duration
 	// Discard is the switch overflow policy (DropTail by default).
+	// Deprecated surface: prefer Queue, which subsumes it.
 	Discard Discard
 	// Discipline is the switch service order (FIFO by default).
+	// Deprecated surface: prefer Queue, which subsumes it.
 	Discipline Discipline
+	// Queue, when non-nil, selects the queue discipline of every switch
+	// output port (trunk ports and switch→host access ports), superseding
+	// the Discard/Discipline pair. Stochastic policies (random-drop, red)
+	// draw from per-port RNG streams derived from Seed, so results are
+	// identical at every shard count.
+	Queue *link.QueueSpec
+	// LinkQueue overrides Queue per topology link index (both directions
+	// of that trunk).
+	LinkQueue map[int]*link.QueueSpec
+	// Behavior, when non-nil, applies a link behavior — stochastic loss
+	// (Bernoulli or Gilbert-Elliott), bounded jitter, optional
+	// reordering, trace-driven rate replay — to every trunk port.
+	// Behaviors also draw from per-port seeded streams.
+	Behavior *link.BehaviorSpec
+	// LinkBehavior overrides Behavior per topology link index.
+	LinkBehavior map[int]*link.BehaviorSpec
 	// DataSize and AckSize are packet sizes in bytes. AckSize may be 0
 	// for the zero-length-ACK conjecture experiments; DataSize must be
 	// positive.
@@ -312,6 +407,41 @@ func (c *Config) normalize() error {
 	if c.AckSize < 0 {
 		return fmt.Errorf("core: negative AckSize")
 	}
+	if c.Queue != nil {
+		if c.Discard != DropTail || c.Discipline != FIFO {
+			return fmt.Errorf("core: Queue and the legacy Discard/Discipline enums are both set; pick one surface")
+		}
+		if err := c.Queue.Validate(); err != nil {
+			return fmt.Errorf("core: queue: %w", err)
+		}
+	}
+	for li, qs := range c.LinkQueue {
+		if li < 0 {
+			return fmt.Errorf("core: LinkQueue names negative link %d", li)
+		}
+		if qs == nil {
+			continue
+		}
+		if err := qs.Validate(); err != nil {
+			return fmt.Errorf("core: link %d queue: %w", li, err)
+		}
+	}
+	if c.Behavior != nil {
+		if err := c.Behavior.Validate(); err != nil {
+			return fmt.Errorf("core: behavior: %w", err)
+		}
+	}
+	for li, bs := range c.LinkBehavior {
+		if li < 0 {
+			return fmt.Errorf("core: LinkBehavior names negative link %d", li)
+		}
+		if bs == nil {
+			continue
+		}
+		if err := bs.Validate(); err != nil {
+			return fmt.Errorf("core: link %d behavior: %w", li, err)
+		}
+	}
 	if len(c.Regions) > 0 {
 		if c.Shards != 0 && c.Shards != len(c.Regions) {
 			return fmt.Errorf("core: Shards %d disagrees with %d explicit Regions", c.Shards, len(c.Regions))
@@ -360,8 +490,32 @@ func (c *Config) normalize() error {
 			return fmt.Errorf("core: connection %d host index out of range (src %d, dst %d, %d hosts)",
 				i, s.SrcHost, s.DstHost, hosts)
 		}
+		if err := s.Source.Validate(); err != nil {
+			return fmt.Errorf("core: connection %d: %w", i, err)
+		}
 	}
 	return nil
+}
+
+// Seed-stream kinds for entitySeed: each (kind, index) pair names one
+// stochastic entity with its own independent RNG stream.
+const (
+	seedKindQueue uint64 = iota + 1
+	seedKindBehavior
+	seedKindSource
+)
+
+// entitySeed derives an independent, reproducible RNG seed for entity
+// idx of the given kind from the scenario seed, via a splitmix64-style
+// mix. Unlike draws from the shared scenario RNG, the derived seed
+// depends only on (Seed, kind, idx) — never on construction order or
+// the topology partition — which is what makes seeded queue policies,
+// link behaviors, and sources byte-identical at every shard count.
+func entitySeed(seed int64, kind uint64, idx int) int64 {
+	z := uint64(seed) ^ (kind * 0x9E3779B97F4A7C15) ^ (uint64(idx+1) * 0xD1B54A32D192ED03)
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return int64(z ^ (z >> 31))
 }
 
 // HostCount returns the number of hosts the scenario will build: the

@@ -172,6 +172,9 @@ type Sim struct {
 	trunks    [][2]*link.Port
 	senders   []*tcp.Sender
 	receivers []*tcp.Receiver
+	// sinks[k] is connection k's counting sink when ConnSpec.Source
+	// replaces the TCP endpoints; senders[k]/receivers[k] are then nil.
+	sinks []*node.Sink
 
 	// Observability (all nil/zero when cfg.Obs is unset). The tracer and
 	// metrics registry are created at build time so every instrument is
@@ -325,7 +328,12 @@ func (s *Sim) snapshotWarmup() {
 	}
 	s.deliveredWarm = make([]int, len(s.receivers))
 	for k := range s.receivers {
-		s.deliveredWarm[k] = s.receivers[k].RcvNxt()
+		switch {
+		case s.receivers[k] != nil:
+			s.deliveredWarm[k] = s.receivers[k].RcvNxt()
+		case s.sinks[k] != nil:
+			s.deliveredWarm[k] = s.sinks[k].Received()
+		}
 	}
 }
 
@@ -370,6 +378,15 @@ func (s *Sim) finish(ctx context.Context) (*Result, error) {
 	res.Delivered = make([]int, nc)
 	res.Goodput = make([]int, nc)
 	for k := range s.senders {
+		if s.senders[k] == nil {
+			// A source connection: its traffic is counted by the sink; the
+			// TCP stats stay zero.
+			if sk := s.sinks[k]; sk != nil {
+				res.Delivered[k] = sk.Received()
+				res.Goodput[k] = res.Delivered[k] - s.deliveredWarm[k]
+			}
+			continue
+		}
 		res.SenderStats[k] = s.senders[k].Stats()
 		res.ReceiverStats[k] = s.receivers[k].Stats()
 		res.Delivered[k] = s.receivers[k].RcvNxt()
@@ -753,6 +770,69 @@ func buildE(cfg Config, ar *Arena) (*Sim, error) {
 		}
 		return rand.New(rand.NewSource(rng.Int63()))
 	}
+	// legacyDisc builds a discipline from the deprecated enum pair. The
+	// portRand draw happens for every legacy port when Discard is
+	// RandomDrop — even under FairQueue, which ignores the source —
+	// because that shared-RNG draw sequence predates per-entity seeding
+	// and is pinned by the byte-identity contract (it shifts the random
+	// connection start times that follow).
+	legacyDisc := func() link.Disc {
+		rd := portRand()
+		if cfg.Discipline == FairQueue {
+			return link.NewFQ()
+		}
+		if cfg.Discard == RandomDrop {
+			return link.NewRandomDrop(rd)
+		}
+		return nil // NewPort defaults to drop-tail
+	}
+	// queueSpecFor resolves a port's queue spec: the per-link override,
+	// then the global Queue, then nil (the legacy enum path). li is the
+	// topology link index, or -1 for switch→host access ports, which
+	// take only the global spec.
+	queueSpecFor := func(li int) *link.QueueSpec {
+		if li >= 0 && cfg.LinkQueue != nil {
+			if qs := cfg.LinkQueue[li]; qs != nil {
+				return qs
+			}
+		}
+		return cfg.Queue
+	}
+	// discFor builds the discipline for the port with stable entity
+	// index ent (host down-ports in host order, then trunk ports as
+	// nh + 2·link + dir). Spec-path stochastic policies get their own
+	// entitySeed stream instead of a shared-RNG draw, which is what
+	// keeps them deterministic across shard counts.
+	discFor := func(li, ent int) (link.Disc, error) {
+		qs := queueSpecFor(li)
+		if qs == nil {
+			return legacyDisc(), nil
+		}
+		var r *rand.Rand
+		if qs.NeedsRand() {
+			r = rand.New(rand.NewSource(entitySeed(cfg.Seed, seedKindQueue, ent)))
+		}
+		return qs.Build(r)
+	}
+	// behaviorFor builds the link behavior for trunk port 2·link + dir.
+	// Each direction owns its Impairment (the loss/jitter state is
+	// per-line); the RateTrace inside a spec is stateless and shared.
+	behaviorFor := func(li, dir int) (link.Behavior, error) {
+		bs := cfg.Behavior
+		if cfg.LinkBehavior != nil {
+			if o := cfg.LinkBehavior[li]; o != nil {
+				bs = o
+			}
+		}
+		if bs.IsZero() {
+			return nil, nil
+		}
+		var r *rand.Rand
+		if bs.NeedsRand() {
+			r = rand.New(rand.NewSource(entitySeed(cfg.Seed, seedKindBehavior, 2*li+dir)))
+		}
+		return bs.Build(r)
+	}
 
 	for h := 0; h < nh; h++ {
 		sw := topo.HostSwitch(h)
@@ -767,16 +847,18 @@ func buildE(cfg Config, ar *Arena) (*Sim, error) {
 			Obs:       tracer,
 		}, switches[sw])
 		hosts[h].SetOutput(up)
+		disc, err := discFor(-1, h)
+		if err != nil {
+			return nil, err
+		}
 		down := link.NewPort(eng, link.Config{
-			Name:       fmt.Sprintf("sw%d->h%d", sw, h+1),
-			Bandwidth:  cfg.AccessBandwidth,
-			Delay:      cfg.AccessDelay,
-			Buffer:     cfg.Buffer,
-			Discard:    cfg.Discard,
-			Rand:       portRand(),
-			Discipline: cfg.Discipline,
-			Pool:       pool,
-			Obs:        tracer,
+			Name:      fmt.Sprintf("sw%d->h%d", sw, h+1),
+			Bandwidth: cfg.AccessBandwidth,
+			Delay:     cfg.AccessDelay,
+			Buffer:    cfg.Buffer,
+			Disc:      disc,
+			Pool:      pool,
+			Obs:       tracer,
 		}, hosts[h])
 		switches[sw].AddRoute(h+1, down)
 		instrumentDrops(eng, rg, down)
@@ -810,29 +892,43 @@ func buildE(cfg Config, ar *Arena) (*Sim, error) {
 			edgeFrom = append(edgeFrom, rgs[0], rgs[1])
 			cross[0], cross[1] = fe, re
 		}
+		fwdDisc, err := discFor(li, nh+2*li)
+		if err != nil {
+			return nil, err
+		}
+		revDisc, err := discFor(li, nh+2*li+1)
+		if err != nil {
+			return nil, err
+		}
+		fwdBeh, err := behaviorFor(li, 0)
+		if err != nil {
+			return nil, err
+		}
+		revBeh, err := behaviorFor(li, 1)
+		if err != nil {
+			return nil, err
+		}
 		fwd := link.NewPort(engs[rgs[0]], link.Config{
-			Name:       fmt.Sprintf("sw%d->sw%d", l.A, l.B),
-			Bandwidth:  l.Bandwidth,
-			Delay:      l.Delay,
-			Buffer:     l.Buffer,
-			Discard:    cfg.Discard,
-			Rand:       portRand(),
-			Discipline: cfg.Discipline,
-			Pool:       pools[rgs[0]],
-			Obs:        tracers[rgs[0]],
-			Cross:      cross[0],
+			Name:      fmt.Sprintf("sw%d->sw%d", l.A, l.B),
+			Bandwidth: l.Bandwidth,
+			Delay:     l.Delay,
+			Buffer:    l.Buffer,
+			Disc:      fwdDisc,
+			Behavior:  fwdBeh,
+			Pool:      pools[rgs[0]],
+			Obs:       tracers[rgs[0]],
+			Cross:     cross[0],
 		}, switches[l.B])
 		rev := link.NewPort(engs[rgs[1]], link.Config{
-			Name:       fmt.Sprintf("sw%d->sw%d", l.B, l.A),
-			Bandwidth:  l.Bandwidth,
-			Delay:      l.Delay,
-			Buffer:     l.Buffer,
-			Discard:    cfg.Discard,
-			Rand:       portRand(),
-			Discipline: cfg.Discipline,
-			Pool:       pools[rgs[1]],
-			Obs:        tracers[rgs[1]],
-			Cross:      cross[1],
+			Name:      fmt.Sprintf("sw%d->sw%d", l.B, l.A),
+			Bandwidth: l.Bandwidth,
+			Delay:     l.Delay,
+			Buffer:    l.Buffer,
+			Disc:      revDisc,
+			Behavior:  revBeh,
+			Pool:      pools[rgs[1]],
+			Obs:       tracers[rgs[1]],
+			Cross:     cross[1],
 		}, switches[l.A])
 		trunks[li] = [2]*link.Port{fwd, rev}
 		if trunkMeasured != nil && !trunkMeasured[li] {
@@ -892,6 +988,7 @@ func buildE(cfg Config, ar *Arena) (*Sim, error) {
 	if nc > 0 {
 		perConn = clampReserve(estPkts / nc)
 	}
+	sinks := make([]*node.Sink, nc)
 	for k, spec := range cfg.Conns {
 		k, spec := k, spec
 		connID := k + 1
@@ -905,6 +1002,39 @@ func buildE(cfg Config, ar *Arena) (*Sim, error) {
 		var srcNet tcp.Network = src
 		if spec.ExtraDelay > 0 {
 			srcNet = &delayedNet{eng: eng, dst: src, d: spec.ExtraDelay}
+		}
+		if gen := spec.Source; gen.generates() {
+			// A non-TCP source: a generator at the source host, a counting
+			// sink at the destination. The TCP instrumentation below does
+			// not apply; Delivered/Goodput come from the sink. The start
+			// draw stays on the shared RNG (same order as a TCP conn) so a
+			// mixed scenario's other start times are unperturbed.
+			size := gen.Size
+			if size == 0 {
+				size = cfg.DataSize
+			}
+			sink := node.NewSink(pools[dr])
+			dst.Attach(connID, sink)
+			sinks[k] = sink
+			scfg := node.SourceConfig{
+				Conn: connID, Src: src.ID(), Dst: dst.ID(),
+				Size: size, Rate: gen.Rate,
+				IDFirst: uint64(2*k + 1), IDStride: uint64(2 * nc),
+				Pool: pool,
+			}
+			var startFn func()
+			if gen.Kind == SourceCBR {
+				startFn = node.NewCBRSource(eng, srcNet, scfg).Start
+			} else { // SourceOnOff; normalize rejected everything else
+				srng := rand.New(rand.NewSource(entitySeed(cfg.Seed, seedKindSource, k)))
+				startFn = node.NewOnOffSource(eng, srcNet, scfg, gen.OnMean, gen.OffMean, srng).Start
+			}
+			start := spec.Start
+			if start < 0 {
+				start = time.Duration(rng.Int63n(int64(cfg.StartSpread)))
+			}
+			eng.ScheduleAt(start, startFn)
+			continue
 		}
 		// Per-endpoint packet-ID generators (sender k mints 2k+1,
 		// 2k+1+2nc, …; receiver k mints 2k+2, …): the IDs an endpoint
@@ -995,6 +1125,7 @@ func buildE(cfg Config, ar *Arena) (*Sim, error) {
 		trunks:    trunks,
 		senders:   senders,
 		receivers: receivers,
+		sinks:     sinks,
 		tracer:    tracer,
 		tracers:   tracers,
 		merger:    merger,

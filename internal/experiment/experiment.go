@@ -187,6 +187,8 @@ func All() []Definition {
 		{"reno", "Reno fast recovery: phenomena outlive Tahoe (extension)", RenoTwoWay},
 		{"random-drop", "Random Drop gateways vs drop-tail (extension)", RandomDropStudy},
 		{"fair-queueing", "Fair Queueing cures ACK-compression (extension)", FairQueueStudy},
+		{"red-sync", "RED gateways vs drop-tail: phase-lock breakdown (extension)", RedSyncStudy},
+		{"cross-traffic", "Two-way dynamics under CBR cross-traffic (extension)", CrossTrafficStudy},
 	}
 }
 

@@ -140,6 +140,20 @@ func TestUnequalRTTStudy(t *testing.T) {
 	runAndCheck(t, "unequal-rtt")
 }
 
+func TestRedSyncStudy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale experiment")
+	}
+	runAndCheck(t, "red-sync")
+}
+
+func TestCrossTrafficStudy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale experiment")
+	}
+	runAndCheck(t, "cross-traffic")
+}
+
 func TestFairQueueStudy(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full-scale experiment")

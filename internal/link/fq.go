@@ -6,21 +6,44 @@ import (
 	"tahoedyn/internal/packet"
 )
 
-// Discipline selects the service order of an output port.
-type Discipline uint8
+// FQ is self-clocked fair queueing over per-connection flows — the
+// gateway discipline of the Fair Queueing studies the paper cites in
+// §1 ([2], [3]). Arriving packets are tagged with a virtual finish
+// time F = max(v, lastF(flow)) + bits, where v is the finish tag of
+// the packet in service, and the flow whose head has the smallest tag
+// is served next. On overflow, the last packet of the longest flow
+// queue is discarded (the heaviest flow pays), which may be the
+// arrival itself.
+type FQ struct {
+	h     DiscHost
+	sched *fqSched
+}
 
-const (
-	// FIFO is first-in-first-out service (the paper's switches).
-	FIFO Discipline = iota
-	// FairQueue is self-clocked fair queueing over per-connection
-	// flows — the gateway discipline of the Fair Queueing studies the
-	// paper cites in §1 ([2], [3]). Arriving packets are tagged with a
-	// virtual finish time F = max(v, lastF(flow)) + bits, where v is the
-	// finish tag of the packet in service, and the flow whose head has
-	// the smallest tag is served next. On overflow, the last packet of
-	// the longest flow queue is discarded.
-	FairQueue
-)
+// NewFQ returns a fair-queueing discipline.
+func NewFQ() *FQ { return &FQ{sched: newFQSched()} }
+
+// Bind implements Disc.
+func (d *FQ) Bind(h DiscHost) { d.h = h }
+
+// Len implements Disc.
+func (d *FQ) Len() int { return d.sched.Len() }
+
+// Admit implements Disc: tag and store the arrival, then on overflow
+// evict the tail of the longest flow (possibly the arrival itself).
+func (d *FQ) Admit(p *packet.Packet) bool {
+	d.sched.Enqueue(p)
+	if c := d.h.Capacity(); c > 0 && d.sched.Len()+d.h.InService() > c {
+		victim := d.sched.DropFromLongest()
+		d.h.Drop(victim)
+		if victim == p {
+			return false
+		}
+	}
+	return true
+}
+
+// Dequeue implements Disc.
+func (d *FQ) Dequeue() *packet.Packet { return d.sched.Dequeue() }
 
 // fqPacket is a queued packet with its finish tag.
 type fqPacket struct {

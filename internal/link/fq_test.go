@@ -11,11 +11,11 @@ import (
 func newFQPort(eng *sim.Engine, buffer int) (*Port, *sink) {
 	s := &sink{eng: eng}
 	pt := NewPort(eng, Config{
-		Name:       "fq",
-		Bandwidth:  50_000,
-		Delay:      0,
-		Buffer:     buffer,
-		Discipline: FairQueue,
+		Name:      "fq",
+		Bandwidth: 50_000,
+		Delay:     0,
+		Buffer:    buffer,
+		Disc:      NewFQ(),
 	}, s)
 	return pt, s
 }

@@ -11,11 +11,11 @@ import (
 func newPooledFQPort(eng *sim.Engine, buffer int, pl *packet.Pool) (*Port, *sink) {
 	s := &sink{eng: eng}
 	pt := NewPort(eng, Config{
-		Name:       "fq-pooled",
-		Bandwidth:  50_000,
-		Buffer:     buffer,
-		Discipline: FairQueue,
-		Pool:       pl,
+		Name:      "fq-pooled",
+		Bandwidth: 50_000,
+		Buffer:    buffer,
+		Disc:      NewFQ(),
+		Pool:      pl,
 	}, s)
 	return pt, s
 }

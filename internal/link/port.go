@@ -1,40 +1,29 @@
 // Package link models simplex transmission lines and the output ports
 // that feed them.
 //
-// A Port bundles a drop-tail FIFO with a transmitter: packets are
-// serialized onto the line at the configured bandwidth and arrive at the
-// far end one propagation delay after their last bit leaves. A duplex
-// link, as in the paper's Figure 1 topology, is simply a pair of ports
-// pointing in opposite directions.
+// A Port bundles a queue discipline (Disc: drop-tail FIFO by default,
+// Random Drop, fair queueing, RED) with a transmitter and an optional
+// link behavior (Behavior: stochastic loss, jitter, trace-driven
+// rates): packets are serialized onto the line at the configured — or
+// behavior-scheduled — bandwidth and arrive at the far end one
+// propagation delay (plus any jitter) after their last bit leaves. A
+// duplex link, as in the paper's Figure 1 topology, is simply a pair
+// of ports pointing in opposite directions.
 //
-// The port keeps the packet currently being transmitted inside the queue
-// until its last bit is sent, so the traced queue length counts it — the
-// same convention the paper's queue-length figures use.
+// The packet currently being serialized occupies its buffer slot until
+// its last bit is sent: the port holds it as the in-service packet and
+// every traced queue length counts it — the same convention the
+// paper's queue-length figures use.
 package link
 
 import (
 	"fmt"
-	"math/rand"
 	"time"
 
 	"tahoedyn/internal/obs"
 	"tahoedyn/internal/packet"
 	"tahoedyn/internal/queue"
 	"tahoedyn/internal/sim"
-)
-
-// Discard selects the policy applied when a packet arrives at a full
-// buffer.
-type Discard uint8
-
-const (
-	// DropTail discards the arriving packet (the paper's switches).
-	DropTail Discard = iota
-	// RandomDrop discards a uniformly chosen packet from the buffer or
-	// the arrival itself — the gateway discipline of the Random Drop
-	// studies the paper cites ([4], [5], [10], [18]). The packet
-	// currently being transmitted is never evicted.
-	RandomDrop
 )
 
 // Receiver consumes packets delivered by a line. Hosts and switches
@@ -52,8 +41,12 @@ type Stats struct {
 	Transmitted uint64
 	// TxBytes counts bytes serialized onto the line.
 	TxBytes uint64
-	// Dropped counts packets discarded by the drop-tail policy.
+	// Dropped counts packets discarded by the queue discipline
+	// (overflow, eviction, or an early AQM drop).
 	Dropped uint64
+	// Lost counts packets discarded by the link behavior after
+	// transmission — line losses, as opposed to queue drops.
+	Lost uint64
 	// Enqueued counts packets accepted into the buffer.
 	Enqueued uint64
 }
@@ -62,21 +55,22 @@ type Stats struct {
 type Config struct {
 	// Name identifies the port in traces, e.g. "sw1->sw2".
 	Name string
-	// Bandwidth is the line rate in bits per second. It must be positive.
+	// Bandwidth is the nominal line rate in bits per second. It must be
+	// positive. A Behavior with a rate schedule overrides it per packet.
 	Bandwidth int64
 	// Delay is the propagation delay of the line.
 	Delay time.Duration
-	// Buffer is the queue capacity in packets; <= 0 means unbounded.
+	// Buffer is the queue capacity in packets, counting the packet in
+	// service; <= 0 means unbounded.
 	Buffer int
-	// Discard is the overflow policy; the zero value is DropTail. It is
-	// ignored under the FairQueue discipline, which has its own
-	// drop-from-longest-flow policy.
-	Discard Discard
-	// Rand drives the RandomDrop policy. Required iff Discard is
-	// RandomDrop; pass a seeded source for reproducible runs.
-	Rand *rand.Rand
-	// Discipline is the service order; the zero value is FIFO.
-	Discipline Discipline
+	// Disc is the queue discipline; nil means drop-tail FIFO (the
+	// paper's switches). The port binds the discipline at construction;
+	// a Disc instance must not be shared between ports.
+	Disc Disc
+	// Behavior, when non-nil, impairs the line: per-packet loss and
+	// jitter at departure, and a time-varying rate sampled at the start
+	// of each serialization. Nil is the paper's ideal line.
+	Behavior Behavior
 	// Pool, when non-nil, receives packets the port discards: a drop is
 	// the end of a packet's life, so the drop site releases it (after the
 	// OnDrop hook has observed it). See packet.Pool for the ownership
@@ -88,20 +82,20 @@ type Config struct {
 	Obs *obs.Tracer
 	// Cross, when non-nil, replaces the propagation event: a packet whose
 	// last bit has left the port is handed to Cross.Deliver immediately
-	// (at its departure time) instead of being scheduled dst-ward Delay
-	// later. Sharded runs set it on ports whose line crosses a region
-	// boundary; the shard layer owns the delay and re-schedules the
-	// arrival on the destination region's engine (internal/shard).
+	// (at its departure time, after any behavior jitter) instead of being
+	// scheduled dst-ward Delay later. Sharded runs set it on ports whose
+	// line crosses a region boundary; the shard layer owns the delay and
+	// re-schedules the arrival on the destination region's engine
+	// (internal/shard).
 	Cross sim.PacketSink
 }
 
-// Port is an output port: a FIFO drop-tail buffer draining into a simplex
-// transmission line.
+// Port is an output port: a buffered queue discipline draining into a
+// simplex transmission line.
 type Port struct {
 	eng       *sim.Engine
 	cfg       Config
-	q         *queue.FIFO // FIFO discipline
-	fq        *fqSched    // FairQueue discipline
+	disc      Disc
 	inService *packet.Packet
 	dst       Receiver
 	busy      bool
@@ -121,7 +115,8 @@ type Port struct {
 	// OnQueueLen, if set, is called with the new queue length after every
 	// change (accepted arrival or transmission completion).
 	OnQueueLen func(n int)
-	// OnDrop, if set, is called for every packet discarded by drop-tail.
+	// OnDrop, if set, is called for every packet the port discards —
+	// queue-discipline drops and behavior line losses alike.
 	OnDrop func(p *packet.Packet)
 	// OnDepart, if set, is called when a packet's last bit leaves the
 	// port (before the propagation delay).
@@ -136,14 +131,13 @@ func NewPort(eng *sim.Engine, cfg Config, dst Receiver) *Port {
 	if dst == nil {
 		panic("link: nil destination on " + cfg.Name)
 	}
-	if cfg.Discard == RandomDrop && cfg.Rand == nil {
-		panic("link: RandomDrop needs a Rand source on " + cfg.Name)
-	}
-	pt := &Port{eng: eng, cfg: cfg, q: queue.New(cfg.Buffer), dst: dst}
+	pt := &Port{eng: eng, cfg: cfg, dst: dst}
 	pt.finishFn = pt.finishTx
-	if cfg.Discipline == FairQueue {
-		pt.fq = newFQSched()
+	pt.disc = cfg.Disc
+	if pt.disc == nil {
+		pt.disc = NewDropTail()
 	}
+	pt.disc.Bind((*discHost)(pt))
 	// Intern the trace location at build time so the emit path never
 	// touches the name string.
 	pt.obsLoc = cfg.Obs.Loc(cfg.Name)
@@ -153,38 +147,33 @@ func NewPort(eng *sim.Engine, cfg Config, dst Receiver) *Port {
 // Name returns the port's trace name.
 func (pt *Port) Name() string { return pt.cfg.Name }
 
-// QueueLen returns the current queue length in packets, counting the
-// packet being transmitted exactly once — the FIFO convention, where the
-// in-service packet stays at the head of the queue until its last bit is
-// sent. Under FairQueue the in-service packet is held outside the
-// scheduler, so it is added back here. Both branches are O(1): the FIFO
-// tracks its length directly and the fair-queueing scheduler keeps a
-// running total across flows.
+// QueueLen returns the current queue length in packets: the
+// discipline's waiting packets plus the packet being transmitted —
+// which occupies its buffer slot until its last bit is sent, the
+// paper's convention.
 func (pt *Port) QueueLen() int {
-	if pt.fq != nil {
-		n := pt.fq.Len()
-		if pt.inService != nil {
-			n++
-		}
-		return n
+	n := pt.disc.Len()
+	if pt.inService != nil {
+		n++
 	}
-	return pt.q.Len()
+	return n
 }
 
-// Queue exposes the underlying FIFO for analysis (clustering
-// inspection). It is nil under the FairQueue discipline.
+// Queue exposes the waiting-packet FIFO for analysis (clustering
+// inspection). It is nil for disciplines without a single FIFO (fair
+// queueing). The in-service packet is held by the port, not the FIFO.
 func (pt *Port) Queue() *queue.FIFO {
-	if pt.fq != nil {
-		return nil
+	if fb, ok := pt.disc.(fifoBacked); ok {
+		return fb.fifo()
 	}
-	return pt.q
+	return nil
 }
 
 // Stats returns a copy of the port counters.
 func (pt *Port) Stats() Stats { return pt.stats }
 
 // TxTime returns the serialization time of a packet of the given size on
-// this port's line.
+// this port's line at its nominal bandwidth.
 func (pt *Port) TxTime(sizeBytes int) time.Duration {
 	return TxTime(sizeBytes, pt.cfg.Bandwidth)
 }
@@ -196,43 +185,24 @@ func TxTime(sizeBytes int, bandwidth int64) time.Duration {
 	return time.Duration(bits * int64(time.Second) / bandwidth)
 }
 
-// Send enqueues p for transmission, applying the discard policy if the
-// buffer is full. It reports whether the arriving packet was accepted.
+// Send enqueues p for transmission, applying the discipline's
+// admission and overflow policy. It reports whether the arriving
+// packet was accepted.
 func (pt *Port) Send(p *packet.Packet) bool {
-	if pt.fq != nil {
-		return pt.sendFQ(p)
-	}
-	if pt.q.Full() && pt.cfg.Discard == RandomDrop {
-		// Evict a uniform choice among the evictable buffered packets
-		// (everything but the one in transmission) and the arrival.
-		evictable := pt.q.Len()
-		lo := 0
-		if pt.busy {
-			evictable--
-			lo = 1
+	accepted := pt.disc.Admit(p)
+	if accepted {
+		pt.stats.Enqueued++
+		if pt.cfg.Obs != nil {
+			pt.cfg.Obs.Packet(obs.Enqueue, pt.eng.Now(), pt.obsLoc, p, float64(pt.QueueLen()))
 		}
-		pick := pt.cfg.Rand.Intn(evictable + 1)
-		if pick < evictable {
-			victim := pt.q.RemoveAt(lo + pick)
-			pt.drop(victim)
-			// Fall through: the arrival now fits.
+		if pt.OnQueueLen != nil {
+			pt.OnQueueLen(pt.QueueLen())
 		}
 	}
-	if !pt.q.Push(p) {
-		pt.drop(p)
-		return false
-	}
-	pt.stats.Enqueued++
-	if pt.cfg.Obs != nil {
-		pt.cfg.Obs.Packet(obs.Enqueue, pt.eng.Now(), pt.obsLoc, p, float64(pt.q.Len()))
-	}
-	if pt.OnQueueLen != nil {
-		pt.OnQueueLen(pt.q.Len())
-	}
-	if !pt.busy {
+	if !pt.busy && pt.disc.Len() > 0 {
 		pt.startTx()
 	}
-	return true
+	return accepted
 }
 
 // drop records a discarded packet and, as the packet's terminal owner,
@@ -248,68 +218,51 @@ func (pt *Port) drop(p *packet.Packet) {
 	pt.cfg.Pool.Put(p)
 }
 
-// sendFQ is the FairQueue enqueue path: tag and store the arrival, then
-// on overflow evict the tail of the longest flow (possibly the arrival
-// itself).
-func (pt *Port) sendFQ(p *packet.Packet) bool {
-	pt.fq.Enqueue(p)
-	accepted := true
-	if pt.cfg.Buffer > 0 && pt.QueueLen() > pt.cfg.Buffer {
-		victim := pt.fq.DropFromLongest()
-		pt.drop(victim)
-		if victim == p {
-			accepted = false
-		}
+// lose records a line loss — a packet the behavior discarded after its
+// last bit left the port — and releases it. The trace event is a Drop
+// at this port, emitted after the packet's Transmit event; the
+// invariant checker classifies it like an arrival drop (the packet is
+// no longer in the buffer), so conservation still holds.
+func (pt *Port) lose(p *packet.Packet) {
+	pt.stats.Lost++
+	if pt.cfg.Obs != nil {
+		pt.cfg.Obs.Packet(obs.Drop, pt.eng.Now(), pt.obsLoc, p, float64(pt.QueueLen()))
 	}
-	if accepted {
-		pt.stats.Enqueued++
-		if pt.cfg.Obs != nil {
-			pt.cfg.Obs.Packet(obs.Enqueue, pt.eng.Now(), pt.obsLoc, p, float64(pt.QueueLen()))
-		}
-		if pt.OnQueueLen != nil {
-			pt.OnQueueLen(pt.QueueLen())
-		}
+	if pt.OnDrop != nil {
+		pt.OnDrop(p)
 	}
-	if !pt.busy && pt.fq.Len() > 0 {
-		pt.startTx()
-	}
-	return accepted
+	pt.cfg.Pool.Put(p)
 }
 
-// startTx begins serializing the next packet. Under FIFO the packet
-// stays in the queue until its last bit is sent; under FairQueue it is
-// chosen by finish tag and held as the in-service packet (still counted
-// by QueueLen).
+// startTx begins serializing the packet the discipline serves next,
+// holding it as the in-service packet (still counted by QueueLen).
 func (pt *Port) startTx() {
-	var head *packet.Packet
-	if pt.fq != nil {
-		head = pt.fq.Dequeue()
-		pt.inService = head
-	} else {
-		head = pt.q.Peek()
-	}
+	head := pt.disc.Dequeue()
 	if head == nil {
 		return
 	}
+	pt.inService = head
 	pt.busy = true
-	pt.curTx = pt.TxTime(head.Size)
+	bw := pt.cfg.Bandwidth
+	if pt.cfg.Behavior != nil {
+		if r := pt.cfg.Behavior.Rate(pt.eng.Now()); r > 0 {
+			bw = r
+		}
+	}
+	pt.curTx = TxTime(head.Size, bw)
 	if pt.cfg.Obs != nil {
 		pt.cfg.Obs.Packet(obs.Dequeue, pt.eng.Now(), pt.obsLoc, head, float64(pt.QueueLen()))
 	}
 	pt.eng.Schedule(pt.curTx, pt.finishFn)
 }
 
-// finishTx completes the in-progress transmission: the packet leaves the
-// port, propagation begins (a typed event bound to the destination, so
-// nothing allocates), and the next packet (if any) starts.
+// finishTx completes the in-progress transmission: the packet leaves
+// the port, the behavior (if any) impairs it, propagation begins (a
+// typed event bound to the destination, so nothing allocates), and the
+// next packet (if any) starts.
 func (pt *Port) finishTx() {
-	var p *packet.Packet
-	if pt.fq != nil {
-		p = pt.inService
-		pt.inService = nil
-	} else {
-		p = pt.q.Pop()
-	}
+	p := pt.inService
+	pt.inService = nil
 	pt.busy = false
 	pt.stats.Busy += pt.curTx
 	pt.stats.Transmitted++
@@ -323,12 +276,71 @@ func (pt *Port) finishTx() {
 	if pt.OnQueueLen != nil {
 		pt.OnQueueLen(pt.QueueLen())
 	}
+	if pt.cfg.Behavior != nil {
+		extra, lost := pt.cfg.Behavior.Impair(p, pt.eng.Now())
+		switch {
+		case lost:
+			pt.lose(p)
+		case extra > 0:
+			// Jitter is its own local event leg, then the constant
+			// propagation delay — in serial and sharded runs alike, so
+			// the event lineage (and hence byte identity across shard
+			// counts) is preserved: a cut port's edge capture happens at
+			// the jittered departure time either way.
+			pt.eng.SchedulePacket(extra, (*jitterHop)(pt), p)
+		default:
+			pt.forward(p)
+		}
+	} else {
+		pt.forward(p)
+	}
+	if pt.disc.Len() > 0 {
+		pt.startTx()
+	}
+}
+
+// forward hands a departed packet to the propagation stage: the shard
+// edge for cut links, otherwise a typed arrival event Delay later.
+func (pt *Port) forward(p *packet.Packet) {
 	if pt.cfg.Cross != nil {
 		pt.cfg.Cross.Deliver(p)
 	} else {
 		pt.eng.SchedulePacket(pt.cfg.Delay, pt.dst, p)
 	}
-	if pt.QueueLen() > 0 {
-		pt.startTx()
+}
+
+// jitterHop is the Port's second sim.PacketSink identity: the moment a
+// packet's behavior jitter has elapsed and normal propagation begins.
+// The pointer conversion is free, so the jitter leg allocates nothing.
+type jitterHop Port
+
+// Deliver implements sim.PacketSink.
+func (jh *jitterHop) Deliver(p *packet.Packet) {
+	(*Port)(jh).forward(p)
+}
+
+// discHost is the Port's DiscHost identity: the restricted view a
+// queue discipline gets of its port.
+type discHost Port
+
+// Now implements DiscHost.
+func (dh *discHost) Now() time.Duration { return (*Port)(dh).eng.Now() }
+
+// Capacity implements DiscHost.
+func (dh *discHost) Capacity() int { return (*Port)(dh).cfg.Buffer }
+
+// InService implements DiscHost.
+func (dh *discHost) InService() int {
+	if (*Port)(dh).inService != nil {
+		return 1
 	}
+	return 0
+}
+
+// Drop implements DiscHost.
+func (dh *discHost) Drop(p *packet.Packet) { (*Port)(dh).drop(p) }
+
+// NominalTx implements DiscHost.
+func (dh *discHost) NominalTx(sizeBytes int) time.Duration {
+	return (*Port)(dh).TxTime(sizeBytes)
 }

@@ -157,3 +157,38 @@ func OneWayCycleEpochs(capacity, connections int) float64 {
 // IdleScalingExponent is the asymptotic §3.1 claim: one-way idle time
 // falls as C⁻² (quoted as B⁻² in the paper, the same thing once B ≫ 2P).
 const IdleScalingExponent = -2.0
+
+// Non-TCP cross-traffic arithmetic: the offered load of the
+// unresponsive sources sharing the paper's bottleneck (§5's open-system
+// concern). An unresponsive stream keeps its offered rate, so the TCP
+// ensemble sees a bottleneck of (1 − load)·μ.
+
+// CBRPackets returns the packet count a constant-bit-rate source of the
+// given rate (bits/s) and packet size (bytes) offers over a window.
+func CBRPackets(rate int64, size int, window time.Duration) float64 {
+	if size <= 0 {
+		return 0
+	}
+	return float64(rate) * window.Seconds() / float64(8*size)
+}
+
+// OnOffDutyCycle returns the long-run fraction of time an exponential
+// on/off source spends sending: on/(on+off). The source's mean offered
+// rate is its peak rate times this factor.
+func OnOffDutyCycle(onMean, offMean time.Duration) float64 {
+	total := onMean + offMean
+	if total <= 0 {
+		return 0
+	}
+	return float64(onMean) / float64(total)
+}
+
+// CrossLoad returns the fraction of the bottleneck an unresponsive
+// source of the given mean rate consumes; the responsive ensemble
+// competes for the remaining (1 − CrossLoad) share.
+func CrossLoad(rate, bandwidth int64) float64 {
+	if bandwidth <= 0 {
+		return 0
+	}
+	return float64(rate) / float64(bandwidth)
+}

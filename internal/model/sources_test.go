@@ -1,0 +1,42 @@
+package model
+
+import (
+	"testing"
+	"time"
+)
+
+func TestCBRPackets(t *testing.T) {
+	// 10 kbit/s of 500 B packets = 2.5 packets/s.
+	if got := CBRPackets(10_000, 500, 100*time.Second); got != 250 {
+		t.Fatalf("CBRPackets = %v, want 250", got)
+	}
+	if got := CBRPackets(10_000, 0, time.Second); got != 0 {
+		t.Fatalf("CBRPackets with zero size = %v, want 0", got)
+	}
+}
+
+func TestOnOffDutyCycle(t *testing.T) {
+	cases := []struct {
+		on, off time.Duration
+		want    float64
+	}{
+		{500 * time.Millisecond, 500 * time.Millisecond, 0.5},
+		{time.Second, 3 * time.Second, 0.25},
+		{time.Second, 0, 1},
+		{0, 0, 0},
+	}
+	for _, c := range cases {
+		if got := OnOffDutyCycle(c.on, c.off); got != c.want {
+			t.Fatalf("OnOffDutyCycle(%v, %v) = %v, want %v", c.on, c.off, got, c.want)
+		}
+	}
+}
+
+func TestCrossLoad(t *testing.T) {
+	if got := CrossLoad(10_000, 50_000); got != 0.2 {
+		t.Fatalf("CrossLoad = %v, want 0.2", got)
+	}
+	if got := CrossLoad(10_000, 0); got != 0 {
+		t.Fatalf("CrossLoad with zero bandwidth = %v, want 0", got)
+	}
+}

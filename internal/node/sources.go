@@ -1,0 +1,200 @@
+package node
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"tahoedyn/internal/packet"
+	"tahoedyn/internal/sim"
+)
+
+// Net is the outbound interface a traffic source writes to: a host (or
+// a delay element in front of one). It mirrors tcp.Network without
+// importing the tcp package.
+type Net interface {
+	Send(p *packet.Packet) bool
+}
+
+// SourceConfig describes a non-TCP traffic generator: the addressing it
+// stamps on packets, the packet size, the line rate it offers while
+// active, and its packet-ID stream. Unlike a TCP sender it never reacts
+// to the network — no ACK clock, no window — which is exactly what
+// makes it useful as unresponsive cross-traffic.
+type SourceConfig struct {
+	// Conn/Src/Dst are stamped into every packet for routing and traces.
+	Conn, Src, Dst int
+	// Size is the packet length in bytes (> 0).
+	Size int
+	// Rate is the offered bit rate while the source is active (> 0).
+	Rate int64
+	// IDFirst/IDStride parameterize the packet-ID stream, mirroring
+	// tcp.NewIDGen so IDs stay unique and partition-independent.
+	IDFirst, IDStride uint64
+	// Pool supplies packets; nil allocates.
+	Pool *packet.Pool
+}
+
+func (c *SourceConfig) validate() {
+	if c.Size <= 0 {
+		panic(fmt.Sprintf("node: source conn %d needs a positive packet size, got %d", c.Conn, c.Size))
+	}
+	if c.Rate <= 0 {
+		panic(fmt.Sprintf("node: source conn %d needs a positive rate, got %d", c.Conn, c.Rate))
+	}
+}
+
+// interval returns the inter-packet gap at the configured rate.
+func (c *SourceConfig) interval() time.Duration {
+	return time.Duration(int64(c.Size) * 8 * int64(time.Second) / c.Rate)
+}
+
+// emit builds and sends one packet.
+func (c *SourceConfig) emit(net Net, nextID *uint64, seq *int) {
+	p := c.Pool.Get()
+	p.ID = *nextID
+	*nextID += c.IDStride
+	p.Kind = packet.Data
+	p.Conn = c.Conn
+	p.Src, p.Dst = c.Src, c.Dst
+	p.Seq = *seq
+	*seq++
+	p.Size = c.Size
+	net.Send(p)
+}
+
+// CBRSource sends fixed-size packets at a constant bit rate from Start
+// until the end of the run — the unresponsive UDP-like cross-traffic of
+// the two-way-traffic experiments. It needs no randomness and therefore
+// no seed.
+type CBRSource struct {
+	eng    *sim.Engine
+	net    Net
+	cfg    SourceConfig
+	tick   func()
+	nextID uint64
+	seq    int
+	sent   uint64
+}
+
+// NewCBRSource returns an unstarted constant-rate source.
+func NewCBRSource(eng *sim.Engine, net Net, cfg SourceConfig) *CBRSource {
+	cfg.validate()
+	s := &CBRSource{eng: eng, net: net, cfg: cfg, nextID: cfg.IDFirst}
+	if s.nextID == 0 {
+		s.nextID = 1
+	}
+	if s.cfg.IDStride == 0 {
+		s.cfg.IDStride = 1
+	}
+	s.tick = s.send // bind once; the per-packet path schedules no closure
+	return s
+}
+
+// Start begins transmission at the current simulated time.
+func (s *CBRSource) Start() { s.send() }
+
+// Sent returns the number of packets emitted so far.
+func (s *CBRSource) Sent() uint64 { return s.sent }
+
+func (s *CBRSource) send() {
+	s.cfg.emit(s.net, &s.nextID, &s.seq)
+	s.sent++
+	s.eng.Schedule(s.cfg.interval(), s.tick)
+}
+
+// OnOffSource alternates between exponentially distributed ON periods,
+// during which it sends at the configured rate, and exponentially
+// distributed OFF silences — the telnet-like intermittent source of the
+// paper's traffic mix discussions. All randomness comes from the
+// provided RNG, so a fixed seed reproduces the exact schedule.
+type OnOffSource struct {
+	eng     *sim.Engine
+	net     Net
+	cfg     SourceConfig
+	onMean  time.Duration
+	offMean time.Duration
+	rng     *rand.Rand
+
+	tick   func()
+	resume func()
+	onEnd  time.Duration
+	nextID uint64
+	seq    int
+	sent   uint64
+}
+
+// NewOnOffSource returns an unstarted exponential on/off source. The
+// RNG is required: an on/off source without a seeded stream would be
+// unreproducible.
+func NewOnOffSource(eng *sim.Engine, net Net, cfg SourceConfig, onMean, offMean time.Duration, rng *rand.Rand) *OnOffSource {
+	cfg.validate()
+	if onMean <= 0 || offMean <= 0 {
+		panic(fmt.Sprintf("node: on/off source conn %d needs positive period means (on %v, off %v)", cfg.Conn, onMean, offMean))
+	}
+	if rng == nil {
+		panic(fmt.Sprintf("node: on/off source conn %d needs a seeded RNG", cfg.Conn))
+	}
+	s := &OnOffSource{eng: eng, net: net, cfg: cfg, onMean: onMean, offMean: offMean, rng: rng, nextID: cfg.IDFirst}
+	if s.nextID == 0 {
+		s.nextID = 1
+	}
+	if s.cfg.IDStride == 0 {
+		s.cfg.IDStride = 1
+	}
+	s.tick = s.send
+	s.resume = s.beginOn
+	return s
+}
+
+// Start begins the first ON period at the current simulated time.
+func (s *OnOffSource) Start() { s.beginOn() }
+
+// Sent returns the number of packets emitted so far.
+func (s *OnOffSource) Sent() uint64 { return s.sent }
+
+func (s *OnOffSource) expDur(mean time.Duration) time.Duration {
+	return time.Duration(s.rng.ExpFloat64() * float64(mean))
+}
+
+func (s *OnOffSource) beginOn() {
+	s.onEnd = s.eng.Now() + s.expDur(s.onMean)
+	s.send()
+}
+
+func (s *OnOffSource) send() {
+	if s.eng.Now() >= s.onEnd {
+		s.eng.Schedule(s.expDur(s.offMean), s.resume)
+		return
+	}
+	s.cfg.emit(s.net, &s.nextID, &s.seq)
+	s.sent++
+	s.eng.Schedule(s.cfg.interval(), s.tick)
+}
+
+// Sink is the terminal endpoint of a source connection: it counts and
+// releases everything that arrives. It implements Handler, so it
+// attaches to a Host like a TCP receiver.
+type Sink struct {
+	pool     *packet.Pool
+	received int
+	bytes    uint64
+}
+
+// NewSink returns a counting sink releasing into pool (nil leaves
+// packets to the garbage collector).
+func NewSink(pool *packet.Pool) *Sink { return &Sink{pool: pool} }
+
+// Handle implements Handler: count the arrival and release the packet
+// (the sink is its terminal owner).
+func (s *Sink) Handle(p *packet.Packet) {
+	s.received++
+	s.bytes += uint64(p.Size)
+	s.pool.Put(p)
+}
+
+// Received returns the number of packets delivered to the sink.
+func (s *Sink) Received() int { return s.received }
+
+// Bytes returns the total payload bytes delivered to the sink.
+func (s *Sink) Bytes() uint64 { return s.bytes }

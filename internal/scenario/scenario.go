@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"tahoedyn/internal/core"
+	"tahoedyn/internal/link"
 	"tahoedyn/internal/topology"
 )
 
@@ -43,19 +44,27 @@ type File struct {
 	AccessBandwidth int64  `json:"access_bandwidth,omitempty"`
 	AccessDelay     string `json:"access_delay,omitempty"`
 	HostProcessing  string `json:"host_processing,omitempty"`
-	// Discard is "drop-tail" (default) or "random-drop".
+	// Discard is "drop-tail" (default) or "random-drop". Deprecated
+	// sugar for the structured Queue object; kept for old files.
 	Discard string `json:"discard,omitempty"`
-	// Discipline is "fifo" (default) or "fair-queue".
+	// Discipline is "fifo" (default) or "fair-queue". Deprecated sugar
+	// for Queue, like Discard.
 	Discipline string `json:"discipline,omitempty"`
+	// Queue selects the queue discipline of every switch output port:
+	// the structured successor of Discard/Discipline. Setting it
+	// alongside a non-default Discard/Discipline is an error.
+	Queue *Queue `json:"queue,omitempty"`
+	// Behavior applies a link behavior (stochastic loss, jitter,
+	// trace-driven rate replay) to every trunk port.
+	Behavior *Behavior `json:"behavior,omitempty"`
 	// DataSize/AckSize in bytes; zero DataSize means 500. AckSize is a
 	// pointer so that an explicit 0 (the zero-length-ACK conjecture
 	// experiments) is distinguishable from "omitted, use the paper's 50".
+	// (The pre-pointer spelling "ack_size_zero" is gone: the strict
+	// parser rejects it with a migration hint, the lenient parser still
+	// maps it to "ack_size": 0.)
 	DataSize int  `json:"data_size,omitempty"`
 	AckSize  *int `json:"ack_size,omitempty"`
-	// AckSizeZero is the deprecated spelling of "ack_size": 0 from before
-	// AckSize was a pointer. Old files still load; new files should write
-	// "ack_size": 0 instead.
-	AckSizeZero bool `json:"ack_size_zero,omitempty"`
 
 	Conns []Conn `json:"conns"`
 
@@ -105,13 +114,49 @@ type Topology struct {
 }
 
 // TopoLink is one duplex link. Zero Bandwidth/Delay/Buffer inherit the
-// scenario's trunk defaults; Buffer -1 means unbounded.
+// scenario's trunk defaults; Buffer -1 means unbounded. Queue and
+// Behavior override the scenario-wide objects for this link (both
+// directions).
 type TopoLink struct {
-	A         int    `json:"a"`
-	B         int    `json:"b"`
-	Bandwidth int64  `json:"bandwidth,omitempty"`
-	Delay     string `json:"delay,omitempty"`
-	Buffer    int    `json:"buffer,omitempty"`
+	A         int       `json:"a"`
+	B         int       `json:"b"`
+	Bandwidth int64     `json:"bandwidth,omitempty"`
+	Delay     string    `json:"delay,omitempty"`
+	Buffer    int       `json:"buffer,omitempty"`
+	Queue     *Queue    `json:"queue,omitempty"`
+	Behavior  *Behavior `json:"behavior,omitempty"`
+}
+
+// Queue is the JSON representation of a link.QueueSpec: a queue
+// discipline by name plus the RED thresholds when policy is "red".
+type Queue struct {
+	// Policy is "drop-tail", "random-drop", "fair-queue", or "red".
+	Policy string `json:"policy"`
+	// MinTh/MaxTh/MaxP/Wq parameterize "red" (zero takes the RED
+	// defaults); they are rejected under any other policy.
+	MinTh float64 `json:"min_th,omitempty"`
+	MaxTh float64 `json:"max_th,omitempty"`
+	MaxP  float64 `json:"max_p,omitempty"`
+	Wq    float64 `json:"wq,omitempty"`
+}
+
+// Behavior is the JSON representation of a link.BehaviorSpec.
+type Behavior struct {
+	// Loss is a Bernoulli per-packet loss probability.
+	Loss float64 `json:"loss,omitempty"`
+	// GoodToBad/BadToGood/BadLoss select the Gilbert-Elliott bursty loss
+	// channel (mutually exclusive with Loss).
+	GoodToBad float64 `json:"good_to_bad,omitempty"`
+	BadToGood float64 `json:"bad_to_good,omitempty"`
+	BadLoss   float64 `json:"bad_loss,omitempty"`
+	// Jitter bounds the uniform extra delay, e.g. "5ms".
+	Jitter string `json:"jitter,omitempty"`
+	// Reorder lets jittered packets overtake each other.
+	Reorder bool `json:"reorder,omitempty"`
+	// RateTrace is the path of a bandwidth-replay schedule file (one
+	// "<duration> <bits/s>" step per line; the schedule loops). Loaded
+	// when the scenario is converted to a Config.
+	RateTrace string `json:"rate_trace,omitempty"`
 }
 
 // TopoHost places one host on a switch.
@@ -140,6 +185,23 @@ type Conn struct {
 	ExtraDelay       string `json:"extra_delay,omitempty"`
 	// Start is a duration, or "random" (the default) for a random start.
 	Start string `json:"start,omitempty"`
+	// Source replaces the TCP endpoints with a non-TCP generator.
+	Source *Source `json:"source,omitempty"`
+}
+
+// Source is the JSON representation of a core.SourceSpec: a non-TCP
+// traffic generator in place of the connection's TCP endpoints.
+type Source struct {
+	// Kind is "cbr" or "onoff" ("tcp" keeps the default endpoints).
+	Kind string `json:"kind"`
+	// Rate is the offered bit rate while active.
+	Rate int64 `json:"rate,omitempty"`
+	// Size is the packet size in bytes; 0 means data_size.
+	Size int `json:"size,omitempty"`
+	// OnMean/OffMean are the exponential period means of "onoff",
+	// e.g. "500ms".
+	OnMean  string `json:"on_mean,omitempty"`
+	OffMean string `json:"off_mean,omitempty"`
 }
 
 // Decode reads a JSON scenario file without converting it: the result
@@ -159,6 +221,10 @@ func Decode(r io.Reader) (*File, error) {
 	if len(unknown) > 0 {
 		errs := make([]error, len(unknown))
 		for i, path := range unknown {
+			if path == "ack_size_zero" {
+				errs[i] = fmt.Errorf("scenario: field \"ack_size_zero\" was removed; write \"ack_size\": 0 instead")
+				continue
+			}
 			errs[i] = fmt.Errorf("scenario: unknown field %q", path)
 		}
 		return nil, errors.Join(errs...)
@@ -191,6 +257,16 @@ func decode(r io.Reader) (*File, []string, error) {
 	}
 	var unknown []string
 	unknownFields(reflect.TypeOf(File{}), doc, "", &unknown)
+	// Legacy mapping for the lenient path: the removed "ack_size_zero"
+	// boolean still loads as "ack_size": 0. It stays in the unknown list,
+	// so strict decoding rejects it (with a migration hint) and lenient
+	// callers see it among the ignored paths they warn about.
+	if m, ok := doc.(map[string]any); ok {
+		if v, ok := m["ack_size_zero"].(bool); ok && v && f.AckSize == nil {
+			zero := 0
+			f.AckSize = &zero
+		}
+	}
 	return &f, unknown, nil
 }
 
@@ -311,12 +387,9 @@ func (f *File) Config() (core.Config, error) {
 		Regions:         f.Regions,
 		Seed:            f.Seed,
 	}
-	switch {
-	case f.AckSize != nil:
+	if f.AckSize != nil {
 		cfg.AckSize = *f.AckSize
-	case f.AckSizeZero:
-		cfg.AckSize = 0
-	default:
+	} else {
 		cfg.AckSize = core.DefaultAckSize
 	}
 	if cfg.AckSize < 0 {
@@ -360,12 +433,45 @@ func (f *File) Config() (core.Config, error) {
 	default:
 		return cfg, fmt.Errorf("scenario: unknown discipline %q", f.Discipline)
 	}
+	if f.Queue != nil {
+		if f.Discard != "" || f.Discipline != "" {
+			return cfg, fmt.Errorf("scenario: queue and the legacy discard/discipline strings are both set; pick one surface")
+		}
+		if cfg.Queue, err = f.Queue.spec("queue"); err != nil {
+			return cfg, err
+		}
+	}
+	if cfg.Behavior, err = f.Behavior.spec("behavior"); err != nil {
+		return cfg, err
+	}
 	if f.Topology != nil {
 		g, err := f.Topology.graph()
 		if err != nil {
 			return cfg, err
 		}
 		cfg.Topology = &g
+		for li, l := range f.Topology.Links {
+			if l.Queue != nil {
+				qs, err := l.Queue.spec(fmt.Sprintf("topology.links[%d].queue", li))
+				if err != nil {
+					return cfg, err
+				}
+				if cfg.LinkQueue == nil {
+					cfg.LinkQueue = make(map[int]*link.QueueSpec)
+				}
+				cfg.LinkQueue[li] = qs
+			}
+			if l.Behavior != nil {
+				bs, err := l.Behavior.spec(fmt.Sprintf("topology.links[%d].behavior", li))
+				if err != nil {
+					return cfg, err
+				}
+				if cfg.LinkBehavior == nil {
+					cfg.LinkBehavior = make(map[int]*link.BehaviorSpec)
+				}
+				cfg.LinkBehavior[li] = bs
+			}
+		}
 	}
 	if len(f.Conns) == 0 {
 		return cfg, fmt.Errorf("scenario: at least one connection is required")
@@ -394,12 +500,74 @@ func (f *File) Config() (core.Config, error) {
 				return cfg, err
 			}
 		}
+		if c.Source != nil {
+			ss := &core.SourceSpec{
+				Kind: c.Source.Kind,
+				Rate: c.Source.Rate,
+				Size: c.Source.Size,
+			}
+			field := fmt.Sprintf("conns[%d].source", i)
+			switch ss.Kind {
+			case core.SourceTCP, core.SourceCBR, core.SourceOnOff:
+			case "":
+				return cfg, fmt.Errorf("scenario: %s: kind is required", field)
+			default:
+				return cfg, fmt.Errorf("scenario: %s: unknown kind %q (want tcp, cbr, or onoff)", field, ss.Kind)
+			}
+			if ss.OnMean, err = parseDur(field+".on_mean", c.Source.OnMean, 0); err != nil {
+				return cfg, err
+			}
+			if ss.OffMean, err = parseDur(field+".off_mean", c.Source.OffMean, 0); err != nil {
+				return cfg, err
+			}
+			spec.Source = ss
+		}
 		cfg.Conns = append(cfg.Conns, spec)
 	}
 	if err := validate(&cfg); err != nil {
 		return cfg, err
 	}
 	return cfg, nil
+}
+
+// spec converts the JSON queue object to a validated link.QueueSpec.
+func (q *Queue) spec(field string) (*link.QueueSpec, error) {
+	if q == nil {
+		return nil, nil
+	}
+	s := &link.QueueSpec{Policy: q.Policy, MinTh: q.MinTh, MaxTh: q.MaxTh, MaxP: q.MaxP, Wq: q.Wq}
+	if err := s.Validate(); err != nil {
+		return nil, fmt.Errorf("scenario: %s: %w", field, err)
+	}
+	return s, nil
+}
+
+// spec converts the JSON behavior object to a validated
+// link.BehaviorSpec, loading the rate-trace file if one is named.
+func (b *Behavior) spec(field string) (*link.BehaviorSpec, error) {
+	if b == nil {
+		return nil, nil
+	}
+	s := &link.BehaviorSpec{
+		Loss:      b.Loss,
+		GoodToBad: b.GoodToBad,
+		BadToGood: b.BadToGood,
+		BadLoss:   b.BadLoss,
+		Reorder:   b.Reorder,
+	}
+	var err error
+	if s.Jitter, err = parseDur(field+".jitter", b.Jitter, 0); err != nil {
+		return nil, err
+	}
+	if b.RateTrace != "" {
+		if s.Trace, err = link.LoadRateTrace(b.RateTrace); err != nil {
+			return nil, fmt.Errorf("scenario: %s.rate_trace: %w", field, err)
+		}
+	}
+	if err := s.Validate(); err != nil {
+		return nil, fmt.Errorf("scenario: %s: %w", field, err)
+	}
+	return s, nil
 }
 
 // validate surfaces the errors core.Build would panic on: an
@@ -428,6 +596,9 @@ func validate(cfg *core.Config) error {
 		}
 		if c.SrcHost < 0 || c.SrcHost >= hosts || c.DstHost < 0 || c.DstHost >= hosts {
 			return fmt.Errorf("scenario: conns[%d]: host index out of range (have %d hosts)", i, hosts)
+		}
+		if err := c.Source.Validate(); err != nil {
+			return fmt.Errorf("scenario: conns[%d].source: %w", i, err)
 		}
 	}
 	return nil

@@ -74,10 +74,16 @@ func TestParseZeroAck(t *testing.T) {
 	if cfg.AckSize != 0 {
 		t.Fatalf("AckSize = %d, want 0", cfg.AckSize)
 	}
-	// The deprecated pre-pointer spelling must keep loading.
+	// The removed pre-pointer spelling is rejected by the strict parser
+	// with a migration hint, but the lenient parser still maps it.
 	j = `{"trunk_delay":"1s","buffer":0,"ack_size_zero":true,
 	       "conns":[{"src":0,"dst":1,"fixed_wnd":30}]}`
-	if cfg, err = Parse(strings.NewReader(j)); err != nil {
+	if _, err = Parse(strings.NewReader(j)); err == nil {
+		t.Fatal("strict Parse accepted removed field ack_size_zero")
+	} else if !strings.Contains(err.Error(), `"ack_size": 0`) {
+		t.Fatalf("ack_size_zero rejection lacks migration hint: %v", err)
+	}
+	if cfg, _, err = ParseLenient(strings.NewReader(j)); err != nil {
 		t.Fatal(err)
 	}
 	if cfg.AckSize != 0 {

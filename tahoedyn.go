@@ -33,6 +33,7 @@ import (
 	"tahoedyn/internal/analysis"
 	"tahoedyn/internal/core"
 	"tahoedyn/internal/experiment"
+	"tahoedyn/internal/link"
 	"tahoedyn/internal/obs"
 	"tahoedyn/internal/plot"
 	"tahoedyn/internal/runner"
@@ -113,6 +114,9 @@ const (
 )
 
 // Switch policy constants for Config.Discard and Config.Discipline.
+//
+// Deprecated: the enum pair survives as sugar over the structured
+// Config.Queue surface; prefer a QueueSpec, which also covers RED.
 const (
 	// DropTailDiscard discards arrivals at a full buffer (the paper's
 	// switches).
@@ -124,6 +128,63 @@ const (
 	// FairQueueDiscipline is per-connection self-clocked fair queueing.
 	FairQueueDiscipline = core.FairQueue
 )
+
+// Queue-discipline and link-behavior surface. A QueueSpec on
+// Config.Queue (or per link via Config.LinkQueue) selects the switch
+// output-port discipline — drop-tail, random-drop, fair-queue, or RED —
+// and a BehaviorSpec on Config.Behavior (or Config.LinkBehavior)
+// impairs trunk lines with seeded stochastic loss (Bernoulli or
+// Gilbert-Elliott), bounded jitter, optional reordering, and
+// trace-driven bandwidth replay. All stochastic draws come from
+// per-entity streams derived from Config.Seed, so results are
+// deterministic and identical at every shard count.
+type (
+	// QueueSpec declares a queue discipline by policy name plus RED
+	// thresholds; see QueuePolicy* for names.
+	QueueSpec = link.QueueSpec
+	// BehaviorSpec declares a link impairment; the zero value is an
+	// ideal line.
+	BehaviorSpec = link.BehaviorSpec
+	// SourceSpec, on ConnSpec.Source, replaces a connection's TCP
+	// endpoints with a non-TCP generator: constant-bit-rate cross
+	// traffic ("cbr") or an exponential on/off source ("onoff").
+	SourceSpec = core.SourceSpec
+	// RateTrace is a loaded bandwidth-replay schedule for
+	// BehaviorSpec.Trace; the schedule loops.
+	RateTrace = link.RateTrace
+)
+
+// Queue policy names for QueueSpec.Policy.
+const (
+	QueuePolicyDropTail   = link.PolicyDropTail
+	QueuePolicyRandomDrop = link.PolicyRandomDrop
+	QueuePolicyFairQueue  = link.PolicyFairQueue
+	QueuePolicyRED        = link.PolicyRED
+)
+
+// Source kinds for SourceSpec.Kind.
+const (
+	SourceTCP   = core.SourceTCP
+	SourceCBR   = core.SourceCBR
+	SourceOnOff = core.SourceOnOff
+)
+
+// ParseQueueSpec parses the -queue flag syntax: a policy name
+// optionally followed by ":" and key=value parameters, e.g. "red" or
+// "red:min=5,max=15,p=0.02,wq=0.002".
+func ParseQueueSpec(s string) (*QueueSpec, error) { return link.ParseQueueSpec(s) }
+
+// ParseBehaviorSpec parses the -behavior flag syntax: comma-separated
+// terms, e.g. "loss=0.01,jitter=2ms" or "ge=0.01/0.3/0.5" or
+// "trace=rates.rt".
+func ParseBehaviorSpec(s string) (*BehaviorSpec, error) { return link.ParseBehaviorSpec(s) }
+
+// LoadRateTrace reads a bandwidth-replay schedule file: one
+// "<duration> <bits/s>" step per line, #-comments allowed.
+func LoadRateTrace(path string) (*RateTrace, error) { return link.LoadRateTrace(path) }
+
+// ParseRateTrace parses the schedule syntax from a reader.
+func ParseRateTrace(r io.Reader) (*RateTrace, error) { return link.ParseRateTrace(r) }
 
 // Experiment types.
 type (
