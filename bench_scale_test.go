@@ -223,6 +223,156 @@ func BenchmarkFlowScale(b *testing.B) {
 	}
 }
 
+// BenchmarkIncrementalRecompile times a one-link routing update against
+// the from-scratch recompile it replaces, on a 4096-switch chain and a
+// 4096-switch scale-free graph. The chain leg is the bridge fast path:
+// every chain link is a bridge, so a finite weight change moves no
+// routes and ApplyLinkChange is O(1) after an amortized bridge sweep.
+// The ba leg re-rates the last link added by preferential attachment —
+// a peripheral non-bridge edge — so endpoint probes select the columns
+// that actually route through it and only those recompute. The late
+// node splits its traffic across its two attachments, so roughly half
+// the columns are affected and the speedup tracks the probe bound
+// dests/affected (~2x): the honest worst case for a link an endpoint
+// leans on, against the chain's 10^4x bridge fast path. "speedup" is
+// the ratio of a full RecomputeRoutes (timed off the clock) to one
+// incremental update; the chain leg's target in docs/BENCH_pr10.json
+// is >= 100x.
+func BenchmarkIncrementalRecompile(b *testing.B) {
+	cases := []struct {
+		name  string
+		graph func() topology.Graph
+		link  int // -1 selects the last link
+	}{
+		{"chain=4096", func() topology.Graph { return topology.Chain(4096) }, 2048},
+		{"ba=4096", func() topology.Graph { return topology.BarabasiAlbert(4096, 2, 7) }, -1},
+	}
+	for _, tc := range cases {
+		b.Run(tc.name, func(b *testing.B) {
+			g := tc.graph()
+			def := topology.Defaults{
+				Bandwidth: core.DefaultTrunkBandwidth,
+				Delay:     10 * time.Millisecond,
+				Buffer:    20,
+				DataSize:  core.DefaultDataSize,
+			}
+			c, err := g.Compile(def)
+			if err != nil {
+				b.Fatal(err)
+			}
+			li := tc.link
+			if li < 0 {
+				li = len(c.Links) - 1
+			}
+			wOrig := c.Weight(li)
+			wAlt := wOrig + 5*time.Millisecond
+
+			// Full-recompile reference, off the clock.
+			const fullReps = 3
+			t0 := time.Now()
+			for i := 0; i < fullReps; i++ {
+				if err := c.RecomputeRoutes(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			fullNs := float64(time.Since(t0).Nanoseconds()) / fullReps
+
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				// Alternate between two weights so every call does real
+				// work instead of short-circuiting as a no-op.
+				w := wAlt
+				if i%2 == 1 {
+					w = wOrig
+				}
+				if _, err := c.ApplyLinkChange(li, w); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			incNs := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+			b.ReportMetric(fullNs/incNs, "speedup")
+			b.ReportMetric(fullNs/1e6, "full-recompile-ms")
+		})
+	}
+}
+
+// millionNodeConfig is the 10⁶-switch regime: a million-switch chain
+// with 128 host clusters spread evenly along it and 64 flows between
+// neighboring clusters. All per-trunk and per-conn measurement is gated
+// off; the trunk delay is 1 ms, so a cluster-to-cluster path is ~7.8 s
+// one way and the run sees a few slow-start windows end to end.
+func millionNodeConfig() core.Config {
+	const nSw = 1_000_000
+	const nHosts = 128
+	g := topology.Chain(nSw)
+	g.Hosts = make([]topology.HostSpec, nHosts)
+	stride := nSw / nHosts
+	for i := range g.Hosts {
+		g.Hosts[i] = topology.HostSpec{Switch: i * stride}
+	}
+	cfg := core.Config{
+		Topology:      &g,
+		TrunkDelay:    time.Millisecond,
+		Buffer:        20,
+		Seed:          7,
+		Warmup:        2 * time.Second,
+		Duration:      25 * time.Second,
+		MeasureTrunks: []int{},
+		MeasureConns:  []int{},
+	}
+	for k := 0; k+1 < nHosts; k += 2 {
+		cfg.Conns = append(cfg.Conns, core.ConnSpec{SrcHost: k, DstHost: k + 1, Start: -1})
+	}
+	return cfg
+}
+
+// BenchmarkMillionNode builds, routes, and runs the million-switch
+// network to completion. route-bytes/switch is the resident cost of the
+// compiled forwarding state alone (interned rows + per-switch row ids),
+// measured on a separate compile off the clock; bytes/switch is the
+// whole built simulation (ports, switches, routes) per switch;
+// distinct-rows counts the interned row pool — the column-dedup win:
+// topologically identical switches share one row, so a million-switch
+// chain keeps a few hundred distinct rows.
+func BenchmarkMillionNode(b *testing.B) {
+	cfg := millionNodeConfig()
+
+	// Route-state probe, off the clock.
+	topo, err := cfg.CompileTopology()
+	if err != nil {
+		b.Fatal(err)
+	}
+	nSw := cfg.Topology.Switches
+	routeBytes := topo.RouteBytes()
+	rows := topo.DistinctRows()
+	topo = nil
+
+	base := liveHeap()
+	s := core.Build(cfg)
+	resident := liveHeap() - base
+	runtime.KeepAlive(s)
+	if resident < 0 {
+		resident = 0
+	}
+	s.Finish()
+
+	b.ReportAllocs()
+	runtime.GC()
+	b.ResetTimer()
+	var events uint64
+	for i := 0; i < b.N; i++ {
+		events = core.Run(cfg).Events
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(events)*float64(b.N)/b.Elapsed().Seconds(), "sim-events/s")
+	b.ReportMetric(float64(events), "events/run")
+	b.ReportMetric(float64(resident)/float64(nSw), "bytes/switch")
+	b.ReportMetric(float64(routeBytes)/float64(nSw), "route-bytes/switch")
+	b.ReportMetric(float64(rows), "distinct-rows")
+}
+
 // TestLargeChainSmoke is the CI large-topology leg: parse chain:2048
 // through the public facade, build it, and run the end-to-end flow pair
 // to completion — race detector off, wall-clock bounded by the CI step
@@ -252,6 +402,59 @@ func TestLargeChainSmoke(t *testing.T) {
 	for k := range conns {
 		if res.SenderStats[k].DataSent == 0 {
 			t.Fatalf("conn %d sent nothing across the 2048-switch chain", k)
+		}
+	}
+}
+
+// TestLargeBASmoke is the scale-free companion to the chain smoke: a
+// 50 000-switch Barabási–Albert graph (ba:50000:2:1) with one mid-run
+// link event, exercising the build-time event precompute
+// (ApplyLinkChange on a clone, rebuilt tables scheduled at T) at a
+// scale the tier-1 suite never reaches. Hosts are placed sparsely — 16
+// clusters spread over the switch ID range — because route compilation
+// is one Dijkstra per host-bearing switch: the full one-host-per-switch
+// default would be 50 000 columns and blow the CI step timeout, while
+// the sparse placement is the documented big-run pattern
+// (BenchmarkInternetScale, BenchmarkMillionNode). The event is a
+// bandwidth step, not a down: BA links can be bridges, and a bandwidth
+// change re-routes without ever disconnecting. Gated like the chain
+// leg.
+func TestLargeBASmoke(t *testing.T) {
+	if os.Getenv("TAHOEDYN_LARGE_SMOKE") == "" {
+		t.Skip("set TAHOEDYN_LARGE_SMOKE=1 to run the large-topology smoke leg")
+	}
+	spec, _, err := ParseTopoSpec("ba:50000:2:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := *spec
+	const nHosts = 16
+	g.Hosts = make([]topology.HostSpec, nHosts)
+	stride := g.Switches / nHosts
+	for i := range g.Hosts {
+		g.Hosts[i] = topology.HostSpec{Switch: i * stride}
+	}
+	cfg := Config{
+		Topology:   &g,
+		TrunkDelay: time.Millisecond,
+		Buffer:     20,
+		Seed:       7,
+		Warmup:     2 * time.Second,
+		Duration:   12 * time.Second,
+		Events: []LinkEvent{
+			{T: 6 * time.Second, Link: 0, Bandwidth: 25_000},
+		},
+	}
+	for k := 0; k+1 < nHosts; k += 2 {
+		cfg.Conns = append(cfg.Conns, ConnSpec{SrcHost: k, DstHost: k + 1, Start: -1})
+	}
+	res := Run(cfg)
+	if res.Events == 0 {
+		t.Fatal("large BA graph ran no events")
+	}
+	for k := range cfg.Conns {
+		if res.SenderStats[k].DataSent == 0 {
+			t.Fatalf("conn %d sent nothing across the 50000-switch BA graph", k)
 		}
 	}
 }

@@ -436,8 +436,8 @@ func TestFacadeRunAndAnalyze(t *testing.T) {
 
 func TestFacadeExperimentRegistry(t *testing.T) {
 	defs := Experiments()
-	if len(defs) != 24 {
-		t.Fatalf("registry has %d experiments, want 24", len(defs))
+	if len(defs) != 25 {
+		t.Fatalf("registry has %d experiments, want 25", len(defs))
 	}
 	if _, err := Experiment("nope", ExpOptions{}); err == nil {
 		t.Fatal("unknown experiment did not error")

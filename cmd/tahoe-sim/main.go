@@ -35,6 +35,16 @@ func main() {
 	os.Exit(run())
 }
 
+// stringList is a repeatable string flag: each occurrence appends.
+type stringList []string
+
+func (s *stringList) String() string { return strings.Join(*s, " ") }
+
+func (s *stringList) Set(v string) error {
+	*s = append(*s, v)
+	return nil
+}
+
 // run is main with an exit code: the profile flush is deferred here,
 // which a direct os.Exit in the body would skip.
 func run() int {
@@ -62,6 +72,8 @@ func run() int {
 		behavFl  = flag.String("behavior", "", "with -config: override the trunk link behavior, e.g. loss=0.01,jitter=2ms or ge=0.01/0.3/0.5 or trace=rates.rt")
 		profFl   = prof.AddFlags(flag.String)
 	)
+	var eventFls stringList
+	flag.Var(&eventFls, "event", "with -config: add a mid-run link event, e.g. link=1,t=120s,bw=25000 or link=1,t=120s,down (repeatable)")
 	flag.Parse()
 
 	// Experiments build their configs internally, so -sched and -shards
@@ -110,6 +122,22 @@ func run() int {
 		}
 	}
 
+	var events []tahoedyn.LinkEvent
+	if len(eventFls) > 0 {
+		if *config == "" {
+			fmt.Fprintln(os.Stderr, "tahoe-sim: -event requires -config <file>")
+			return 2
+		}
+		for _, s := range eventFls {
+			ev, err := tahoedyn.ParseLinkEvent(s)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "tahoe-sim:", err)
+				return 2
+			}
+			events = append(events, ev)
+		}
+	}
+
 	stopProf, err := prof.Start(profFl.Config())
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tahoe-sim:", err)
@@ -136,7 +164,7 @@ func run() int {
 			}
 			return 0
 		}
-		if err := runScenarioFile(*config, *width, *height, *doPlot, *lenient, prog, *storeFl, *invarFl, queueSpec, behavSpec); err != nil {
+		if err := runScenarioFile(*config, *width, *height, *doPlot, *lenient, prog, *storeFl, *invarFl, queueSpec, behavSpec, events); err != nil {
 			fmt.Fprintln(os.Stderr, "tahoe-sim:", err)
 			return 1
 		}
@@ -362,11 +390,14 @@ func loadScenario(path string, lenient bool) (tahoedyn.Config, error) {
 // streams to a chunked store file; with invariants, the streaming
 // checker runs online and a violation fails the command naming the
 // offending event.
-func runScenarioFile(path string, width, height int, doPlot, lenient bool, prog *tahoedyn.Progress, storePath string, invariants bool, queue *tahoedyn.QueueSpec, behavior *tahoedyn.BehaviorSpec) error {
+func runScenarioFile(path string, width, height int, doPlot, lenient bool, prog *tahoedyn.Progress, storePath string, invariants bool, queue *tahoedyn.QueueSpec, behavior *tahoedyn.BehaviorSpec, events []tahoedyn.LinkEvent) error {
 	cfg, err := loadScenario(path, lenient)
 	if err != nil {
 		return err
 	}
+	// Flag events append after the file's own, so both apply (events
+	// sort by time at build anyway).
+	cfg.Events = append(cfg.Events, events...)
 	if queue != nil {
 		// The flag replaces whatever the file chose, including the
 		// deprecated discard/discipline sugar.
@@ -394,7 +425,10 @@ func runScenarioFile(path string, width, height int, doPlot, lenient bool, prog 
 	if invariants {
 		cfg.Invariants = &tahoedyn.InvariantOptions{}
 	}
-	res := tahoedyn.Run(cfg)
+	res, err := tahoedyn.RunE(cfg)
+	if err != nil {
+		return err
+	}
 	cfg = res.Cfg // normalized copy, with defaults filled in
 	fmt.Printf("scenario %s: %d switches, τ=%v, buffer %d, %d connections\n",
 		path, cfg.Switches, cfg.TrunkDelay, cfg.Buffer, len(cfg.Conns))

@@ -140,15 +140,15 @@ func TestRunScenarioFile(t *testing.T) {
 	if err := os.WriteFile(path, []byte(js), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := runScenarioFile(path, 60, 8, false, false, nil, "", false, nil, nil); err != nil {
+	if err := runScenarioFile(path, 60, 8, false, false, nil, "", false, nil, nil, nil); err != nil {
 		t.Fatal(err)
 	}
-	if err := runScenarioFile(filepath.Join(dir, "missing.json"), 60, 8, false, false, nil, "", false, nil, nil); err == nil {
+	if err := runScenarioFile(filepath.Join(dir, "missing.json"), 60, 8, false, false, nil, "", false, nil, nil, nil); err == nil {
 		t.Fatal("no error for missing file")
 	}
 	bad := filepath.Join(dir, "bad.json")
 	os.WriteFile(bad, []byte(`{}`), 0o644)
-	if err := runScenarioFile(bad, 60, 8, false, false, nil, "", false, nil, nil); err == nil {
+	if err := runScenarioFile(bad, 60, 8, false, false, nil, "", false, nil, nil, nil); err == nil {
 		t.Fatal("no error for invalid scenario")
 	}
 }

@@ -62,6 +62,7 @@ func run() int {
 		queueFlag   = flag.String("queue", "", "queue discipline for every grid point, e.g. fair-queue or red:min=5,max=15")
 		behavFlag   = flag.String("behavior", "", "trunk link behavior for every grid point, e.g. loss=0.01,jitter=2ms")
 		profFl      = prof.AddFlags(flag.String)
+		eventFlag   = flag.String("event", "", "mid-run link event for every grid point, e.g. link=1,t=120s,bw=25000 or link=1,t=120s,down")
 	)
 	flag.Parse()
 
@@ -111,6 +112,16 @@ func run() int {
 		}
 	}
 
+	var events []tahoedyn.LinkEvent
+	if *eventFlag != "" {
+		ev, err := tahoedyn.ParseLinkEvent(*eventFlag)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tahoe-sweep:", err)
+			return 2
+		}
+		events = append(events, ev)
+	}
+
 	stopProf, err := prof.Start(profFl.Config())
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tahoe-sweep:", err)
@@ -128,7 +139,7 @@ func run() int {
 		Duration: *duration, Warmup: *warmup,
 		Seed: *seed, Parallel: *parallel,
 		Topology: *topoFlag, Sched: sched, Progress: *progress,
-		Queue: queueSpec, Behavior: behavSpec,
+		Queue: queueSpec, Behavior: behavSpec, Events: events,
 	})
 	w.Flush()
 	return 0
@@ -156,6 +167,7 @@ type sweepOptions struct {
 	// -queue and -behavior flags.
 	Queue    *tahoedyn.QueueSpec
 	Behavior *tahoedyn.BehaviorSpec
+	Events   []tahoedyn.LinkEvent
 }
 
 // sweep runs the (tau, buffer) grid on a worker pool and writes the
@@ -179,6 +191,7 @@ func sweep(w io.Writer, opts sweepOptions) {
 			cfg.Sched = opts.Sched
 			cfg.Queue = opts.Queue
 			cfg.Behavior = opts.Behavior
+			cfg.Events = append([]tahoedyn.LinkEvent(nil), opts.Events...)
 			cfg.Conns = append([]tahoedyn.ConnSpec(nil), conns...)
 			cfgs = append(cfgs, cfg)
 			labels = append(labels, fmt.Sprintf("tau=%v,buffer=%d", tau, b))

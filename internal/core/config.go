@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"os"
 	"strconv"
+	"strings"
 	"time"
 
 	"tahoedyn/internal/link"
@@ -163,6 +164,95 @@ func (s *SourceSpec) Validate() error {
 	return nil
 }
 
+// LinkEvent changes one trunk link while the run is in progress: at
+// time T the link either goes down (routing steers around it; packets
+// already queued or in flight still drain and deliver) or changes
+// bandwidth (the new rate applies from the next serialization on each
+// direction's port, and routing re-weighs the link). Affected switch
+// forwarding tables are recomputed incrementally at build time
+// (topology.ApplyLinkChange) and swapped in as simulation events, so
+// runs with events stay byte-identical at every shard count. A down
+// link that would disconnect any host pair is a build error.
+type LinkEvent struct {
+	// T is the simulation time the change takes effect.
+	T time.Duration
+	// Link is the topology link index (Compiled.Links order; for the
+	// default chain, link i joins switches i and i+1).
+	Link int
+	// Bandwidth, when positive, is the link's new rate in bits/s.
+	Bandwidth int64
+	// Down, when true, removes the link from routing. Exactly one of
+	// Bandwidth/Down must be set.
+	Down bool
+}
+
+// Validate reports the first problem with the event given the number of
+// links in the effective topology.
+func (e *LinkEvent) Validate(links int) error {
+	if e.T < 0 {
+		return fmt.Errorf("negative event time %v", e.T)
+	}
+	if e.Link < 0 || e.Link >= links {
+		return fmt.Errorf("link %d out of range [0,%d)", e.Link, links)
+	}
+	if e.Down && e.Bandwidth != 0 {
+		return fmt.Errorf("link %d event sets both down and bandwidth", e.Link)
+	}
+	if !e.Down && e.Bandwidth <= 0 {
+		return fmt.Errorf("link %d event needs a positive bandwidth or down", e.Link)
+	}
+	return nil
+}
+
+// ParseLinkEvent parses the -event flag syntax: comma-separated
+// key=value tokens — "link=<index>" and "t=<duration>" (both
+// required), plus either "bw=<bits/s>" (alias "bandwidth=") or the
+// bare token "down". Examples:
+//
+//	link=1,t=120s,bw=25000
+//	link=3,t=2m,down
+func ParseLinkEvent(text string) (LinkEvent, error) {
+	var ev LinkEvent
+	var haveLink, haveT bool
+	for _, tok := range strings.Split(text, ",") {
+		k, v, hasVal := strings.Cut(strings.TrimSpace(tok), "=")
+		var err error
+		switch k {
+		case "link":
+			haveLink = true
+			if ev.Link, err = strconv.Atoi(v); err != nil {
+				return ev, fmt.Errorf("core: event link %q: %v", v, err)
+			}
+		case "t":
+			haveT = true
+			if ev.T, err = time.ParseDuration(v); err != nil {
+				return ev, fmt.Errorf("core: event time %q: %v", v, err)
+			}
+		case "bw", "bandwidth":
+			if ev.Bandwidth, err = strconv.ParseInt(v, 10, 64); err != nil {
+				return ev, fmt.Errorf("core: event bandwidth %q: %v", v, err)
+			}
+		case "down":
+			if hasVal {
+				return ev, fmt.Errorf("core: event token \"down\" takes no value")
+			}
+			ev.Down = true
+		default:
+			return ev, fmt.Errorf("core: unknown event token %q (want link=, t=, bw=, or down)", tok)
+		}
+	}
+	if !haveLink || !haveT {
+		return ev, fmt.Errorf("core: an event needs link= and t=")
+	}
+	if ev.Down && ev.Bandwidth != 0 {
+		return ev, fmt.Errorf("core: event sets both down and bandwidth")
+	}
+	if !ev.Down && ev.Bandwidth <= 0 {
+		return ev, fmt.Errorf("core: event needs a positive bw= or down")
+	}
+	return ev, nil
+}
+
 // ConnSpec describes one TCP connection in a scenario.
 type ConnSpec struct {
 	// SrcHost and DstHost are 0-based host indices along the line.
@@ -251,6 +341,11 @@ type Config struct {
 
 	// Conns lists the connections.
 	Conns []ConnSpec
+
+	// Events lists mid-run link changes (bandwidth steps, link-down),
+	// applied in order of T with ties broken by list position. See
+	// LinkEvent for semantics and the byte-identity contract.
+	Events []LinkEvent
 
 	// NoPool disables the per-run packet free list, allocating every
 	// packet on the heap as the pre-pool simulator did. Pooling is
@@ -475,6 +570,14 @@ func (c *Config) normalize() error {
 	for _, k := range c.MeasureConns {
 		if k < 0 || k >= len(c.Conns) {
 			return fmt.Errorf("core: MeasureConns names connection %d, out of range [0,%d)", k, len(c.Conns))
+		}
+	}
+	if len(c.Events) > 0 {
+		links := len(c.Graph().Links)
+		for i := range c.Events {
+			if err := c.Events[i].Validate(links); err != nil {
+				return fmt.Errorf("core: event %d: %w", i, err)
+			}
 		}
 	}
 	hosts := c.HostCount()

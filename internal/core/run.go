@@ -548,6 +548,15 @@ func Build(cfg Config) *Sim {
 	return s
 }
 
+// eventRun is one interval of a switch's forwarding table as of a link
+// event, captured at build time with the destination port resolved. The
+// event callback installs the table with ResetRoutes + AddRouteRange in
+// run order.
+type eventRun struct {
+	lo, hi int
+	port   *link.Port
+}
+
 // BuildE is Build with error reporting: configuration validation and
 // topology compilation problems come back as errors instead of panics.
 func BuildE(cfg Config) (*Sim, error) {
@@ -834,6 +843,9 @@ func buildE(cfg Config, ar *Arena) (*Sim, error) {
 		return bs.Build(r)
 	}
 
+	// downPorts[h] is the switch→host access port, kept for forwarding-
+	// table rebuilds when a link event reroutes a switch with local hosts.
+	downPorts := make([]*link.Port, nh)
 	for h := 0; h < nh; h++ {
 		sw := topo.HostSwitch(h)
 		rg := regionOf(sw)
@@ -861,6 +873,7 @@ func buildE(cfg Config, ar *Arena) (*Sim, error) {
 			Obs:       tracer,
 		}, hosts[h])
 		switches[sw].AddRoute(h+1, down)
+		downPorts[h] = down
 		instrumentDrops(eng, rg, down)
 		if tracer != nil {
 			hosts[h].SetObs(tracer, fmt.Sprintf("host%d", h+1))
@@ -1102,6 +1115,75 @@ func buildE(cfg Config, ar *Arena) (*Sim, error) {
 			start = time.Duration(rng.Int63n(int64(cfg.StartSpread)))
 		}
 		eng.ScheduleAt(start, s.Start)
+	}
+
+	// Mid-run link events. Each event's routing consequences are computed
+	// here, at build time, on a private clone of the compiled topology:
+	// ApplyLinkChange returns exactly the switches whose forwarding rows
+	// move, and their new tables are captured as port-resolved runs. At
+	// simulation time the pre-scheduled callbacks just swap tables in
+	// (and, for bandwidth events, re-rate the trunk ports). One callback
+	// is scheduled per changed switch and per re-rated port direction,
+	// each on its own region's engine — so the total engine event count
+	// is the same at every shard count — and scheduling happens during
+	// build, so every callback's engine seq precedes every same-time
+	// packet event in serial and sharded runs alike. That, plus
+	// deterministic table rebuilds (ResetRoutes + in-order
+	// AddRouteRange), is what keeps runs with events byte-identical at
+	// every shard count. A down link only changes routing: packets
+	// already queued on, or in flight over, the line still drain and
+	// deliver. Propagation delays never change, so the sharded runner's
+	// MinCutDelay lookahead stays valid.
+	if len(cfg.Events) > 0 {
+		order := make([]int, len(cfg.Events))
+		for i := range order {
+			order[i] = i
+		}
+		sort.SliceStable(order, func(a, b int) bool { return cfg.Events[order[a]].T < cfg.Events[order[b]].T })
+		work := topo.Clone()
+		curBW := make(map[int]int64, len(cfg.Events))
+		for _, ei := range order {
+			ev := cfg.Events[ei]
+			li := ev.Link
+			l := topo.Links[li]
+			if _, ok := curBW[li]; !ok {
+				curBW[li] = l.Bandwidth
+			}
+			w := topology.LinkDown
+			if !ev.Down {
+				w = l.Delay + link.TxTime(cfg.DataSize, ev.Bandwidth)
+			}
+			changed, err := work.ApplyLinkChange(li, w)
+			if err != nil {
+				return nil, fmt.Errorf("core: event %d (link %d at %v): %w", ei, li, ev.T, err)
+			}
+			if !ev.Down && ev.Bandwidth != curBW[li] {
+				curBW[li] = ev.Bandwidth
+				bw := ev.Bandwidth
+				fwd, rev := trunks[li][0], trunks[li][1]
+				engs[regionOf(l.A)].ScheduleAt(ev.T, func() { fwd.SetBandwidth(bw) })
+				engs[regionOf(l.B)].ScheduleAt(ev.T, func() { rev.SetBandwidth(bw) })
+			}
+			for _, s := range changed {
+				var runs []eventRun
+				work.ForEachHostRun(s, func(h0, h1 int, hop topology.Hop, isLocal bool) {
+					if isLocal {
+						for h := h0; h < h1; h++ {
+							runs = append(runs, eventRun{h + 1, h + 2, downPorts[h]})
+						}
+						return
+					}
+					runs = append(runs, eventRun{h0 + 1, h1 + 1, trunks[hop.Link][hop.Dir]})
+				})
+				sw := switches[s]
+				engs[regionOf(s)].ScheduleAt(ev.T, func() {
+					sw.ResetRoutes()
+					for _, rn := range runs {
+						sw.AddRouteRange(rn.lo, rn.hi, rn.port)
+					}
+				})
+			}
+		}
 	}
 
 	var runner *shard.Runner

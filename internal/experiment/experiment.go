@@ -184,6 +184,7 @@ func All() []Definition {
 		{"parking-lot", "Parking-lot fairness across 3 bottlenecks (extension)", ParkingLotFairness},
 		{"congestion-wave", "Congestion-wave propagation down a 4-bottleneck chain (extension)", CongestionWaveProbe},
 		{"wave-speed", "Wave-speed fit: wavefront velocity vs hop depth (extension)", WaveSpeedStudy},
+		{"mesh-wave", "Mesh wave: velocity fit on a scale-free tree's diameter path (extension)", MeshWaveStudy},
 		{"reno", "Reno fast recovery: phenomena outlive Tahoe (extension)", RenoTwoWay},
 		{"random-drop", "Random Drop gateways vs drop-tail (extension)", RandomDropStudy},
 		{"fair-queueing", "Fair Queueing cures ACK-compression (extension)", FairQueueStudy},

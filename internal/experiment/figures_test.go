@@ -190,6 +190,18 @@ func TestWaveSpeedStudy(t *testing.T) {
 	}
 }
 
+func TestMeshWaveStudy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale experiment")
+	}
+	o := runAndCheck(t, "mesh-wave")
+	// The diameter-path metric guarantees >= 6 hops; each hop must have
+	// exposed its queue series for the plot.
+	if len(o.Series) < 6 {
+		t.Fatalf("mesh-wave exposes %d hop series, want >= 6", len(o.Series))
+	}
+}
+
 // Every experiment must at least run and produce metrics at tiny scale —
 // the smoke path exercised even with -short skipped full runs.
 func TestAllExperimentsSmoke(t *testing.T) {

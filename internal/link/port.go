@@ -185,6 +185,17 @@ func TxTime(sizeBytes int, bandwidth int64) time.Duration {
 	return time.Duration(bits * int64(time.Second) / bandwidth)
 }
 
+// SetBandwidth changes the line's nominal rate. The transmission in
+// progress (if any) finishes at its already-scheduled time; the new
+// rate applies from the next serialization, which reads cfg.Bandwidth
+// when it starts. A Behavior rate schedule still overrides per packet.
+func (pt *Port) SetBandwidth(bw int64) {
+	if bw <= 0 {
+		panic(fmt.Sprintf("link: non-positive bandwidth %d on %q", bw, pt.cfg.Name))
+	}
+	pt.cfg.Bandwidth = bw
+}
+
 // Send enqueues p for transmission, applying the discipline's
 // admission and overflow policy. It reports whether the arriving
 // packet was accepted.

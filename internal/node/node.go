@@ -96,6 +96,16 @@ func (s *Switch) AddRouteRange(lo, hi int, out *link.Port) {
 	s.paint(int32(lo), int32(hi), out)
 }
 
+// ResetRoutes clears the forwarding table so it can be rebuilt, e.g.
+// when a mid-run link event changes the compiled topology's routes. The
+// representation mode resets too: the next AddRouteRange decides dense
+// vs runs exactly as it would on a fresh switch, so a rebuilt table is
+// byte-identical to one installed at build time from the same routes.
+func (s *Switch) ResetRoutes() {
+	s.table = nil
+	s.runs = nil
+}
+
 // migrateToRuns converts the dense table to interval runs.
 func (s *Switch) migrateToRuns() {
 	s.runs = make([]portRun, 0, 4)

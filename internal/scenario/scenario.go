@@ -68,6 +68,11 @@ type File struct {
 
 	Conns []Conn `json:"conns"`
 
+	// Events lists mid-run link changes — bandwidth steps and link-down
+	// events — applied in time order. Runs with events remain
+	// byte-identical at every shard count.
+	Events []Event `json:"events,omitempty"`
+
 	// Shards partitions the run into this many regions executed in
 	// parallel (0 = the process default, normally serial). Like the
 	// scheduler choice it is a wall-clock knob only: results are
@@ -170,6 +175,21 @@ type TopoRoute struct {
 	At  int `json:"at"`
 	Dst int `json:"dst"`
 	Via int `json:"via"`
+}
+
+// Event is the JSON representation of a core.LinkEvent: a mid-run
+// change to one trunk link. Exactly one of Bandwidth/Down is set.
+type Event struct {
+	// T is the simulation time the change takes effect, e.g. "120s".
+	T string `json:"t"`
+	// Link is the topology link index (for the default chain, link i
+	// joins switches i and i+1).
+	Link int `json:"link"`
+	// Bandwidth is the link's new rate in bits/s.
+	Bandwidth int64 `json:"bandwidth,omitempty"`
+	// Down removes the link from routing; packets already queued on or
+	// flying over it still deliver.
+	Down bool `json:"down,omitempty"`
 }
 
 // Conn is the JSON representation of a core.ConnSpec.
@@ -524,6 +544,16 @@ func (f *File) Config() (core.Config, error) {
 		}
 		cfg.Conns = append(cfg.Conns, spec)
 	}
+	for i, e := range f.Events {
+		ev := core.LinkEvent{Link: e.Link, Bandwidth: e.Bandwidth, Down: e.Down}
+		if e.T == "" {
+			return cfg, fmt.Errorf("scenario: events[%d]: t is required", i)
+		}
+		if ev.T, err = parseDur(fmt.Sprintf("events[%d].t", i), e.T, 0); err != nil {
+			return cfg, err
+		}
+		cfg.Events = append(cfg.Events, ev)
+	}
 	if err := validate(&cfg); err != nil {
 		return cfg, err
 	}
@@ -588,6 +618,11 @@ func validate(cfg *core.Config) error {
 	}
 	if cfg.Shards < 0 {
 		return fmt.Errorf("scenario: negative shards")
+	}
+	for i := range cfg.Events {
+		if err := cfg.Events[i].Validate(len(compiled.Links)); err != nil {
+			return fmt.Errorf("scenario: events[%d]: %w", i, err)
+		}
 	}
 	hosts := cfg.HostCount()
 	for i, c := range cfg.Conns {

@@ -50,6 +50,77 @@ func TestParseTwoWay(t *testing.T) {
 	}
 }
 
+func TestParseEvents(t *testing.T) {
+	j := `{"trunk_delay":"10ms","buffer":20,"switches":4,
+	       "conns":[{"src":0,"dst":3}],
+	       "events":[{"t":"120s","link":1,"bandwidth":25000},
+	                 {"t":"2m30s","link":1,"bandwidth":50000}]}`
+	cfg, err := Parse(strings.NewReader(j))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []core.LinkEvent{
+		{T: 120 * time.Second, Link: 1, Bandwidth: 25000},
+		{T: 150 * time.Second, Link: 1, Bandwidth: 50000},
+	}
+	if len(cfg.Events) != len(want) {
+		t.Fatalf("events = %+v", cfg.Events)
+	}
+	for i := range want {
+		if cfg.Events[i] != want[i] {
+			t.Fatalf("event %d = %+v, want %+v", i, cfg.Events[i], want[i])
+		}
+	}
+
+	for name, bad := range map[string]string{
+		"missing-t": `{"trunk_delay":"10ms","buffer":20,"conns":[{"src":0,"dst":1}],
+		               "events":[{"link":0,"bandwidth":1000}]}`,
+		"bad-link": `{"trunk_delay":"10ms","buffer":20,"conns":[{"src":0,"dst":1}],
+		               "events":[{"t":"1s","link":4,"down":true}]}`,
+		"down-and-bw": `{"trunk_delay":"10ms","buffer":20,"conns":[{"src":0,"dst":1}],
+		               "events":[{"t":"1s","link":0,"bandwidth":1000,"down":true}]}`,
+		"no-kind": `{"trunk_delay":"10ms","buffer":20,"conns":[{"src":0,"dst":1}],
+		               "events":[{"t":"1s","link":0}]}`,
+	} {
+		if _, err := Parse(strings.NewReader(bad)); err == nil {
+			t.Errorf("%s: parsed", name)
+		}
+	}
+
+	// Round trip: events survive Decode∘Encode canonically.
+	canon, err := Canonical([]byte(`{
+  "trunk_delay": "10ms",
+  "buffer": 20,
+  "conns": [
+    {
+      "src": 0,
+      "dst": 1
+    }
+  ],
+  "events": [
+    {
+      "t": "120s",
+      "link": 0,
+      "bandwidth": 25000
+    }
+  ]
+}
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := Canonical(canon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(canon, again) {
+		t.Fatalf("canonical form not a fixed point:\n%s\nvs\n%s", canon, again)
+	}
+	if !strings.Contains(string(canon), `"events"`) {
+		t.Fatalf("events dropped from canonical form:\n%s", canon)
+	}
+}
+
 func TestParsePolicies(t *testing.T) {
 	j := `{"trunk_delay":"1s","buffer":30,"discard":"random-drop","discipline":"fair-queue",
 	       "conns":[{"src":0,"dst":1}]}`

@@ -42,6 +42,15 @@
 // identical. Identity is pinned by the shard identity tests (both §4
 // phase modes, every shipped scenario) and a randomized property test.
 //
+// Mid-run link events (core.Config.Events) need no shard machinery at
+// all: their routing consequences are precomputed at build time
+// (topology.ApplyLinkChange on a clone) and scheduled as one callback
+// per affected switch on that switch's own region engine. Build-time
+// scheduling gives each callback a seq below every same-time packet
+// event — in serial and per-region engines alike — and propagation
+// delays never change, so the cut-delay lookahead L stays valid for the
+// whole run.
+//
 // # Ownership transfer
 //
 // Packet pointers never cross a region boundary. When a cut port's

@@ -1,0 +1,326 @@
+package topology
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// canonRow is one switch's forwarding row in the canonical
+// representation both table modes share: maximal host intervals with
+// their packed hop (hopLocal for the switch's own hosts).
+type canonRow struct {
+	ends []int32
+	hops []int32
+}
+
+// snapshot resolves every switch's forwarding row to canonical form.
+func snapshot(c *Compiled) []canonRow {
+	rows := make([]canonRow, c.Switches)
+	for s := 0; s < c.Switches; s++ {
+		r := &rows[s]
+		c.ForEachHostRun(s, func(h0, h1 int, hop Hop, isLocal bool) {
+			p := hopLocal
+			if !isLocal {
+				p = packHop(hop.Link, hop.Dir)
+			}
+			r.ends = append(r.ends, int32(h1))
+			r.hops = append(r.hops, p)
+		})
+	}
+	return rows
+}
+
+func rowsEqual(a, b canonRow) bool {
+	if len(a.ends) != len(b.ends) {
+		return false
+	}
+	for i := range a.ends {
+		if a.ends[i] != b.ends[i] || a.hops[i] != b.hops[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// checkSame requires byte-identical forwarding state: same canonical
+// rows everywhere, and in run mode the same interval structure (the
+// canonical form IS the stored row, modulo slot translation).
+func checkSame(t *testing.T, tag string, got, want *Compiled) {
+	t.Helper()
+	gs, ws := snapshot(got), snapshot(want)
+	for s := range gs {
+		if !rowsEqual(gs[s], ws[s]) {
+			t.Fatalf("%s: switch %d forwarding row diverged:\n got %v|%v\nwant %v|%v",
+				tag, s, gs[s].ends, gs[s].hops, ws[s].ends, ws[s].hops)
+		}
+	}
+	for li := range got.Links {
+		if got.wt[li] != want.wt[li] {
+			t.Fatalf("%s: link %d weight %v, want %v", tag, li, got.wt[li], want.wt[li])
+		}
+	}
+}
+
+// checkPool verifies the interning invariants after a mutation: each
+// live row's refcount equals the number of switches naming it, and no
+// two live rows hold identical content.
+func checkPool(t *testing.T, tag string, c *Compiled) {
+	t.Helper()
+	if c.pool == nil {
+		return
+	}
+	refs := make(map[int32]int32)
+	for _, id := range c.rowOf {
+		refs[id]++
+	}
+	for id, n := range refs {
+		if c.pool.refs[id] != n {
+			t.Fatalf("%s: row %d refcount %d, %d switches reference it", tag, id, c.pool.refs[id], n)
+		}
+	}
+	seen := make(map[uint64][]int32)
+	for id := range c.pool.ends {
+		id := int32(id)
+		if c.pool.refs[id] <= 0 {
+			continue
+		}
+		h := hashRow(c.pool.ends[id], c.pool.slots[id])
+		for _, other := range seen[h] {
+			if rowsEqual(canonRow{c.pool.ends[id], c.pool.slots[id]}, canonRow{c.pool.ends[other], c.pool.slots[other]}) {
+				t.Fatalf("%s: live rows %d and %d share content — interning failed", tag, id, other)
+			}
+		}
+		seen[h] = append(seen[h], id)
+	}
+}
+
+// incrementalGraphs is the property-test corpus: the ISSUE-named
+// shapes (chain, parking lot, BA, Waxman) plus host-placement
+// variants that scatter and cluster hosts.
+func incrementalGraphs() map[string]Graph {
+	scattered := BarabasiAlbert(80, 2, 11)
+	scattered.Hosts = nil
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 24; i++ {
+		scattered.Hosts = append(scattered.Hosts, HostSpec{Switch: rng.Intn(80)})
+	}
+	sparse := Waxman(120, 3)
+	sparse.Hosts = []HostSpec{{7}, {7}, {40}, {71}, {71}, {101}}
+	return map[string]Graph{
+		"chain-24":     Chain(24),
+		"parking-lot":  ParkingLot(6),
+		"ba-64":        BarabasiAlbert(64, 2, 7),
+		"ba-200":       BarabasiAlbert(200, 3, 42),
+		"waxman-64":    Waxman(64, 7),
+		"waxman-300":   Waxman(300, 99),
+		"ba-scattered": scattered,
+		"waxman-thin":  sparse,
+	}
+}
+
+// mutateOnce applies one random link change to live (incremental) and,
+// on success, mirrors it onto ref by direct weight poke plus full
+// recompile. It returns the changed-switch list and whether the step
+// applied (false: the change was rejected, state must be untouched).
+func mutateOnce(t *testing.T, tag string, rng *rand.Rand, live, ref *Compiled) ([]int, bool) {
+	t.Helper()
+	li := rng.Intn(len(live.Links))
+	cur := live.wt[li]
+	var w time.Duration
+	switch op := rng.Intn(6); {
+	case op == 0: // take down
+		w = LinkDown
+	case op == 1 || cur == downWt: // restore / perturb from the spec weight
+		base := live.Links[li].Delay + time.Duration(int64(live.dataSize)*8*int64(time.Second)/live.Links[li].Bandwidth)
+		w = base + time.Duration(rng.Intn(3))*time.Millisecond
+	case op == 2:
+		w = cur / 3
+	case op == 3:
+		w = cur * 3
+	case op == 4:
+		w = cur + time.Duration(rng.Intn(20_000_000)) // sub-RTT nudge: tie territory
+	default:
+		w = cur - time.Duration(rng.Intn(int(cur/2)+1))
+	}
+	if w != LinkDown && w <= 0 {
+		w = time.Millisecond
+	}
+
+	before := snapshot(live)
+	changed, err := live.ApplyLinkChange(li, w)
+	if err != nil {
+		// Rejected (disconnection): live must be untouched.
+		after := snapshot(live)
+		for s := range before {
+			if !rowsEqual(before[s], after[s]) {
+				t.Fatalf("%s: failed ApplyLinkChange(%d) mutated switch %d", tag, li, s)
+			}
+		}
+		if live.wt[li] != cur {
+			t.Fatalf("%s: failed ApplyLinkChange(%d) left weight %v", tag, li, live.wt[li])
+		}
+		return nil, false
+	}
+
+	// The changed list must be exactly the rows that moved.
+	after := snapshot(live)
+	ci := 0
+	for s := range before {
+		moved := !rowsEqual(before[s], after[s])
+		listed := ci < len(changed) && changed[ci] == s
+		if listed {
+			ci++
+		}
+		if moved != listed {
+			t.Fatalf("%s: ApplyLinkChange(%d,%v) switch %d moved=%v listed=%v", tag, li, w, s, moved, listed)
+		}
+	}
+	if ci != len(changed) {
+		t.Fatalf("%s: changed list has stray entries %v", tag, changed[ci:])
+	}
+
+	// Mirror onto the reference: poke the weight, recompile from scratch.
+	if w == LinkDown {
+		ref.wt[li] = downWt
+	} else {
+		ref.wt[li] = w
+	}
+	if err := ref.RecomputeRoutes(); err != nil {
+		t.Fatalf("%s: reference recompile rejected a change the incremental path accepted: %v", tag, err)
+	}
+	return changed, true
+}
+
+// TestApplyLinkChangeMatchesRecompile is the pinned byte-identity
+// property: a long random sequence of weight changes, downs, and
+// restores maintained incrementally equals a from-scratch recompile
+// after every single step — in run mode and dense mode, for several
+// worker counts.
+func TestApplyLinkChangeMatchesRecompile(t *testing.T) {
+	for name, g := range incrementalGraphs() {
+		for _, mode := range []struct {
+			name  string
+			limit int
+		}{{"runs", 0}, {"dense", 1 << 30}} {
+			t.Run(name+"/"+mode.name, func(t *testing.T) {
+				def := eqDefaults()
+				live := compileWithLimits(t, g, def, mode.limit, colBatchCells)
+				ref := compileWithLimits(t, g, def, mode.limit, colBatchCells)
+				defW := eqDefaults()
+				defW.Workers = 3
+				liveW := compileWithLimits(t, g, defW, mode.limit, colBatchCells)
+				// Force the mode for every RecomputeRoutes below too.
+				oldDense := denseNextLimit
+				denseNextLimit = mode.limit
+				defer func() { denseNextLimit = oldDense }()
+
+				rng := rand.New(rand.NewSource(int64(len(name)) * 1337))
+				rngW := rand.New(rand.NewSource(int64(len(name)) * 1337))
+				applied := 0
+				for step := 0; step < 40; step++ {
+					changed, ok := mutateOnce(t, name, rng, live, ref)
+					// Same op stream on the 3-worker compile: identical
+					// results and identical changed lists.
+					changedW, okW := mutateOnce(t, name+"/w3", rngW, liveW, liveW.Clone())
+					if ok != okW || len(changed) != len(changedW) {
+						t.Fatalf("step %d: workers=3 diverged (ok %v/%v, changed %d/%d)",
+							step, ok, okW, len(changed), len(changedW))
+					}
+					for i := range changed {
+						if changed[i] != changedW[i] {
+							t.Fatalf("step %d: workers=3 changed list diverged at %d", step, i)
+						}
+					}
+					if !ok {
+						continue
+					}
+					applied++
+					tag := name + "/" + mode.name
+					checkSame(t, tag, live, ref)
+					checkSame(t, tag+"/w3", liveW, live)
+					checkPool(t, tag, live)
+				}
+				if applied == 0 {
+					t.Fatalf("no link change applied in 40 steps — corpus too restrictive")
+				}
+			})
+		}
+	}
+}
+
+// TestApplyLinkChangeBridgeFastPath pins the O(1) chain case: every
+// chain link is a bridge, so a finite weight change moves no routes and
+// reports no changed switches, while taking a bridge down is rejected.
+func TestApplyLinkChangeBridgeFastPath(t *testing.T) {
+	c := compileWithLimits(t, Chain(64), eqDefaults(), 0, colBatchCells)
+	want := snapshot(c)
+	changed, err := c.ApplyLinkChange(31, 700*time.Millisecond)
+	if err != nil || len(changed) != 0 {
+		t.Fatalf("bridge weight change: changed=%v err=%v", changed, err)
+	}
+	if c.Weight(31) != 700*time.Millisecond {
+		t.Fatalf("weight not updated: %v", c.Weight(31))
+	}
+	got := snapshot(c)
+	for s := range want {
+		if !rowsEqual(want[s], got[s]) {
+			t.Fatalf("bridge weight change moved switch %d", s)
+		}
+	}
+	if _, err := c.ApplyLinkChange(31, LinkDown); err == nil {
+		t.Fatal("taking a bridge down must be rejected")
+	}
+	// And the state after the rejected down still matches a recompile.
+	ref := c.Clone()
+	if err := ref.RecomputeRoutes(); err != nil {
+		t.Fatalf("recompile: %v", err)
+	}
+	checkSame(t, "post-reject", c, ref)
+}
+
+// TestApplyLinkChangeRejects pins the argument and override guards.
+func TestApplyLinkChangeRejects(t *testing.T) {
+	c := compileWithLimits(t, Chain(8), eqDefaults(), 0, colBatchCells)
+	if _, err := c.ApplyLinkChange(-1, time.Second); err == nil {
+		t.Fatal("negative link accepted")
+	}
+	if _, err := c.ApplyLinkChange(len(c.Links), time.Second); err == nil {
+		t.Fatal("out-of-range link accepted")
+	}
+	if _, err := c.ApplyLinkChange(0, 0); err == nil {
+		t.Fatal("zero weight accepted")
+	}
+	g := Graph{
+		Switches: 3,
+		Links:    []LinkSpec{{A: 0, B: 1}, {A: 1, B: 2}, {A: 0, B: 2, Delay: 500 * time.Millisecond}},
+		Routes:   []RouteSpec{{At: 0, Dst: 2, Via: 2}},
+	}
+	oc := compileWithLimits(t, g, eqDefaults(), 0, colBatchCells)
+	if _, err := oc.ApplyLinkChange(0, time.Second); err == nil {
+		t.Fatal("override graph accepted")
+	}
+	if err := oc.RecomputeRoutes(); err == nil {
+		t.Fatal("override graph recompile accepted")
+	}
+}
+
+// TestCloneIsolation: mutations on a clone never leak into the
+// original, including through the row pool's free-list reuse.
+func TestCloneIsolation(t *testing.T) {
+	base := compileWithLimits(t, BarabasiAlbert(120, 2, 3), eqDefaults(), 0, colBatchCells)
+	want := snapshot(base)
+	cl := base.Clone()
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 15; i++ {
+		mutateOnce(t, "clone", rng, cl, cl.Clone())
+	}
+	got := snapshot(base)
+	for s := range want {
+		if !rowsEqual(want[s], got[s]) {
+			t.Fatalf("clone mutation leaked into original at switch %d", s)
+		}
+	}
+	checkPool(t, "original", base)
+	checkPool(t, "clone", cl)
+}

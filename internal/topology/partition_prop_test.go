@@ -1,0 +1,69 @@
+package topology
+
+import (
+	"testing"
+	"time"
+)
+
+// TestPartitionProperties checks the partition contract on generated
+// meshes: every switch lands in exactly one valid region, no region is
+// empty, CutLinks is exactly the ascending list of region-crossing
+// links, and MinCutDelay is their minimum propagation delay.
+func TestPartitionProperties(t *testing.T) {
+	graphs := map[string]Graph{
+		"ba-60":      BarabasiAlbert(60, 2, 3),
+		"ba-150":     BarabasiAlbert(150, 3, 17),
+		"waxman-90":  Waxman(90, 5),
+		"waxman-250": Waxman(250, 31),
+		"chain-40":   Chain(40),
+	}
+	for name, g := range graphs {
+		c, err := g.Compile(eqDefaults())
+		if err != nil {
+			t.Fatalf("%s: compile: %v", name, err)
+		}
+		for _, k := range []int{1, 2, 3, 5, 8} {
+			p, err := c.Partition(k)
+			if err != nil {
+				t.Fatalf("%s k=%d: %v", name, k, err)
+			}
+			if p.K != k || len(p.Region) != c.Switches {
+				t.Fatalf("%s k=%d: K=%d, %d regions assigned", name, k, p.K, len(p.Region))
+			}
+			size := make([]int, k)
+			for s, r := range p.Region {
+				if r < 0 || r >= k {
+					t.Fatalf("%s k=%d: switch %d in region %d", name, k, s, r)
+				}
+				size[r]++
+			}
+			for r, n := range size {
+				if n == 0 {
+					t.Fatalf("%s k=%d: region %d empty", name, k, r)
+				}
+			}
+			// CutLinks: exact, ascending, with the right delay minimum.
+			wantCut := []int{}
+			minDelay := time.Duration(0)
+			for li, l := range c.Links {
+				if p.Region[l.A] != p.Region[l.B] {
+					wantCut = append(wantCut, li)
+					if d := l.Delay; minDelay == 0 || d < minDelay {
+						minDelay = d
+					}
+				}
+			}
+			if len(wantCut) != len(p.CutLinks) {
+				t.Fatalf("%s k=%d: %d cut links, want %d", name, k, len(p.CutLinks), len(wantCut))
+			}
+			for i := range wantCut {
+				if p.CutLinks[i] != wantCut[i] {
+					t.Fatalf("%s k=%d: CutLinks[%d]=%d, want %d", name, k, i, p.CutLinks[i], wantCut[i])
+				}
+			}
+			if p.MinCutDelay != minDelay {
+				t.Fatalf("%s k=%d: MinCutDelay=%v, want %v", name, k, p.MinCutDelay, minDelay)
+			}
+		}
+	}
+}

@@ -61,23 +61,23 @@ func (rb *routeBuilder) paint(s, h int, hop int32) {
 	}
 }
 
-// freeze flattens the accumulated runs into the Compiled's CSR-style
-// run arrays and releases the accumulator.
+// freeze interns the accumulated runs into the Compiled's row pool and
+// releases the accumulator. Hops are converted from packed global link
+// directions to per-switch adjacency slots on the way in — the switch-
+// relative form under which identical forwarding shapes deduplicate.
+// The loop is serial in switch order, so row ids are deterministic
+// regardless of how many workers computed the columns.
 func (rb *routeBuilder) freeze(c *Compiled) {
-	c.runOff = make([]int32, c.Switches+1)
-	total := 0
+	c.pool = newRowPool()
+	c.rowOf = make([]int32, c.Switches)
+	var ends, slots []int32
 	for s, rs := range rb.runs {
-		total += len(rs)
-		c.runOff[s+1] = int32(total)
-	}
-	c.runEnd = make([]int32, total)
-	c.runHop = make([]int32, total)
-	for s, rs := range rb.runs {
-		off := c.runOff[s]
-		for i, r := range rs {
-			c.runEnd[off+int32(i)] = r.end
-			c.runHop[off+int32(i)] = r.hop
+		ends, slots = ends[:0], slots[:0]
+		for _, r := range rs {
+			ends = append(ends, r.end)
+			slots = append(slots, c.slotOf(s, r.hop))
 		}
+		c.rowOf[s] = c.pool.intern(ends, slots)
 	}
 	rb.runs = nil
 }
@@ -110,32 +110,43 @@ func (c *Compiled) computeRoutes() (*routeBuilder, error) {
 
 	// Batch size: how many distinct destination columns fit the
 	// transient budget (always at least one). A batch can never hold
-	// more columns than there are switches or hosts, so cap the budget
-	// there too — on small graphs the uncapped quotient is in the
-	// millions, and using it as a map size hint below would allocate
-	// a hundred MB of empty buckets per compile.
+	// more columns than there are distinct destination switches — not
+	// just fewer than the switch or host count — so cap the budget by
+	// the actual column count too: a graph whose hosts cluster on a
+	// handful of switches stages a handful of columns, regardless of
+	// how large the transient budget quotient is. (Follow-up to the
+	// map-hint fix: the hint below and the column arena both scale
+	// with this cap.)
+	distinct := 0
+	{
+		seen := make([]bool, nsw)
+		for _, hs := range c.Hosts {
+			if !seen[hs.Switch] {
+				seen[hs.Switch] = true
+				distinct++
+			}
+		}
+	}
 	maxCols := colBatchCells / nsw
 	if maxCols < 1 {
 		maxCols = 1
 	}
-	if maxCols > nsw {
-		maxCols = nsw
-	}
-	if maxCols > nh {
-		maxCols = nh
+	if maxCols > distinct {
+		maxCols = distinct
 	}
 
 	var (
 		cols    [][]int32 // column arena, reused across batches
 		colBad  []int32   // lowest unreachable switch per column, -1 if none
 		scratch = sync.Pool{New: func() any { return newSSSP(nsw) }}
+		colOf   = make(map[int]int, maxCols) // dest switch -> column, reused per batch
 	)
 
 	for lo := 0; lo < nh; {
 		// Grow the batch [lo,hi) while its distinct destination switches
 		// fit the column budget. Consecutive hosts on one switch share a
 		// column, so a batch always advances by at least one host.
-		colOf := make(map[int]int, maxCols)
+		clear(colOf)
 		var dests []int32
 		hi := lo
 		for hi < nh {
@@ -233,7 +244,11 @@ func (c *Compiled) fillColumn(sc *sssp, d int, col []int32) (bad int32) {
 			if dn == maxDist {
 				continue
 			}
-			if cost := c.wt[c.adjHop[i]>>1] + dn; cost < bestCost {
+			w := c.wt[c.adjHop[i]>>1]
+			if w == downWt {
+				continue
+			}
+			if cost := w + dn; cost < bestCost {
 				best, bestCost = c.adjHop[i], cost
 			}
 		}
@@ -246,6 +261,13 @@ func (c *Compiled) fillColumn(sc *sssp, d int, col []int32) (bad int32) {
 }
 
 const maxDist = time.Duration(1<<63 - 1)
+
+// downWt is the in-place weight of a link taken down by
+// ApplyLinkChange. Every route scan — relaxation, next-hop selection,
+// the incremental updater's endpoint probes — skips such links
+// outright, so a down link carries no routes while the CSR adjacency
+// (and with it every interned row's slot numbering) stays untouched.
+const downWt = maxDist
 
 // sssp is one worker's single-source shortest-path scratch: a distance
 // vector and a lazy-deletion binary heap. Distances out of Dijkstra
@@ -321,7 +343,11 @@ func (sc *sssp) run(c *Compiled, dst int) []time.Duration {
 		}
 		for i := c.adjOff[top.sw]; i < c.adjOff[top.sw+1]; i++ {
 			v := c.adjSw[i]
-			if d := top.d + c.wt[c.adjHop[i]>>1]; d < at(v) {
+			w := c.wt[c.adjHop[i]>>1]
+			if w == downWt { // down links carry no routes
+				continue
+			}
+			if d := top.d + w; d < at(v) {
 				set(v, d)
 				h = append(h, heapNode{d, v})
 				// sift up

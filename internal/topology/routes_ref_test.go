@@ -246,18 +246,22 @@ func TestParallelCompileDeterminism(t *testing.T) {
 			for _, w := range []int{2, 3, 8} {
 				def.Workers = w
 				c := compileWithLimits(t, g, def, 0, colBatchCells)
-				if len(c.runHop) != len(base.runHop) {
-					t.Fatalf("workers=%d: %d runs, serial %d", w, len(c.runHop), len(base.runHop))
-				}
-				for i := range c.runHop {
-					if c.runHop[i] != base.runHop[i] || c.runEnd[i] != base.runEnd[i] {
-						t.Fatalf("workers=%d: run %d = (%d,%d), serial (%d,%d)",
-							w, i, c.runEnd[i], c.runHop[i], base.runEnd[i], base.runHop[i])
+				// Byte identity: row ids per switch and row contents must
+				// match exactly — interning is serial in switch order, so
+				// even the pool layout is worker-independent.
+				for s := 0; s < c.Switches; s++ {
+					if c.rowOf[s] != base.rowOf[s] {
+						t.Fatalf("workers=%d: switch %d row id %d, serial %d", w, s, c.rowOf[s], base.rowOf[s])
 					}
 				}
-				for i := range c.runOff {
-					if c.runOff[i] != base.runOff[i] {
-						t.Fatalf("workers=%d: runOff[%d] differs", w, i)
+				if len(c.pool.ends) != len(base.pool.ends) {
+					t.Fatalf("workers=%d: %d pool rows, serial %d", w, len(c.pool.ends), len(base.pool.ends))
+				}
+				for r := range c.pool.ends {
+					for i := range c.pool.ends[r] {
+						if c.pool.ends[r][i] != base.pool.ends[r][i] || c.pool.slots[r][i] != base.pool.slots[r][i] {
+							t.Fatalf("workers=%d: pool row %d entry %d differs", w, r, i)
+						}
 					}
 				}
 			}

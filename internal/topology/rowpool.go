@@ -1,0 +1,132 @@
+package topology
+
+import "slices"
+
+// slotLocal marks a forwarding-row interval whose hosts are attached to
+// the switch itself. Non-negative slot values index the switch's CSR
+// half-edges relative to adjOff[s]: the actual link direction is
+// adjHop[adjOff[s]+slot]. Storing slots instead of packed global hops
+// is what makes rows shareable — on a chain every host-less switch
+// between two clusters forwards "left hosts via slot 0, right hosts via
+// slot 1" and all of them intern to a single pool row.
+const slotLocal = int32(-1)
+
+// rowPool hash-conses per-switch forwarding rows. A row is a pair of
+// equal-length int32 slices: ascending host-interval ends (the last
+// always equals the host count) and the adjacency slot each interval
+// forwards through. Rows are content-hashed, refcounted (one reference
+// per switch pointing at the row), and recycled through a free list
+// when ApplyLinkChange repaints switches. Interning is always serial —
+// compile freezes switch rows in switch order, ApplyLinkChange splices
+// in switch order — so row ids are deterministic and independent of the
+// route-compiler worker count.
+type rowPool struct {
+	ends  [][]int32
+	slots [][]int32
+	refs  []int32
+	hash  []uint64
+	index map[uint64][]int32 // content hash -> row ids with that hash
+	free  []int32            // dead row ids available for reuse
+}
+
+func newRowPool() *rowPool {
+	return &rowPool{index: make(map[uint64][]int32)}
+}
+
+// hashRow mixes a row's content FNV-1a style. ends and slots always
+// have equal length, so interleaving the pairs needs no separator.
+func hashRow(ends, slots []int32) uint64 {
+	h := uint64(1469598103934665603)
+	for i := range ends {
+		h ^= uint64(uint32(ends[i]))
+		h *= 1099511628211
+		h ^= uint64(uint32(slots[i]))
+		h *= 1099511628211
+	}
+	return h
+}
+
+// intern returns the id of the row with exactly this content, creating
+// it if needed, and takes one reference.
+func (p *rowPool) intern(ends, slots []int32) int32 {
+	h := hashRow(ends, slots)
+	for _, id := range p.index[h] {
+		if slices.Equal(p.ends[id], ends) && slices.Equal(p.slots[id], slots) {
+			p.refs[id]++
+			return id
+		}
+	}
+	var id int32
+	if n := len(p.free); n > 0 {
+		id = p.free[n-1]
+		p.free = p.free[:n-1]
+		p.ends[id] = append(p.ends[id][:0], ends...)
+		p.slots[id] = append(p.slots[id][:0], slots...)
+	} else {
+		id = int32(len(p.ends))
+		p.ends = append(p.ends, slices.Clone(ends))
+		p.slots = append(p.slots, slices.Clone(slots))
+		p.refs = append(p.refs, 0)
+		p.hash = append(p.hash, 0)
+	}
+	p.refs[id] = 1
+	p.hash[id] = h
+	p.index[h] = append(p.index[h], id)
+	return id
+}
+
+// release drops one reference. At zero the row leaves the index and its
+// id (with its backing arrays) joins the free list.
+func (p *rowPool) release(id int32) {
+	p.refs[id]--
+	if p.refs[id] > 0 {
+		return
+	}
+	h := p.hash[id]
+	chain := p.index[h]
+	for i, cid := range chain {
+		if cid == id {
+			chain[i] = chain[len(chain)-1]
+			chain = chain[:len(chain)-1]
+			break
+		}
+	}
+	if len(chain) == 0 {
+		delete(p.index, h)
+	} else {
+		p.index[h] = chain
+	}
+	p.free = append(p.free, id)
+}
+
+// rows returns the number of live (referenced) rows.
+func (p *rowPool) rows() int {
+	n := 0
+	for _, r := range p.refs {
+		if r > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// clone deep-copies the pool. Inner slices are copied too: a freed row's
+// backing array is overwritten on reuse, so clones may not share any.
+func (p *rowPool) clone() *rowPool {
+	q := &rowPool{
+		ends:  make([][]int32, len(p.ends)),
+		slots: make([][]int32, len(p.slots)),
+		refs:  slices.Clone(p.refs),
+		hash:  slices.Clone(p.hash),
+		index: make(map[uint64][]int32, len(p.index)),
+		free:  slices.Clone(p.free),
+	}
+	for i := range p.ends {
+		q.ends[i] = slices.Clone(p.ends[i])
+		q.slots[i] = slices.Clone(p.slots[i])
+	}
+	for h, chain := range p.index {
+		q.index[h] = slices.Clone(chain)
+	}
+	return q
+}

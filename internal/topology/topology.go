@@ -172,14 +172,20 @@ func unpackHop(p int32) Hop { return Hop{Link: int(p >> 1), Dir: int(p & 1)} }
 // (the tie-break order every deterministic scan relies on). Forwarding
 // state is either one dense Hop per (switch, host) cell — kept when
 // Switches×Hosts is at most denseNextLimit, the exact historical
-// representation — or per-switch sorted host-interval runs: run r of
-// switch s covers hosts [runEnd[r-1], runEnd[r]) and forwards them all
-// via runHop[r]. The two representations answer NextHop identically
+// representation — or per-switch sorted host-interval rows interned in
+// a shared pool (DESIGN.md §16): rowOf[s] names switch s's row, whose
+// intervals forward through adjacency slots relative to s. Switches
+// with identical forwarding shape — every host-less switch between two
+// clusters on a chain, every same-degree leaf of a BA graph — share one
+// row, so resident route bytes track the number of *distinct* rows,
+// not the switch count. The representations answer NextHop identically
 // (pinned by the equivalence tests); only their memory differs.
 type Compiled struct {
 	// Switches is the switch count.
 	Switches int
-	// Links are the resolved duplex links, in Graph order.
+	// Links are the resolved duplex links, in Graph order. Links is the
+	// as-compiled description: ApplyLinkChange updates the routing
+	// metric (Weight) but never rewrites these specs.
 	Links []Link
 	// Hosts are the attachment points, in Graph order (defaulted to one
 	// per switch when the Graph listed none).
@@ -191,18 +197,30 @@ type Compiled struct {
 	adjSw  []int32
 	adjHop []int32
 
-	// wt[li] is link li's routing metric (Weight) precomputed once.
+	// wt[li] is link li's routing metric (Weight): precomputed at
+	// Compile, updated in place by ApplyLinkChange. A down link holds
+	// the downWt sentinel and is skipped by every route scan.
 	wt []time.Duration
 
 	// next[s*len(Hosts)+h] is the forwarding decision at switch s for
 	// host h (dense mode; nil in run mode).
 	next []Hop
-	// runOff/runEnd/runHop are the interval-run tables (run mode; empty
-	// in dense mode). Switch s's runs are runOff[s]..runOff[s+1]; each
-	// run's hop is packed, hopLocal marking the switch's own hosts.
-	runOff []int32
-	runEnd []int32
-	runHop []int32
+	// rowOf/pool are the interned row tables (run mode; nil in dense
+	// mode): rowOf[s] is switch s's row id in the pool.
+	rowOf []int32
+	pool  *rowPool
+
+	// hasOverrides records whether RouteSpec overrides were painted;
+	// incremental maintenance refuses such graphs (the overrides are
+	// not recoverable from the compiled state).
+	hasOverrides bool
+
+	// Lazy caches for ApplyLinkChange, shared by Clone (all immutable
+	// once built): the distinct destination switches in host order with
+	// one representative host each, and per-link bridge flags.
+	destSws   []int32
+	destFirst []int32
+	bridge    []bool
 
 	// dataSize is the Defaults.DataSize the graph was compiled with,
 	// retained for the Weight metric.
@@ -225,22 +243,24 @@ func (c *Compiled) NextHop(sw, h int) (hop Hop, isLocal bool) {
 		hop = c.next[sw*len(c.Hosts)+h]
 		return hop, hop.Link < 0
 	}
-	_ = c.Hosts[h] // bounds check: run lookup must not wander into the next switch
-	lo, hi := c.runOff[sw], c.runOff[sw+1]
-	// First run whose end exceeds h; runs cover every host, so it exists.
+	_ = c.Hosts[h] // bounds check: run lookup must not wander past the hosts
+	ends := c.pool.ends[c.rowOf[sw]]
+	// First interval whose end exceeds h; intervals cover every host, so
+	// it exists.
+	lo, hi := 0, len(ends)
 	for lo < hi {
-		mid := (lo + hi) >> 1
-		if c.runEnd[mid] > int32(h) {
+		mid := int(uint(lo+hi) >> 1)
+		if ends[mid] > int32(h) {
 			hi = mid
 		} else {
 			lo = mid + 1
 		}
 	}
-	p := c.runHop[lo]
-	if p < 0 {
+	sl := c.pool.slots[c.rowOf[sw]][lo]
+	if sl < 0 {
 		return local, true
 	}
-	return unpackHop(p), false
+	return unpackHop(c.adjHop[c.adjOff[sw]+sl]), false
 }
 
 // ForEachHostRun calls fn for every maximal interval [h0,h1) of host
@@ -263,15 +283,16 @@ func (c *Compiled) ForEachHostRun(sw int, fn func(h0, h1 int, hop Hop, isLocal b
 		}
 		return
 	}
+	row := c.rowOf[sw]
+	ends, slots := c.pool.ends[row], c.pool.slots[row]
 	start := int32(0)
-	for r := c.runOff[sw]; r < c.runOff[sw+1]; r++ {
-		p := c.runHop[r]
-		if p < 0 {
-			fn(int(start), int(c.runEnd[r]), local, true)
+	for r := range ends {
+		if sl := slots[r]; sl < 0 {
+			fn(int(start), int(ends[r]), local, true)
 		} else {
-			fn(int(start), int(c.runEnd[r]), unpackHop(p), false)
+			fn(int(start), int(ends[r]), unpackHop(c.adjHop[c.adjOff[sw]+sl]), false)
 		}
-		start = c.runEnd[r]
+		start = ends[r]
 	}
 }
 
@@ -282,13 +303,65 @@ func (c *Compiled) ForEachHostRun(sw int, fn func(h0, h1 int, hop Hop, isLocal b
 // (tahoe-sim -validate, benchmarks).
 func (c *Compiled) RouteRuns() int {
 	if c.next == nil {
-		return len(c.runHop)
+		runs := 0
+		for _, row := range c.rowOf {
+			runs += len(c.pool.ends[row])
+		}
+		return runs
 	}
 	runs := 0
 	for s := 0; s < c.Switches; s++ {
 		c.ForEachHostRun(s, func(h0, h1 int, hop Hop, isLocal bool) { runs++ })
 	}
 	return runs
+}
+
+// DistinctRows returns the number of distinct forwarding rows after
+// interning (run mode), or the switch count in dense mode. The ratio
+// Switches/DistinctRows is the deduplication factor.
+func (c *Compiled) DistinctRows() int {
+	if c.next != nil {
+		return c.Switches
+	}
+	return c.pool.rows()
+}
+
+// RouteBytes returns the resident bytes of the forwarding state: the
+// dense cell array, or the per-switch row ids plus every live pool row
+// (interval data and per-row bookkeeping). It is the quantity the
+// benchmark trajectory tracks as "route bytes per switch".
+func (c *Compiled) RouteBytes() int {
+	if c.next != nil {
+		return len(c.next) * 16
+	}
+	// Per live row: the two int32 payload slices plus slice headers,
+	// refcount, and hash (~64 B of bookkeeping).
+	const rowOverhead = 64
+	b := len(c.rowOf) * 4
+	for r := range c.pool.ends {
+		if c.pool.refs[r] > 0 {
+			b += len(c.pool.ends[r])*8 + rowOverhead
+		}
+	}
+	return b
+}
+
+// Clone returns an independently mutable copy: ApplyLinkChange and
+// RecomputeRoutes on the clone never disturb the original. Immutable
+// state (adjacency, links, hosts, caches) is shared.
+func (c *Compiled) Clone() *Compiled {
+	d := *c
+	d.wt = append([]time.Duration(nil), c.wt...)
+	if c.next != nil {
+		d.next = append([]Hop(nil), c.next...)
+	}
+	if c.rowOf != nil {
+		d.rowOf = append([]int32(nil), c.rowOf...)
+	}
+	if c.pool != nil {
+		d.pool = c.pool.clone()
+	}
+	return &d
 }
 
 // PathHops returns the number of switch-switch links a packet from host
@@ -390,6 +463,7 @@ func (g Graph) Compile(def Defaults) (*Compiled, error) {
 	if err := c.applyOverrides(g.Routes, rb); err != nil {
 		return nil, err
 	}
+	c.hasOverrides = len(g.Routes) > 0
 	if rb != nil {
 		rb.freeze(c)
 	}
@@ -461,4 +535,55 @@ func (c *Compiled) hopToward(s, via int) (Hop, bool) {
 		}
 	}
 	return Hop{}, false
+}
+
+// slotOf maps a packed hop usable at switch s to its adjacency slot
+// (hopLocal maps to slotLocal). The half-edges of a switch are sorted
+// by ascending link index, and both directions of one link never meet
+// at a switch, so adjHop is strictly ascending per switch — binary
+// search applies.
+func (c *Compiled) slotOf(s int, p int32) int32 {
+	if p < 0 {
+		return slotLocal
+	}
+	lo, hi := c.adjOff[s], c.adjOff[s+1]
+	for lo < hi {
+		mid := (lo + hi) >> 1
+		switch {
+		case c.adjHop[mid] < p:
+			lo = mid + 1
+		case c.adjHop[mid] > p:
+			hi = mid
+		default:
+			return mid - c.adjOff[s]
+		}
+	}
+	panic("topology: hop not adjacent to switch")
+}
+
+// packedAt returns the packed forwarding value at (sw, h): a packed
+// hop, or hopLocal when host h is attached to sw.
+func (c *Compiled) packedAt(sw, h int) int32 {
+	if c.next != nil {
+		hop := c.next[sw*len(c.Hosts)+h]
+		if hop.Link < 0 {
+			return hopLocal
+		}
+		return packHop(hop.Link, hop.Dir)
+	}
+	ends := c.pool.ends[c.rowOf[sw]]
+	lo, hi := 0, len(ends)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if ends[mid] > int32(h) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	sl := c.pool.slots[c.rowOf[sw]][lo]
+	if sl < 0 {
+		return hopLocal
+	}
+	return c.adjHop[c.adjOff[sw]+sl]
 }

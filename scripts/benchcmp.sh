@@ -17,7 +17,18 @@
 #         growth beyond 25% (plus a page of slack) likewise warns —
 #         allocated-bytes creep is how a "compressed" data structure
 #         quietly decompresses itself; ns/op is reported
-#         informationally only.
+#         informationally only — except on the route-compile
+#         benchmarks, see below.
+#
+# Route-state gates (the 10⁶-node regime): route compilation is the
+# build-time bottleneck at large switch counts, so ns/op on the
+# BenchmarkTopologyBuild legs is gated like sim-events/s — losing 3x
+# against the recording fails hard (that is an algorithmic regression,
+# e.g. the interval-run compiler falling back to dense), losing 30%
+# warns. route-bytes/switch — the resident forwarding-state metric the
+# column-interning work drove to single digits — soft-gates at 25%
+# growth plus 8 bytes of slack: interning quietly degrading (hash
+# collisions, refcount leaks re-interning rows) shows up here first.
 #
 # sim-events/s sits between the two: recordings are single-iteration
 # (-benchtime 1x, best of 3 samples) and the reference recordings come
@@ -185,6 +196,24 @@ BEGIN {
                     printf "warn %s B/op: %s -> %s (allocated-bytes growth)\n", name, ov, nv
                     softwarn = 1
                 }
+            } else if (unit == "route-bytes/switch") {
+                # Column interning quietly degrading shows up here first.
+                if (nv + 0 > (ov + 0) * 1.25 + 8) {
+                    printf "warn %s route-bytes/switch: %s -> %s (route-state growth)\n", name, ov, nv
+                    softwarn = 1
+                }
+            } else if (unit == "ns/op" && name ~ /TopologyBuild/ && ov + 0 > 0) {
+                # Route-compile time: hard gate with the same 3x noise
+                # allowance as sim-events/s — shared single-core VMs move
+                # wall clock 2-3x, an algorithmic fallback costs more.
+                delta = (nv - ov) / ov * 100
+                if (nv + 0 > (ov + 0) * 3) {
+                    printf "FAIL %s ns/op: %s -> %s (%+.1f%%, route compile collapsed)\n", name, ov, nv, delta
+                    hardfail = 1
+                } else if (nv + 0 > (ov + 0) * 1.3) {
+                    printf "warn %s ns/op: %s -> %s (%+.1f%%, route-compile regression)\n", name, ov, nv, delta
+                    softwarn = 1
+                }
             } else if (unit == "sim-events/s" && ov + 0 > 0) {
                 delta = (nv - ov) / ov * 100
                 if (name ~ /ShardScaling|\/shards=/) {
@@ -211,7 +240,7 @@ BEGIN {
     if (onlyold != "") printf "note: only in %s:\n%s", oldfile, onlyold
     if (onlynew != "") printf "note: only in %s:\n%s", newfile, onlynew
     if (hardfail) {
-        print "benchcmp: FAIL — hard gate (paper metrics / steady-state allocs / sim-events/s) tripped"
+        print "benchcmp: FAIL — hard gate (paper metrics / steady-state allocs / sim-events/s / route compile) tripped"
         exit 1
     }
     if (softwarn) print "benchcmp: ok (with allocation warnings)"

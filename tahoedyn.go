@@ -55,6 +55,10 @@ type (
 	Result = core.Result
 	// CollapseEvent is one congestion-window collapse.
 	CollapseEvent = core.CollapseEvent
+	// LinkEvent is a mid-run change to one trunk link (Config.Events):
+	// a bandwidth step or a link-down. Routing is updated incrementally
+	// and runs with events stay byte-identical at every shard count.
+	LinkEvent = core.LinkEvent
 	// Arena is a reusable allocation context for back-to-back runs:
 	// engine buckets, the event free list, the packet free list, and
 	// the trace ring survive from one run to the next. Reuse is
@@ -173,6 +177,10 @@ const (
 // optionally followed by ":" and key=value parameters, e.g. "red" or
 // "red:min=5,max=15,p=0.02,wq=0.002".
 func ParseQueueSpec(s string) (*QueueSpec, error) { return link.ParseQueueSpec(s) }
+
+// ParseLinkEvent parses the -event flag syntax: comma-separated
+// key=value tokens, e.g. "link=1,t=120s,bw=25000" or "link=3,t=2m,down".
+func ParseLinkEvent(s string) (LinkEvent, error) { return core.ParseLinkEvent(s) }
 
 // ParseBehaviorSpec parses the -behavior flag syntax: comma-separated
 // terms, e.g. "loss=0.01,jitter=2ms" or "ge=0.01/0.3/0.5" or
